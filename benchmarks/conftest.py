@@ -1,0 +1,60 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures (or one of
+the ablations DESIGN.md calls out) on the laptop-scale workload and
+prints the resulting table, so that running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the same rows the paper reports.  The goal is shape fidelity
+(who wins, by roughly what factor, where the trend bends), not absolute
+numbers — the substrate is a NumPy simulator, not the authors' GPU
+testbed.  ``--scale paper`` on the CLI (``repro-experiments``) runs the
+full-size configuration instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import WorkloadSpec
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-samples", type=int, default=1200,
+        help="synthetic dataset size used by the benchmark workloads",
+    )
+    parser.addoption(
+        "--bench-epochs", type=int, default=6,
+        help="training epochs used by the benchmark workloads",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_workload(request) -> WorkloadSpec:
+    """Laptop-scale workload shared by the experiment benchmarks."""
+    return WorkloadSpec.laptop(
+        num_samples=request.config.getoption("--bench-samples"),
+        epochs=request.config.getoption("--bench-epochs"),
+        num_end_systems=4,
+        batch_size=32,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_bench_workload(request) -> WorkloadSpec:
+    """Smaller workload for the per-configuration micro-benchmarks."""
+    return WorkloadSpec.laptop(
+        num_samples=max(400, request.config.getoption("--bench-samples") // 3),
+        epochs=max(2, request.config.getoption("--bench-epochs") // 3),
+        num_end_systems=4,
+        batch_size=32,
+        seed=0,
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, iterations=1, rounds=1)

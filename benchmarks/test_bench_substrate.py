@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the NumPy substrate and the split-learning round trip.
+
+These are throughput benchmarks (pytest-benchmark's bread and butter)
+rather than table reproductions: they document how expensive the Fig.-3
+CNN's forward/backward pass and one full client→server→client training
+round trip are on this substrate, and they catch performance regressions
+in the im2col convolution path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.end_system import EndSystem
+from repro.core.models import paper_cnn_architecture, tiny_cnn_architecture
+from repro.core.server import CentralServer
+from repro.core.split import SplitSpec
+from repro.data.datasets import SyntheticCIFAR10
+from repro.data.loader import DataLoader
+from repro.nn import CrossEntropyLoss, Tensor
+
+
+@pytest.fixture(scope="module")
+def paper_batch():
+    rng = np.random.default_rng(0)
+    return rng.random((16, 3, 32, 32)), rng.integers(0, 10, 16)
+
+
+@pytest.fixture(scope="module")
+def paper_model():
+    return paper_cnn_architecture().build(seed=0)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_paper_cnn_forward(benchmark, paper_model, paper_batch):
+    images, _ = paper_batch
+
+    def forward():
+        return paper_model(Tensor(images)).data
+
+    logits = benchmark(forward)
+    assert logits.shape == (16, 10)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_paper_cnn_forward_backward(benchmark, paper_model, paper_batch):
+    images, labels = paper_batch
+    loss_fn = CrossEntropyLoss()
+
+    def step():
+        paper_model.zero_grad()
+        loss = loss_fn(paper_model(Tensor(images)), labels)
+        loss.backward()
+        return loss.item()
+
+    loss_value = benchmark(step)
+    assert loss_value > 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_split_round_trip(benchmark):
+    """One complete split-learning step: client forward, server train, client update."""
+    architecture = tiny_cnn_architecture(image_size=16, num_blocks=3, base_filters=8,
+                                         dense_units=64)
+    spec = SplitSpec(architecture, client_blocks=1)
+    dataset = SyntheticCIFAR10(num_samples=64, image_size=16, seed=0)
+    loader = DataLoader(dataset, batch_size=32, seed=0)
+    end_system = EndSystem(0, loader, spec, seed=1)
+    server = CentralServer(spec, seed=2)
+    rng = np.random.default_rng(0)
+    images = rng.random((32, 3, 16, 16))
+    labels = rng.integers(0, 10, 32)
+
+    def round_trip():
+        message = end_system.forward_batch(images, labels)
+        gradient = server.process(message)
+        end_system.apply_gradient(gradient)
+        return gradient.loss
+
+    loss_value = benchmark(round_trip)
+    assert loss_value > 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_synthetic_dataset_generation(benchmark):
+    def generate():
+        return SyntheticCIFAR10(num_samples=200, image_size=32, seed=3)
+
+    dataset = benchmark(generate)
+    assert len(dataset) == 200
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_one_synchronous_epoch_wall_time(benchmark):
+    """End-to-end cost of one synchronous epoch on the laptop workload."""
+    from repro.core.trainer import SpatioTemporalTrainer
+    from repro.data.partition import IIDPartitioner
+
+    architecture = tiny_cnn_architecture(image_size=16, num_blocks=3, base_filters=8,
+                                         dense_units=64)
+    spec = SplitSpec(architecture, client_blocks=1)
+    dataset = SyntheticCIFAR10(num_samples=400, image_size=16, seed=0)
+    parts = IIDPartitioner(4, seed=0).partition(dataset)
+
+    def one_epoch():
+        trainer = SpatioTemporalTrainer(
+            spec, parts, TrainingConfig(epochs=1, batch_size=32, seed=0)
+        )
+        history = trainer.train()
+        return history.final_train_accuracy
+
+    accuracy = benchmark.pedantic(one_epoch, iterations=1, rounds=1)
+    assert accuracy >= 0.0

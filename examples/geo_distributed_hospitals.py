@@ -1,0 +1,114 @@
+"""Geo-distributed hospitals: the paper's motivating medical scenario.
+
+The paper motivates spatio-temporal split learning with geo-distributed
+medical systems: hospitals hold patient data that cannot legally leave
+the premises, yet a single model should be trained on all of it.  This
+example builds that deployment end to end:
+
+* five "hospitals" in different cities, each with a *non-IID* local
+  dataset (Dirichlet label skew — one hospital sees mostly a few disease
+  classes),
+* WAN links whose latencies follow real geographic distances to a
+  centralized server in Seoul (the authors' institution),
+* asynchronous training under a fixed simulated time budget, comparing a
+  naive FIFO queue against the weighted-fair scheduling policy the
+  paper's queue discussion calls for.
+
+Run with::
+
+    python examples/geo_distributed_hospitals.py
+"""
+
+from __future__ import annotations
+
+from repro import SplitSpec, SpatioTemporalTrainer, TrainingConfig, tiny_cnn_architecture
+from repro.data import DirichletPartitioner, Normalize, SyntheticCIFAR10, train_test_split
+from repro.data.partition import partition_summary
+from repro.simnet import geo_star_topology
+from repro.utils.tables import format_table
+
+HOSPITAL_CITIES = ["tokyo", "singapore", "frankfurt", "new_york", "sao_paulo"]
+
+
+def build_hospital_data(seed: int = 0):
+    """Synthetic patient images, skewed so each hospital sees different classes."""
+    dataset = SyntheticCIFAR10(num_samples=1500, image_size=16, seed=seed,
+                               pixel_noise=0.15, deformation_noise=0.3)
+    train, test = train_test_split(dataset, test_fraction=0.25, seed=seed)
+    shards = DirichletPartitioner(len(HOSPITAL_CITIES), alpha=0.5, seed=seed).partition(train)
+    return train, test, shards
+
+
+def run_policy(policy: str, shards, test, seed: int = 0):
+    """Train asynchronously for a fixed simulated time budget under one policy."""
+    architecture = tiny_cnn_architecture(image_size=16, num_blocks=3,
+                                         base_filters=8, dense_units=64)
+    split = SplitSpec(architecture, client_blocks=1)
+    topology = geo_star_topology(HOSPITAL_CITIES, server_city="seoul", seed=seed)
+    config = TrainingConfig(
+        epochs=4, batch_size=32, seed=seed,
+        mode="asynchronous", queue_policy=policy,
+        max_in_flight=2, server_step_time_s=0.02,
+    )
+    trainer = SpatioTemporalTrainer(
+        split, shards, config, topology=topology,
+        train_transform=Normalize(mean=[0.5] * 3, std=[0.5] * 3),
+    )
+    history = trainer.train_time_budget(simulated_seconds=8.0, test_dataset=test)
+    return trainer, history
+
+
+def main() -> None:
+    train, test, shards = build_hospital_data()
+
+    print("Hospitals and their (non-IID) local data:")
+    summary = partition_summary(shards, num_classes=10)
+    rows = []
+    for hospital_id, city in enumerate(HOSPITAL_CITIES):
+        entry = summary[hospital_id]
+        dominant = max(range(10), key=lambda cls: entry["class_histogram"][cls])
+        rows.append([city, entry["num_samples"], f"class {dominant}"])
+    print(format_table(["hospital", "local samples", "dominant class"], rows))
+    print()
+
+    print("Training asynchronously for an 8-second simulated budget over real WAN "
+          "distances (server in Seoul)...\n")
+    comparison_rows = []
+    for policy in ("fifo", "weighted_fair"):
+        trainer, history = run_policy(policy, shards, test)
+        latencies = trainer.topology.mean_latencies()
+        per_system = history.per_system_accuracy
+        updates = trainer.per_system_update_counts()
+        comparison_rows.append([
+            policy,
+            100.0 * (history.final_test_accuracy or 0.0),
+            history.queue_stats["fairness_index"],
+            min(per_system.values()) * 100.0,
+            sum(updates.values()),
+        ])
+        print(format_table(
+            ["hospital", "one-way latency (ms)", "updates applied", "test accuracy (%)"],
+            [[city,
+              1e3 * latencies[node],
+              updates[hospital_id],
+              100.0 * per_system[hospital_id]]
+             for hospital_id, (city, node) in enumerate(
+                 zip(HOSPITAL_CITIES, trainer.topology.end_systems))],
+            float_format="{:.1f}",
+            title=f"Per-hospital outcome under the '{policy}' queue policy",
+        ))
+        print()
+
+    print(format_table(
+        ["queue policy", "mean accuracy (%)", "fairness index", "worst hospital (%)",
+         "total updates"],
+        comparison_rows,
+        float_format="{:.2f}",
+        title="FIFO vs. weighted-fair scheduling (paper Fig. 2 discussion)",
+    ))
+    print("\nExpected shape: nearby hospitals complete more updates inside the budget;")
+    print("fairness-aware scheduling narrows the gap the paper warns about.")
+
+
+if __name__ == "__main__":
+    main()

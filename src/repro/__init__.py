@@ -1,0 +1,53 @@
+"""repro — reproduction of "Spatio-Temporal Split Learning" (DSN 2021).
+
+The package is organised bottom-up:
+
+* :mod:`repro.nn` — NumPy deep-learning substrate (autograd, Conv2D,
+  MaxPooling2D, Dense, losses, optimizers).
+* :mod:`repro.data` — synthetic CIFAR-10-style datasets, loaders,
+  transforms and multi-end-system partitioners.
+* :mod:`repro.simnet` — discrete-event geo-distributed network simulation
+  (latencies, links, topologies, transport).
+* :mod:`repro.core` — the paper's contribution: split specification,
+  end-systems, centralized server with its parameter-scheduling queue,
+  the spatio-temporal trainer and the privacy (Fig. 4) analysis.
+* :mod:`repro.baselines` — centralized, sequential split learning and
+  FedAvg comparators.
+* :mod:`repro.experiments` — one module per paper table/figure plus the
+  ablations, with a CLI entry point (``repro-experiments``).
+"""
+
+from . import baselines, core, data, nn, simnet, utils
+from .core import (
+    CentralServer,
+    CNNArchitecture,
+    EndSystem,
+    SpatioTemporalTrainer,
+    SplitSpec,
+    TrainingConfig,
+    paper_cnn_architecture,
+    tiny_cnn_architecture,
+)
+from .data import SyntheticCIFAR10, SyntheticMNIST
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "simnet",
+    "core",
+    "baselines",
+    "utils",
+    "SplitSpec",
+    "TrainingConfig",
+    "EndSystem",
+    "CentralServer",
+    "SpatioTemporalTrainer",
+    "CNNArchitecture",
+    "paper_cnn_architecture",
+    "tiny_cnn_architecture",
+    "SyntheticCIFAR10",
+    "SyntheticMNIST",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baselines the paper's framework is compared against.
+
+* :class:`CentralizedTrainer` — all layers and all raw data on the server
+  (Table I's first row; the non-private accuracy upper bound).
+* :class:`SequentialSplitTrainer` — classic single-client split learning
+  (Vepakomma et al.), where institutions take turns with one shared client
+  segment.
+* :class:`FedAvgTrainer` — federated averaging, the canonical
+  full-model-on-every-client alternative.
+"""
+
+from .centralized import CentralizedTrainer
+from .fedavg import FedAvgTrainer, average_state_dicts
+from .vanilla_split import SequentialSplitTrainer
+
+__all__ = [
+    "CentralizedTrainer",
+    "SequentialSplitTrainer",
+    "FedAvgTrainer",
+    "average_state_dicts",
+]

@@ -1,0 +1,94 @@
+"""Spatio-temporal split learning: the paper's primary contribution.
+
+The public API mirrors the paper's Fig. 2: a :class:`SplitSpec` describes
+which blocks live on the end-systems, :class:`EndSystem` and
+:class:`CentralServer` are the two halves of the network, the
+:class:`ParameterQueue` with its scheduling policies sits in front of the
+server, and :class:`SpatioTemporalTrainer` orchestrates the spatially
+(multiple end-systems) and temporally (split forward/backward) separated
+training over a simulated geo-distributed network.
+"""
+
+from .compression import (
+    ActivationTransform,
+    GaussianNoisePerturbation,
+    NoCompression,
+    TopKSparsifier,
+    Uint8Quantizer,
+    get_transform,
+)
+from .config import TrainingConfig
+from .end_system import EndSystem
+from .history import EpochRecord, TrainingHistory
+from .messages import ActivationMessage, GradientMessage
+from .models import (
+    CNNArchitecture,
+    build_paper_cnn,
+    mnist_cnn_architecture,
+    paper_cnn_architecture,
+    tiny_cnn_architecture,
+)
+from .privacy import (
+    LayerLeakage,
+    LinearReconstructionAttack,
+    activation_to_images,
+    leakage_report,
+    normalized_mse,
+    pixel_correlation,
+    psnr,
+    ssim,
+    upsample_nearest,
+)
+from .scheduling import (
+    FIFOPolicy,
+    ParameterQueue,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    StalenessPriorityPolicy,
+    WeightedFairPolicy,
+    get_policy,
+)
+from .server import CentralServer
+from .split import SplitSpec
+from .trainer import SpatioTemporalTrainer
+
+__all__ = [
+    "TrainingConfig",
+    "EndSystem",
+    "CentralServer",
+    "SpatioTemporalTrainer",
+    "SplitSpec",
+    "TrainingHistory",
+    "EpochRecord",
+    "ActivationMessage",
+    "GradientMessage",
+    "CNNArchitecture",
+    "paper_cnn_architecture",
+    "tiny_cnn_architecture",
+    "mnist_cnn_architecture",
+    "build_paper_cnn",
+    "ParameterQueue",
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "RoundRobinPolicy",
+    "StalenessPriorityPolicy",
+    "WeightedFairPolicy",
+    "get_policy",
+    # activation compression / perturbation (extension)
+    "ActivationTransform",
+    "NoCompression",
+    "Uint8Quantizer",
+    "TopKSparsifier",
+    "GaussianNoisePerturbation",
+    "get_transform",
+    # privacy
+    "LayerLeakage",
+    "LinearReconstructionAttack",
+    "activation_to_images",
+    "leakage_report",
+    "normalized_mse",
+    "pixel_correlation",
+    "psnr",
+    "ssim",
+    "upsample_nearest",
+]

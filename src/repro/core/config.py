@@ -1,0 +1,98 @@
+"""Configuration dataclasses for split-learning training runs."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["TrainingConfig"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a spatio-temporal split-learning run.
+
+    Parameters
+    ----------
+    epochs:
+        Number of passes over every end-system's local data (synchronous
+        mode).
+    batch_size:
+        Mini-batch size used by every end-system.
+    client_optimizer / client_lr:
+        Optimizer and learning rate for each end-system's local segment.
+    server_optimizer / server_lr:
+        Optimizer and learning rate for the server segment.
+    loss:
+        Loss name (see :func:`repro.nn.losses.get_loss`).
+    queue_policy:
+        Name of the server queue's scheduling policy (see
+        :func:`repro.core.scheduling.get_policy`).
+    mode:
+        ``"synchronous"`` (the default; what Table I uses) or
+        ``"asynchronous"`` (event-driven, used by the staleness ablation).
+    max_in_flight:
+        Asynchronous mode only: how many batches an end-system may have
+        outstanding (sent but not yet acknowledged with a gradient).
+    server_step_time_s:
+        Simulated compute time the server spends per batch; makes queue
+        contention meaningful in asynchronous mode.
+    seed:
+        Master seed; every stochastic component derives its own stream
+        from it.
+    shuffle / drop_last:
+        DataLoader behaviour on each end-system.
+    """
+
+    epochs: int = 10
+    batch_size: int = 32
+    client_optimizer: str = "adam"
+    client_lr: float = 1e-3
+    server_optimizer: str = "adam"
+    server_lr: float = 1e-3
+    loss: str = "cross_entropy"
+    queue_policy: str = "fifo"
+    mode: str = "synchronous"
+    max_in_flight: int = 1
+    server_step_time_s: float = 0.0
+    seed: int = 0
+    shuffle: bool = True
+    drop_last: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.client_lr <= 0 or self.server_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.mode not in {"synchronous", "asynchronous"}:
+            raise ValueError(
+                f"mode must be 'synchronous' or 'asynchronous', got {self.mode!r}"
+            )
+        if self.max_in_flight <= 0:
+            raise ValueError("max_in_flight must be positive")
+        if self.server_step_time_s < 0:
+            raise ValueError("server_step_time_s must be non-negative")
+
+    @property
+    def client_optimizer_kwargs(self) -> Dict[str, float]:
+        """Keyword arguments used to build every end-system optimizer."""
+        return {"lr": self.client_lr}
+
+    @property
+    def server_optimizer_kwargs(self) -> Dict[str, float]:
+        """Keyword arguments used to build the server optimizer."""
+        return {"lr": self.server_lr}
+
+    def to_dict(self) -> Dict:
+        """Flat dictionary form (for logging and experiment records)."""
+        return asdict(self)
+
+    @classmethod
+    def fast_debug(cls, **overrides) -> "TrainingConfig":
+        """A tiny configuration suitable for unit tests (1 epoch, small batches)."""
+        defaults = dict(epochs=1, batch_size=8)
+        defaults.update(overrides)
+        return cls(**defaults)

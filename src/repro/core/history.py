@@ -1,0 +1,112 @@
+"""Training-history records produced by the trainers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["EpochRecord", "TrainingHistory"]
+
+
+@dataclass
+class EpochRecord:
+    """Metrics of a single epoch (or asynchronous training segment)."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_loss: Optional[float] = None
+    test_accuracy: Optional[float] = None
+    simulated_time_s: float = 0.0
+    wall_time_s: float = 0.0
+    batches: int = 0
+    samples: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the record (``None`` metrics omitted)."""
+        record = {
+            "epoch": self.epoch,
+            "train_loss": self.train_loss,
+            "train_accuracy": self.train_accuracy,
+            "simulated_time_s": self.simulated_time_s,
+            "wall_time_s": self.wall_time_s,
+            "batches": self.batches,
+            "samples": self.samples,
+        }
+        if self.test_loss is not None:
+            record["test_loss"] = self.test_loss
+        if self.test_accuracy is not None:
+            record["test_accuracy"] = self.test_accuracy
+        record.update(self.extra)
+        return record
+
+
+@dataclass
+class TrainingHistory:
+    """Full record of a training run: per-epoch metrics plus run-level stats."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+    traffic: Dict[str, float] = field(default_factory=dict)
+    queue_stats: Dict[str, float] = field(default_factory=dict)
+    per_system_accuracy: Dict[int, float] = field(default_factory=dict)
+    config: Dict[str, object] = field(default_factory=dict)
+
+    def append(self, record: EpochRecord) -> None:
+        """Add one epoch record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def final_train_accuracy(self) -> float:
+        """Training accuracy of the last epoch (0 when no epochs ran)."""
+        return self.records[-1].train_accuracy if self.records else 0.0
+
+    @property
+    def final_test_accuracy(self) -> Optional[float]:
+        """Test accuracy of the last epoch that evaluated (``None`` if never)."""
+        for record in reversed(self.records):
+            if record.test_accuracy is not None:
+                return record.test_accuracy
+        return None
+
+    @property
+    def best_test_accuracy(self) -> Optional[float]:
+        """Best test accuracy seen over the run (``None`` if never evaluated)."""
+        values = [r.test_accuracy for r in self.records if r.test_accuracy is not None]
+        return max(values) if values else None
+
+    @property
+    def total_simulated_time(self) -> float:
+        """Total simulated network/compute time across all epochs (seconds)."""
+        return sum(record.simulated_time_s for record in self.records)
+
+    def accuracy_curve(self) -> List[float]:
+        """Per-epoch training accuracy."""
+        return [record.train_accuracy for record in self.records]
+
+    def loss_curve(self) -> List[float]:
+        """Per-epoch training loss."""
+        return [record.train_loss for record in self.records]
+
+    def to_rows(self) -> List[Dict[str, float]]:
+        """All epoch records as flat dictionaries."""
+        return [record.as_dict() for record in self.records]
+
+    def summary(self) -> Dict[str, object]:
+        """Run-level summary combining accuracy, traffic and queue statistics."""
+        return {
+            "epochs": len(self.records),
+            "final_train_accuracy": self.final_train_accuracy,
+            "final_test_accuracy": self.final_test_accuracy,
+            "best_test_accuracy": self.best_test_accuracy,
+            "total_simulated_time_s": self.total_simulated_time,
+            "traffic": dict(self.traffic),
+            "queue": dict(self.queue_stats),
+            "per_system_accuracy": dict(self.per_system_accuracy),
+        }

@@ -1,0 +1,242 @@
+"""The server-side parameter-scheduling queue (Fig. 2 of the paper).
+
+The paper observes that, with geo-distributed end-systems, "the
+parameters from the end-system can arrive at the server lately or
+sparsely.  Then, the learning performance can be biased due to the
+differences of arrivals from end-systems.  Thus, parameter scheduling is
+required ... a queue data structure needs to be defined."
+
+This module defines that queue.  :class:`ParameterQueue` buffers
+:class:`~repro.core.messages.ActivationMessage` objects as they arrive
+and hands them to the server in an order chosen by a pluggable
+:class:`SchedulingPolicy`:
+
+* :class:`FIFOPolicy` — strict arrival order (the naive baseline; biased
+  toward nearby end-systems because their messages arrive first).
+* :class:`RoundRobinPolicy` — alternate between end-systems regardless of
+  arrival order, equalizing the number of processed updates.
+* :class:`StalenessPriorityPolicy` — process the *oldest created* message
+  first, bounding the gradient staleness of far-away end-systems.
+* :class:`WeightedFairPolicy` — pick the end-system with the fewest
+  processed samples so far, equalizing data contribution.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .messages import ActivationMessage
+
+__all__ = [
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "RoundRobinPolicy",
+    "StalenessPriorityPolicy",
+    "WeightedFairPolicy",
+    "ParameterQueue",
+    "get_policy",
+]
+
+
+class SchedulingPolicy:
+    """Chooses which buffered message the server should process next."""
+
+    def select(self, pending: List[ActivationMessage], now: float) -> int:
+        """Return the index (into ``pending``) of the message to pop next."""
+        raise NotImplementedError
+
+    def notify_processed(self, message: ActivationMessage) -> None:
+        """Hook called after the selected message has been processed."""
+
+    def reset(self) -> None:
+        """Clear any internal state (called when the queue is reset)."""
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """First-come first-served by arrival time (ties broken by sequence number)."""
+
+    def select(self, pending: List[ActivationMessage], now: float) -> int:
+        return min(
+            range(len(pending)),
+            key=lambda index: (pending[index].arrival_time, pending[index].sequence),
+        )
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cycle through end-systems, skipping the ones with nothing pending."""
+
+    def __init__(self) -> None:
+        self._last_served: Optional[int] = None
+
+    def select(self, pending: List[ActivationMessage], now: float) -> int:
+        system_ids = sorted({message.end_system_id for message in pending})
+        if self._last_served is None or self._last_served not in system_ids:
+            target = system_ids[0]
+        else:
+            position = system_ids.index(self._last_served)
+            target = system_ids[(position + 1) % len(system_ids)]
+        candidates = [
+            index for index, message in enumerate(pending)
+            if message.end_system_id == target
+        ]
+        return min(candidates, key=lambda index: pending[index].sequence)
+
+    def notify_processed(self, message: ActivationMessage) -> None:
+        self._last_served = message.end_system_id
+
+    def reset(self) -> None:
+        self._last_served = None
+
+
+class StalenessPriorityPolicy(SchedulingPolicy):
+    """Process the message whose activations were *created* earliest.
+
+    This bounds staleness: a far-away end-system whose messages were
+    computed long ago (against old server weights) is served before fresher
+    messages from nearby end-systems.
+    """
+
+    def select(self, pending: List[ActivationMessage], now: float) -> int:
+        return min(
+            range(len(pending)),
+            key=lambda index: (pending[index].created_at, pending[index].sequence),
+        )
+
+
+class WeightedFairPolicy(SchedulingPolicy):
+    """Serve the end-system with the fewest processed samples so far."""
+
+    def __init__(self) -> None:
+        self._processed_samples: Dict[int, int] = defaultdict(int)
+
+    def select(self, pending: List[ActivationMessage], now: float) -> int:
+        return min(
+            range(len(pending)),
+            key=lambda index: (
+                self._processed_samples[pending[index].end_system_id],
+                pending[index].arrival_time,
+                pending[index].sequence,
+            ),
+        )
+
+    def notify_processed(self, message: ActivationMessage) -> None:
+        self._processed_samples[message.end_system_id] += message.batch_size
+
+    def reset(self) -> None:
+        self._processed_samples.clear()
+
+
+class ParameterQueue:
+    """Arrival buffer between the network and the server's training step."""
+
+    def __init__(self, policy: Optional[SchedulingPolicy] = None,
+                 max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size <= 0:
+            raise ValueError("max_size must be positive (or None for unbounded)")
+        self.policy = policy if policy is not None else FIFOPolicy()
+        self.max_size = max_size
+        self._pending: List[ActivationMessage] = []
+        self._waiting_times: List[float] = []
+        self._dropped = 0
+        self._processed_per_system: Dict[int, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------ #
+    # Queue operations
+    # ------------------------------------------------------------------ #
+    def push(self, message: ActivationMessage) -> bool:
+        """Enqueue a message; returns ``False`` if it was dropped (queue full)."""
+        if self.max_size is not None and len(self._pending) >= self.max_size:
+            self._dropped += 1
+            return False
+        self._pending.append(message)
+        return True
+
+    def pop(self, now: Optional[float] = None) -> ActivationMessage:
+        """Dequeue the next message according to the scheduling policy."""
+        if not self._pending:
+            raise IndexError("pop from an empty ParameterQueue")
+        if now is None:
+            now = max(message.arrival_time for message in self._pending)
+        index = self.policy.select(self._pending, now)
+        message = self._pending.pop(index)
+        self.policy.notify_processed(message)
+        self._waiting_times.append(max(0.0, now - message.arrival_time))
+        self._processed_per_system[message.end_system_id] += message.batch_size
+        return message
+
+    def drain(self, now: Optional[float] = None) -> List[ActivationMessage]:
+        """Pop every pending message in policy order."""
+        messages = []
+        while self._pending:
+            messages.append(self.pop(now))
+        return messages
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def peek_arrivals(self) -> List[float]:
+        """Arrival times of all pending messages (unsorted)."""
+        return [message.arrival_time for message in self._pending]
+
+    def reset(self) -> None:
+        """Clear the queue, its statistics and the policy's state."""
+        self._pending.clear()
+        self._waiting_times.clear()
+        self._dropped = 0
+        self._processed_per_system.clear()
+        self.policy.reset()
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def dropped(self) -> int:
+        """Messages rejected because the queue was full."""
+        return self._dropped
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean seconds a processed message spent waiting in the queue."""
+        return float(np.mean(self._waiting_times)) if self._waiting_times else 0.0
+
+    def processed_per_system(self) -> Dict[int, int]:
+        """Samples processed so far, keyed by end-system id."""
+        return dict(self._processed_per_system)
+
+    def fairness_index(self) -> float:
+        """Jain's fairness index of the per-end-system processed sample counts.
+
+        1.0 means every end-system contributed equally; 1/M means a single
+        end-system dominated.  This is the headline metric of the
+        scheduling ablation (the "bias" the paper warns about).
+        """
+        counts = np.array(list(self._processed_per_system.values()), dtype=np.float64)
+        if counts.size == 0 or counts.sum() == 0:
+            return 1.0
+        return float(counts.sum() ** 2 / (counts.size * (counts ** 2).sum()))
+
+
+_POLICIES = {
+    "fifo": FIFOPolicy,
+    "round_robin": RoundRobinPolicy,
+    "staleness": StalenessPriorityPolicy,
+    "weighted_fair": WeightedFairPolicy,
+}
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by name.
+
+    Known names: ``fifo``, ``round_robin``, ``staleness``, ``weighted_fair``.
+    """
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise KeyError(f"unknown policy {name!r}; known policies: {known}") from None

@@ -1,0 +1,159 @@
+"""Centralized server: the upper half of the split network.
+
+The server holds every layer *after* the cut (the remaining ``Conv2D`` /
+``MaxPooling2D`` blocks, the dense layers and the output layer), a single
+optimizer for those parameters, and the parameter-scheduling queue that
+absorbs activations arriving from geo-distributed end-systems.
+
+Because one shared server segment is trained on the activations of every
+end-system, "all training data is used for single deep neural network
+training" (the paper's phrase) even though no raw data is ever uploaded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Sequential, Tensor, no_grad
+from ..nn.losses import Loss, get_loss
+from ..nn.metrics import accuracy
+from ..nn.optim import Optimizer, get_optimizer
+from .messages import ActivationMessage, GradientMessage
+from .scheduling import ParameterQueue, SchedulingPolicy
+from .split import SplitSpec
+
+__all__ = ["CentralServer"]
+
+
+class CentralServer:
+    """The single centralized server shared by all end-systems.
+
+    Parameters
+    ----------
+    split_spec:
+        Architecture/cut description (must match the end-systems').
+    optimizer_name / optimizer_kwargs:
+        Optimizer for the server segment's parameters.
+    loss_name:
+        Loss computed on the server side (``cross_entropy`` for the
+        paper's classification task).
+    queue_policy:
+        Scheduling policy instance for the arrival queue; defaults to FIFO.
+    seed:
+        Seed for the server segment's weight initialization.
+    """
+
+    def __init__(
+        self,
+        split_spec: SplitSpec,
+        optimizer_name: str = "adam",
+        optimizer_kwargs: Optional[Dict] = None,
+        loss_name: str = "cross_entropy",
+        queue_policy: Optional[SchedulingPolicy] = None,
+        max_queue_size: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.split_spec = split_spec
+        self.model: Sequential = split_spec.build_server_segment(seed=seed)
+        if not self.model.parameters():
+            raise ValueError(
+                "the server segment has no trainable parameters; the cut places "
+                "every layer on the end-systems, which the framework does not support"
+            )
+        optimizer_kwargs = dict(optimizer_kwargs or {"lr": 1e-3})
+        self.optimizer: Optimizer = get_optimizer(
+            optimizer_name, self.model.parameters(), **optimizer_kwargs
+        )
+        self.loss_fn: Loss = get_loss(loss_name)
+        self.queue = ParameterQueue(policy=queue_policy, max_size=max_queue_size)
+        self.batches_processed = 0
+        self.samples_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Queue interface
+    # ------------------------------------------------------------------ #
+    def receive(self, message: ActivationMessage) -> bool:
+        """Push an arriving activation message into the scheduling queue."""
+        return self.queue.push(message)
+
+    def has_pending(self) -> bool:
+        """True when the queue holds unprocessed messages."""
+        return bool(self.queue)
+
+    # ------------------------------------------------------------------ #
+    # Training step
+    # ------------------------------------------------------------------ #
+    def process(self, message: ActivationMessage) -> GradientMessage:
+        """Train on one activation message and return the boundary gradient.
+
+        The server (1) wraps the smashed activations in a fresh leaf
+        tensor, (2) runs its segment forward, (3) computes the loss against
+        the labels shipped with the message, (4) back-propagates, (5)
+        updates its own parameters and (6) returns the gradient of the loss
+        with respect to the smashed activations so the originating
+        end-system can update its local layers.
+        """
+        self.model.train(True)
+        smashed = Tensor(message.activations, requires_grad=True)
+        logits = self.model(smashed)
+        loss = self.loss_fn(logits, message.labels)
+
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+
+        self.batches_processed += 1
+        self.samples_processed += message.batch_size
+
+        boundary_gradient = smashed.grad
+        if boundary_gradient is None:
+            boundary_gradient = np.zeros_like(message.activations)
+        return GradientMessage(
+            end_system_id=message.end_system_id,
+            batch_id=message.batch_id,
+            gradient=boundary_gradient.copy(),
+            loss=float(loss.item()),
+            accuracy=accuracy(logits, message.labels),
+        )
+
+    def process_next(self, now: Optional[float] = None) -> Tuple[ActivationMessage, GradientMessage]:
+        """Pop the next message according to the scheduling policy and train on it."""
+        message = self.queue.pop(now)
+        return message, self.process(message)
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def predict(self, activations: np.ndarray) -> np.ndarray:
+        """Run the server segment in evaluation mode, returning logits."""
+        self.model.train(False)
+        with no_grad():
+            logits = self.model(Tensor(activations))
+        return logits.data
+
+    def evaluate(self, activations: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
+        """Loss and accuracy of the server segment on pre-computed activations."""
+        logits = self.predict(activations)
+        with no_grad():
+            loss = self.loss_fn(Tensor(logits), labels)
+        return {"loss": float(loss.item()), "accuracy": accuracy(logits, labels)}
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Checkpoint of the server segment's parameters."""
+        return self.model.state_dict()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore the server segment's parameters."""
+        self.model.load_state_dict(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"CentralServer(blocks_on_clients={self.split_spec.client_blocks}, "
+            f"policy={type(self.queue.policy).__name__}, "
+            f"batches_processed={self.batches_processed})"
+        )

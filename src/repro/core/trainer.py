@@ -1,0 +1,499 @@
+"""Spatio-temporal split-learning trainer.
+
+This is the orchestration layer that ties everything together: the *M*
+end-systems holding the first ``L_i`` blocks and their private data
+(:class:`~repro.core.end_system.EndSystem`), the centralized server
+holding the remaining layers and the scheduling queue
+(:class:`~repro.core.server.CentralServer`), and the simulated
+geo-distributed network (:class:`~repro.simnet.transport.Transport`).
+
+Two training modes are provided:
+
+* **synchronous** (the default; what Table I measures) — every round each
+  end-system ships one batch, the server drains the queue in policy order,
+  and gradients flow back before the next round starts.  The simulated
+  clock still advances with the link latencies, so the run reports how
+  long an epoch would take over a real WAN.
+* **asynchronous** — an event-driven loop where every end-system keeps a
+  bounded number of batches in flight and the server processes arrivals
+  as they come.  Far-away end-systems complete fewer updates per unit
+  time, which is the arrival bias the paper's queue-scheduling discussion
+  warns about; the scheduling ablation quantifies it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.datasets import Dataset
+from ..data.loader import DataLoader
+from ..data.transforms import Transform
+from ..nn.metrics import MetricTracker, accuracy
+from ..simnet.topology import GeoTopology, star_topology
+from ..simnet.transport import Transport
+from ..utils.logging import get_logger
+from ..utils.rng import SeedSequence
+from .config import TrainingConfig
+from .end_system import EndSystem
+from .history import EpochRecord, TrainingHistory
+from .messages import ActivationMessage
+from .scheduling import get_policy
+from .server import CentralServer
+from .split import SplitSpec
+
+__all__ = ["SpatioTemporalTrainer"]
+
+logger = get_logger("core.trainer")
+
+
+class SpatioTemporalTrainer:
+    """End-to-end trainer for the paper's framework.
+
+    Parameters
+    ----------
+    split_spec:
+        Architecture and cut point shared by the deployment.
+    client_datasets:
+        One dataset per end-system (its private local shard).
+    config:
+        Training hyper-parameters.
+    topology:
+        Simulated network; defaults to a homogeneous star with 5 ms links.
+    train_transform:
+        Optional transform applied to every training batch on the
+        end-systems (augmentation / normalization).
+    eval_transform:
+        Optional transform applied to evaluation batches (normalization
+        only; defaults to ``train_transform`` if not given).
+    """
+
+    def __init__(
+        self,
+        split_spec: SplitSpec,
+        client_datasets: Sequence[Dataset],
+        config: Optional[TrainingConfig] = None,
+        topology: Optional[GeoTopology] = None,
+        train_transform: Optional[Transform] = None,
+        eval_transform: Optional[Transform] = None,
+    ) -> None:
+        if not client_datasets:
+            raise ValueError("need at least one end-system dataset")
+        self.split_spec = split_spec
+        self.config = config if config is not None else TrainingConfig()
+        self.num_end_systems = len(client_datasets)
+        self.topology = (
+            topology if topology is not None else star_topology(self.num_end_systems)
+        )
+        if len(self.topology.end_systems) != self.num_end_systems:
+            raise ValueError(
+                f"topology has {len(self.topology.end_systems)} end-systems but "
+                f"{self.num_end_systems} datasets were provided"
+            )
+        self.transport = Transport(self.topology)
+        self.train_transform = train_transform
+        self.eval_transform = eval_transform if eval_transform is not None else train_transform
+
+        seeds = SeedSequence(self.config.seed)
+        self.end_systems: List[EndSystem] = []
+        for system_id, dataset in enumerate(client_datasets):
+            loader = DataLoader(
+                dataset,
+                batch_size=self.config.batch_size,
+                shuffle=self.config.shuffle,
+                drop_last=self.config.drop_last,
+                transform=train_transform,
+                seed=self.config.seed + system_id,
+            )
+            self.end_systems.append(
+                EndSystem(
+                    system_id=system_id,
+                    loader=loader,
+                    split_spec=split_spec,
+                    optimizer_name=self.config.client_optimizer,
+                    optimizer_kwargs=self.config.client_optimizer_kwargs,
+                    seed=int(seeds.generator(f"client-{system_id}").integers(0, 2 ** 31)),
+                )
+            )
+
+        self.server = CentralServer(
+            split_spec=split_spec,
+            optimizer_name=self.config.server_optimizer,
+            optimizer_kwargs=self.config.server_optimizer_kwargs,
+            loss_name=self.config.loss,
+            queue_policy=get_policy(self.config.queue_policy),
+            seed=int(seeds.generator("server").integers(0, 2 ** 31)),
+        )
+        self._clock = 0.0
+        self._node_name_to_system = {
+            end_system.node_name: end_system for end_system in self.end_systems
+        }
+        # Map end-system ids to topology node names positionally so custom
+        # topologies with descriptive names (e.g. cities) still work.
+        self._system_to_node = {
+            end_system.system_id: node
+            for end_system, node in zip(self.end_systems, self.topology.end_systems)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def simulated_time(self) -> float:
+        """Current simulated wall-clock time in seconds."""
+        return self._clock
+
+    def train(self, test_dataset: Optional[Dataset] = None,
+              epochs: Optional[int] = None,
+              evaluate_every: int = 1) -> TrainingHistory:
+        """Run training and return the full history.
+
+        Parameters
+        ----------
+        test_dataset:
+            Optional held-out dataset evaluated every ``evaluate_every``
+            epochs (and always after the final epoch).
+        epochs:
+            Override for ``config.epochs``.
+        """
+        epochs = epochs if epochs is not None else self.config.epochs
+        history = TrainingHistory(config=self.config.to_dict())
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            epoch_start_clock = self._clock
+            if self.config.mode == "synchronous":
+                tracker = self._train_epoch_synchronous(epoch)
+            else:
+                tracker = self._train_epoch_asynchronous(epoch)
+            wall = time.perf_counter() - start
+
+            averages = tracker.averages()
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=averages.get("loss", float("nan")),
+                train_accuracy=averages.get("accuracy", 0.0),
+                simulated_time_s=self._clock - epoch_start_clock,
+                wall_time_s=wall,
+                batches=self.server.batches_processed,
+                samples=self.server.samples_processed,
+            )
+            should_evaluate = test_dataset is not None and (
+                (epoch + 1) % max(evaluate_every, 1) == 0 or epoch == epochs - 1
+            )
+            if should_evaluate:
+                evaluation = self.evaluate(test_dataset)
+                record.test_loss = evaluation["loss"]
+                record.test_accuracy = evaluation["accuracy"]
+            history.append(record)
+            logger.info(
+                "epoch %d: train_acc=%.4f train_loss=%.4f test_acc=%s",
+                epoch, record.train_accuracy, record.train_loss,
+                f"{record.test_accuracy:.4f}" if record.test_accuracy is not None else "n/a",
+            )
+
+        history.traffic = self.transport.log.summary()
+        history.queue_stats = {
+            "mean_waiting_time_s": self.server.queue.mean_waiting_time,
+            "fairness_index": self.server.queue.fairness_index(),
+            "dropped": self.server.queue.dropped,
+        }
+        if test_dataset is not None:
+            evaluation = self.evaluate(test_dataset)
+            history.per_system_accuracy = evaluation["per_system_accuracy"]
+        return history
+
+    def evaluate(self, dataset: Dataset, batch_size: Optional[int] = None) -> Dict[str, object]:
+        """Evaluate the deployed split model on a held-out dataset.
+
+        Every end-system evaluates the full test set through *its own*
+        client segment followed by the shared server segment; the headline
+        accuracy is the mean over end-systems (they would each serve their
+        own patients in the paper's scenario), and the per-system values
+        are reported for fairness analysis.
+        """
+        images, labels = dataset.arrays()
+        if self.eval_transform is not None:
+            images = self.eval_transform(images)
+        batch_size = batch_size or max(self.config.batch_size, 64)
+        per_system_accuracy: Dict[int, float] = {}
+        per_system_loss: Dict[int, float] = {}
+        for end_system in self.end_systems:
+            correct_weighted = 0.0
+            loss_weighted = 0.0
+            total = 0
+            for start in range(0, images.shape[0], batch_size):
+                stop = start + batch_size
+                batch_images = images[start:stop]
+                batch_labels = labels[start:stop]
+                smashed = end_system.forward_inference(batch_images)
+                metrics = self.server.evaluate(smashed, batch_labels)
+                correct_weighted += metrics["accuracy"] * batch_images.shape[0]
+                loss_weighted += metrics["loss"] * batch_images.shape[0]
+                total += batch_images.shape[0]
+            per_system_accuracy[end_system.system_id] = correct_weighted / total
+            per_system_loss[end_system.system_id] = loss_weighted / total
+        return {
+            "accuracy": float(np.mean(list(per_system_accuracy.values()))),
+            "loss": float(np.mean(list(per_system_loss.values()))),
+            "per_system_accuracy": per_system_accuracy,
+            "per_system_loss": per_system_loss,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Synchronous mode
+    # ------------------------------------------------------------------ #
+    def _train_epoch_synchronous(self, epoch: int) -> MetricTracker:
+        tracker = MetricTracker()
+        iterators = {
+            end_system.system_id: end_system.batches(epoch)
+            for end_system in self.end_systems
+        }
+        active = set(iterators)
+        round_index = 0
+        while active:
+            round_messages: List[ActivationMessage] = []
+            # Spatial phase: every active end-system ships one batch.
+            for end_system in self.end_systems:
+                if end_system.system_id not in active:
+                    continue
+                try:
+                    images, labels = next(iterators[end_system.system_id])
+                except StopIteration:
+                    active.discard(end_system.system_id)
+                    continue
+                message = end_system.forward_batch(
+                    images, labels, round_index=round_index, created_at=self._clock
+                )
+                network_message = self.transport.send_to_server(
+                    self._system_to_node[end_system.system_id],
+                    {"activations": message.activations, "labels": message.labels},
+                    now=self._clock,
+                )
+                if network_message is None:
+                    # Link dropped the batch; the client forgets it.
+                    end_system.discard_pending(message.batch_id)
+                    continue
+                message.arrival_time = network_message.arrival_time
+                message.size_bytes = network_message.size_bytes
+                self.server.receive(message)
+                round_messages.append(message)
+
+            if not round_messages and not self.server.has_pending():
+                round_index += 1
+                continue
+
+            # Temporal phase: the server drains the queue in policy order.
+            latest_arrival = max(
+                (message.arrival_time for message in round_messages), default=self._clock
+            )
+            gradient_arrivals = [latest_arrival]
+            while self.server.has_pending():
+                activation_message, gradient_message = self.server.process_next(
+                    now=latest_arrival
+                )
+                tracker.update(
+                    {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
+                    count=activation_message.batch_size,
+                )
+                end_system = self.end_systems[activation_message.end_system_id]
+                downlink = self.transport.send_to_end_system(
+                    self._system_to_node[end_system.system_id],
+                    gradient_message.gradient,
+                    now=activation_message.arrival_time,
+                )
+                if downlink is None:
+                    end_system.discard_pending(gradient_message.batch_id)
+                    continue
+                gradient_arrivals.append(downlink.arrival_time)
+                end_system.apply_gradient(gradient_message)
+
+            # Synchronous barrier: the next round starts once every gradient
+            # has landed.
+            self._clock = max(gradient_arrivals)
+            round_index += 1
+        return tracker
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous mode
+    # ------------------------------------------------------------------ #
+    def _train_epoch_asynchronous(self, epoch: int) -> MetricTracker:
+        """Event-driven epoch: one pass over every end-system's local data."""
+        iterators = {
+            end_system.system_id: end_system.batches(epoch)
+            for end_system in self.end_systems
+        }
+        return self._run_asynchronous(iterators)
+
+    def train_time_budget(self, simulated_seconds: float,
+                          test_dataset: Optional[Dataset] = None) -> TrainingHistory:
+        """Asynchronous training until the simulated clock reaches a budget.
+
+        End-systems cycle through their local data indefinitely; the run
+        stops once ``simulated_seconds`` of simulated wall-clock time have
+        elapsed.  This is the regime where the paper's arrival-bias warning
+        bites: within a fixed time window a nearby end-system completes far
+        more updates than a remote one, and the scheduling policy decides
+        how the server divides its attention.
+        """
+        if simulated_seconds <= 0:
+            raise ValueError("simulated_seconds must be positive")
+        if self.config.mode != "asynchronous":
+            raise ValueError("train_time_budget requires mode='asynchronous'")
+
+        def cycling_batches(end_system: EndSystem):
+            epoch = 0
+            while True:
+                for batch in end_system.batches(epoch):
+                    yield batch
+                epoch += 1
+
+        iterators = {
+            end_system.system_id: cycling_batches(end_system)
+            for end_system in self.end_systems
+        }
+        history = TrainingHistory(config=self.config.to_dict())
+        start_clock = self._clock
+        start = time.perf_counter()
+        tracker = self._run_asynchronous(
+            iterators, stop_time=start_clock + simulated_seconds
+        )
+        averages = tracker.averages()
+        record = EpochRecord(
+            epoch=0,
+            train_loss=averages.get("loss", float("nan")),
+            train_accuracy=averages.get("accuracy", 0.0),
+            simulated_time_s=self._clock - start_clock,
+            wall_time_s=time.perf_counter() - start,
+            batches=self.server.batches_processed,
+            samples=self.server.samples_processed,
+        )
+        if test_dataset is not None:
+            evaluation = self.evaluate(test_dataset)
+            record.test_loss = evaluation["loss"]
+            record.test_accuracy = evaluation["accuracy"]
+            history.per_system_accuracy = evaluation["per_system_accuracy"]
+        history.append(record)
+        history.traffic = self.transport.log.summary()
+        history.queue_stats = {
+            "mean_waiting_time_s": self.server.queue.mean_waiting_time,
+            "fairness_index": self.server.queue.fairness_index(),
+            "dropped": self.server.queue.dropped,
+            "processed_per_system": self.server.queue.processed_per_system(),
+        }
+        return history
+
+    def _run_asynchronous(self, iterators, stop_time: Optional[float] = None) -> MetricTracker:
+        """Shared event loop for the asynchronous modes.
+
+        Clients keep at most ``config.max_in_flight`` batches outstanding;
+        the server becomes free ``server_step_time_s`` after starting a
+        batch and always picks the next message through the scheduling
+        policy among those that have already *arrived*.  When ``stop_time``
+        is given, no new server step starts at or after that simulated time.
+        """
+        tracker = MetricTracker()
+        exhausted: set = set()
+        # Min-heap of (arrival_time, sequence, message) for in-flight uplinks.
+        in_flight: List[Tuple[float, int, ActivationMessage]] = []
+        counter = itertools.count()
+
+        def send_next_batch(end_system: EndSystem, at_time: float) -> None:
+            if end_system.system_id in exhausted:
+                return
+            if stop_time is not None and at_time >= stop_time:
+                # Past the budget: stop feeding new work into the pipeline.
+                return
+            try:
+                images, labels = next(iterators[end_system.system_id])
+            except StopIteration:
+                exhausted.add(end_system.system_id)
+                return
+            message = end_system.forward_batch(images, labels, created_at=at_time)
+            network_message = self.transport.send_to_server(
+                self._system_to_node[end_system.system_id],
+                {"activations": message.activations, "labels": message.labels},
+                now=at_time,
+            )
+            if network_message is None:
+                end_system.discard_pending(message.batch_id)
+                # Immediately try the next batch; the dropped one is lost.
+                send_next_batch(end_system, at_time)
+                return
+            message.arrival_time = network_message.arrival_time
+            message.size_bytes = network_message.size_bytes
+            heapq.heappush(in_flight, (message.arrival_time, next(counter), message))
+
+        # Prime the pipeline.
+        for end_system in self.end_systems:
+            for _ in range(self.config.max_in_flight):
+                send_next_batch(end_system, self._clock)
+
+        server_free_at = self._clock
+        while in_flight or self.server.has_pending():
+            # Move every arrived message into the scheduling queue.
+            horizon = max(server_free_at, self._clock)
+            if not self.server.has_pending() and in_flight:
+                # Nothing to process yet: jump to the next arrival.
+                horizon = max(horizon, in_flight[0][0])
+            while in_flight and in_flight[0][0] <= horizon:
+                _, _, message = heapq.heappop(in_flight)
+                self.server.receive(message)
+            if not self.server.has_pending():
+                continue
+
+            start_time = max(server_free_at, horizon)
+            if stop_time is not None and start_time >= stop_time:
+                # Budget exhausted: leave the remaining arrivals unprocessed.
+                self._clock = max(self._clock, stop_time)
+                break
+            activation_message, gradient_message = self.server.process_next(now=start_time)
+            finish_time = start_time + self.config.server_step_time_s
+            server_free_at = finish_time
+            self._clock = finish_time
+            tracker.update(
+                {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
+                count=activation_message.batch_size,
+            )
+
+            end_system = self.end_systems[activation_message.end_system_id]
+            downlink = self.transport.send_to_end_system(
+                self._system_to_node[end_system.system_id],
+                gradient_message.gradient,
+                now=finish_time,
+            )
+            if downlink is None:
+                end_system.discard_pending(gradient_message.batch_id)
+                send_next_batch(end_system, finish_time)
+                continue
+            end_system.apply_gradient(gradient_message)
+            # The client computes its next batch as soon as the gradient lands.
+            send_next_batch(end_system, downlink.arrival_time)
+            self._clock = max(self._clock, downlink.arrival_time)
+        return tracker
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def per_system_update_counts(self) -> Dict[int, int]:
+        """Number of gradient updates each end-system has applied so far."""
+        return {
+            end_system.system_id: end_system.updates_applied
+            for end_system in self.end_systems
+        }
+
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Checkpoint of the server segment and every end-system segment."""
+        state = {"server": self.server.state_dict()}
+        for end_system in self.end_systems:
+            state[f"end_system_{end_system.system_id}"] = end_system.state_dict()
+        return state
+
+    def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
+        """Restore a checkpoint produced by :meth:`state_dict`."""
+        self.server.load_state_dict(state["server"])
+        for end_system in self.end_systems:
+            end_system.load_state_dict(state[f"end_system_{end_system.system_id}"])

@@ -1,0 +1,55 @@
+"""Datasets, loaders, transforms and multi-end-system partitioners."""
+
+from .datasets import (
+    ArrayDataset,
+    Dataset,
+    Subset,
+    SyntheticCIFAR10,
+    SyntheticImageDataset,
+    SyntheticMNIST,
+    train_test_split,
+)
+from .loader import DataLoader
+from .partition import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    LabelShardPartitioner,
+    Partitioner,
+    QuantitySkewPartitioner,
+    get_partitioner,
+    partition_summary,
+)
+from .transforms import (
+    Compose,
+    Cutout,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Transform,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "SyntheticImageDataset",
+    "SyntheticCIFAR10",
+    "SyntheticMNIST",
+    "train_test_split",
+    "DataLoader",
+    "Transform",
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "GaussianNoise",
+    "Cutout",
+    "Partitioner",
+    "IIDPartitioner",
+    "DirichletPartitioner",
+    "LabelShardPartitioner",
+    "QuantitySkewPartitioner",
+    "partition_summary",
+    "get_partitioner",
+]

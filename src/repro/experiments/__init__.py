@@ -1,0 +1,35 @@
+"""Experiment harness: one module per paper table/figure plus ablations."""
+
+from .base import ExperimentResult, WorkloadSpec, build_workload
+from .baselines_comparison import run_baselines_comparison
+from .clients_sweep import run_clients_sweep
+from .compression import run_compression
+from .figure4 import PAPER_FIGURE4, run_figure4
+from .registry import (
+    REGISTRY,
+    ExperimentEntry,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from .staleness import run_staleness
+from .table1 import PAPER_TABLE1, run_table1
+
+__all__ = [
+    "ExperimentResult",
+    "WorkloadSpec",
+    "build_workload",
+    "run_table1",
+    "run_figure4",
+    "run_staleness",
+    "run_clients_sweep",
+    "run_baselines_comparison",
+    "run_compression",
+    "PAPER_TABLE1",
+    "PAPER_FIGURE4",
+    "REGISTRY",
+    "ExperimentEntry",
+    "list_experiments",
+    "get_experiment",
+    "run_experiment",
+]

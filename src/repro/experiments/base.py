@@ -1,0 +1,167 @@
+"""Shared plumbing for the experiment harness.
+
+Every experiment (one per paper table/figure plus the ablations) follows
+the same recipe: build a workload (dataset + partition + architecture),
+run one or more training configurations, and emit a table of rows in the
+same layout the paper uses.  :class:`ExperimentResult` is that table plus
+metadata; :class:`WorkloadSpec` is the workload description with two
+presets — ``"paper"`` (the full Fig.-3 CNN on 32x32 images) and
+``"laptop"`` (a scaled-down but structurally identical configuration that
+finishes in seconds and is used by the test-suite and the default
+benchmark runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.models import CNNArchitecture, paper_cnn_architecture, tiny_cnn_architecture
+from ..data.datasets import Dataset, Subset, SyntheticCIFAR10, train_test_split
+from ..data.partition import get_partitioner
+from ..data.transforms import Normalize
+from ..utils.tables import format_table
+
+__all__ = ["WorkloadSpec", "ExperimentResult", "build_workload"]
+
+
+@dataclass
+class WorkloadSpec:
+    """Description of the dataset / partition / architecture an experiment uses.
+
+    Parameters
+    ----------
+    scale:
+        ``"paper"`` for the full Fig.-3 configuration (5 blocks, 32x32
+        images) or ``"laptop"`` for the scaled-down configuration used by
+        tests and quick benchmark runs.
+    num_samples:
+        Total synthetic dataset size (train + test).
+    num_end_systems:
+        Number of end-systems M the data is partitioned across.
+    partition:
+        Partitioner name (``iid``, ``dirichlet``, ``label_shard``,
+        ``quantity_skew``).
+    partition_kwargs:
+        Extra arguments for the partitioner (e.g. ``{"alpha": 0.3}``).
+    epochs / batch_size:
+        Training budget shared by every configuration in the experiment.
+    seed:
+        Master seed.
+    """
+
+    scale: str = "laptop"
+    num_samples: int = 1200
+    num_end_systems: int = 4
+    partition: str = "iid"
+    partition_kwargs: Dict[str, float] = field(default_factory=dict)
+    test_fraction: float = 0.25
+    epochs: int = 6
+    batch_size: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in {"paper", "laptop"}:
+            raise ValueError(f"scale must be 'paper' or 'laptop', got {self.scale!r}")
+        if self.num_end_systems <= 0:
+            raise ValueError("num_end_systems must be positive")
+        if self.num_samples < 10 * self.num_end_systems:
+            raise ValueError("num_samples is too small for the requested number of end-systems")
+
+    @property
+    def image_size(self) -> int:
+        """Input image side length for this scale."""
+        return 32 if self.scale == "paper" else 16
+
+    def architecture(self) -> CNNArchitecture:
+        """CNN architecture matching the scale."""
+        if self.scale == "paper":
+            return paper_cnn_architecture()
+        return tiny_cnn_architecture(image_size=self.image_size, num_blocks=3,
+                                     base_filters=8, dense_units=64)
+
+    @classmethod
+    def paper(cls, **overrides) -> "WorkloadSpec":
+        """The full-size workload (minutes of compute on a laptop)."""
+        defaults = dict(scale="paper", num_samples=6000, epochs=15, batch_size=64)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def laptop(cls, **overrides) -> "WorkloadSpec":
+        """The quick workload used by tests and default benchmark runs."""
+        return cls(**overrides)
+
+
+def build_workload(spec: WorkloadSpec) -> Dict[str, object]:
+    """Materialize a workload: dataset splits, per-end-system shards and transforms.
+
+    Returns a dictionary with keys ``train``, ``test``, ``parts`` (list of
+    per-end-system subsets), ``architecture`` and ``normalize``.
+    """
+    dataset = SyntheticCIFAR10(
+        num_samples=spec.num_samples,
+        image_size=spec.image_size,
+        seed=spec.seed,
+        pixel_noise=0.15,
+        deformation_noise=0.3,
+    )
+    train, test = train_test_split(dataset, test_fraction=spec.test_fraction, seed=spec.seed)
+    partitioner = get_partitioner(
+        spec.partition, spec.num_end_systems, seed=spec.seed, **spec.partition_kwargs
+    )
+    parts: List[Subset] = partitioner.partition(train)
+    normalize = Normalize(mean=[0.5, 0.5, 0.5], std=[0.5, 0.5, 0.5])
+    return {
+        "dataset": dataset,
+        "train": train,
+        "test": test,
+        "parts": parts,
+        "architecture": spec.architecture(),
+        "normalize": normalize,
+    }
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular output of one experiment, in the paper's row layout."""
+
+    name: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    paper_reference: Optional[Dict[str, object]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, row: Sequence[object]) -> None:
+        """Append one result row (must match ``headers`` in length)."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the experiment defines "
+                f"{len(self.headers)} headers"
+            )
+        self.rows.append(list(row))
+
+    def to_table(self, float_format: str = "{:.2f}") -> str:
+        """Render the result as an aligned plain-text table."""
+        return format_table(self.headers, self.rows, float_format=float_format,
+                            title=self.name)
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name."""
+        try:
+            index = list(self.headers).index(header)
+        except ValueError:
+            raise KeyError(f"no column named {header!r}; headers: {list(self.headers)}") from None
+        return [row[index] for row in self.rows]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation of the full result."""
+        return {
+            "name": self.name,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "paper_reference": self.paper_reference,
+            "metadata": self.metadata,
+        }

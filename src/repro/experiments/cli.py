@@ -1,0 +1,142 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples
+--------
+List everything that can be reproduced::
+
+    repro-experiments list
+
+Reproduce Table I on the quick laptop-scale workload::
+
+    repro-experiments run table1
+
+Reproduce Table I at the paper's full scale (minutes, not seconds)::
+
+    repro-experiments run table1 --scale paper
+
+Run every experiment and write the tables to a directory::
+
+    repro-experiments run-all --output-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..utils.logging import set_verbosity
+from .base import WorkloadSpec
+from .registry import get_experiment, list_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of 'Spatio-Temporal Split Learning' (DSN 2021).",
+    )
+    parser.add_argument("--verbose", "-v", action="store_true", help="enable info-level logging")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run a single experiment")
+    run_parser.add_argument("experiment", help="experiment name (see 'list')")
+    _add_workload_arguments(run_parser)
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every registered experiment")
+    _add_workload_arguments(run_all_parser)
+    run_all_parser.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="directory to write per-experiment .txt and .json results into",
+    )
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=["laptop", "paper"], default="laptop",
+                        help="workload size: quick laptop run or full paper-scale run")
+    parser.add_argument("--num-samples", type=int, default=None,
+                        help="override the synthetic dataset size")
+    parser.add_argument("--end-systems", type=int, default=None,
+                        help="override the number of end-systems M")
+    parser.add_argument("--epochs", type=int, default=None, help="override the epoch budget")
+    parser.add_argument("--batch-size", type=int, default=None, help="override the batch size")
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument("--json", action="store_true", help="print JSON instead of a table")
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    factory = WorkloadSpec.paper if args.scale == "paper" else WorkloadSpec.laptop
+    overrides = {}
+    if args.num_samples is not None:
+        overrides["num_samples"] = args.num_samples
+    if args.end_systems is not None:
+        overrides["num_end_systems"] = args.end_systems
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    overrides["seed"] = args.seed
+    return factory(**overrides)
+
+
+def _command_list() -> int:
+    for entry in list_experiments():
+        print(f"{entry.name:<16s} {entry.paper_artifact:<28s} {entry.description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    entry = get_experiment(args.experiment)
+    workload = _workload_from_args(args)
+    result = entry.runner(workload=workload)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, default=str))
+    else:
+        print(result.to_table())
+    return 0
+
+
+def _command_run_all(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args)
+    output_dir: Optional[Path] = args.output_dir
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for entry in list_experiments():
+        result = run_experiment(entry.name, workload=workload)
+        table = result.to_table()
+        print(table)
+        print()
+        if output_dir is not None:
+            (output_dir / f"{entry.name}.txt").write_text(table + "\n")
+            (output_dir / f"{entry.name}.json").write_text(
+                json.dumps(result.as_dict(), indent=2, default=str) + "\n"
+            )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        set_verbosity(logging.INFO)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "run-all":
+        return _command_run_all(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Ablation — accuracy vs. number of end-systems M.
+
+The paper's headline claim is that *multiple* end-systems can share one
+centralized server ("multiple end-systems are not considered in split
+learning research contributions, yet") while keeping near-optimal
+accuracy.  This sweep fixes the cut (L1 by default, the paper's main
+privacy-preserving configuration) and varies the number of end-systems
+the same total dataset is partitioned across.
+
+Because the total data volume is constant, the server segment always sees
+the same number of samples; what changes is that each end-system's local
+first block is trained on a ``1/M`` fraction of the data.  The expected
+shape is a slow decline in accuracy as M grows — the spatial analogue of
+Table I's depth tradeoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..core.config import TrainingConfig
+from ..core.split import SplitSpec
+from ..core.trainer import SpatioTemporalTrainer
+from ..utils.logging import get_logger
+from .base import ExperimentResult, WorkloadSpec, build_workload
+
+__all__ = ["run_clients_sweep"]
+
+logger = get_logger("experiments.clients_sweep")
+
+
+def run_clients_sweep(
+    workload: Optional[WorkloadSpec] = None,
+    num_end_systems: Sequence[int] = (1, 2, 4, 8),
+    client_blocks: int = 1,
+    queue_policy: str = "fifo",
+) -> ExperimentResult:
+    """Sweep the number of end-systems at a fixed cut."""
+    workload = workload if workload is not None else WorkloadSpec.laptop()
+    result = ExperimentResult(
+        name="Ablation — accuracy vs. number of end-systems (fixed cut)",
+        headers=[
+            "num_end_systems",
+            "client_blocks",
+            "accuracy_pct",
+            "mean_per_system_accuracy_pct",
+            "min_per_system_accuracy_pct",
+            "samples_per_end_system",
+            "uplink_megabytes",
+        ],
+        paper_reference={
+            "claim": "multiple end-systems sharing one server retain near-optimal accuracy",
+        },
+        metadata={
+            "workload": workload.__dict__.copy(),
+            "client_blocks": client_blocks,
+            "queue_policy": queue_policy,
+        },
+    )
+
+    for count in num_end_systems:
+        scaled = replace(workload, num_end_systems=count)
+        pieces = build_workload(scaled)
+        architecture = pieces["architecture"]
+        spec = SplitSpec(architecture, client_blocks=client_blocks)
+        config = TrainingConfig(
+            epochs=scaled.epochs,
+            batch_size=scaled.batch_size,
+            queue_policy=queue_policy,
+            seed=scaled.seed,
+        )
+        trainer = SpatioTemporalTrainer(
+            spec, pieces["parts"], config, train_transform=pieces["normalize"]
+        )
+        history = trainer.train(test_dataset=pieces["test"], evaluate_every=10 ** 6)
+        per_system = list((history.per_system_accuracy or {}).values())
+        accuracy_pct = 100.0 * (history.final_test_accuracy or 0.0)
+        logger.info("clients_sweep M=%d accuracy=%.2f%%", count, accuracy_pct)
+        result.add_row([
+            count,
+            client_blocks,
+            accuracy_pct,
+            100.0 * (sum(per_system) / len(per_system)) if per_system else accuracy_pct,
+            100.0 * min(per_system) if per_system else accuracy_pct,
+            min(len(part) for part in pieces["parts"]),
+            history.traffic.get("uplink_megabytes", 0.0),
+        ])
+    return result

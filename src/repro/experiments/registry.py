@@ -1,0 +1,94 @@
+"""Registry mapping experiment names to their runners.
+
+The registry is what the CLI (``repro-experiments``) and the benchmark
+harness iterate over; adding a new experiment means registering its
+runner here with the paper artefact it reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .base import ExperimentResult, WorkloadSpec
+from .baselines_comparison import run_baselines_comparison
+from .clients_sweep import run_clients_sweep
+from .compression import run_compression
+from .figure4 import run_figure4
+from .staleness import run_staleness
+from .table1 import run_table1
+
+__all__ = ["ExperimentEntry", "REGISTRY", "list_experiments", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    name: str
+    paper_artifact: str
+    description: str
+    runner: Callable[..., ExperimentResult]
+
+
+REGISTRY: Dict[str, ExperimentEntry] = {
+    "table1": ExperimentEntry(
+        name="table1",
+        paper_artifact="Table I",
+        description="Test accuracy vs. number of CNN blocks held by the end-systems.",
+        runner=run_table1,
+    ),
+    "figure4": ExperimentEntry(
+        name="figure4",
+        paper_artifact="Figure 4",
+        description="Privacy of smashed activations: per-layer leakage and reconstruction attack.",
+        runner=run_figure4,
+    ),
+    "staleness": ExperimentEntry(
+        name="staleness",
+        paper_artifact="Figure 2 (queue discussion)",
+        description="Queue scheduling ablation under heterogeneous geo-distributed latencies.",
+        runner=run_staleness,
+    ),
+    "clients_sweep": ExperimentEntry(
+        name="clients_sweep",
+        paper_artifact="Multiple end-systems claim",
+        description="Accuracy vs. number of end-systems at a fixed cut.",
+        runner=run_clients_sweep,
+    ),
+    "baselines": ExperimentEntry(
+        name="baselines",
+        paper_artifact="Section I positioning",
+        description="Spatio-temporal split learning vs. centralized, sequential split and FedAvg.",
+        runner=run_baselines_comparison,
+    ),
+    "compression": ExperimentEntry(
+        name="compression",
+        paper_artifact="Extension (future work)",
+        description="Accuracy / traffic / leakage trade-off of compressing or noising the smashed activations.",
+        runner=run_compression,
+    ),
+}
+
+
+def list_experiments() -> List[ExperimentEntry]:
+    """All registered experiments in a stable order."""
+    return [REGISTRY[name] for name in sorted(REGISTRY)]
+
+
+def get_experiment(name: str) -> ExperimentEntry:
+    """Look up one experiment by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {name!r}; known experiments: {known}") from None
+
+
+def run_experiment(name: str, workload: Optional[WorkloadSpec] = None,
+                   **kwargs) -> ExperimentResult:
+    """Run a registered experiment, optionally overriding its workload."""
+    entry = get_experiment(name)
+    if workload is not None:
+        kwargs["workload"] = workload
+    return entry.runner(**kwargs)

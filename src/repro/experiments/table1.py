@@ -1,0 +1,116 @@
+"""Table I — accuracy vs. number of layers at the end-systems.
+
+The paper's Table I reports test accuracy of the Fig.-3 CNN on CIFAR-10
+as the blocks held by the end-systems grow:
+
+==========================================  =========
+Layers at end-systems                        Accuracy
+==========================================  =========
+Nothing (All layers are in the server)       71.09 %
+L1                                           68.18 %
+L1, L2                                       67.92 %
+L1, L2, L3                                   66.00 %
+L1, L2, L3, L4                               65.66 %
+==========================================  =========
+
+The claim is that the degradation is small (2.91 % for the privacy-
+preserving L1 cut, 5.43 % in the worst case) and grows with the number of
+client-side blocks — the tradeoff discussed in Section II.  This module
+re-runs that sweep on the synthetic CIFAR-10-like workload and reports the
+same rows, plus the degradation relative to the centralized row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.config import TrainingConfig
+from ..core.split import SplitSpec
+from ..core.trainer import SpatioTemporalTrainer
+from ..utils.logging import get_logger
+from .base import ExperimentResult, WorkloadSpec, build_workload
+
+__all__ = ["PAPER_TABLE1", "run_table1"]
+
+logger = get_logger("experiments.table1")
+
+#: Accuracy values reported in the paper's Table I, keyed by client blocks.
+PAPER_TABLE1: Dict[int, float] = {
+    0: 71.09,
+    1: 68.18,
+    2: 67.92,
+    3: 66.00,
+    4: 65.66,
+}
+
+
+def run_table1(
+    workload: Optional[WorkloadSpec] = None,
+    client_block_range: Optional[List[int]] = None,
+    queue_policy: str = "fifo",
+) -> ExperimentResult:
+    """Reproduce Table I: sweep the cut depth and measure test accuracy.
+
+    Parameters
+    ----------
+    workload:
+        Dataset / architecture / budget description; defaults to the
+        laptop-scale workload.
+    client_block_range:
+        Which cuts to evaluate.  Defaults to ``0 .. num_blocks - 1`` (the
+        paper stops one block short of moving the entire feature extractor
+        to the end-systems).
+    """
+    workload = workload if workload is not None else WorkloadSpec.laptop()
+    pieces = build_workload(workload)
+    architecture = pieces["architecture"]
+    if client_block_range is None:
+        client_block_range = list(range(architecture.num_blocks))
+
+    result = ExperimentResult(
+        name="Table I — accuracy vs. layers at end-systems",
+        headers=[
+            "layers_at_end_systems",
+            "client_blocks",
+            "accuracy_pct",
+            "degradation_pct",
+            "paper_accuracy_pct",
+            "uplink_megabytes",
+            "simulated_time_s",
+        ],
+        paper_reference={"table": "I", "values_pct": dict(PAPER_TABLE1)},
+        metadata={
+            "workload": workload.__dict__.copy(),
+            "queue_policy": queue_policy,
+            "architecture": architecture.describe(),
+        },
+    )
+
+    baseline_accuracy: Optional[float] = None
+    for client_blocks in client_block_range:
+        spec = SplitSpec(architecture, client_blocks=client_blocks)
+        config = TrainingConfig(
+            epochs=workload.epochs,
+            batch_size=workload.batch_size,
+            queue_policy=queue_policy,
+            seed=workload.seed,
+        )
+        trainer = SpatioTemporalTrainer(
+            spec, pieces["parts"], config, train_transform=pieces["normalize"]
+        )
+        history = trainer.train(test_dataset=pieces["test"], evaluate_every=10 ** 6)
+        accuracy_pct = 100.0 * (history.final_test_accuracy or 0.0)
+        if baseline_accuracy is None:
+            baseline_accuracy = accuracy_pct
+        degradation = baseline_accuracy - accuracy_pct
+        logger.info("table1 cut=%d accuracy=%.2f%%", client_blocks, accuracy_pct)
+        result.add_row([
+            spec.label,
+            client_blocks,
+            accuracy_pct,
+            degradation,
+            PAPER_TABLE1.get(client_blocks, float("nan")),
+            history.traffic.get("uplink_megabytes", 0.0),
+            history.total_simulated_time,
+        ])
+    return result

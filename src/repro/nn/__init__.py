@@ -1,0 +1,91 @@
+"""NumPy deep-learning substrate with reverse-mode autograd.
+
+This package replaces the GPU deep-learning framework the paper used with
+a self-contained implementation of exactly the layer types that appear in
+the paper's Fig.-3 CNN (Conv2D, MaxPooling2D, Dense, ReLU) plus the usual
+training machinery (losses, optimizers, metrics, serialization).
+"""
+
+from . import functional, init, losses, metrics, optim, serialization
+from .layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    Module,
+    Parameter,
+    ReLU,
+    Reshape,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .losses import CrossEntropyLoss, L1Loss, Loss, MSELoss, NLLLoss, get_loss
+from .optim import (
+    SGD,
+    Adam,
+    AdamW,
+    CosineAnnealingLR,
+    ExponentialLR,
+    LRScheduler,
+    Optimizer,
+    RMSProp,
+    StepLR,
+    get_optimizer,
+)
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "init",
+    "losses",
+    "metrics",
+    "optim",
+    "serialization",
+    # layers
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Flatten",
+    "Reshape",
+    # losses
+    "Loss",
+    "CrossEntropyLoss",
+    "NLLLoss",
+    "MSELoss",
+    "L1Loss",
+    "get_loss",
+    # optim
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSProp",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "get_optimizer",
+]

@@ -1,0 +1,324 @@
+"""Functional neural-network operations with custom gradients.
+
+These functions complement the primitive operations on :class:`~repro.nn.tensor.Tensor`
+with the structured operations needed by the paper's CNN (Fig. 3):
+2-D convolution (via ``im2col``), max/average pooling, softmax,
+log-softmax and the classification losses.
+
+All functions accept and return :class:`Tensor` objects and register
+their own backward closures, so they compose freely with the rest of the
+autograd graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, ensure_tensor, is_grad_enabled
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "one_hot",
+]
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+# --------------------------------------------------------------------------- #
+# im2col / col2im
+# --------------------------------------------------------------------------- #
+def im2col(
+    images: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Unfold image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N, C, kh, kw, out_h, out_w)``.
+    """
+    n, c, h, w = images.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    padded = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=images.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Fold columns produced by :func:`im2col` back into images (adjoint op)."""
+    n, c, h, w = image_shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph:ph + h, pw:pw + w]
+
+
+# --------------------------------------------------------------------------- #
+# Convolution
+# --------------------------------------------------------------------------- #
+def conv2d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> Tensor:
+    """2-D convolution over a mini-batch in NCHW layout.
+
+    Parameters
+    ----------
+    inputs:
+        Tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Tensor of shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional tensor of shape ``(C_out,)``.
+    """
+    inputs = ensure_tensor(inputs)
+    weight = ensure_tensor(weight)
+    stride = _pair(stride)
+    padding = _pair(padding)
+
+    x = inputs.data
+    w = weight.data
+    n, c_in, h, w_in = x.shape
+    c_out, c_in_w, kh, kw = w.shape
+    if c_in != c_in_w:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {c_in} channels, weight expects {c_in_w}"
+        )
+
+    out_h = conv_output_size(h, kh, stride[0], padding[0])
+    out_w = conv_output_size(w_in, kw, stride[1], padding[1])
+
+    cols = im2col(x, (kh, kw), stride, padding)  # (N, C, kh, kw, oh, ow)
+    cols_matrix = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    weight_matrix = w.reshape(c_out, -1)
+
+    out_matrix = cols_matrix @ weight_matrix.T  # (N*oh*ow, C_out)
+    out_data = out_matrix.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (inputs, weight) if bias is None else (inputs, weight, bias)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
+    if not requires:
+        return out
+    out._parents = parents
+
+    def _backward(grad: np.ndarray) -> None:
+        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+        if weight.requires_grad:
+            grad_weight = (grad_matrix.T @ cols_matrix).reshape(w.shape)
+            weight._accumulate(grad_weight)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if inputs.requires_grad:
+            grad_cols_matrix = grad_matrix @ weight_matrix  # (N*oh*ow, C*kh*kw)
+            grad_cols = grad_cols_matrix.reshape(n, out_h, out_w, c_in, kh, kw)
+            grad_cols = grad_cols.transpose(0, 3, 4, 5, 1, 2)
+            grad_input = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+            inputs._accumulate(grad_input)
+
+    out._backward = _backward
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(inputs: Tensor, kernel_size: IntOrPair = 2, stride: Optional[IntOrPair] = None,
+               padding: IntOrPair = 0) -> Tensor:
+    """Max pooling over spatial windows in NCHW layout.
+
+    The paper's privacy argument (Fig. 4) hinges on this operation: the
+    max-pooled first-block activations no longer reveal the raw image.
+    """
+    inputs = ensure_tensor(inputs)
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    padding = _pair(padding)
+
+    x = inputs.data
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride[0], padding[0])
+    out_w = conv_output_size(w, kw, stride[1], padding[1])
+
+    cols = im2col(x, kernel, stride, padding)  # (N, C, kh, kw, oh, ow)
+    cols_flat = cols.reshape(n, c, kh * kw, out_h, out_w)
+    argmax = cols_flat.argmax(axis=2)  # (N, C, oh, ow)
+    out_data = np.take_along_axis(cols_flat, argmax[:, :, None, :, :], axis=2).squeeze(2)
+
+    requires = is_grad_enabled() and inputs.requires_grad
+    out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
+    if not requires:
+        return out
+    out._parents = (inputs,)
+
+    def _backward(grad: np.ndarray) -> None:
+        grad_cols_flat = np.zeros_like(cols_flat)
+        np.put_along_axis(grad_cols_flat, argmax[:, :, None, :, :], grad[:, :, None, :, :], axis=2)
+        grad_cols = grad_cols_flat.reshape(n, c, kh, kw, out_h, out_w)
+        grad_input = col2im(grad_cols, x.shape, kernel, stride, padding)
+        inputs._accumulate(grad_input)
+
+    out._backward = _backward
+    return out
+
+
+def avg_pool2d(inputs: Tensor, kernel_size: IntOrPair = 2, stride: Optional[IntOrPair] = None,
+               padding: IntOrPair = 0) -> Tensor:
+    """Average pooling over spatial windows in NCHW layout."""
+    inputs = ensure_tensor(inputs)
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    padding = _pair(padding)
+
+    x = inputs.data
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride[0], padding[0])
+    out_w = conv_output_size(w, kw, stride[1], padding[1])
+
+    cols = im2col(x, kernel, stride, padding)
+    out_data = cols.mean(axis=(2, 3))
+
+    requires = is_grad_enabled() and inputs.requires_grad
+    out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
+    if not requires:
+        return out
+    out._parents = (inputs,)
+
+    def _backward(grad: np.ndarray) -> None:
+        grad_cols = np.broadcast_to(
+            grad[:, :, None, None, :, :] / (kh * kw), (n, c, kh, kw, out_h, out_w)
+        ).astype(x.dtype)
+        grad_input = col2im(grad_cols, x.shape, kernel, stride, padding)
+        inputs._accumulate(grad_input)
+
+    out._backward = _backward
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Softmax / losses
+# --------------------------------------------------------------------------- #
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    logits = ensure_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    logits = ensure_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels of shape ``(N,)`` to a one-hot matrix ``(N, K)``."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood of integer ``labels`` under ``log_probs``."""
+    log_probs = ensure_tensor(log_probs)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    num_classes = log_probs.shape[-1]
+    mask = Tensor(one_hot(labels, num_classes))
+    per_sample = -(log_probs * mask).sum(axis=-1)
+    return _reduce(per_sample, reduction)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy between raw ``logits`` and integer ``labels``."""
+    return nll_loss(log_softmax(logits, axis=-1), labels, reduction=reduction)
+
+
+def mse_loss(predictions: Tensor, targets: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error between two tensors."""
+    predictions = ensure_tensor(predictions)
+    targets = ensure_tensor(targets)
+    squared = (predictions - targets) * (predictions - targets)
+    return _reduce(squared, reduction)
+
+
+def _reduce(values: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return values.mean()
+    if reduction == "sum":
+        return values.sum()
+    if reduction == "none":
+        return values
+    raise ValueError(f"unknown reduction {reduction!r}; expected 'mean', 'sum' or 'none'")

@@ -1,0 +1,31 @@
+"""Neural-network layers for the NumPy substrate."""
+
+from .activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .base import Module, Parameter
+from .container import Sequential
+from .conv import Conv2D
+from .dense import Dense
+from .pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from .regularization import BatchNorm1D, BatchNorm2D, Dropout
+from .reshape import Flatten, Reshape
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Flatten",
+    "Reshape",
+]

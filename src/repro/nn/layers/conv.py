@@ -1,0 +1,105 @@
+"""2-D convolution layer (NCHW layout)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .. import functional as F
+from .. import init as initializers
+from ..tensor import Tensor
+from .base import Module, Parameter
+
+__all__ = ["Conv2D"]
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+class Conv2D(Module):
+    """2-D convolution over mini-batches of images.
+
+    This is the ``Conv2D`` block of the paper's Fig.-3 CNN.  With
+    ``padding="same"`` and ``stride=1`` the spatial size is preserved,
+    matching the Keras-style architecture the paper describes (each block's
+    spatial reduction comes from the following MaxPooling2D layer).
+
+    Parameters
+    ----------
+    in_channels / out_channels:
+        Channel counts; the paper uses 3→16→32→64→128→256.
+    kernel_size:
+        Spatial kernel size (default 3).
+    stride:
+        Convolution stride (default 1).
+    padding:
+        Integer padding, or ``"same"`` to preserve spatial size for odd
+        kernels with stride 1, or ``"valid"`` for no padding.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntOrPair = 3,
+        stride: IntOrPair = 1,
+        padding: Union[int, Tuple[int, int], str] = "same",
+        bias: bool = True,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = F._pair(kernel_size)
+        self.stride = F._pair(stride)
+        self.padding = self._resolve_padding(padding)
+
+        weight_fn = initializers.get_initializer(weight_init)
+        weight_shape = (out_channels, in_channels, *self.kernel_size)
+        self.weight = Parameter(weight_fn(weight_shape, rng), name="weight")
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels), name="bias")
+        else:
+            self.bias = None
+
+    def _resolve_padding(self, padding: Union[int, Tuple[int, int], str]) -> Tuple[int, int]:
+        if isinstance(padding, str):
+            mode = padding.lower()
+            if mode == "same":
+                if self.stride != (1, 1):
+                    raise ValueError("padding='same' requires stride=1")
+                kh, kw = self.kernel_size
+                if kh % 2 == 0 or kw % 2 == 0:
+                    raise ValueError("padding='same' requires odd kernel sizes")
+                return kh // 2, kw // 2
+            if mode == "valid":
+                return 0, 0
+            raise ValueError(f"unknown padding mode {padding!r}")
+        return F._pair(padding)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"Conv2D expects 4-D input (N, C, H, W), got shape {inputs.shape}"
+            )
+        if inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects {self.in_channels} input channels, got {inputs.shape[1]}"
+            )
+        return F.conv2d(inputs, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Return the ``(C, H, W)`` output shape for a ``(C, H, W)`` input."""
+        _, h, w = input_shape
+        out_h = F.conv_output_size(h, self.kernel_size[0], self.stride[0], self.padding[0])
+        out_w = F.conv_output_size(w, self.kernel_size[1], self.stride[1], self.padding[1])
+        return self.out_channels, out_h, out_w
+
+    def extra_repr(self) -> str:
+        return (
+            f"in_channels={self.in_channels}, out_channels={self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+        )

@@ -1,0 +1,74 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import init as initializers
+from ..tensor import Tensor
+from .base import Module, Parameter
+
+__all__ = ["Dense"]
+
+
+class Dense(Module):
+    """Affine transformation ``y = x @ W + b``.
+
+    The paper's CNN ends in two dense layers (512 units and a 10-unit
+    output layer); both live on the centralized server for every split
+    configuration evaluated in Table I.
+
+    Parameters
+    ----------
+    in_features:
+        Size of the input feature dimension.
+    out_features:
+        Size of the output feature dimension.
+    bias:
+        Whether to learn an additive bias (default ``True``).
+    weight_init:
+        Name of an initializer from :mod:`repro.nn.init`.
+    rng:
+        Optional NumPy generator for reproducible initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"Dense dimensions must be positive, got {in_features}x{out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        weight_fn = initializers.get_initializer(weight_init)
+        self.weight = Parameter(weight_fn((in_features, out_features), rng), name="weight")
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_features), name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.ndim != 2:
+            raise ValueError(
+                f"Dense expects 2-D input (batch, features), got shape {inputs.shape}"
+            )
+        if inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expects {self.in_features} input features, got {inputs.shape[1]}"
+            )
+        out = inputs.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"in_features={self.in_features}, out_features={self.out_features}, bias={self.bias is not None}"

@@ -1,0 +1,86 @@
+"""Spatial pooling layers (NCHW layout)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from .. import functional as F
+from ..tensor import Tensor
+from .base import Module
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+class MaxPool2D(Module):
+    """Max pooling; the ``MaxPooling2D`` block of the paper's Fig.-3 CNN.
+
+    Beyond its usual role of spatial down-sampling, the paper's privacy
+    argument (Fig. 4) rests on this layer: the max-pooled output of the
+    first block no longer exposes the raw training image, so shipping it to
+    the centralized server preserves data privacy.
+    """
+
+    def __init__(self, kernel_size: IntOrPair = 2, stride: Optional[IntOrPair] = None,
+                 padding: IntOrPair = 0) -> None:
+        super().__init__()
+        self.kernel_size = F._pair(kernel_size)
+        self.stride = F._pair(stride) if stride is not None else self.kernel_size
+        self.padding = F._pair(padding)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"MaxPool2D expects 4-D input (N, C, H, W), got shape {inputs.shape}"
+            )
+        return F.max_pool2d(inputs, self.kernel_size, self.stride, self.padding)
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Return the ``(C, H, W)`` output shape for a ``(C, H, W)`` input."""
+        c, h, w = input_shape
+        out_h = F.conv_output_size(h, self.kernel_size[0], self.stride[0], self.padding[0])
+        out_w = F.conv_output_size(w, self.kernel_size[1], self.stride[1], self.padding[1])
+        return c, out_h, out_w
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AvgPool2D(Module):
+    """Average pooling over spatial windows."""
+
+    def __init__(self, kernel_size: IntOrPair = 2, stride: Optional[IntOrPair] = None,
+                 padding: IntOrPair = 0) -> None:
+        super().__init__()
+        self.kernel_size = F._pair(kernel_size)
+        self.stride = F._pair(stride) if stride is not None else self.kernel_size
+        self.padding = F._pair(padding)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"AvgPool2D expects 4-D input (N, C, H, W), got shape {inputs.shape}"
+            )
+        return F.avg_pool2d(inputs, self.kernel_size, self.stride, self.padding)
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Return the ``(C, H, W)`` output shape for a ``(C, H, W)`` input."""
+        c, h, w = input_shape
+        out_h = F.conv_output_size(h, self.kernel_size[0], self.stride[0], self.padding[0])
+        out_w = F.conv_output_size(w, self.kernel_size[1], self.stride[1], self.padding[1])
+        return c, out_h, out_w
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class GlobalAvgPool2D(Module):
+    """Average over all spatial positions, producing a ``(N, C)`` tensor."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"GlobalAvgPool2D expects 4-D input (N, C, H, W), got shape {inputs.shape}"
+            )
+        return inputs.mean(axis=(2, 3))

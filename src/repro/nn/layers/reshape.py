@@ -1,0 +1,35 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..tensor import Tensor
+from .base import Module
+
+__all__ = ["Flatten", "Reshape"]
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension.
+
+    Sits between the last MaxPooling2D block and the first Dense layer of
+    the paper's CNN.
+    """
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.flatten_batch()
+
+
+class Reshape(Module):
+    """Reshape each sample to ``target_shape`` (batch dimension preserved)."""
+
+    def __init__(self, target_shape: Tuple[int, ...]) -> None:
+        super().__init__()
+        self.target_shape = tuple(int(dim) for dim in target_shape)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.reshape(inputs.shape[0], *self.target_shape)
+
+    def extra_repr(self) -> str:
+        return f"target_shape={self.target_shape}"

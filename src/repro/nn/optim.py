@@ -1,0 +1,279 @@
+"""Optimizers and learning-rate schedules.
+
+In spatio-temporal split learning each side of the cut owns its own
+optimizer: every end-system updates its local first-block parameters with
+the gradient the server sends back, and the centralized server updates the
+remaining layers.  All optimizers therefore operate on an explicit list of
+parameters rather than on a whole model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .layers.base import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSProp",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "get_optimizer",
+]
+
+
+class Optimizer:
+    """Base class: holds parameters and a learning rate, applies updates."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on the parameters."""
+        self._step_count += 1
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            self._update(index, parameter)
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        raise NotImplementedError
+
+    @property
+    def step_count(self) -> int:
+        """Number of :meth:`step` calls performed so far."""
+        return self._step_count
+
+    def state_dict(self) -> Dict[str, object]:
+        """Return optimizer hyper-state (learning rate and step count)."""
+        return {"lr": self.lr, "step_count": self._step_count}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore hyper-state produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step_count"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        grad = parameter.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        if self.momentum:
+            velocity = self._velocity[index]
+            if velocity is None:
+                velocity = np.zeros_like(parameter.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[index] = velocity
+            if self.nesterov:
+                grad = grad + self.momentum * velocity
+            else:
+                grad = velocity
+        parameter.data = parameter.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def _effective_grad(self, parameter: Parameter) -> np.ndarray:
+        grad = parameter.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        return grad
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        grad = self._effective_grad(parameter)
+        m = self._m[index]
+        v = self._v[index]
+        if m is None:
+            m = np.zeros_like(parameter.data)
+            v = np.zeros_like(parameter.data)
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[index] = m
+        self._v[index] = v
+        m_hat = m / (1 - self.beta1 ** self._step_count)
+        v_hat = v / (1 - self.beta2 ** self._step_count)
+        parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _effective_grad(self, parameter: Parameter) -> np.ndarray:
+        # Decoupled: decay is applied directly to the weights in _update.
+        return parameter.grad
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        if self.weight_decay:
+            parameter.data = parameter.data - self.lr * self.weight_decay * parameter.data
+        super()._update(index, parameter)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decaying squared-gradient average."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._square_avg: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        grad = parameter.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        square_avg = self._square_avg[index]
+        if square_avg is None:
+            square_avg = np.zeros_like(parameter.data)
+        square_avg = self.alpha * square_avg + (1 - self.alpha) * grad * grad
+        self._square_avg[index] = square_avg
+        parameter.data = parameter.data - self.lr * grad / (np.sqrt(square_avg) + self.eps)
+
+
+# --------------------------------------------------------------------------- #
+# Learning-rate schedules
+# --------------------------------------------------------------------------- #
+class LRScheduler:
+    """Base class for learning-rate schedules attached to an optimizer."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+        return self.optimizer.lr
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** epoch)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate down to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + np.cos(np.pi * progress))
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "adam": Adam,
+    "adamw": AdamW,
+    "rmsprop": RMSProp,
+}
+
+
+def get_optimizer(name: str, parameters: Iterable[Parameter], **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name (``sgd``, ``adam``, ``adamw``, ``rmsprop``)."""
+    try:
+        cls = _OPTIMIZERS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_OPTIMIZERS))
+        raise KeyError(f"unknown optimizer {name!r}; known optimizers: {known}") from None
+    return cls(parameters, **kwargs)

@@ -1,0 +1,72 @@
+"""Saving and loading model state.
+
+State dictionaries are stored as ``.npz`` archives so that a trained
+split configuration (end-system segments plus the server segment) can be
+checkpointed and restored without pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .layers.base import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_module", "parameter_summary"]
+
+PathLike = Union[str, Path]
+
+# np.savez cannot store keys containing '/' reliably across platforms and
+# some of our qualified names contain '.' which is fine, but the 'buffer::'
+# prefix needs escaping because ':' is legal; we keep keys verbatim and rely
+# on an accompanying manifest to restore exact names.
+_MANIFEST_KEY = "__manifest__"
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> Path:
+    """Write a state dictionary to ``path`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    keys = list(state.keys())
+    arrays = {f"array_{index}": np.asarray(value) for index, value in enumerate(state.values())}
+    manifest = json.dumps(keys)
+    np.savez_compressed(path, **arrays, **{_MANIFEST_KEY: np.frombuffer(manifest.encode(), dtype=np.uint8)})
+    return path
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dictionary previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path) as archive:
+        manifest_bytes = archive[_MANIFEST_KEY].tobytes()
+        keys = json.loads(manifest_bytes.decode())
+        return {key: archive[f"array_{index}"] for index, key in enumerate(keys)}
+
+
+def save_module(module: Module, path: PathLike) -> Path:
+    """Checkpoint a module's parameters and buffers."""
+    return save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: PathLike, strict: bool = True) -> Module:
+    """Restore a module in place from a checkpoint written by :func:`save_module`."""
+    module.load_state_dict(load_state_dict(path), strict=strict)
+    return module
+
+
+def parameter_summary(module: Module) -> str:
+    """Human-readable table of parameter names, shapes and counts."""
+    rows = []
+    total = 0
+    for name, parameter in module.named_parameters():
+        count = parameter.size
+        total += count
+        rows.append(f"{name:<40s} {str(parameter.shape):<20s} {count:>12,d}")
+    rows.append("-" * 74)
+    rows.append(f"{'total':<40s} {'':<20s} {total:>12,d}")
+    return "\n".join(rows)

@@ -1,0 +1,701 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module implements the :class:`Tensor` class, a thin wrapper around a
+``numpy.ndarray`` that records the computation graph as operations are
+applied and can back-propagate gradients through it with
+:meth:`Tensor.backward`.
+
+The design follows the usual define-by-run autograd recipe:
+
+* every operation produces a new :class:`Tensor` whose ``_parents`` point at
+  the operand tensors and whose ``_backward`` closure knows how to push the
+  output gradient back onto the parents;
+* :meth:`Tensor.backward` topologically sorts the graph reachable from the
+  output and runs the closures in reverse order, accumulating into
+  ``Tensor.grad``;
+* broadcasting is handled by :func:`unbroadcast`, which sums gradients over
+  the broadcast dimensions so that a parent's gradient always has the
+  parent's shape.
+
+Only the operations needed by the split-learning stack (dense layers,
+convolutions, pooling, activations, losses) are implemented, but the set is
+general enough to express arbitrary feed-forward networks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "ensure_tensor"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+# Global autograd switch, toggled by the ``no_grad`` context manager.
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Used during evaluation and when an end-system's activations must be
+    detached before being shipped to the centralized server (the server
+    never sees the client-side graph).
+
+    Example
+    -------
+    >>> with no_grad():
+    ...     y = model(x)
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    NumPy broadcasting may have expanded a parent of shape ``shape`` to the
+    output shape; the gradient flowing back must be summed over every axis
+    that was broadcast.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def ensure_tensor(value: ArrayLike) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    array = np.asarray(value, dtype=dtype)
+    return array
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  Stored as ``float64`` by
+        default to keep gradient checks precise; training code may pass
+        ``dtype=np.float32`` for speed.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        dtype=np.float64,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data: np.ndarray = _as_array(data, dtype=dtype)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph.
+
+        This is exactly the operation an end-system performs before
+        shipping smashed activations to the server: the server receives a
+        leaf tensor and never observes the client-side graph.
+        """
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def clone(self) -> "Tensor":
+        """Return a copy that participates in the graph (identity op)."""
+        out = self._make_output(self.data.copy(), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    def _make_output(self, data: np.ndarray, parents: Tuple["Tensor", ...]) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
+        if requires:
+            out._parents = parents
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ``1.0`` for scalar outputs (the usual loss case).
+            In split learning the server passes the gradient of the loss
+            with respect to the smashed activations back to the
+            end-system, which calls ``activation.backward(grad)`` here.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only valid "
+                    f"for scalar tensors, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(_as_array(grad), dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
+
+        self._accumulate(grad)
+
+        # Nodes are visited children-before-parents, so by the time a node
+        # is processed its ``grad`` holds the sum of every downstream path.
+        for node in self._topological_order():
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _topological_order(self) -> list:
+        """Return nodes reachable from ``self`` in reverse topological order."""
+        visited: set[int] = set()
+        order: list[Tensor] = []
+
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic ops
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = self._make_output(self.data + other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_output(-self.data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = self._make_output(self.data - other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(-grad)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = self._make_output(self.data * other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = self._make_output(self.data / other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data ** 2))
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make_output(self.data ** exponent, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product with gradient support for 2-D operands."""
+        other = ensure_tensor(other)
+        out = self._make_output(self.data @ other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = self._make_output(np.asarray(out_data), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            grad_expanded = _expand_reduction_grad(grad, self.data.shape, axis, keepdims)
+            self._accumulate(grad_expanded)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.mean(axis=axis, keepdims=keepdims)
+        out = self._make_output(np.asarray(out_data), (self,))
+        count = self.data.size if axis is None else _axis_count(self.data.shape, axis)
+
+        def _backward(grad: np.ndarray) -> None:
+            grad_expanded = _expand_reduction_grad(grad, self.data.shape, axis, keepdims)
+            self._accumulate(grad_expanded / count)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def var(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Biased (population) variance, matching BatchNorm's convention."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        squared = centered * centered
+        return squared.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_output(np.asarray(out_data), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            grad_expanded = _expand_reduction_grad(grad, self.data.shape, axis, keepdims)
+            max_expanded = _expand_reduction_values(out.data, self.data.shape, axis, keepdims)
+            mask = (self.data == max_expanded).astype(self.data.dtype)
+            # Split ties evenly so the gradient check stays exact.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(grad_expanded * mask / counts)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = self._make_output(out_data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make_output(np.log(self.data), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        out = self._make_output(out_data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / out_data)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make_output(self.data * mask, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, negative_slope * self.data)
+        out = self._make_output(out_data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.where(mask, 1.0, negative_slope))
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_output(out_data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = self._make_output(out_data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def clip(self, minimum: Optional[float] = None, maximum: Optional[float] = None) -> "Tensor":
+        out_data = np.clip(self.data, minimum, maximum)
+        out = self._make_output(out_data, (self,))
+        mask = np.ones_like(self.data)
+        if minimum is not None:
+            mask = mask * (self.data >= minimum)
+        if maximum is not None:
+            mask = mask * (self.data <= maximum)
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        out = self._make_output(np.abs(self.data), (self,))
+        sign = np.sign(self.data)
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.data.shape
+        out = self._make_output(self.data.reshape(shape), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def flatten_batch(self) -> "Tensor":
+        """Flatten every dimension after the batch dimension."""
+        batch = self.data.shape[0]
+        return self.reshape(batch, -1)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        out = self._make_output(self.data.transpose(axes), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_output(self.data[index], (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    def pad(self, pad_width: Sequence[Tuple[int, int]]) -> "Tensor":
+        """Zero-pad the tensor; ``pad_width`` follows ``numpy.pad`` syntax."""
+        pad_width = tuple(tuple(p) for p in pad_width)
+        out = self._make_output(np.pad(self.data, pad_width), (self,))
+        slices = tuple(
+            slice(before, before + dim) for (before, _), dim in zip(pad_width, self.data.shape)
+        )
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad[slices])
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (no gradient; return plain arrays)
+    # ------------------------------------------------------------------ #
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad, dtype=dtype)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad, dtype=dtype)
+
+    @staticmethod
+    def randn(*shape: int, rng: Optional[np.random.Generator] = None,
+              requires_grad: bool = False, dtype=np.float64) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape).astype(dtype), requires_grad=requires_grad, dtype=dtype)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Stack tensors along a new axis with gradient support."""
+        tensors = list(tensors)
+        data = np.stack([t.data for t in tensors], axis=axis)
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
+        if not requires:
+            return out
+        out._parents = tuple(tensors)
+
+        def _backward(grad: np.ndarray) -> None:
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for tensor, piece in zip(tensors, pieces):
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Concatenate tensors along an existing axis with gradient support.
+
+        This is the server-side operation that merges smashed activations
+        arriving from multiple end-systems into one training batch.
+        """
+        tensors = list(tensors)
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
+        if not requires:
+            return out
+        out._parents = tuple(tensors)
+        sizes = [t.data.shape[axis] for t in tensors]
+        boundaries = np.cumsum(sizes)[:-1]
+
+        def _backward(grad: np.ndarray) -> None:
+            pieces = np.split(grad, boundaries, axis=axis)
+            for tensor, piece in zip(tensors, pieces):
+                tensor._accumulate(piece)
+
+        if out.requires_grad:
+            out._backward = _backward
+        return out
+
+
+def _axis_count(shape: Tuple[int, ...], axis: Union[int, Tuple[int, ...]]) -> int:
+    if isinstance(axis, int):
+        axis = (axis,)
+    count = 1
+    for ax in axis:
+        count *= shape[ax]
+    return count
+
+
+def _expand_reduction_grad(
+    grad: np.ndarray,
+    original_shape: Tuple[int, ...],
+    axis: Optional[Union[int, Tuple[int, ...]]],
+    keepdims: bool,
+) -> np.ndarray:
+    """Broadcast the gradient of a reduction back to the operand's shape."""
+    grad = np.asarray(grad)
+    if axis is None:
+        return np.broadcast_to(grad, original_shape).copy()
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(original_shape) for a in axes)
+    if not keepdims:
+        for ax in sorted(axes):
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, original_shape).copy()
+
+
+def _expand_reduction_values(
+    values: np.ndarray,
+    original_shape: Tuple[int, ...],
+    axis: Optional[Union[int, Tuple[int, ...]]],
+    keepdims: bool,
+) -> np.ndarray:
+    return _expand_reduction_grad(values, original_shape, axis, keepdims)

@@ -1,0 +1,42 @@
+"""Discrete-event geo-distributed network simulation.
+
+This package simulates the networking substrate the paper assumes:
+end-systems (hospitals) spread across the globe, each connected to one
+centralized server over a WAN link with non-trivial latency, limited
+bandwidth and jitter.  The split-learning trainer uses it to stamp
+arrival times on smashed-activation messages, which is what makes the
+server-side parameter-scheduling queue (Fig. 2) meaningful.
+"""
+
+from .events import Event, Simulator
+from .latency import (
+    ConstantLatency,
+    DistanceLatency,
+    GaussianLatency,
+    LatencyModel,
+    UniformLatency,
+    great_circle_km,
+)
+from .link import Link, Message, payload_bytes
+from .topology import WORLD_CITIES, GeoTopology, geo_star_topology, star_topology
+from .transport import TrafficLog, Transport
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "GaussianLatency",
+    "DistanceLatency",
+    "great_circle_km",
+    "Link",
+    "Message",
+    "payload_bytes",
+    "GeoTopology",
+    "star_topology",
+    "geo_star_topology",
+    "WORLD_CITIES",
+    "Transport",
+    "TrafficLog",
+]

@@ -1,0 +1,193 @@
+"""Geo-distributed topology of end-systems and the centralized server.
+
+The paper's deployment scenario is a set of hospitals (end-systems)
+spread across a region, all connected to one centralized server — a star
+topology.  :class:`GeoTopology` stores the nodes, their coordinates and
+the per-edge :class:`~repro.simnet.link.Link` objects in a
+:mod:`networkx` graph, and provides factory helpers for the common
+configurations used in the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .latency import ConstantLatency, DistanceLatency, GaussianLatency, LatencyModel
+from .link import Link
+
+__all__ = ["GeoTopology", "star_topology", "geo_star_topology", "WORLD_CITIES"]
+
+# A handful of city coordinates (latitude, longitude) used to synthesize
+# realistic geo-distributed deployments without external data.
+WORLD_CITIES: Dict[str, Tuple[float, float]] = {
+    "seoul": (37.5665, 126.9780),
+    "tokyo": (35.6762, 139.6503),
+    "singapore": (1.3521, 103.8198),
+    "sydney": (-33.8688, 151.2093),
+    "frankfurt": (50.1109, 8.6821),
+    "london": (51.5074, -0.1278),
+    "new_york": (40.7128, -74.0060),
+    "san_francisco": (37.7749, -122.4194),
+    "sao_paulo": (-23.5505, -46.6333),
+    "mumbai": (19.0760, 72.8777),
+    "johannesburg": (-26.2041, 28.0473),
+    "toronto": (43.6532, -79.3832),
+}
+
+
+class GeoTopology:
+    """Star (or arbitrary) topology of named nodes connected by links."""
+
+    SERVER = "server"
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, name: str, coordinates: Optional[Tuple[float, float]] = None,
+                 role: str = "end_system") -> None:
+        """Add a node (``role`` is ``"server"`` or ``"end_system"``)."""
+        if name in self.graph:
+            raise ValueError(f"node {name!r} already exists")
+        self.graph.add_node(name, coordinates=coordinates, role=role)
+
+    def add_link(self, node_a: str, node_b: str, link: Link) -> None:
+        """Connect two existing nodes with a link."""
+        for node in (node_a, node_b):
+            if node not in self.graph:
+                raise KeyError(f"unknown node {node!r}")
+        self.graph.add_edge(node_a, node_b, link=link)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def link(self, node_a: str, node_b: str) -> Link:
+        """Return the link between two nodes."""
+        try:
+            return self.graph.edges[node_a, node_b]["link"]
+        except KeyError:
+            raise KeyError(f"no link between {node_a!r} and {node_b!r}") from None
+
+    def nodes(self, role: Optional[str] = None) -> List[str]:
+        """Return node names, optionally filtered by role."""
+        if role is None:
+            return list(self.graph.nodes)
+        return [name for name, data in self.graph.nodes(data=True) if data.get("role") == role]
+
+    @property
+    def end_systems(self) -> List[str]:
+        """Names of all end-system nodes."""
+        return self.nodes(role="end_system")
+
+    @property
+    def server(self) -> str:
+        """Name of the (single) server node."""
+        servers = self.nodes(role="server")
+        if len(servers) != 1:
+            raise ValueError(f"expected exactly one server node, found {servers}")
+        return servers[0]
+
+    def coordinates(self, name: str) -> Optional[Tuple[float, float]]:
+        """Coordinates of a node (``None`` if it has none)."""
+        return self.graph.nodes[name].get("coordinates")
+
+    def uplink(self, end_system: str) -> Link:
+        """Link from an end-system to the server."""
+        return self.link(end_system, self.server)
+
+    def mean_latencies(self) -> Dict[str, float]:
+        """Expected one-way latency (s) from each end-system to the server."""
+        return {name: self.uplink(name).latency.mean() for name in self.end_systems}
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-uplink traffic statistics."""
+        return {name: self.uplink(name).stats() for name in self.end_systems}
+
+
+def star_topology(
+    num_end_systems: int,
+    latencies_s: Optional[Iterable[float]] = None,
+    bandwidth_bps: Optional[float] = 100e6,
+    jitter_std_s: float = 0.0,
+    drop_probability: float = 0.0,
+    seed: Optional[int] = 0,
+) -> GeoTopology:
+    """Build a star topology with configurable per-end-system latencies.
+
+    Parameters
+    ----------
+    latencies_s:
+        One mean latency per end-system; defaults to 5 ms for everyone.
+        Heterogeneous values reproduce the paper's "far-away end-system"
+        scenario.
+    jitter_std_s:
+        When non-zero, latencies are Gaussian around the mean instead of
+        constant.
+    """
+    if num_end_systems <= 0:
+        raise ValueError("need at least one end-system")
+    latencies = list(latencies_s) if latencies_s is not None else [0.005] * num_end_systems
+    if len(latencies) != num_end_systems:
+        raise ValueError(
+            f"expected {num_end_systems} latencies, got {len(latencies)}"
+        )
+    topology = GeoTopology()
+    topology.add_node(GeoTopology.SERVER, role="server")
+    for index, latency_s in enumerate(latencies):
+        name = f"end_system_{index}"
+        topology.add_node(name, role="end_system")
+        model: LatencyModel
+        if jitter_std_s > 0:
+            model = GaussianLatency(latency_s, jitter_std_s)
+        else:
+            model = ConstantLatency(latency_s)
+        link = Link(
+            latency=model,
+            bandwidth_bps=bandwidth_bps,
+            drop_probability=drop_probability,
+            seed=None if seed is None else seed + index,
+        )
+        topology.add_link(name, GeoTopology.SERVER, link)
+    return topology
+
+
+def geo_star_topology(
+    city_names: Iterable[str],
+    server_city: str = "seoul",
+    bandwidth_bps: Optional[float] = 100e6,
+    jitter_std_s: float = 0.002,
+    seed: Optional[int] = 0,
+) -> GeoTopology:
+    """Build a star topology whose latencies follow real geographic distances.
+
+    Parameters
+    ----------
+    city_names:
+        Cities hosting the end-systems (keys of :data:`WORLD_CITIES`).
+    server_city:
+        City hosting the centralized server.
+    """
+    city_names = list(city_names)
+    unknown = [city for city in [server_city, *city_names] if city not in WORLD_CITIES]
+    if unknown:
+        raise KeyError(f"unknown cities {unknown}; known cities: {sorted(WORLD_CITIES)}")
+    topology = GeoTopology()
+    topology.add_node(GeoTopology.SERVER, coordinates=WORLD_CITIES[server_city], role="server")
+    for index, city in enumerate(city_names):
+        name = f"end_system_{index}_{city}"
+        topology.add_node(name, coordinates=WORLD_CITIES[city], role="end_system")
+        latency = DistanceLatency(
+            WORLD_CITIES[city], WORLD_CITIES[server_city], jitter_std_s=jitter_std_s
+        )
+        link = Link(
+            latency=latency,
+            bandwidth_bps=bandwidth_bps,
+            seed=None if seed is None else seed + index,
+        )
+        topology.add_link(name, GeoTopology.SERVER, link)
+    return topology

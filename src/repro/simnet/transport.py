@@ -1,0 +1,120 @@
+"""Transport layer: shipping activation/gradient payloads over a topology.
+
+``Transport`` bridges the split-learning trainer and the network
+simulation: the trainer hands it a payload (smashed activations going up,
+gradients coming back) and the transport stamps the message with an
+arrival time sampled from the corresponding link.  A per-round
+:class:`TrafficLog` records volumes and delays so experiments can report
+communication cost alongside accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .link import Message
+from .topology import GeoTopology
+
+__all__ = ["Transport", "TrafficLog"]
+
+
+@dataclass
+class TrafficLog:
+    """Aggregate statistics of the traffic a transport has carried."""
+
+    uplink_messages: int = 0
+    downlink_messages: int = 0
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+    dropped_messages: int = 0
+    transit_times: List[float] = field(default_factory=list)
+
+    def record(self, message: Optional[Message], direction: str) -> None:
+        """Record one message (``None`` means it was dropped)."""
+        if message is None:
+            self.dropped_messages += 1
+            return
+        if direction == "up":
+            self.uplink_messages += 1
+            self.uplink_bytes += message.size_bytes
+        else:
+            self.downlink_messages += 1
+            self.downlink_bytes += message.size_bytes
+        self.transit_times.append(message.transit_time)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved in both directions."""
+        return self.uplink_bytes + self.downlink_bytes
+
+    @property
+    def mean_transit_time(self) -> float:
+        """Mean per-message delay in seconds (0 when nothing was sent)."""
+        return float(np.mean(self.transit_times)) if self.transit_times else 0.0
+
+    @property
+    def max_transit_time(self) -> float:
+        """Worst per-message delay in seconds (0 when nothing was sent)."""
+        return float(np.max(self.transit_times)) if self.transit_times else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of the log's headline numbers."""
+        return {
+            "uplink_messages": self.uplink_messages,
+            "downlink_messages": self.downlink_messages,
+            "uplink_megabytes": self.uplink_bytes / 1e6,
+            "downlink_megabytes": self.downlink_bytes / 1e6,
+            "dropped_messages": self.dropped_messages,
+            "mean_transit_time_s": self.mean_transit_time,
+            "max_transit_time_s": self.max_transit_time,
+        }
+
+
+class Transport:
+    """Moves payloads between end-systems and the server over a topology."""
+
+    def __init__(self, topology: GeoTopology) -> None:
+        self.topology = topology
+        self.log = TrafficLog()
+        self._clock = 0.0
+
+    @property
+    def now(self) -> float:
+        """Transport-local clock: the latest send time seen so far."""
+        return self._clock
+
+    def send_to_server(self, end_system: str, payload: Any, now: Optional[float] = None,
+                       kind: str = "activation") -> Optional[Message]:
+        """Ship a payload from an end-system to the server.
+
+        Returns the stamped :class:`Message`, or ``None`` if the link
+        dropped it.
+        """
+        now = self._advance(now)
+        link = self.topology.uplink(end_system)
+        message = link.send(end_system, self.topology.server, payload, now, kind=kind)
+        self.log.record(message, "up")
+        return message
+
+    def send_to_end_system(self, end_system: str, payload: Any, now: Optional[float] = None,
+                           kind: str = "gradient") -> Optional[Message]:
+        """Ship a payload from the server back to an end-system."""
+        now = self._advance(now)
+        link = self.topology.uplink(end_system)
+        message = link.send(self.topology.server, end_system, payload, now, kind=kind)
+        self.log.record(message, "down")
+        return message
+
+    def _advance(self, now: Optional[float]) -> float:
+        if now is not None:
+            self._clock = max(self._clock, float(now))
+        return self._clock
+
+    def reset_log(self) -> TrafficLog:
+        """Replace the traffic log with a fresh one and return the old log."""
+        old = self.log
+        self.log = TrafficLog()
+        return old

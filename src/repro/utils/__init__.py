@@ -1,0 +1,16 @@
+"""Shared utilities: seeding, logging, timing and experiment configuration."""
+
+from .logging import get_logger, set_verbosity
+from .rng import SeedSequence, seeded_rng, spawn_rngs
+from .timer import Timer
+from .tables import format_table
+
+__all__ = [
+    "get_logger",
+    "set_verbosity",
+    "seeded_rng",
+    "spawn_rngs",
+    "SeedSequence",
+    "Timer",
+    "format_table",
+]

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment reports.
+
+Experiments print their results in the same row layout the paper uses
+(e.g. Table I: "Layers at end-systems | Accuracy"), so the harness needs a
+small, dependency-free table formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table"]
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(cell: Cell, float_format: str) -> str:
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_format: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` cells.
+    float_format:
+        Format string applied to float cells.
+    title:
+        Optional title line placed above the table.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers: {row!r}"
+            )
+        rendered_rows.append([_render_cell(cell, float_format) for cell in row])
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line([str(header) for header in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

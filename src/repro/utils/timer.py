@@ -1,0 +1,70 @@
+"""Wall-clock timing helper for training loops and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating stopwatch with named sections.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.section("forward"):
+    ...     _ = sum(range(1000))
+    >>> timer.total("forward") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    class _Section:
+        def __init__(self, timer: "Timer", name: str) -> None:
+            self._timer = timer
+            self._name = name
+            self._start: Optional[float] = None
+
+        def __enter__(self) -> "Timer._Section":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, exc_type, exc_value, traceback) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._timer._totals[self._name] = self._timer._totals.get(self._name, 0.0) + elapsed
+            self._timer._counts[self._name] = self._timer._counts.get(self._name, 0) + 1
+
+    def section(self, name: str) -> "Timer._Section":
+        """Return a context manager that accumulates time into ``name``."""
+        return Timer._Section(self, name)
+
+    def total(self, name: str) -> float:
+        """Total seconds spent in section ``name``."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times section ``name`` was entered."""
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per entry of section ``name`` (0 if never entered)."""
+        count = self.count(name)
+        return self.total(name) / count if count else 0.0
+
+    def sections(self) -> List[str]:
+        """Names of every section recorded so far."""
+        return sorted(self._totals)
+
+    def summary(self) -> str:
+        """Human-readable per-section timing table."""
+        lines = [f"{'section':<24s} {'count':>8s} {'total (s)':>12s} {'mean (s)':>12s}"]
+        for name in self.sections():
+            lines.append(
+                f"{name:<24s} {self.count(name):>8d} {self.total(name):>12.4f} {self.mean(name):>12.4f}"
+            )
+        return "\n".join(lines)

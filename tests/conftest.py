@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately tiny (small images, few samples, shallow
+networks) so the whole suite runs in well under a minute while still
+exercising every code path the full-scale experiments use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import CNNArchitecture, tiny_cnn_architecture
+from repro.core.split import SplitSpec
+from repro.data.datasets import ArrayDataset, SyntheticCIFAR10, train_test_split
+from repro.data.partition import IIDPartitioner
+from repro.data.transforms import Normalize
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy generator shared by a test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_architecture() -> CNNArchitecture:
+    """A 2-block, 8x8-input CNN: the smallest architecture that still has
+    every layer type of the paper's Fig.-3 network."""
+    return tiny_cnn_architecture(image_size=8, num_blocks=2, base_filters=4, dense_units=16)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SyntheticCIFAR10:
+    """A 160-sample synthetic CIFAR-10-like dataset with 8x8 images."""
+    return SyntheticCIFAR10(num_samples=160, image_size=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_dataset):
+    """(train, test) subsets of the tiny dataset."""
+    return train_test_split(tiny_dataset, test_fraction=0.25, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_parts(tiny_splits):
+    """The tiny training set partitioned IID across 2 end-systems."""
+    train, _ = tiny_splits
+    return IIDPartitioner(2, seed=5).partition(train)
+
+
+@pytest.fixture(scope="session")
+def normalize() -> Normalize:
+    """Standard [-1, 1] normalization for 3-channel images."""
+    return Normalize(mean=[0.5, 0.5, 0.5], std=[0.5, 0.5, 0.5])
+
+
+@pytest.fixture
+def tiny_split_spec(tiny_architecture) -> SplitSpec:
+    """SplitSpec with one block on the end-systems (the paper's main cut)."""
+    return SplitSpec(tiny_architecture, client_blocks=1)
+
+
+@pytest.fixture
+def small_classification_dataset(rng) -> ArrayDataset:
+    """A linearly separable 3-class dataset of flat feature vectors."""
+    centers = np.array([[2.0, 0.0, 0.0], [0.0, 2.0, 0.0], [0.0, 0.0, 2.0]])
+    samples, labels = [], []
+    for label, center in enumerate(centers):
+        samples.append(center + 0.3 * rng.standard_normal((30, 3)))
+        labels.extend([label] * 30)
+    return ArrayDataset(np.concatenate(samples), np.array(labels))
+
+
+def numeric_gradient(function, array: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar function of ``array``.
+
+    ``function`` must read ``array`` in place (the helper mutates and
+    restores entries one at a time).
+    """
+    gradient = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + epsilon
+        positive = function()
+        array[index] = original - epsilon
+        negative = function()
+        array[index] = original
+        gradient[index] = (positive - negative) / (2 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+@pytest.fixture
+def gradcheck():
+    """Expose the numerical-gradient helper as a fixture."""
+    return numeric_gradient

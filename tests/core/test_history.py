@@ -1,0 +1,86 @@
+"""Tests for the training-history records."""
+
+import pytest
+
+from repro.core.history import EpochRecord, TrainingHistory
+
+
+def make_record(epoch, train_accuracy=0.5, test_accuracy=None, simulated=1.0):
+    return EpochRecord(
+        epoch=epoch,
+        train_loss=1.0 / (epoch + 1),
+        train_accuracy=train_accuracy,
+        test_accuracy=test_accuracy,
+        simulated_time_s=simulated,
+    )
+
+
+class TestEpochRecord:
+    def test_as_dict_omits_missing_test_metrics(self):
+        record = make_record(0)
+        as_dict = record.as_dict()
+        assert "test_accuracy" not in as_dict
+        assert as_dict["epoch"] == 0
+
+    def test_as_dict_includes_extra(self):
+        record = make_record(0)
+        record.extra["fairness"] = 0.9
+        assert record.as_dict()["fairness"] == 0.9
+
+    def test_as_dict_includes_test_metrics_when_present(self):
+        record = make_record(1, test_accuracy=0.7)
+        record.test_loss = 0.5
+        as_dict = record.as_dict()
+        assert as_dict["test_accuracy"] == 0.7
+        assert as_dict["test_loss"] == 0.5
+
+
+class TestTrainingHistory:
+    def test_append_len_iter(self):
+        history = TrainingHistory()
+        history.append(make_record(0))
+        history.append(make_record(1))
+        assert len(history) == 2
+        assert [record.epoch for record in history] == [0, 1]
+
+    def test_final_and_best_accuracy(self):
+        history = TrainingHistory()
+        history.append(make_record(0, train_accuracy=0.3, test_accuracy=0.4))
+        history.append(make_record(1, train_accuracy=0.6, test_accuracy=0.55))
+        history.append(make_record(2, train_accuracy=0.7))
+        assert history.final_train_accuracy == 0.7
+        assert history.final_test_accuracy == 0.55
+        assert history.best_test_accuracy == 0.55
+
+    def test_empty_history_defaults(self):
+        history = TrainingHistory()
+        assert history.final_train_accuracy == 0.0
+        assert history.final_test_accuracy is None
+        assert history.best_test_accuracy is None
+        assert history.total_simulated_time == 0.0
+
+    def test_curves_and_rows(self):
+        history = TrainingHistory()
+        history.append(make_record(0, train_accuracy=0.2))
+        history.append(make_record(1, train_accuracy=0.8))
+        assert history.accuracy_curve() == [0.2, 0.8]
+        assert history.loss_curve() == [1.0, 0.5]
+        rows = history.to_rows()
+        assert rows[1]["train_accuracy"] == 0.8
+
+    def test_total_simulated_time(self):
+        history = TrainingHistory()
+        history.append(make_record(0, simulated=1.5))
+        history.append(make_record(1, simulated=2.5))
+        assert history.total_simulated_time == pytest.approx(4.0)
+
+    def test_summary_structure(self):
+        history = TrainingHistory(config={"epochs": 2})
+        history.append(make_record(0, test_accuracy=0.5))
+        history.traffic = {"uplink_megabytes": 1.0}
+        history.queue_stats = {"fairness_index": 1.0}
+        history.per_system_accuracy = {0: 0.5}
+        summary = history.summary()
+        assert summary["epochs"] == 1
+        assert summary["traffic"]["uplink_megabytes"] == 1.0
+        assert summary["per_system_accuracy"] == {0: 0.5}

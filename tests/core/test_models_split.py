@@ -1,0 +1,148 @@
+"""Tests for the CNN architecture factory and the split specification."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    CNNArchitecture,
+    build_paper_cnn,
+    mnist_cnn_architecture,
+    paper_cnn_architecture,
+    tiny_cnn_architecture,
+)
+from repro.core.split import SplitSpec
+from repro.nn import Tensor
+
+
+class TestCNNArchitecture:
+    def test_paper_architecture_matches_figure3(self):
+        architecture = paper_cnn_architecture()
+        assert architecture.num_blocks == 5
+        assert architecture.filters == [16, 32, 64, 128, 256]
+        assert architecture.dense_units == 512
+        assert architecture.num_classes == 10
+        assert architecture.image_size == 32
+        # 32 / 2^5 = 1, so the flattened size equals the last block's filters.
+        assert architecture.flattened_size == 256
+
+    def test_paper_model_layer_names(self):
+        model = paper_cnn_architecture().build(seed=0)
+        names = model.layer_names
+        assert names[0] == "L1_conv"
+        assert names[-1] == "output"
+        assert "L5_pool" in names
+        assert "dense1" in names
+        # 5 blocks x 3 layers + flatten + dense1 + relu + output
+        assert len(names) == 5 * 3 + 4
+
+    def test_paper_model_forward_shape(self):
+        model = build_paper_cnn(seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_block_output_shapes(self):
+        architecture = paper_cnn_architecture()
+        assert architecture.block_output_shape(0) == (3, 32, 32)
+        assert architecture.block_output_shape(1) == (16, 16, 16)
+        assert architecture.block_output_shape(5) == (256, 1, 1)
+        with pytest.raises(ValueError):
+            architecture.block_output_shape(6)
+
+    def test_boundary_layer_names(self):
+        architecture = paper_cnn_architecture()
+        assert architecture.boundary_layer_name(0) is None
+        assert architecture.boundary_layer_name(2) == "L2_pool"
+        with pytest.raises(ValueError):
+            architecture.boundary_layer_name(6)
+
+    def test_tiny_architecture_forward(self, tiny_architecture):
+        model = tiny_architecture.build(seed=1)
+        out = model(Tensor(np.random.default_rng(0).random((3, 3, 8, 8))))
+        assert out.shape == (3, 10)
+
+    def test_mnist_architecture_single_channel(self):
+        architecture = mnist_cnn_architecture()
+        assert architecture.in_channels == 1
+        model = architecture.build(seed=0)
+        out = model(Tensor(np.random.default_rng(0).random((2, 1, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ValueError, match="divisible"):
+            CNNArchitecture(image_size=20, num_blocks=5)
+        with pytest.raises(ValueError):
+            CNNArchitecture(num_blocks=0)
+        with pytest.raises(ValueError):
+            CNNArchitecture(num_classes=1)
+        with pytest.raises(ValueError):
+            CNNArchitecture(base_filters=0)
+
+    def test_build_deterministic_given_seed(self):
+        a = tiny_cnn_architecture().build(seed=5)
+        b = tiny_cnn_architecture().build(seed=5)
+        for (name_a, param_a), (_, param_b) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(param_a.data, param_b.data, err_msg=name_a)
+
+    def test_describe_mentions_blocks(self):
+        text = paper_cnn_architecture().describe()
+        assert "L1[16f]" in text and "Dense(512)" in text
+
+
+class TestSplitSpec:
+    def test_labels_match_table1_rows(self, tiny_architecture):
+        assert SplitSpec(tiny_architecture, 0).label.startswith("Nothing")
+        assert SplitSpec(tiny_architecture, 1).label == "L1"
+        assert SplitSpec(tiny_architecture, 2).label == "L1, L2"
+
+    def test_is_private_flag(self, tiny_architecture):
+        assert not SplitSpec(tiny_architecture, 0).is_private
+        assert SplitSpec(tiny_architecture, 1).is_private
+
+    def test_invalid_cut_rejected(self, tiny_architecture):
+        with pytest.raises(ValueError):
+            SplitSpec(tiny_architecture, -1)
+        with pytest.raises(ValueError):
+            SplitSpec(tiny_architecture, tiny_architecture.num_blocks + 1)
+
+    def test_smashed_shape_and_size(self, tiny_architecture):
+        spec = SplitSpec(tiny_architecture, 1)
+        assert spec.smashed_shape == tiny_architecture.block_output_shape(1)
+        channels, height, width = spec.smashed_shape
+        assert spec.smashed_size(batch_size=4) == 4 * channels * height * width
+
+    def test_client_segment_layers(self, tiny_architecture):
+        spec = SplitSpec(tiny_architecture, 1)
+        client = spec.build_client_segment(seed=0)
+        assert client.layer_names == ["L1_conv", "L1_relu", "L1_pool"]
+        empty_client = SplitSpec(tiny_architecture, 0).build_client_segment(seed=0)
+        assert len(empty_client) == 0
+
+    def test_server_segment_layers(self, tiny_architecture):
+        spec = SplitSpec(tiny_architecture, 1)
+        server = spec.build_server_segment(seed=0)
+        assert server.layer_names[0] == "L2_conv"
+        assert server.layer_names[-1] == "output"
+
+    def test_client_plus_server_covers_whole_model(self, tiny_architecture):
+        full = tiny_architecture.build(seed=0)
+        for cut in range(tiny_architecture.num_blocks + 1):
+            spec = SplitSpec(tiny_architecture, cut)
+            client = spec.build_client_segment(seed=0)
+            server = spec.build_server_segment(seed=0)
+            assert client.layer_names + server.layer_names == full.layer_names
+
+    def test_split_model_composition_preserves_output(self, tiny_architecture, rng):
+        full = tiny_architecture.build(seed=3)
+        spec = SplitSpec(tiny_architecture, 2)
+        head, tail = spec.split_model(full)
+        x = Tensor(rng.random((2, 3, 8, 8)))
+        np.testing.assert_allclose(tail(head(x)).data, full(x).data)
+
+    def test_cut_zero_client_is_identity(self, tiny_architecture, rng):
+        spec = SplitSpec(tiny_architecture, 0)
+        client = spec.build_client_segment(seed=0)
+        x = Tensor(rng.random((2, 3, 8, 8)))
+        np.testing.assert_allclose(client(x).data, x.data)
+
+    def test_str_representation(self, tiny_architecture):
+        assert "client_blocks=1" in str(SplitSpec(tiny_architecture, 1))

@@ -1,0 +1,171 @@
+"""Tests for the Fig.-4 privacy analysis (activation imaging, attacks, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import (
+    LinearReconstructionAttack,
+    activation_to_images,
+    leakage_report,
+    normalized_mse,
+    pixel_correlation,
+    psnr,
+    ssim,
+    upsample_nearest,
+)
+from repro.core.split import SplitSpec
+from repro.nn import Tensor
+
+
+class TestRendering:
+    def test_activation_to_images_shape(self, rng):
+        rendered = activation_to_images(rng.random((5, 8, 6, 6)))
+        assert rendered.shape == (5, 6, 6)
+
+    def test_normalization_to_unit_range(self, rng):
+        rendered = activation_to_images(rng.random((3, 4, 5, 5)) * 100 - 50)
+        assert rendered.min() >= 0.0 and rendered.max() <= 1.0
+
+    def test_without_normalization_is_channel_mean(self, rng):
+        activations = rng.random((2, 3, 4, 4))
+        rendered = activation_to_images(activations, normalize=False)
+        np.testing.assert_allclose(rendered, activations.mean(axis=1))
+
+    def test_rejects_wrong_rank(self, rng):
+        with pytest.raises(ValueError):
+            activation_to_images(rng.random((3, 4, 4)))
+
+    def test_upsample_nearest(self):
+        small = np.arange(4.0).reshape(1, 2, 2)
+        big = upsample_nearest(small, 4)
+        assert big.shape == (1, 4, 4)
+        np.testing.assert_allclose(big[0, :2, :2], 0.0)
+        with pytest.raises(ValueError):
+            upsample_nearest(small, 5)
+
+
+class TestMetrics:
+    def test_normalized_mse_zero_for_identical(self, rng):
+        images = rng.random((4, 8, 8))
+        assert normalized_mse(images, images) == 0.0
+
+    def test_normalized_mse_about_one_for_mean_predictor(self, rng):
+        images = rng.random((100, 8, 8))
+        prediction = np.full_like(images, images.mean())
+        assert normalized_mse(images, prediction) == pytest.approx(1.0, rel=1e-6)
+
+    def test_psnr_infinite_for_identical_and_ordered(self, rng):
+        images = rng.random((4, 8, 8))
+        assert psnr(images, images) == float("inf")
+        slightly_off = images + 0.01
+        very_off = images + 0.3
+        assert psnr(images, np.clip(slightly_off, 0, 1)) > psnr(images, np.clip(very_off, 0, 1))
+
+    def test_ssim_bounds_and_identity(self, rng):
+        images = rng.random((3, 16, 16))
+        assert ssim(images, images) == pytest.approx(1.0)
+        noise = rng.random((3, 16, 16))
+        assert ssim(images, noise) < 0.9
+
+    def test_ssim_accepts_single_image(self, rng):
+        image = rng.random((16, 16))
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            normalized_mse(rng.random((2, 4)), rng.random((2, 5)))
+        with pytest.raises(ValueError):
+            ssim(rng.random((4, 4)), rng.random((5, 5)))
+
+    def test_pixel_correlation_perfect_for_grayscale_copy(self, rng):
+        images = rng.random((5, 3, 8, 8))
+        rendered = images.mean(axis=1)
+        assert pixel_correlation(rendered, images) == pytest.approx(1.0)
+
+    def test_pixel_correlation_low_for_noise(self, rng):
+        images = rng.random((20, 3, 16, 16))
+        noise = rng.random((20, 16, 16))
+        assert pixel_correlation(noise, images) < 0.4
+
+    def test_pixel_correlation_upsamples_small_renderings(self, rng):
+        images = rng.random((4, 3, 8, 8))
+        rendered = rng.random((4, 4, 4))
+        value = pixel_correlation(rendered, images)
+        assert 0.0 <= value <= 1.0
+
+
+class TestReconstructionAttack:
+    def test_fit_and_reconstruct_shapes(self, rng):
+        activations = rng.random((50, 4, 4, 4))
+        images = rng.random((50, 3, 8, 8))
+        attack = LinearReconstructionAttack(ridge=1e-3).fit(activations, images)
+        assert attack.is_fitted
+        reconstructions = attack.reconstruct(activations[:5])
+        assert reconstructions.shape == (5, 3, 8, 8)
+
+    def test_identity_activations_reconstruct_well(self, rng):
+        """If the 'activation' is the image itself, a linear inverter is near-perfect.
+
+        The attack fits a linear map, so it needs more attack samples than
+        activation dimensions (here 4x) for the identity to be recoverable.
+        """
+        images = rng.random((250, 3, 4, 4))
+        attack = LinearReconstructionAttack(ridge=1e-8).fit(images[:200], images[:200])
+        metrics = attack.evaluate(images[200:], images[200:])
+        assert metrics["reconstruction_nmse"] < 0.05
+        assert metrics["reconstruction_ssim"] > 0.9
+
+    def test_uninformative_activations_reconstruct_poorly(self, rng):
+        images = rng.random((80, 3, 6, 6))
+        noise = rng.random((80, 10))
+        attack = LinearReconstructionAttack(ridge=1e-2).fit(noise[:60], images[:60])
+        metrics = attack.evaluate(noise[60:], images[60:])
+        assert metrics["reconstruction_nmse"] > 0.5
+
+    def test_unfitted_attack_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LinearReconstructionAttack().reconstruct(rng.random((2, 4)))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LinearReconstructionAttack(ridge=-1.0)
+        with pytest.raises(ValueError):
+            LinearReconstructionAttack().fit(rng.random((3, 4)), rng.random((4, 4)))
+        with pytest.raises(ValueError):
+            LinearReconstructionAttack().fit(rng.random((1, 4)), rng.random((1, 4)))
+
+
+class TestLeakageReport:
+    def test_report_covers_input_and_every_layer(self, tiny_architecture, rng):
+        spec = SplitSpec(tiny_architecture, client_blocks=1)
+        client = spec.build_client_segment(seed=0)
+        images = rng.random((40, 3, 8, 8))
+        report = leakage_report(client, images)
+        layers = [entry.layer for entry in report]
+        assert layers == ["input", "L1_conv", "L1_relu", "L1_pool"]
+        assert all(entry.activation_shape for entry in report)
+
+    def test_pooling_leaks_less_than_input(self, tiny_architecture, rng):
+        """The Fig.-4 claim: the post-pool activation hides more than the raw input."""
+        spec = SplitSpec(tiny_architecture, client_blocks=1)
+        client = spec.build_client_segment(seed=0)
+        images = rng.random((60, 3, 8, 8))
+        report = {entry.layer: entry for entry in leakage_report(client, images)}
+        assert report["L1_pool"].reconstruction_nmse >= report["input"].reconstruction_nmse
+        assert report["L1_pool"].correlation <= report["input"].correlation + 1e-9
+
+    def test_as_dict(self, tiny_architecture, rng):
+        spec = SplitSpec(tiny_architecture, client_blocks=1)
+        client = spec.build_client_segment(seed=0)
+        report = leakage_report(client, rng.random((20, 3, 8, 8)))
+        entry = report[0].as_dict()
+        assert entry["layer"] == "input"
+        assert "reconstruction_psnr" in entry
+
+    def test_validation(self, tiny_architecture, rng):
+        spec = SplitSpec(tiny_architecture, client_blocks=1)
+        client = spec.build_client_segment(seed=0)
+        with pytest.raises(ValueError):
+            leakage_report(client, rng.random((20, 3, 8)))
+        with pytest.raises(ValueError):
+            leakage_report(client, rng.random((20, 3, 8, 8)), attack_fraction=0.0)

@@ -1,0 +1,153 @@
+"""Tests for the synthetic datasets and dataset utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    ArrayDataset,
+    Subset,
+    SyntheticCIFAR10,
+    SyntheticImageDataset,
+    SyntheticMNIST,
+    train_test_split,
+)
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self, rng):
+        dataset = ArrayDataset(rng.standard_normal((10, 3, 4, 4)), rng.integers(0, 3, 10))
+        assert len(dataset) == 10
+        image, label = dataset[2]
+        assert image.shape == (3, 4, 4)
+        assert isinstance(label, int)
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError, match="sample count"):
+            ArrayDataset(rng.standard_normal((10, 3)), rng.integers(0, 2, 9))
+
+    def test_arrays_and_class_counts(self, rng):
+        labels = np.array([0, 0, 1, 2, 2, 2])
+        dataset = ArrayDataset(rng.standard_normal((6, 2)), labels)
+        assert dataset.num_classes == 3
+        np.testing.assert_array_equal(dataset.class_counts(), [2, 1, 3])
+
+    def test_iteration(self, rng):
+        dataset = ArrayDataset(rng.standard_normal((4, 2)), np.zeros(4))
+        assert len(list(dataset)) == 4
+
+
+class TestSubset:
+    def test_indexing_goes_through_parent(self, rng):
+        dataset = ArrayDataset(np.arange(20).reshape(10, 2).astype(float), np.arange(10) % 2)
+        subset = Subset(dataset, [3, 5, 7])
+        assert len(subset) == 3
+        np.testing.assert_allclose(subset[1][0], dataset[5][0])
+
+    def test_arrays_selects_rows(self, rng):
+        dataset = ArrayDataset(rng.standard_normal((10, 2)), np.arange(10))
+        subset = Subset(dataset, [0, 9])
+        _, labels = subset.arrays()
+        np.testing.assert_array_equal(labels, [0, 9])
+
+    def test_out_of_range_indices_rejected(self, rng):
+        dataset = ArrayDataset(rng.standard_normal((5, 2)), np.zeros(5))
+        with pytest.raises(IndexError):
+            Subset(dataset, [5])
+
+
+class TestSyntheticDatasets:
+    def test_cifar_like_shapes(self):
+        dataset = SyntheticCIFAR10(num_samples=50, seed=0)
+        images, labels = dataset.arrays()
+        assert images.shape == (50, 3, 32, 32)
+        assert labels.shape == (50,)
+        assert dataset.image_shape == (3, 32, 32)
+
+    def test_mnist_like_shapes(self):
+        dataset = SyntheticMNIST(num_samples=30, seed=0)
+        images, _ = dataset.arrays()
+        assert images.shape == (30, 1, 28, 28)
+
+    def test_pixel_range(self):
+        dataset = SyntheticCIFAR10(num_samples=40, image_size=16, seed=0)
+        assert dataset.images.min() >= 0.0
+        assert dataset.images.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticCIFAR10(num_samples=20, image_size=8, seed=42)
+        b = SyntheticCIFAR10(num_samples=20, image_size=8, seed=42)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCIFAR10(num_samples=20, image_size=8, seed=1)
+        b = SyntheticCIFAR10(num_samples=20, image_size=8, seed=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_classes_roughly_balanced(self):
+        dataset = SyntheticCIFAR10(num_samples=100, image_size=8, seed=0)
+        counts = dataset.class_counts()
+        assert counts.min() >= 8 and counts.max() <= 12
+
+    def test_classes_are_separable(self):
+        """A nearest-prototype classifier must beat chance by a wide margin,
+        otherwise the synthetic task would be unlearnable and Table I
+        meaningless."""
+        dataset = SyntheticCIFAR10(num_samples=200, image_size=16, seed=0)
+        images, labels = dataset.arrays()
+        prototypes = dataset.prototypes.reshape(10, -1)
+        flat = images.reshape(images.shape[0], -1)
+        distances = ((flat[:, None, :] - prototypes[None, :, :]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        assert (predictions == labels).mean() > 0.5
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_samples=5, num_classes=10)
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_samples=50, num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_samples=50, image_size=2)
+
+    def test_no_jitter_no_noise_reproduces_prototypes(self):
+        dataset = SyntheticImageDataset(
+            num_samples=20, num_classes=4, image_size=8, channels=1,
+            jitter=0, deformation_noise=0.0, pixel_noise=0.0, seed=0,
+        )
+        images, labels = dataset.arrays()
+        for image, label in zip(images, labels):
+            np.testing.assert_allclose(image, dataset.prototypes[label])
+
+
+class TestTrainTestSplit:
+    def test_partition_is_disjoint_and_complete(self):
+        dataset = SyntheticCIFAR10(num_samples=60, image_size=8, seed=0)
+        train, test = train_test_split(dataset, test_fraction=0.25, seed=0)
+        train_indices = set(train.indices.tolist())
+        test_indices = set(test.indices.tolist())
+        assert train_indices.isdisjoint(test_indices)
+        assert len(train_indices | test_indices) == 60
+
+    def test_fraction_respected(self):
+        dataset = SyntheticCIFAR10(num_samples=100, image_size=8, seed=0)
+        train, test = train_test_split(dataset, test_fraction=0.2, seed=0)
+        assert len(test) == pytest.approx(20, abs=2)
+        assert len(train) == 100 - len(test)
+
+    def test_stratified_split_covers_all_classes(self):
+        dataset = SyntheticCIFAR10(num_samples=100, image_size=8, seed=0)
+        _, test = train_test_split(dataset, test_fraction=0.2, seed=0, stratified=True)
+        _, labels = test.arrays()
+        assert len(np.unique(labels)) == 10
+
+    def test_unstratified_split(self):
+        dataset = SyntheticCIFAR10(num_samples=60, image_size=8, seed=0)
+        train, test = train_test_split(dataset, test_fraction=0.5, seed=0, stratified=False)
+        assert len(train) + len(test) == 60
+
+    def test_invalid_fraction(self):
+        dataset = SyntheticCIFAR10(num_samples=30, image_size=8, seed=0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=1.0)

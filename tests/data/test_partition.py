@@ -1,0 +1,187 @@
+"""Tests (including property-based) for the multi-end-system partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import ArrayDataset
+from repro.data.partition import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    LabelShardPartitioner,
+    QuantitySkewPartitioner,
+    get_partitioner,
+    partition_summary,
+)
+
+
+def make_dataset(num_samples=100, num_classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.standard_normal((num_samples, 4)),
+                        rng.integers(0, num_classes, num_samples))
+
+
+def assert_valid_partition(dataset, parts):
+    """Disjointness + completeness: the defining invariants of any partition."""
+    all_indices = np.concatenate([part.indices for part in parts])
+    assert len(all_indices) == len(dataset)
+    assert len(np.unique(all_indices)) == len(dataset)
+    assert all(len(part) > 0 for part in parts)
+
+
+class TestIIDPartitioner:
+    def test_partition_is_valid_and_balanced(self):
+        dataset = make_dataset(100)
+        parts = IIDPartitioner(4, seed=0).partition(dataset)
+        assert_valid_partition(dataset, parts)
+        assert all(len(part) == 25 for part in parts)
+
+    def test_class_distribution_roughly_uniform(self):
+        dataset = make_dataset(1000, num_classes=4)
+        parts = IIDPartitioner(4, seed=0).partition(dataset)
+        for part in parts:
+            _, labels = part.arrays()
+            counts = np.bincount(labels, minlength=4)
+            assert counts.min() > 0.5 * counts.max()
+
+    def test_deterministic_given_seed(self):
+        dataset = make_dataset(60)
+        a = IIDPartitioner(3, seed=5).partition(dataset)
+        b = IIDPartitioner(3, seed=5).partition(dataset)
+        for part_a, part_b in zip(a, b):
+            np.testing.assert_array_equal(part_a.indices, part_b.indices)
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ValueError):
+            IIDPartitioner(10).partition(make_dataset(5))
+
+    def test_invalid_num_parts(self):
+        with pytest.raises(ValueError):
+            IIDPartitioner(0)
+
+
+class TestDirichletPartitioner:
+    def test_partition_is_valid(self):
+        dataset = make_dataset(200)
+        parts = DirichletPartitioner(4, alpha=0.5, seed=0).partition(dataset)
+        assert_valid_partition(dataset, parts)
+
+    def test_small_alpha_more_skewed_than_large_alpha(self):
+        dataset = make_dataset(2000, num_classes=10, seed=1)
+
+        def mean_skew(parts):
+            """Mean max-class-share across parts: 0.1 = uniform, 1.0 = single class."""
+            shares = []
+            for part in parts:
+                _, labels = part.arrays()
+                counts = np.bincount(labels, minlength=10)
+                shares.append(counts.max() / max(counts.sum(), 1))
+            return np.mean(shares)
+
+        skewed = mean_skew(DirichletPartitioner(5, alpha=0.1, seed=0).partition(dataset))
+        uniform = mean_skew(DirichletPartitioner(5, alpha=100.0, seed=0).partition(dataset))
+        assert skewed > uniform + 0.1
+
+    def test_every_part_nonempty_even_when_extremely_skewed(self):
+        dataset = make_dataset(40, num_classes=2)
+        parts = DirichletPartitioner(8, alpha=0.05, seed=3).partition(dataset)
+        assert all(len(part) > 0 for part in parts)
+        assert_valid_partition(dataset, parts)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            DirichletPartitioner(3, alpha=0.0)
+
+
+class TestLabelShardPartitioner:
+    def test_partition_is_valid(self):
+        dataset = make_dataset(100, num_classes=10)
+        parts = LabelShardPartitioner(5, shards_per_part=2, seed=0).partition(dataset)
+        assert_valid_partition(dataset, parts)
+
+    def test_each_part_sees_few_classes(self):
+        dataset = make_dataset(1000, num_classes=10, seed=2)
+        parts = LabelShardPartitioner(5, shards_per_part=2, seed=0).partition(dataset)
+        for part in parts:
+            _, labels = part.arrays()
+            # Two contiguous label shards cover at most ~3 distinct classes.
+            assert len(np.unique(labels)) <= 4
+
+    def test_too_many_shards_rejected(self):
+        with pytest.raises(ValueError):
+            LabelShardPartitioner(10, shards_per_part=5).partition(make_dataset(20))
+
+    def test_invalid_shards_per_part(self):
+        with pytest.raises(ValueError):
+            LabelShardPartitioner(2, shards_per_part=0)
+
+
+class TestQuantitySkewPartitioner:
+    def test_partition_is_valid(self):
+        dataset = make_dataset(300)
+        parts = QuantitySkewPartitioner(4, beta=0.5, seed=0).partition(dataset)
+        assert_valid_partition(dataset, parts)
+
+    def test_sizes_are_unequal(self):
+        dataset = make_dataset(1000)
+        parts = QuantitySkewPartitioner(4, beta=0.5, seed=1).partition(dataset)
+        sizes = [len(part) for part in parts]
+        assert max(sizes) > 1.5 * min(sizes)
+
+    def test_min_samples_respected(self):
+        dataset = make_dataset(100)
+        parts = QuantitySkewPartitioner(5, beta=0.3, min_samples=5, seed=0).partition(dataset)
+        assert all(len(part) >= 5 for part in parts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantitySkewPartitioner(3, beta=0.0)
+        with pytest.raises(ValueError):
+            QuantitySkewPartitioner(3, min_samples=0)
+        with pytest.raises(ValueError):
+            QuantitySkewPartitioner(30, min_samples=10).partition(make_dataset(100))
+
+
+class TestHelpers:
+    def test_partition_summary(self):
+        dataset = make_dataset(60, num_classes=3)
+        parts = IIDPartitioner(3, seed=0).partition(dataset)
+        summary = partition_summary(parts, num_classes=3)
+        assert set(summary) == {0, 1, 2}
+        assert sum(entry["num_samples"] for entry in summary.values()) == 60
+        assert all(len(entry["class_histogram"]) == 3 for entry in summary.values())
+
+    def test_get_partitioner_factory(self):
+        assert isinstance(get_partitioner("iid", 3), IIDPartitioner)
+        assert isinstance(get_partitioner("dirichlet", 3, alpha=0.2), DirichletPartitioner)
+        with pytest.raises(KeyError, match="unknown partitioner"):
+            get_partitioner("bogus", 3)
+
+
+class TestPartitionProperties:
+    """Hypothesis: disjointness and completeness hold for arbitrary settings."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(num_samples=st.integers(20, 200), num_parts=st.integers(1, 8),
+           seed=st.integers(0, 1000))
+    def test_iid_partition_always_valid(self, num_samples, num_parts, seed):
+        dataset = make_dataset(num_samples, seed=seed)
+        parts = IIDPartitioner(num_parts, seed=seed).partition(dataset)
+        assert_valid_partition(dataset, parts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(num_samples=st.integers(30, 200), num_parts=st.integers(2, 6),
+           alpha=st.floats(0.05, 10.0), seed=st.integers(0, 1000))
+    def test_dirichlet_partition_always_valid(self, num_samples, num_parts, alpha, seed):
+        dataset = make_dataset(num_samples, seed=seed)
+        parts = DirichletPartitioner(num_parts, alpha=alpha, seed=seed).partition(dataset)
+        assert_valid_partition(dataset, parts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(num_samples=st.integers(50, 200), num_parts=st.integers(2, 5),
+           beta=st.floats(0.1, 5.0), seed=st.integers(0, 1000))
+    def test_quantity_skew_partition_always_valid(self, num_samples, num_parts, beta, seed):
+        dataset = make_dataset(num_samples, seed=seed)
+        parts = QuantitySkewPartitioner(num_parts, beta=beta, seed=seed).partition(dataset)
+        assert_valid_partition(dataset, parts)

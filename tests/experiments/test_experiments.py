@@ -1,0 +1,204 @@
+"""Tests for the experiment harness (workloads, registry, runners, CLI)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    ExperimentResult,
+    WorkloadSpec,
+    build_workload,
+    get_experiment,
+    list_experiments,
+    run_baselines_comparison,
+    run_clients_sweep,
+    run_compression,
+    run_experiment,
+    run_figure4,
+    run_staleness,
+    run_table1,
+)
+from repro.experiments.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def quick_workload():
+    """The smallest workload that still exercises every experiment code path."""
+    return WorkloadSpec.laptop(num_samples=240, num_end_systems=2, epochs=1, batch_size=16)
+
+
+class TestWorkloadSpec:
+    def test_laptop_and_paper_presets(self):
+        laptop = WorkloadSpec.laptop()
+        paper = WorkloadSpec.paper()
+        assert laptop.image_size == 16
+        assert paper.image_size == 32
+        assert paper.architecture().num_blocks == 5
+        assert laptop.architecture().num_blocks == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(scale="huge")
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_end_systems=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_samples=10, num_end_systems=4)
+
+    def test_build_workload_pieces(self, quick_workload):
+        pieces = build_workload(quick_workload)
+        assert len(pieces["parts"]) == quick_workload.num_end_systems
+        total = sum(len(part) for part in pieces["parts"])
+        assert total == len(pieces["train"])
+        images, _ = pieces["test"].arrays()
+        assert images.shape[1:] == (3, quick_workload.image_size, quick_workload.image_size)
+
+
+class TestExperimentResult:
+    def test_add_row_validates_length(self):
+        result = ExperimentResult(name="x", headers=["a", "b"])
+        result.add_row([1, 2])
+        with pytest.raises(ValueError):
+            result.add_row([1])
+
+    def test_column_extraction(self):
+        result = ExperimentResult(name="x", headers=["a", "b"])
+        result.add_row([1, 2])
+        result.add_row([3, 4])
+        assert result.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            result.column("missing")
+
+    def test_to_table_and_as_dict(self):
+        result = ExperimentResult(name="Demo", headers=["metric"], rows=[[1.234]])
+        assert "Demo" in result.to_table()
+        payload = result.as_dict()
+        assert payload["rows"] == [[1.234]]
+
+
+class TestRegistry:
+    def test_all_expected_experiments_registered(self):
+        names = {entry.name for entry in list_experiments()}
+        assert {"table1", "figure4", "staleness", "clients_sweep", "baselines",
+                "compression"} <= names
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("bogus")
+
+    def test_entries_reference_paper_artifacts(self):
+        assert get_experiment("table1").paper_artifact == "Table I"
+        assert get_experiment("figure4").paper_artifact == "Figure 4"
+
+
+class TestTable1:
+    def test_rows_match_requested_cuts(self, quick_workload):
+        result = run_table1(workload=quick_workload, client_block_range=[0, 1])
+        assert result.column("client_blocks") == [0, 1]
+        labels = result.column("layers_at_end_systems")
+        assert labels[0].startswith("Nothing")
+        assert labels[1] == "L1"
+
+    def test_accuracy_within_bounds_and_reference_attached(self, quick_workload):
+        result = run_table1(workload=quick_workload, client_block_range=[0, 1])
+        for accuracy in result.column("accuracy_pct"):
+            assert 0.0 <= accuracy <= 100.0
+        assert result.paper_reference["values_pct"] == PAPER_TABLE1
+        # The centralized row's degradation is zero by construction.
+        assert result.column("degradation_pct")[0] == pytest.approx(0.0)
+
+    def test_registry_dispatch(self, quick_workload):
+        result = run_experiment("table1", workload=quick_workload, client_block_range=[1])
+        assert len(result.rows) == 1
+
+
+class TestFigure4:
+    def test_layer_rows_and_monotone_leakage(self, quick_workload):
+        result = run_figure4(workload=quick_workload, num_probe_images=60, train_first=False)
+        layers = result.column("layer")
+        assert layers[0] == "input"
+        assert "L1_pool" in layers
+        nmse = dict(zip(layers, result.column("reconstruction_nmse")))
+        # Post-pooling activations must not reconstruct better than the input.
+        assert nmse["L1_pool"] >= nmse["input"] - 1e-6
+
+    def test_requires_at_least_one_block(self, quick_workload):
+        with pytest.raises(ValueError):
+            run_figure4(workload=quick_workload, client_blocks=0)
+
+
+class TestStaleness:
+    def test_policies_reported(self, quick_workload):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=2, epochs=1,
+                                       batch_size=16)
+        result = run_staleness(workload=workload, policies=("fifo", "weighted_fair"),
+                               latencies_s=(0.002, 0.1), simulated_budget_s=0.5)
+        assert result.column("policy") == ["fifo", "weighted_fair"]
+        for fairness in result.column("fairness_index"):
+            assert 0.0 < fairness <= 1.0
+
+    def test_latency_count_must_match(self, quick_workload):
+        with pytest.raises(ValueError, match="latencies"):
+            run_staleness(workload=quick_workload, latencies_s=(0.1,) * 5)
+
+
+class TestClientsSweepAndBaselines:
+    def test_clients_sweep_rows(self):
+        workload = WorkloadSpec.laptop(num_samples=240, epochs=1, batch_size=16)
+        result = run_clients_sweep(workload=workload, num_end_systems=(1, 2))
+        assert result.column("num_end_systems") == [1, 2]
+        assert all(0 <= value <= 100 for value in result.column("accuracy_pct"))
+
+    def test_compression_rows_and_traffic_ordering(self, quick_workload):
+        result = run_compression(
+            workload=quick_workload,
+            transforms=({"name": "none"}, {"name": "uint8"}),
+        )
+        labels = result.column("transform")
+        assert labels == ["none", "uint8"]
+        traffic = result.column("uplink_megabytes")
+        # 8-bit quantization must not increase traffic over the raw baseline.
+        assert traffic[1] < traffic[0]
+        relative = result.column("uplink_vs_baseline")
+        assert relative[0] == pytest.approx(1.0)
+
+    def test_baselines_comparison_rows(self, quick_workload):
+        result = run_baselines_comparison(
+            workload=quick_workload,
+            methods=("centralized", "spatio_temporal"),
+        )
+        methods = result.column("method")
+        assert methods == ["centralized", "spatio_temporal"]
+        leak = dict(zip(methods, result.column("raw_data_leaves_client")))
+        assert leak["centralized"] == "yes"
+        assert leak["spatio_temporal"] == "no"
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "figure4" in output
+
+    def test_run_command_table(self, capsys):
+        code = main(["run", "table1", "--num-samples", "240", "--end-systems", "2",
+                     "--epochs", "1", "--batch-size", "16"])
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_command_json(self, capsys):
+        code = main(["run", "clients_sweep", "--num-samples", "240", "--end-systems", "2",
+                     "--epochs", "1", "--batch-size", "16", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"].startswith("Ablation")
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_parser_workload_options(self):
+        args = build_parser().parse_args(["run", "table1", "--scale", "paper", "--seed", "3"])
+        assert args.scale == "paper"
+        assert args.seed == 3

@@ -1,0 +1,284 @@
+"""Unit tests for Tensor arithmetic and its gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, ensure_tensor, unbroadcast
+
+
+class TestConstruction:
+    def test_wraps_lists_and_scalars(self):
+        assert Tensor([1.0, 2.0]).shape == (2,)
+        assert Tensor(3.0).shape == ()
+
+    def test_default_dtype_is_float64(self):
+        assert Tensor([1, 2, 3]).dtype == np.float64
+
+    def test_requires_grad_defaults_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_factory_helpers(self):
+        assert Tensor.zeros(2, 3).data.sum() == 0
+        assert Tensor.ones(2, 3).data.sum() == 6
+        assert Tensor.randn(4, 5, rng=np.random.default_rng(0)).shape == (4, 5)
+
+    def test_ensure_tensor_passthrough(self):
+        tensor = Tensor([1.0])
+        assert ensure_tensor(tensor) is tensor
+        assert isinstance(ensure_tensor([1.0, 2.0]), Tensor)
+
+    def test_repr_mentions_shape_and_grad_flag(self):
+        text = repr(Tensor.zeros(2, 2, requires_grad=True))
+        assert "2, 2" in text and "requires_grad" in text
+
+    def test_len_and_size(self):
+        tensor = Tensor.zeros(5, 3)
+        assert len(tensor) == 5
+        assert tensor.size == 15
+
+    def test_item_on_scalar(self):
+        assert Tensor(2.5).item() == pytest.approx(2.5)
+
+
+class TestElementwiseArithmetic:
+    def test_add_forward_and_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = (a + b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_radd_with_scalar(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (5.0 + a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_sub_and_rsub(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a - 1.0).backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        b = Tensor([3.0], requires_grad=True)
+        (1.0 - b).backward()
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_mul_gradient_is_other_operand(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_div_gradients(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_rtruediv(self):
+        b = Tensor([2.0], requires_grad=True)
+        (8.0 / b).backward()
+        np.testing.assert_allclose(b.grad, [-2.0])
+
+    def test_neg(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, -1.0])
+
+    def test_pow_gradient(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 3).backward()
+        np.testing.assert_allclose(a.grad, [27.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestBroadcasting:
+    def test_unbroadcast_sums_added_leading_axes(self):
+        grad = np.ones((4, 3))
+        np.testing.assert_allclose(unbroadcast(grad, (3,)), [4.0, 4.0, 4.0])
+
+    def test_unbroadcast_sums_size_one_axes(self):
+        grad = np.ones((4, 3))
+        np.testing.assert_allclose(unbroadcast(grad, (4, 1)), [[3.0]] * 4)
+
+    def test_unbroadcast_noop_when_shapes_match(self):
+        grad = np.arange(6.0).reshape(2, 3)
+        np.testing.assert_allclose(unbroadcast(grad, (2, 3)), grad)
+
+    def test_broadcast_add_bias_gradient(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, [4.0, 4.0, 4.0])
+        np.testing.assert_allclose(x.grad, np.ones((4, 3)))
+
+    def test_broadcast_mul_gradient(self):
+        x = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        scale = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(scale.grad, [4.0, 4.0, 4.0])
+
+
+class TestMatmul:
+    def test_forward_matches_numpy(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        np.testing.assert_allclose(Tensor(a).matmul(Tensor(b)).data, a @ b)
+
+    def test_backward_matches_numeric(self, rng, gradcheck):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+
+        def loss():
+            return float((np.asarray(a) @ np.asarray(b)).sum())
+
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        ta.matmul(tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, gradcheck(loss, a), atol=1e-6)
+        np.testing.assert_allclose(tb.grad, gradcheck(loss, b), atol=1e-6)
+
+    def test_matmul_operator(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)))
+        b = Tensor(rng.standard_normal((3, 2)))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.sum()
+        assert out.item() == pytest.approx(15.0)
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient_scaled_by_count(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, [0.25] * 4)
+
+    def test_mean_axis(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        a.mean(axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 0.5))
+
+    def test_var_matches_numpy(self, rng):
+        data = rng.standard_normal((4, 5))
+        np.testing.assert_allclose(Tensor(data).var(axis=0).data, data.var(axis=0), atol=1e-12)
+
+    def test_max_all(self):
+        a = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis_with_ties_splits_gradient(self):
+        a = Tensor(np.array([[2.0, 2.0], [1.0, 3.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5], [0.0, 1.0]])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("method, reference, derivative", [
+        ("exp", np.exp, np.exp),
+        ("log", np.log, lambda x: 1.0 / x),
+        ("sqrt", np.sqrt, lambda x: 0.5 / np.sqrt(x)),
+        ("sigmoid", lambda x: 1 / (1 + np.exp(-x)),
+         lambda x: (1 / (1 + np.exp(-x))) * (1 - 1 / (1 + np.exp(-x)))),
+        ("tanh", np.tanh, lambda x: 1 - np.tanh(x) ** 2),
+    ])
+    def test_elementwise_forward_and_backward(self, method, reference, derivative):
+        data = np.array([0.5, 1.0, 2.0])
+        tensor = Tensor(data, requires_grad=True)
+        out = getattr(tensor, method)()
+        np.testing.assert_allclose(out.data, reference(data), rtol=1e-10)
+        out.sum().backward()
+        np.testing.assert_allclose(tensor.grad, derivative(data), rtol=1e-8)
+
+    def test_relu_masks_negative(self):
+        a = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        out = a.relu()
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 0.0, 1.0])
+
+    def test_leaky_relu_negative_slope(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        out = a.leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.1, 1.0])
+
+    def test_clip_gradient_zero_outside_range(self):
+        a = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        a.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_abs_gradient_is_sign(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        a.abs().sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, 1.0])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_reshape_accepts_tuple(self):
+        assert Tensor(np.arange(6.0)).reshape((3, 2)).shape == (3, 2)
+
+    def test_flatten_batch(self):
+        a = Tensor(np.zeros((4, 2, 3)))
+        assert a.flatten_batch().shape == (4, 6)
+
+    def test_transpose_and_T(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        assert a.T.shape == (3, 2)
+        a.transpose(1, 0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_getitem_gradient_scatter(self):
+        a = Tensor(np.arange(5.0), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_pad_gradient_unpads(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        padded = a.pad([(1, 1), (0, 2)])
+        assert padded.shape == (4, 4)
+        padded.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+    def test_stack_and_concatenate(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.full(3, 2.0), requires_grad=True)
+        stacked = Tensor.stack([a, b], axis=0)
+        assert stacked.shape == (2, 3)
+        stacked.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+        c = Tensor(np.ones((2, 2)), requires_grad=True)
+        d = Tensor(np.ones((3, 2)), requires_grad=True)
+        joined = Tensor.concatenate([c, d], axis=0)
+        assert joined.shape == (5, 2)
+        joined.sum().backward()
+        np.testing.assert_allclose(c.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(d.grad, np.ones((3, 2)))
+
+    def test_comparisons_return_arrays(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        assert (a > 2.0).tolist() == [False, True]
+        assert (a <= 1.0).tolist() == [True, False]

@@ -1,0 +1,169 @@
+"""Tests for links, topologies and the transport layer."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.latency import ConstantLatency
+from repro.simnet.link import Link, Message, payload_bytes
+from repro.simnet.topology import WORLD_CITIES, GeoTopology, geo_star_topology, star_topology
+from repro.simnet.transport import TrafficLog, Transport
+
+
+class TestPayloadBytes:
+    def test_numpy_array(self):
+        assert payload_bytes(np.zeros((4, 4), dtype=np.float64)) == 128
+
+    def test_dict_and_list_recursive(self):
+        payload = {"a": np.zeros(2), "b": [np.zeros(4), np.zeros(4)]}
+        assert payload_bytes(payload) > 16 + 32 + 64
+
+    def test_none_and_scalars(self):
+        assert payload_bytes(None) == 0
+        assert payload_bytes(42) == 64
+
+
+class TestLink:
+    def test_transfer_time_includes_latency_and_bandwidth(self):
+        link = Link(latency=ConstantLatency(0.010), bandwidth_bps=8e6)  # 1 MB/s
+        assert link.transfer_time(1_000_000) == pytest.approx(0.010 + 1.0)
+        assert link.expected_transfer_time(0) == pytest.approx(0.010)
+
+    def test_infinite_bandwidth(self):
+        link = Link(latency=ConstantLatency(0.005), bandwidth_bps=None)
+        assert link.transfer_time(10 ** 9) == pytest.approx(0.005)
+
+    def test_send_stamps_arrival_time(self):
+        link = Link(latency=ConstantLatency(0.02), bandwidth_bps=None)
+        message = link.send("client", "server", np.zeros(10), now=5.0)
+        assert isinstance(message, Message)
+        assert message.arrival_time == pytest.approx(5.02)
+        assert message.transit_time == pytest.approx(0.02)
+        assert message.size_bytes == 80
+
+    def test_drop_probability_one_is_rejected_but_high_drop_works(self):
+        with pytest.raises(ValueError):
+            Link(drop_probability=1.0)
+        link = Link(latency=ConstantLatency(0.0), drop_probability=0.99, seed=0)
+        results = [link.send("a", "b", np.zeros(1), now=0.0) for _ in range(200)]
+        dropped = sum(result is None for result in results)
+        assert dropped > 150
+        assert link.stats()["drop_rate"] == pytest.approx(dropped / 200)
+
+    def test_stats_counters(self):
+        link = Link(latency=ConstantLatency(0.001), seed=0)
+        link.send("a", "b", np.zeros(100), now=0.0)
+        stats = link.stats()
+        assert stats["messages_sent"] == 1
+        assert stats["bytes_sent"] == 800
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_bps=0)
+
+
+class TestTopology:
+    def test_star_topology_structure(self):
+        topology = star_topology(3, latencies_s=[0.001, 0.002, 0.003])
+        assert topology.server == "server"
+        assert len(topology.end_systems) == 3
+        latencies = topology.mean_latencies()
+        assert latencies["end_system_2"] == pytest.approx(0.003)
+
+    def test_star_topology_default_latencies(self):
+        topology = star_topology(2)
+        assert all(latency == pytest.approx(0.005) for latency in topology.mean_latencies().values())
+
+    def test_star_topology_with_jitter(self):
+        topology = star_topology(2, jitter_std_s=0.001)
+        samples = {name: topology.uplink(name).transfer_time(0) for name in topology.end_systems}
+        assert all(value > 0 for value in samples.values())
+
+    def test_star_topology_validation(self):
+        with pytest.raises(ValueError):
+            star_topology(0)
+        with pytest.raises(ValueError):
+            star_topology(3, latencies_s=[0.001])
+
+    def test_geo_star_topology_latency_orders_by_distance(self):
+        topology = geo_star_topology(["tokyo", "new_york"], server_city="seoul",
+                                     jitter_std_s=0.0)
+        latencies = topology.mean_latencies()
+        tokyo = [v for k, v in latencies.items() if "tokyo" in k][0]
+        new_york = [v for k, v in latencies.items() if "new_york" in k][0]
+        assert new_york > tokyo
+
+    def test_geo_star_topology_unknown_city(self):
+        with pytest.raises(KeyError, match="unknown cities"):
+            geo_star_topology(["atlantis"])
+
+    def test_manual_topology_api(self):
+        topology = GeoTopology()
+        topology.add_node("server", role="server")
+        topology.add_node("clinic", role="end_system")
+        topology.add_link("clinic", "server", Link(latency=ConstantLatency(0.001)))
+        assert topology.uplink("clinic").latency.mean() == pytest.approx(0.001)
+        assert topology.coordinates("clinic") is None
+        with pytest.raises(ValueError):
+            topology.add_node("clinic")
+        with pytest.raises(KeyError):
+            topology.add_link("clinic", "ghost", Link())
+        with pytest.raises(KeyError):
+            topology.link("server", "ghost")
+
+    def test_server_property_requires_exactly_one_server(self):
+        topology = GeoTopology()
+        topology.add_node("a", role="end_system")
+        with pytest.raises(ValueError):
+            _ = topology.server
+
+    def test_world_cities_have_coordinates(self):
+        assert all(len(coords) == 2 for coords in WORLD_CITIES.values())
+        assert "seoul" in WORLD_CITIES
+
+
+class TestTransport:
+    def make_transport(self, latency=0.01):
+        topology = star_topology(2, latencies_s=[latency, latency])
+        return Transport(topology), topology
+
+    def test_send_to_server_records_uplink(self):
+        transport, _ = self.make_transport()
+        message = transport.send_to_server("end_system_0", np.zeros(100), now=0.0)
+        assert message.arrival_time > 0.0
+        assert transport.log.uplink_messages == 1
+        assert transport.log.uplink_bytes == 800
+
+    def test_send_to_end_system_records_downlink(self):
+        transport, _ = self.make_transport()
+        transport.send_to_end_system("end_system_1", np.zeros(50), now=1.0)
+        assert transport.log.downlink_messages == 1
+        assert transport.log.total_bytes == 400
+
+    def test_clock_is_monotone(self):
+        transport, _ = self.make_transport()
+        transport.send_to_server("end_system_0", np.zeros(1), now=5.0)
+        transport.send_to_server("end_system_0", np.zeros(1), now=1.0)
+        assert transport.now == 5.0
+
+    def test_dropped_messages_counted(self):
+        topology = star_topology(1, latencies_s=[0.001], drop_probability=0.9, seed=0)
+        transport = Transport(topology)
+        for _ in range(50):
+            transport.send_to_server("end_system_0", np.zeros(10), now=0.0)
+        assert transport.log.dropped_messages > 20
+
+    def test_summary_and_reset(self):
+        transport, _ = self.make_transport()
+        transport.send_to_server("end_system_0", np.zeros(10), now=0.0)
+        summary = transport.log.summary()
+        assert summary["uplink_messages"] == 1
+        assert summary["mean_transit_time_s"] > 0
+        old_log = transport.reset_log()
+        assert isinstance(old_log, TrafficLog)
+        assert transport.log.uplink_messages == 0
+
+    def test_empty_log_statistics(self):
+        log = TrafficLog()
+        assert log.mean_transit_time == 0.0
+        assert log.max_transit_time == 0.0
+        assert log.total_bytes == 0
