@@ -15,9 +15,25 @@ full-size configuration instead.
 
 from __future__ import annotations
 
+import datetime
+import json
+import platform
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.base import WorkloadSpec
+
+# Seed-tree timings of the substrate group (mean ms, measured before the
+# fast-compute-substrate work landed) so BENCH_substrate.json always shows
+# the before/after trajectory.
+SEED_BASELINE_MS = {
+    "test_paper_cnn_forward": 25.03,
+    "test_paper_cnn_forward_backward": 59.33,
+    "test_split_round_trip": 10.48,
+    "test_synthetic_dataset_generation": 47.33,
+    "test_one_synchronous_epoch_wall_time": 142.01,
+}
 
 
 def pytest_addoption(parser):
@@ -58,3 +74,63 @@ def quick_bench_workload(request) -> WorkloadSpec:
 def run_once(benchmark, function, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit ``BENCH_substrate.json`` with the substrate/hotpath op timings.
+
+    The file records mean/min timings per benchmark together with the
+    seed-tree baseline and the substrate's op-level perf counters, so
+    future PRs can track the performance trajectory without re-running
+    the seed revision.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    rows = []
+    for bench in benchmarks:
+        group = getattr(bench, "group", None)
+        if group not in {"substrate", "hotpaths-conv", "hotpaths-pool",
+                         "hotpaths-col2im", "hotpaths-server"}:
+            continue
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        name = getattr(bench, "name", "?")
+        row = {
+            "name": name,
+            "group": group,
+            "mean_ms": getattr(stats, "mean", float("nan")) * 1e3,
+            "min_ms": getattr(stats, "min", float("nan")) * 1e3,
+            "stddev_ms": getattr(stats, "stddev", float("nan")) * 1e3,
+            "rounds": getattr(stats, "rounds", None),
+        }
+        baseline = SEED_BASELINE_MS.get(name)
+        if baseline is not None:
+            row["seed_baseline_ms"] = baseline
+            mean = row["mean_ms"]
+            row["speedup_vs_seed"] = round(baseline / mean, 3) if mean else None
+        rows.append(row)
+    if not rows:
+        return
+    # Only (re)write the tracking file when the *complete* substrate group
+    # ran; a filtered run (-k, single test) must not clobber the cross-PR
+    # snapshot with partial data.
+    substrate_names = {row["name"] for row in rows if row["group"] == "substrate"}
+    if not substrate_names.issuperset(SEED_BASELINE_MS):
+        return
+
+    from repro.nn import get_default_dtype
+    from repro.utils.perf import counters
+
+    payload = {
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "default_dtype": str(get_default_dtype()),
+        "perf_counters": counters.snapshot(),
+        "benchmarks": sorted(rows, key=lambda row: (row["group"], row["name"])),
+    }
+    output = Path(str(session.config.rootpath)) / "BENCH_substrate.json"
+    output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,172 @@
+"""Micro-benchmarks for the substrate's allocation-aware hot paths.
+
+Each benchmark isolates one optimisation from the fast-compute-substrate
+work so regressions show up at the op level rather than only in the
+end-to-end numbers:
+
+* the float32 dtype policy (same op at float32 vs float64),
+* the single-copy im2col GEMM path in ``conv2d``,
+* the non-overlapping ``col2im`` reshape fast path (the paper's
+  MaxPooling2D case) vs the general strided-scatter path,
+* the no-grad inference fast path (workspace-cached columns, view-reduce
+  pooling),
+* batched server-side queue draining vs per-message processing.
+
+Run with::
+
+    pytest benchmarks/test_bench_hotpaths.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.core.messages import ActivationMessage
+from repro.core.models import tiny_cnn_architecture
+from repro.core.server import CentralServer
+from repro.core.split import SplitSpec
+from repro.nn import Tensor, default_dtype, no_grad
+from repro.nn.layers.base import Parameter
+
+
+@pytest.fixture(scope="module", params=[np.float32, np.float64],
+                ids=["float32", "float64"])
+def conv_setup(request):
+    """A paper-L2-sized convolution problem in both policy dtypes."""
+    dtype = request.param
+    rng = np.random.default_rng(0)
+    images = rng.random((16, 16, 16, 16)).astype(dtype)
+    weight = Parameter(rng.random((32, 16, 3, 3)).astype(dtype))
+    bias = Parameter(rng.random(32).astype(dtype))
+    return dtype, images, weight, bias
+
+
+@pytest.mark.benchmark(group="hotpaths-conv")
+def test_conv2d_forward(benchmark, conv_setup):
+    dtype, images, weight, bias = conv_setup
+    inputs = Tensor(images, dtype=dtype)
+
+    def forward():
+        with no_grad():
+            return F.conv2d(inputs, weight, bias, stride=1, padding=1).data
+
+    out = benchmark(forward)
+    assert out.dtype == dtype
+
+
+@pytest.mark.benchmark(group="hotpaths-conv")
+def test_conv2d_forward_backward(benchmark, conv_setup):
+    dtype, images, weight, bias = conv_setup
+
+    def step():
+        inputs = Tensor(images, requires_grad=True, dtype=dtype)
+        weight.zero_grad()
+        bias.zero_grad()
+        out = F.conv2d(inputs, weight, bias, stride=1, padding=1)
+        out.backward(np.ones_like(out.data))
+        return inputs.grad
+
+    grad = benchmark(step)
+    assert grad.dtype == dtype
+
+
+@pytest.mark.benchmark(group="hotpaths-pool")
+def test_max_pool_forward_backward(benchmark):
+    rng = np.random.default_rng(1)
+    images = rng.random((16, 16, 32, 32)).astype(np.float32)
+
+    def step():
+        inputs = Tensor(images, requires_grad=True, dtype=np.float32)
+        out = F.max_pool2d(inputs, 2)
+        out.backward(np.ones_like(out.data))
+        return inputs.grad
+
+    grad = benchmark(step)
+    assert grad.shape == images.shape
+
+
+@pytest.mark.benchmark(group="hotpaths-pool")
+def test_max_pool_inference_fast_path(benchmark):
+    rng = np.random.default_rng(2)
+    images = rng.random((16, 16, 32, 32)).astype(np.float32)
+    inputs = Tensor(images, dtype=np.float32)
+
+    def infer():
+        with no_grad():
+            return F.max_pool2d(inputs, 2).data
+
+    out = benchmark(infer)
+    assert out.shape == (16, 16, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def col2im_cols():
+    rng = np.random.default_rng(3)
+    return rng.random((16, 16, 2, 2, 16, 16)).astype(np.float32)
+
+
+@pytest.mark.benchmark(group="hotpaths-col2im")
+def test_col2im_non_overlapping_fast_path(benchmark, col2im_cols):
+    """stride == kernel, no padding: folds via reshape (no scatter loop)."""
+    out = benchmark(F.col2im, col2im_cols, (16, 16, 32, 32), (2, 2), (2, 2), (0, 0))
+    assert out.shape == (16, 16, 32, 32)
+
+
+@pytest.mark.benchmark(group="hotpaths-col2im")
+def test_col2im_general_path(benchmark, col2im_cols):
+    """Overlapping windows (stride < kernel) take the strided += loop."""
+    out = benchmark(F.col2im, col2im_cols, (16, 16, 17, 17), (2, 2), (1, 1), (0, 0))
+    assert out.shape == (16, 16, 17, 17)
+
+
+# --------------------------------------------------------------------------- #
+# Batched queue draining
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def queue_workload():
+    """A split spec plus 8 pending activation messages from 8 clients."""
+    with default_dtype(np.float32):
+        architecture = tiny_cnn_architecture(image_size=16, num_blocks=3,
+                                             base_filters=8, dense_units=64)
+        spec = SplitSpec(architecture, client_blocks=1)
+        shape = architecture.block_output_shape(1)
+        rng = np.random.default_rng(4)
+        messages = [
+            ActivationMessage(
+                end_system_id=index,
+                batch_id=index,
+                activations=rng.random((16, *shape)).astype(np.float32),
+                labels=rng.integers(0, 10, 16),
+            )
+            for index in range(8)
+        ]
+    return spec, messages
+
+
+@pytest.mark.benchmark(group="hotpaths-server")
+def test_server_sequential_drain(benchmark, queue_workload):
+    spec, messages = queue_workload
+    with default_dtype(np.float32):
+        server = CentralServer(spec, seed=0)
+
+    def drain():
+        for message in messages:
+            server.process(message)
+        return server.batches_processed
+
+    processed = benchmark(drain)
+    assert processed >= len(messages)
+
+
+@pytest.mark.benchmark(group="hotpaths-server")
+def test_server_batched_drain(benchmark, queue_workload):
+    spec, messages = queue_workload
+    with default_dtype(np.float32):
+        server = CentralServer(spec, seed=0)
+
+    def drain():
+        server.process_batch(messages)
+        return server.batches_processed
+
+    processed = benchmark(drain)
+    assert processed >= len(messages)

@@ -5,6 +5,12 @@ rather than table reproductions: they document how expensive the Fig.-3
 CNN's forward/backward pass and one full client→server→client training
 round trip are on this substrate, and they catch performance regressions
 in the im2col convolution path.
+
+They run at the library's float32 dtype-policy default (the fast mode;
+see :mod:`repro.nn.dtype`).  After a ``--benchmark-only`` session the
+conftest's ``pytest_sessionfinish`` hook writes ``BENCH_substrate.json``
+at the repo root with the measured op timings next to the seed-tree
+baseline, so the performance trajectory is tracked across PRs.
 """
 
 import numpy as np

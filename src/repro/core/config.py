@@ -31,6 +31,13 @@ class TrainingConfig:
     mode:
         ``"synchronous"`` (the default; what Table I uses) or
         ``"asynchronous"`` (event-driven, used by the staleness ablation).
+    server_batching:
+        When ``True`` (the default) the server drains every pending
+        activation message in one concatenated forward/backward pass
+        (:meth:`repro.core.server.CentralServer.process_batch`) instead
+        of running one pass per message, and performs a single optimizer
+        step on the union batch.  Set to ``False`` to recover the
+        per-message processing of the original implementation.
     max_in_flight:
         Asynchronous mode only: how many batches an end-system may have
         outstanding (sent but not yet acknowledged with a gradient).
@@ -53,6 +60,7 @@ class TrainingConfig:
     loss: str = "cross_entropy"
     queue_policy: str = "fifo"
     mode: str = "synchronous"
+    server_batching: bool = True
     max_in_flight: int = 1
     server_step_time_s: float = 0.0
     seed: int = 0

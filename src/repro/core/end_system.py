@@ -113,8 +113,13 @@ class EndSystem:
         the real deployment where only raw bytes cross the network.
         """
         self.model.train(True)
-        inputs = Tensor(images, requires_grad=self.has_trainable_parameters)
-        outputs = self.model(inputs)
+        if not self.has_trainable_parameters:
+            # client_blocks == 0: no gradient will ever flow back, so run
+            # the no-grad fast path instead of building a throwaway graph.
+            with no_grad():
+                outputs = self.model(Tensor(images))
+        else:
+            outputs = self.model(Tensor(images, requires_grad=True))
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         if self.has_trainable_parameters:

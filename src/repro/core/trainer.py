@@ -19,6 +19,20 @@ Two training modes are provided:
   as they come.  Far-away end-systems complete fewer updates per unit
   time, which is the arrival bias the paper's queue-scheduling discussion
   warns about; the scheduling ablation quantifies it.
+
+Batched queue draining
+----------------------
+With ``TrainingConfig.server_batching`` (the default) the server empties
+its scheduling queue through
+:meth:`~repro.core.server.CentralServer.process_batch`: every pending
+activation message is concatenated into one server-segment
+forward/backward and a single optimizer step, and the boundary gradient
+is scattered back per end-system.  Under heavy multi-client traffic this
+amortises the per-message overhead of the NumPy substrate — the server's
+cost scales with the number of *samples*, not the number of *messages*.
+Set ``server_batching=False`` to recover the original one-step-per-message
+behaviour (one optimizer step per queued message), which is what the
+staleness-sensitive ablations model.
 """
 
 from __future__ import annotations
@@ -286,15 +300,29 @@ class SpatioTemporalTrainer:
                 round_index += 1
                 continue
 
-            # Temporal phase: the server drains the queue in policy order.
+            # Temporal phase: the server drains the queue — as one
+            # concatenated batch step when server_batching is on (the
+            # default), or one step per message in policy order otherwise.
             latest_arrival = max(
                 (message.arrival_time for message in round_messages), default=self._clock
             )
             gradient_arrivals = [latest_arrival]
-            while self.server.has_pending():
-                activation_message, gradient_message = self.server.process_next(
-                    now=latest_arrival
-                )
+            if self.config.server_batching:
+                # The concatenated step cannot start before the last
+                # message of the round has arrived, so every gradient is
+                # sent back at latest_arrival.
+                results = self.server.process_pending_batch(now=latest_arrival)
+                send_times = [latest_arrival] * len(results)
+            else:
+                results = []
+                send_times = []
+                while self.server.has_pending():
+                    activation_message, gradient_message = self.server.process_next(
+                        now=latest_arrival
+                    )
+                    results.append((activation_message, gradient_message))
+                    send_times.append(activation_message.arrival_time)
+            for (activation_message, gradient_message), send_time in zip(results, send_times):
                 tracker.update(
                     {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
                     count=activation_message.batch_size,
@@ -303,7 +331,7 @@ class SpatioTemporalTrainer:
                 downlink = self.transport.send_to_end_system(
                     self._system_to_node[end_system.system_id],
                     gradient_message.gradient,
-                    now=activation_message.arrival_time,
+                    now=send_time,
                 )
                 if downlink is None:
                     end_system.discard_pending(gradient_message.batch_id)
@@ -394,6 +422,13 @@ class SpatioTemporalTrainer:
         batch and always picks the next message through the scheduling
         policy among those that have already *arrived*.  When ``stop_time``
         is given, no new server step starts at or after that simulated time.
+
+        With ``config.server_batching`` (default) each server step drains
+        *every* already-arrived message into one concatenated
+        forward/backward (see :meth:`CentralServer.process_batch`), still
+        costing a single ``server_step_time_s``; with the flag off the
+        server takes one step per message, which is the contention regime
+        the staleness ablation studies.
         """
         tracker = MetricTracker()
         exhausted: set = set()
@@ -450,29 +485,36 @@ class SpatioTemporalTrainer:
                 # Budget exhausted: leave the remaining arrivals unprocessed.
                 self._clock = max(self._clock, stop_time)
                 break
-            activation_message, gradient_message = self.server.process_next(now=start_time)
+            if self.config.server_batching:
+                # Batched draining: every message that has arrived by
+                # start_time is folded into one concatenated server step
+                # costing a single server_step_time_s.
+                results = self.server.process_pending_batch(now=start_time)
+            else:
+                results = [self.server.process_next(now=start_time)]
             finish_time = start_time + self.config.server_step_time_s
             server_free_at = finish_time
             self._clock = finish_time
-            tracker.update(
-                {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
-                count=activation_message.batch_size,
-            )
+            for activation_message, gradient_message in results:
+                tracker.update(
+                    {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
+                    count=activation_message.batch_size,
+                )
 
-            end_system = self.end_systems[activation_message.end_system_id]
-            downlink = self.transport.send_to_end_system(
-                self._system_to_node[end_system.system_id],
-                gradient_message.gradient,
-                now=finish_time,
-            )
-            if downlink is None:
-                end_system.discard_pending(gradient_message.batch_id)
-                send_next_batch(end_system, finish_time)
-                continue
-            end_system.apply_gradient(gradient_message)
-            # The client computes its next batch as soon as the gradient lands.
-            send_next_batch(end_system, downlink.arrival_time)
-            self._clock = max(self._clock, downlink.arrival_time)
+                end_system = self.end_systems[activation_message.end_system_id]
+                downlink = self.transport.send_to_end_system(
+                    self._system_to_node[end_system.system_id],
+                    gradient_message.gradient,
+                    now=finish_time,
+                )
+                if downlink is None:
+                    end_system.discard_pending(gradient_message.batch_id)
+                    send_next_batch(end_system, finish_time)
+                    continue
+                end_system.apply_gradient(gradient_message)
+                # The client computes its next batch as soon as the gradient lands.
+                send_next_batch(end_system, downlink.arrival_time)
+                self._clock = max(self._clock, downlink.arrival_time)
         return tracker
 
     # ------------------------------------------------------------------ #

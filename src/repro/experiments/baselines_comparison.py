@@ -139,6 +139,9 @@ def run_baselines_comparison(
     if "spatio_temporal" in methods:
         config = TrainingConfig(
             epochs=workload.epochs, batch_size=workload.batch_size, seed=workload.seed,
+            # Match the paper's per-message server updates so the accuracy
+            # comparison against the sequential baselines stays apples-to-apples.
+            server_batching=False,
         )
         trainer = SpatioTemporalTrainer(spec, parts, config, train_transform=normalize)
         history = trainer.train(test_dataset=test, evaluate_every=10 ** 6)

@@ -69,6 +69,9 @@ def run_clients_sweep(
             batch_size=scaled.batch_size,
             queue_policy=queue_policy,
             seed=scaled.seed,
+            # Keep the paper's per-message server updates so accuracy is
+            # comparable across client counts.
+            server_batching=False,
         )
         trainer = SpatioTemporalTrainer(
             spec, pieces["parts"], config, train_transform=pieces["normalize"]

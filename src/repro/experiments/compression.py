@@ -55,7 +55,7 @@ def _train_with_transform(
 ) -> Dict[str, float]:
     """Train one split deployment where every uplink passes through ``transform``."""
     config = TrainingConfig(epochs=workload.epochs, batch_size=workload.batch_size,
-                            seed=workload.seed)
+                            seed=workload.seed, server_batching=False)
     seeds = SeedSequence(workload.seed)
     normalize = pieces["normalize"]
     end_systems = []
@@ -125,7 +125,24 @@ def run_compression(
     transforms: Sequence[Dict] = DEFAULT_TRANSFORMS,
     client_blocks: int = 1,
 ) -> ExperimentResult:
-    """Sweep cut-layer transforms and report accuracy / traffic / leakage."""
+    """Sweep cut-layer transforms and report accuracy / traffic / leakage.
+
+    Runs under the float64 dtype policy: the compression ratios reported
+    here (and the paper's uplink accounting) are relative to a 64-bit
+    float wire format, so the sweep pins that baseline regardless of the
+    library's float32 training default.
+    """
+    from ..nn.dtype import default_dtype
+
+    with default_dtype(np.float64):
+        return _run_compression_sweep(workload, transforms, client_blocks)
+
+
+def _run_compression_sweep(
+    workload: Optional[WorkloadSpec],
+    transforms: Sequence[Dict],
+    client_blocks: int,
+) -> ExperimentResult:
     workload = workload if workload is not None else WorkloadSpec.laptop()
     pieces = build_workload(workload)
     spec = SplitSpec(pieces["architecture"], client_blocks=client_blocks)

@@ -79,6 +79,7 @@ def run_figure4(
         epochs=max(1, workload.epochs // 3),
         batch_size=workload.batch_size,
         seed=workload.seed,
+        server_batching=False,
     )
     trainer = SpatioTemporalTrainer(
         spec, pieces["parts"], config, train_transform=pieces["normalize"]

@@ -123,6 +123,9 @@ def run_staleness(
             max_in_flight=max_in_flight,
             server_step_time_s=server_step_time_s,
             seed=workload.seed,
+            # The staleness ablation studies per-message queue contention;
+            # batched draining would collapse the contention it measures.
+            server_batching=False,
         )
         trainer = SpatioTemporalTrainer(
             spec, pieces["parts"], config, topology=topology,

@@ -6,7 +6,8 @@ the paper's Fig.-3 CNN (Conv2D, MaxPooling2D, Dense, ReLU) plus the usual
 training machinery (losses, optimizers, metrics, serialization).
 """
 
-from . import functional, init, losses, metrics, optim, serialization
+from . import dtype, functional, init, losses, metrics, optim, serialization
+from .dtype import default_dtype, get_default_dtype, set_default_dtype
 from .layers import (
     AvgPool2D,
     BatchNorm1D,
@@ -45,6 +46,10 @@ from .tensor import Tensor, no_grad
 __all__ = [
     "Tensor",
     "no_grad",
+    "dtype",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "functional",
     "init",
     "losses",

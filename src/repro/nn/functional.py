@@ -8,6 +8,32 @@ log-softmax and the classification losses.
 All functions accept and return :class:`Tensor` objects and register
 their own backward closures, so they compose freely with the rest of the
 autograd graph.
+
+Hot-path design
+---------------
+The convolution and pooling paths are the throughput bottleneck of every
+split-learning experiment, so they are written to minimise allocations:
+
+* patches are gathered through :func:`numpy.lib.stride_tricks.sliding_window_view`
+  (a zero-copy strided view) and rearranged into the GEMM operand with a
+  **single** copy, replacing the seed implementation's im2col-loop copy
+  followed by a transpose-reshape copy;
+* transient buffers (the zero-padded input, the inference-time column
+  matrix, the pooling window matrix) come from the shape-keyed
+  :mod:`repro.utils.perf` workspace cache instead of fresh allocations.
+  Only buffers whose contents are never read by a backward closure after
+  the op returns may live in a workspace — see the cache's safety
+  contract;
+* :func:`col2im` folds non-overlapping windows (stride == kernel, no
+  padding — the paper's ``MaxPooling2D`` case) via a reshape instead of
+  the strided ``+=`` scatter loop;
+* when gradients are disabled (``evaluate``/``predict``), pooling reduces
+  directly over the strided window view and convolution reuses a cached
+  column workspace, so steady-state inference performs no large
+  allocations beyond its outputs.
+
+Op-level counters (GEMM calls, conv/pool invocations, workspace traffic)
+are recorded in :data:`repro.utils.perf.counters`.
 """
 
 from __future__ import annotations
@@ -15,7 +41,10 @@ from __future__ import annotations
 from typing import Optional, Tuple, Union
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
+from ..utils.perf import counters, workspace
+from .dtype import get_default_dtype
 from .tensor import Tensor, ensure_tensor, is_grad_enabled
 
 __all__ = [
@@ -51,6 +80,58 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 # --------------------------------------------------------------------------- #
 # im2col / col2im
 # --------------------------------------------------------------------------- #
+def _pad_images(images: np.ndarray, ph: int, pw: int,
+                scratch_tag: Optional[str] = None) -> np.ndarray:
+    """Zero-pad the spatial dims, optionally into a reusable workspace.
+
+    The padded array is transient scratch: every caller fully consumes it
+    before returning, so it is safe to hand out a cached buffer.
+    """
+    if ph == 0 and pw == 0:
+        return images
+    n, c, h, w = images.shape
+    if scratch_tag is None:
+        return np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    padded = workspace(scratch_tag, (n, c, h + 2 * ph, w + 2 * pw), images.dtype)
+    padded.fill(0.0)
+    padded[:, :, ph:ph + h, pw:pw + w] = images
+    return padded
+
+
+def _strided_windows(padded: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """``(N, C, out_h, out_w, kh, kw)`` zero-copy view of all pooling/conv windows."""
+    windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    return windows[:, :, ::sh, ::sw]
+
+
+def _gather_patches(padded: np.ndarray, out: np.ndarray, sh: int, sw: int) -> np.ndarray:
+    """Fill ``out`` (``(N, oh, ow, C, kh, kw)``) with convolution patches.
+
+    Writing the patch-major layout directly — one vectorised slice
+    assignment per kernel offset — is the contiguous-reshape fast path:
+    ``out.reshape(N*oh*ow, C*kh*kw)`` is then a zero-copy view, where the
+    seed implementation paid a second transpose-reshape copy.
+    """
+    _, oh, ow, _, kh, kw = out.shape
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            j_end = j + sw * ow
+            out[:, :, :, :, i, j] = padded[:, :, i:i_end:sh, j:j_end:sw].transpose(0, 2, 3, 1)
+    return out
+
+
+def _gather_windows(padded: np.ndarray, out: np.ndarray, sh: int, sw: int) -> np.ndarray:
+    """Fill ``out`` (``(N, C, oh, ow, kh, kw)``) with pooling windows."""
+    _, _, oh, ow, kh, kw = out.shape
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            j_end = j + sw * ow
+            out[:, :, :, :, i, j] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    return out
+
+
 def im2col(
     images: np.ndarray,
     kernel_size: Tuple[int, int],
@@ -75,7 +156,7 @@ def im2col(
     out_h = conv_output_size(h, kh, sh, ph)
     out_w = conv_output_size(w, kw, sw, pw)
 
-    padded = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    padded = _pad_images(images, ph, pw)
     cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=images.dtype)
     for i in range(kh):
         i_end = i + sh * out_h
@@ -99,6 +180,25 @@ def col2im(
     ph, pw = padding
     out_h = conv_output_size(h, kh, sh, ph)
     out_w = conv_output_size(w, kw, sw, pw)
+
+    if sh == kh and sw == kw and ph == 0 and pw == 0:
+        # Non-overlapping windows (the paper's MaxPooling2D case): every
+        # image pixel receives at most one contribution, so the strided
+        # read-modify-write ``+=`` accumulation collapses to pure slice
+        # assignments — each pixel written exactly once, no zero-init of
+        # the covered region and no add pass.
+        counters.add("col2im_fast_path")
+        if out_h * kh == h and out_w * kw == w:
+            image = np.empty((n, c, h, w), dtype=cols.dtype)
+        else:
+            # Remainder rows/columns are never covered by a window.
+            image = np.zeros((n, c, h, w), dtype=cols.dtype)
+        for i in range(kh):
+            i_end = i + kh * out_h
+            for j in range(kw):
+                j_end = j + kw * out_w
+                image[:, :, i:i_end:kh, j:j_end:kw] = cols[:, :, i, j, :, :]
+        return image
 
     padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
     for i in range(kh):
@@ -146,38 +246,69 @@ def conv2d(
             f"conv2d channel mismatch: input has {c_in} channels, weight expects {c_in_w}"
         )
 
-    out_h = conv_output_size(h, kh, stride[0], padding[0])
-    out_w = conv_output_size(w_in, kw, stride[1], padding[1])
-
-    cols = im2col(x, (kh, kw), stride, padding)  # (N, C, kh, kw, oh, ow)
-    cols_matrix = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
-    weight_matrix = w.reshape(c_out, -1)
-
-    out_matrix = cols_matrix @ weight_matrix.T  # (N*oh*ow, C_out)
-    out_data = out_matrix.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
-    if bias is not None:
-        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w_in, kw, sw, pw)
 
     parents = (inputs, weight) if bias is None else (inputs, weight, bias)
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+
+    counters.add("conv2d_forward")
+    padded = _pad_images(x, ph, pw, scratch_tag="conv2d.pad")
+    # Single-copy rearrangement into the GEMM operand (N*oh*ow, C*kh*kw):
+    # the patches are gathered directly in patch-major order, so the
+    # reshape below is a zero-copy view (no second transpose-copy).
+    if requires:
+        # The backward pass reads cols_matrix (weight gradient GEMM), so
+        # it must own its storage — no workspace reuse here.
+        patches = np.empty((n, out_h, out_w, c_in, kh, kw), dtype=x.dtype)
+    else:
+        patches = workspace("conv2d.cols", (n, out_h, out_w, c_in, kh, kw), x.dtype)
+    _gather_patches(padded, patches, sh, sw)
+    cols_matrix = patches.reshape(n * out_h * out_w, c_in * kh * kw)
+    weight_matrix = w.reshape(c_out, -1)
+
+    counters.add("gemm_calls")
+    out_matrix = cols_matrix @ weight_matrix.T  # (N*oh*ow, C_out)
+    if bias is not None:
+        out_matrix += bias.data  # in-place broadcast over the row dimension
+    out_data = out_matrix.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
     out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
     if not requires:
         return out
     out._parents = parents
 
     def _backward(grad: np.ndarray) -> None:
-        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+        counters.add("conv2d_backward")
+        grad_matrix = np.ascontiguousarray(grad.transpose(0, 2, 3, 1)).reshape(
+            n * out_h * out_w, c_out
+        )
         if weight.requires_grad:
+            counters.add("gemm_calls")
             grad_weight = (grad_matrix.T @ cols_matrix).reshape(w.shape)
-            weight._accumulate(grad_weight)
+            weight._accumulate(grad_weight, owned=True)
         if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            bias._accumulate(grad.sum(axis=(0, 2, 3)), owned=True)
         if inputs.requires_grad:
+            counters.add("gemm_calls")
             grad_cols_matrix = grad_matrix @ weight_matrix  # (N*oh*ow, C*kh*kw)
+            # Fold the patch gradients in their native patch-major layout:
+            # each kernel offset reads a near-contiguous slice of the GEMM
+            # output and accumulates into an NHWC padded image, avoiding
+            # the badly-strided reads a transposed col2im view would incur.
             grad_cols = grad_cols_matrix.reshape(n, out_h, out_w, c_in, kh, kw)
-            grad_cols = grad_cols.transpose(0, 3, 4, 5, 1, 2)
-            grad_input = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
-            inputs._accumulate(grad_input)
+            grad_padded = np.zeros((n, h + 2 * ph, w_in + 2 * pw, c_in), dtype=grad.dtype)
+            for i in range(kh):
+                i_end = i + sh * out_h
+                for j in range(kw):
+                    j_end = j + sw * out_w
+                    grad_padded[:, i:i_end:sh, j:j_end:sw, :] += grad_cols[:, :, :, :, i, j]
+            grad_input = np.ascontiguousarray(
+                grad_padded[:, ph:ph + h, pw:pw + w_in, :].transpose(0, 3, 1, 2)
+            )
+            inputs._accumulate(grad_input, owned=True)
 
     out._backward = _backward
     return out
@@ -201,26 +332,66 @@ def max_pool2d(inputs: Tensor, kernel_size: IntOrPair = 2, stride: Optional[IntO
     x = inputs.data
     n, c, h, w = x.shape
     kh, kw = kernel
-    out_h = conv_output_size(h, kh, stride[0], padding[0])
-    out_w = conv_output_size(w, kw, stride[1], padding[1])
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
 
-    cols = im2col(x, kernel, stride, padding)  # (N, C, kh, kw, oh, ow)
-    cols_flat = cols.reshape(n, c, kh * kw, out_h, out_w)
-    argmax = cols_flat.argmax(axis=2)  # (N, C, oh, ow)
-    out_data = np.take_along_axis(cols_flat, argmax[:, :, None, :, :], axis=2).squeeze(2)
+    counters.add("pool_forward")
+    padded = _pad_images(x, ph, pw, scratch_tag="max_pool2d.pad")
 
     requires = is_grad_enabled() and inputs.requires_grad
-    out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
     if not requires:
-        return out
+        # Inference fast path: pairwise maximum over the kh*kw strided
+        # planes — no window matrix is ever materialised.
+        out_data: Optional[np.ndarray] = None
+        for i in range(kh):
+            i_end = i + sh * out_h
+            for j in range(kw):
+                j_end = j + sw * out_w
+                plane = padded[:, :, i:i_end:sh, j:j_end:sw]
+                if out_data is None:
+                    out_data = plane.copy()
+                else:
+                    np.maximum(out_data, plane, out=out_data)
+        return Tensor(out_data, dtype=x.dtype)
+
+    # The window matrix is only read during the forward pass (argmax +
+    # gather); the backward closure touches just its *shape*, so the
+    # buffer can come from the workspace cache.
+    scratch = workspace("max_pool2d.cols", (n, c, out_h, out_w, kh, kw), x.dtype)
+    _gather_windows(padded, scratch, sh, sw)
+    flat = scratch.reshape(n, c, out_h, out_w, kh * kw)
+    argmax = flat.argmax(axis=-1)  # (N, C, oh, ow)
+    out_data = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+
+    out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
     out._parents = (inputs,)
 
+    non_overlapping = (
+        sh == kh and sw == kw and ph == 0 and pw == 0
+        and out_h * kh == h and out_w * kw == w
+    )
+
     def _backward(grad: np.ndarray) -> None:
-        grad_cols_flat = np.zeros_like(cols_flat)
-        np.put_along_axis(grad_cols_flat, argmax[:, :, None, :, :], grad[:, :, None, :, :], axis=2)
-        grad_cols = grad_cols_flat.reshape(n, c, kh, kw, out_h, out_w)
+        counters.add("pool_backward")
+        if non_overlapping:
+            # Scatter each window's gradient straight into the image:
+            # with stride == kernel every input pixel belongs to exactly
+            # one window, so no intermediate window matrix or fold copy
+            # is needed.
+            grad_image = np.zeros((n, c, h, w), dtype=grad.dtype)
+            folded = grad_image.reshape(n, c, out_h, kh, out_w, kw).transpose(0, 1, 2, 4, 3, 5)
+            win_i, win_j = np.divmod(argmax, kw)
+            n_i, c_i, oh_i, ow_i = np.ogrid[:n, :c, :out_h, :out_w]
+            folded[n_i, c_i, oh_i, ow_i, win_i, win_j] = grad
+            inputs._accumulate(grad_image, owned=True)
+            return
+        grad_flat = np.zeros((n, c, out_h, out_w, kh * kw), dtype=grad.dtype)
+        np.put_along_axis(grad_flat, argmax[..., None], grad[..., None], axis=-1)
+        grad_cols = grad_flat.reshape(n, c, out_h, out_w, kh, kw).transpose(0, 1, 4, 5, 2, 3)
         grad_input = col2im(grad_cols, x.shape, kernel, stride, padding)
-        inputs._accumulate(grad_input)
+        inputs._accumulate(grad_input, owned=True)
 
     out._backward = _backward
     return out
@@ -237,11 +408,16 @@ def avg_pool2d(inputs: Tensor, kernel_size: IntOrPair = 2, stride: Optional[IntO
     x = inputs.data
     n, c, h, w = x.shape
     kh, kw = kernel
-    out_h = conv_output_size(h, kh, stride[0], padding[0])
-    out_w = conv_output_size(w, kw, stride[1], padding[1])
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
 
-    cols = im2col(x, kernel, stride, padding)
-    out_data = cols.mean(axis=(2, 3))
+    counters.add("pool_forward")
+    padded = _pad_images(x, ph, pw, scratch_tag="avg_pool2d.pad")
+    windows = _strided_windows(padded, kh, kw, sh, sw)
+    # Mean over the zero-copy view: the only allocation is the output.
+    out_data = windows.mean(axis=(4, 5))
 
     requires = is_grad_enabled() and inputs.requires_grad
     out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
@@ -250,11 +426,13 @@ def avg_pool2d(inputs: Tensor, kernel_size: IntOrPair = 2, stride: Optional[IntO
     out._parents = (inputs,)
 
     def _backward(grad: np.ndarray) -> None:
+        counters.add("pool_backward")
         grad_cols = np.broadcast_to(
-            grad[:, :, None, None, :, :] / (kh * kw), (n, c, kh, kw, out_h, out_w)
-        ).astype(x.dtype)
+            (grad / (kh * kw)).astype(x.dtype, copy=False)[:, :, None, None, :, :],
+            (n, c, kh, kw, out_h, out_w),
+        )
         grad_input = col2im(grad_cols, x.shape, kernel, stride, padding)
-        inputs._accumulate(grad_input)
+        inputs._accumulate(grad_input, owned=True)
 
     out._backward = _backward
     return out
@@ -266,7 +444,8 @@ def avg_pool2d(inputs: Tensor, kernel_size: IntOrPair = 2, stride: Optional[IntO
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     logits = ensure_tensor(logits)
-    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    shift = logits.data.max(axis=axis, keepdims=True)
+    shifted = logits - Tensor(shift, dtype=shift.dtype)
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
@@ -274,19 +453,27 @@ def softmax(logits: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     logits = ensure_tensor(logits)
-    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    shift = logits.data.max(axis=axis, keepdims=True)
+    shifted = logits - Tensor(shift, dtype=shift.dtype)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Convert integer labels of shape ``(N,)`` to a one-hot matrix ``(N, K)``."""
+def one_hot(labels: np.ndarray, num_classes: int, dtype=None) -> np.ndarray:
+    """Convert integer labels of shape ``(N,)`` to a one-hot matrix ``(N, K)``.
+
+    The matrix is created in ``dtype`` (default: the global dtype policy)
+    so that losses never up-cast float32 logits through a float64 mask.
+    """
     labels = np.asarray(labels, dtype=np.int64).reshape(-1)
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError(
             f"labels must lie in [0, {num_classes}), got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded = np.zeros(
+        (labels.shape[0], num_classes),
+        dtype=dtype if dtype is not None else get_default_dtype(),
+    )
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 
@@ -296,7 +483,8 @@ def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> 
     log_probs = ensure_tensor(log_probs)
     labels = np.asarray(labels, dtype=np.int64).reshape(-1)
     num_classes = log_probs.shape[-1]
-    mask = Tensor(one_hot(labels, num_classes))
+    encoded = one_hot(labels, num_classes, dtype=log_probs.dtype)
+    mask = Tensor(encoded, dtype=encoded.dtype)
     per_sample = -(log_probs * mask).sum(axis=-1)
     return _reduce(per_sample, reduction)
 

@@ -13,6 +13,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .dtype import get_default_dtype
+
 __all__ = [
     "compute_fans",
     "he_normal",
@@ -55,50 +57,50 @@ def he_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None)
     """Kaiming-He normal initialization for ReLU networks."""
     fan_in, _ = compute_fans(shape)
     std = math.sqrt(2.0 / max(fan_in, 1))
-    return _rng(rng).normal(0.0, std, size=shape)
+    return _rng(rng).normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def he_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Kaiming-He uniform initialization for ReLU networks."""
     fan_in, _ = compute_fans(shape)
     limit = math.sqrt(6.0 / max(fan_in, 1))
-    return _rng(rng).uniform(-limit, limit, size=shape)
+    return _rng(rng).uniform(-limit, limit, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Glorot-Xavier normal initialization."""
     fan_in, fan_out = compute_fans(shape)
     std = math.sqrt(2.0 / max(fan_in + fan_out, 1))
-    return _rng(rng).normal(0.0, std, size=shape)
+    return _rng(rng).normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Glorot-Xavier uniform initialization."""
     fan_in, fan_out = compute_fans(shape)
     limit = math.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return _rng(rng).uniform(-limit, limit, size=shape)
+    return _rng(rng).uniform(-limit, limit, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """All-zero initialization (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """All-one initialization (BatchNorm scale)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
            std: float = 0.01) -> np.ndarray:
     """Small-scale Gaussian initialization."""
-    return _rng(rng).normal(0.0, std, size=shape)
+    return _rng(rng).normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
             limit: float = 0.05) -> np.ndarray:
     """Uniform initialization in ``[-limit, limit]``."""
-    return _rng(rng).uniform(-limit, limit, size=shape)
+    return _rng(rng).uniform(-limit, limit, size=shape).astype(get_default_dtype(), copy=False)
 
 
 _INITIALIZERS = {

@@ -61,8 +61,14 @@ class Module:
         self._modules[name] = module
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register a non-trainable persistent array (e.g. BatchNorm stats)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        """Register a non-trainable persistent array (e.g. BatchNorm stats).
+
+        Buffers follow the global dtype policy so that e.g. BatchNorm
+        running statistics do not silently promote float32 activations.
+        """
+        from ..dtype import get_default_dtype
+
+        self._buffers[name] = np.asarray(value, dtype=get_default_dtype())
 
     def __setattr__(self, name: str, value) -> None:
         if isinstance(value, Parameter):
@@ -196,7 +202,9 @@ class Module:
         module: Module = self
         for part in parts[:-1]:
             module = module._modules[part]
-        module._buffers[parts[-1]] = value.astype(np.float64).copy()
+        existing = module._buffers.get(parts[-1])
+        dtype = existing.dtype if existing is not None else value.dtype
+        module._buffers[parts[-1]] = value.astype(dtype).copy()
 
     # ------------------------------------------------------------------ #
     # Representation

@@ -103,12 +103,17 @@ class SGD(Optimizer):
             velocity = self._velocity[index]
             if velocity is None:
                 velocity = np.zeros_like(parameter.data)
-            velocity = self.momentum * velocity + grad
-            self._velocity[index] = velocity
+                self._velocity[index] = velocity
+            # In-place state update: velocity = momentum * velocity + grad.
+            velocity *= self.momentum
+            velocity += grad
             if self.nesterov:
                 grad = grad + self.momentum * velocity
             else:
                 grad = velocity
+        # Rebind rather than mutate in place: backward closures of still-
+        # pending graphs (async max_in_flight > 1) hold views of the old
+        # weight buffer and must keep seeing forward-time values.
         parameter.data = parameter.data - self.lr * grad
 
 
@@ -147,13 +152,22 @@ class Adam(Optimizer):
         if m is None:
             m = np.zeros_like(parameter.data)
             v = np.zeros_like(parameter.data)
-        m = self.beta1 * m + (1 - self.beta1) * grad
-        v = self.beta2 * v + (1 - self.beta2) * grad * grad
-        self._m[index] = m
-        self._v[index] = v
+            self._m[index] = m
+            self._v[index] = v
+        # In-place moment updates avoid reallocating two state-sized
+        # arrays per parameter per step.
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * (grad * grad)
         m_hat = m / (1 - self.beta1 ** self._step_count)
         v_hat = v / (1 - self.beta2 ** self._step_count)
-        parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.sqrt(v_hat, out=v_hat)
+        v_hat += self.eps
+        m_hat /= v_hat
+        # Rebind (see SGD._update): pending backward closures may hold
+        # views of the current weight buffer.
+        parameter.data = parameter.data - self.lr * m_hat
 
 
 class AdamW(Adam):
@@ -195,8 +209,11 @@ class RMSProp(Optimizer):
         square_avg = self._square_avg[index]
         if square_avg is None:
             square_avg = np.zeros_like(parameter.data)
-        square_avg = self.alpha * square_avg + (1 - self.alpha) * grad * grad
-        self._square_avg[index] = square_avg
+            self._square_avg[index] = square_avg
+        square_avg *= self.alpha
+        square_avg += (1 - self.alpha) * (grad * grad)
+        # Rebind (see SGD._update): pending backward closures may hold
+        # views of the current weight buffer.
         parameter.data = parameter.data - self.lr * grad / (np.sqrt(square_avg) + self.eps)
 
 

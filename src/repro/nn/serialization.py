@@ -3,6 +3,12 @@
 State dictionaries are stored as ``.npz`` archives so that a trained
 split configuration (end-system segments plus the server segment) can be
 checkpointed and restored without pickling arbitrary objects.
+
+Dtype policy: arrays are written with the dtype they carry in memory, and
+:meth:`repro.nn.layers.base.Module.load_state_dict` casts restored values
+to the dtype of the live parameters — so a checkpoint written under a
+float64 precision run loads cleanly into a float32-policy model and vice
+versa.
 """
 
 from __future__ import annotations

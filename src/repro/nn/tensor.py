@@ -28,6 +28,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .dtype import get_default_dtype
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "ensure_tensor"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -91,10 +93,10 @@ def ensure_tensor(value: ArrayLike) -> "Tensor":
     return Tensor(value)
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    array = np.asarray(value, dtype=dtype)
+    array = np.asarray(value, dtype=dtype if dtype is not None else get_default_dtype())
     return array
 
 
@@ -104,9 +106,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything ``numpy.asarray`` accepts.  Stored as ``float64`` by
-        default to keep gradient checks precise; training code may pass
-        ``dtype=np.float32`` for speed.
+        Anything ``numpy.asarray`` accepts.  When ``dtype`` is ``None``
+        (the default) the array is coerced to the global dtype policy
+        (:func:`repro.nn.dtype.get_default_dtype`, float32 out of the
+        box); pass an explicit dtype to opt out.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
@@ -118,7 +121,7 @@ class Tensor:
         self,
         data: ArrayLike,
         requires_grad: bool = False,
-        dtype=np.float64,
+        dtype=None,
         name: Optional[str] = None,
     ) -> None:
         self.data: np.ndarray = _as_array(data, dtype=dtype)
@@ -196,14 +199,29 @@ class Tensor:
             out._parents = parents
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into :attr:`grad`.
+
+        ``owned=True`` is a backward-closure fast path: it asserts that
+        ``grad`` is a freshly allocated array no one else references, so
+        on first accumulation it can be stored directly instead of
+        copied, and subsequent accumulations can run in place.  Closures
+        that hand the *same* array to several parents (e.g. ``__add__``)
+        must keep the default ``owned=False``.
+        """
         if not self.requires_grad:
             return
-        grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if not isinstance(grad, np.ndarray) or grad.dtype != self.data.dtype:
+            converted = np.asarray(grad, dtype=self.data.dtype)
+            owned = owned or converted is not grad
+            grad = converted
+        if grad.shape != self.data.shape:
+            grad = unbroadcast(grad, self.data.shape)
+            owned = True  # unbroadcast reduced/reshaped into a new array
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if owned and grad.flags.writeable else grad.copy()
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     # ------------------------------------------------------------------ #
     # Backward pass
@@ -227,7 +245,7 @@ class Tensor:
                     f"for scalar tensors, got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(_as_array(grad), dtype=self.data.dtype)
+        grad = _as_array(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
 
@@ -281,7 +299,7 @@ class Tensor:
         out = self._make_output(-self.data, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate(-grad, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -307,8 +325,8 @@ class Tensor:
         out = self._make_output(self.data * other.data, (self, other))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * other.data)
-            other._accumulate(grad * self.data)
+            self._accumulate(grad * other.data, owned=True)
+            other._accumulate(grad * self.data, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -321,8 +339,8 @@ class Tensor:
         out = self._make_output(self.data / other.data, (self, other))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / other.data)
-            other._accumulate(-grad * self.data / (other.data ** 2))
+            self._accumulate(grad / other.data, owned=True)
+            other._accumulate(-grad * self.data / (other.data ** 2), owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -337,7 +355,7 @@ class Tensor:
         out = self._make_output(self.data ** exponent, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self.data ** (exponent - 1), owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -348,14 +366,18 @@ class Tensor:
 
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Matrix product with gradient support for 2-D operands."""
+        from ..utils.perf import counters
+
         other = ensure_tensor(other)
+        counters.add("gemm_calls")
         out = self._make_output(self.data @ other.data, (self, other))
 
         def _backward(grad: np.ndarray) -> None:
+            counters.add("gemm_calls", 2 if self.requires_grad and other.requires_grad else 1)
             if self.requires_grad:
-                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+                self._accumulate(grad @ np.swapaxes(other.data, -1, -2), owned=True)
             if other.requires_grad:
-                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -383,7 +405,7 @@ class Tensor:
 
         def _backward(grad: np.ndarray) -> None:
             grad_expanded = _expand_reduction_grad(grad, self.data.shape, axis, keepdims)
-            self._accumulate(grad_expanded / count)
+            self._accumulate(grad_expanded / count, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -406,7 +428,7 @@ class Tensor:
             mask = (self.data == max_expanded).astype(self.data.dtype)
             # Split ties evenly so the gradient check stays exact.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(grad_expanded * mask / counts)
+            self._accumulate(grad_expanded * mask / counts, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -420,7 +442,7 @@ class Tensor:
         out = self._make_output(out_data, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data)
+            self._accumulate(grad * out_data, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -430,7 +452,7 @@ class Tensor:
         out = self._make_output(np.log(self.data), (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -441,7 +463,7 @@ class Tensor:
         out = self._make_output(out_data, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / out_data)
+            self._accumulate(grad * 0.5 / out_data, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -452,7 +474,7 @@ class Tensor:
         out = self._make_output(self.data * mask, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -464,7 +486,7 @@ class Tensor:
         out = self._make_output(out_data, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.where(mask, 1.0, negative_slope))
+            self._accumulate(grad * np.where(mask, 1.0, negative_slope), owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -475,7 +497,7 @@ class Tensor:
         out = self._make_output(out_data, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data * (1.0 - out_data))
+            self._accumulate(grad * out_data * (1.0 - out_data), owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -486,7 +508,7 @@ class Tensor:
         out = self._make_output(out_data, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data ** 2))
+            self._accumulate(grad * (1.0 - out_data ** 2), owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -502,7 +524,7 @@ class Tensor:
             mask = mask * (self.data <= maximum)
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -513,7 +535,7 @@ class Tensor:
         sign = np.sign(self.data)
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * sign)
+            self._accumulate(grad * sign, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -565,7 +587,7 @@ class Tensor:
         def _backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
-            self._accumulate(full)
+            self._accumulate(full, owned=True)
 
         if out.requires_grad:
             out._backward = _backward
@@ -605,17 +627,20 @@ class Tensor:
     # Construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def zeros(*shape: int, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
+    def zeros(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = dtype if dtype is not None else get_default_dtype()
         return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad, dtype=dtype)
 
     @staticmethod
-    def ones(*shape: int, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
+    def ones(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = dtype if dtype is not None else get_default_dtype()
         return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad, dtype=dtype)
 
     @staticmethod
     def randn(*shape: int, rng: Optional[np.random.Generator] = None,
-              requires_grad: bool = False, dtype=np.float64) -> "Tensor":
+              requires_grad: bool = False, dtype=None) -> "Tensor":
         rng = rng or np.random.default_rng()
+        dtype = dtype if dtype is not None else get_default_dtype()
         return Tensor(rng.standard_normal(shape).astype(dtype), requires_grad=requires_grad, dtype=dtype)
 
     @staticmethod
@@ -680,16 +705,21 @@ def _expand_reduction_grad(
     axis: Optional[Union[int, Tuple[int, ...]]],
     keepdims: bool,
 ) -> np.ndarray:
-    """Broadcast the gradient of a reduction back to the operand's shape."""
+    """Broadcast the gradient of a reduction back to the operand's shape.
+
+    Returns a read-only broadcast *view* — consumers either combine it
+    into a fresh array (mean/max backwards) or let ``_accumulate`` copy
+    it (sum backward), so no eager copy is needed here.
+    """
     grad = np.asarray(grad)
     if axis is None:
-        return np.broadcast_to(grad, original_shape).copy()
+        return np.broadcast_to(grad, original_shape)
     axes = (axis,) if isinstance(axis, int) else tuple(axis)
     axes = tuple(a % len(original_shape) for a in axes)
     if not keepdims:
         for ax in sorted(axes):
             grad = np.expand_dims(grad, ax)
-    return np.broadcast_to(grad, original_shape).copy()
+    return np.broadcast_to(grad, original_shape)
 
 
 def _expand_reduction_values(

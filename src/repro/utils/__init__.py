@@ -1,5 +1,6 @@
-"""Shared utilities: seeding, logging, timing and experiment configuration."""
+"""Shared utilities: seeding, logging, timing, perf counters and tables."""
 
+from . import perf
 from .logging import get_logger, set_verbosity
 from .rng import SeedSequence, seeded_rng, spawn_rngs
 from .timer import Timer
@@ -13,4 +14,5 @@ __all__ = [
     "SeedSequence",
     "Timer",
     "format_table",
+    "perf",
 ]

@@ -1,0 +1,158 @@
+"""Op-level performance instrumentation and reusable workspaces.
+
+Two facilities back the substrate's allocation-aware hot paths:
+
+* :class:`PerfCounters` — cheap global counters for GEMM calls, conv/pool
+  invocations, workspace hits/misses and bytes allocated.  The functional
+  ops in :mod:`repro.nn.functional` and :meth:`repro.nn.tensor.Tensor.matmul`
+  increment them, so a training run can report *why* it was fast or slow
+  (``counters.snapshot()`` / the :func:`track` context manager).
+* :class:`WorkspaceCache` — a shape-and-dtype-keyed pool of scratch
+  arrays.  The im2col/col2im paths burn most of their time allocating and
+  filling large column buffers; buffers obtained through
+  :func:`workspace` are reused across calls instead of reallocated.
+
+Workspace safety contract
+-------------------------
+A workspace buffer is only valid until the *next* request for the same
+``(tag, shape, dtype)`` key.  Callers must therefore only use workspaces
+for transient scratch whose contents are fully consumed before the op
+returns (or, for inference, before the next op of the same shape runs).
+Nothing reachable from an autograd closure may live in a workspace unless
+the closure never reads its contents again.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PerfCounters",
+    "counters",
+    "track",
+    "WorkspaceCache",
+    "workspaces",
+    "workspace",
+]
+
+
+class PerfCounters:
+    """A dictionary of monotonically increasing named counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount`` (creating it at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + int(amount)
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of every counter."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"PerfCounters({inner})"
+
+
+#: Process-global counters used by the nn hot paths.
+counters = PerfCounters()
+
+
+@contextlib.contextmanager
+def track() -> Iterator[Dict[str, int]]:
+    """Yield a dict that, on exit, holds the counter deltas of the block.
+
+    >>> with track() as delta:
+    ...     model(x)
+    >>> delta["gemm_calls"]
+    6
+    """
+    before = counters.snapshot()
+    delta: Dict[str, int] = {}
+    try:
+        yield delta
+    finally:
+        after = counters.snapshot()
+        for name, value in after.items():
+            diff = value - before.get(name, 0)
+            if diff:
+                delta[name] = diff
+
+
+class WorkspaceCache:
+    """Shape/dtype-keyed pool of reusable scratch arrays.
+
+    The pool is bounded: buffers are evicted least-recently-used once the
+    total cached size exceeds ``max_bytes``, so a long-lived process that
+    sweeps many architectures/batch sizes does not accumulate scratch
+    forever.  The cap is generous relative to one deployment's working
+    set (a paper-CNN training step uses a few tens of MB), so the hot
+    loop never thrashes.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
+        self._buffers: "Dict[Tuple, np.ndarray]" = {}
+        self.max_bytes = int(max_bytes)
+
+    def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Return a scratch array of ``shape``/``dtype`` for ``tag``.
+
+        Contents are uninitialized (may hold data from a previous use).
+        """
+        key = (tag, tuple(shape), np.dtype(dtype))
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+            counters.add("workspace_misses")
+            counters.add("workspace_bytes_allocated", buffer.nbytes)
+            self._evict(keep=key)
+        else:
+            # Mark as most recently used (dicts preserve insertion order).
+            self._buffers.pop(key)
+            self._buffers[key] = buffer
+            counters.add("workspace_hits")
+        return buffer
+
+    def _evict(self, keep: Tuple) -> None:
+        """Drop least-recently-used buffers until under the byte cap."""
+        while self.cached_bytes > self.max_bytes and len(self._buffers) > 1:
+            oldest = next(iter(self._buffers))
+            if oldest == keep:
+                break
+            evicted = self._buffers.pop(oldest)
+            counters.add("workspace_evictions")
+            counters.add("workspace_bytes_evicted", evicted.nbytes)
+
+    def clear(self) -> None:
+        """Drop every cached buffer (frees the memory)."""
+        self._buffers.clear()
+
+    @property
+    def cached_bytes(self) -> int:
+        """Total bytes currently held by the cache."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+#: Process-global workspace pool used by the im2col/col2im hot paths.
+workspaces = WorkspaceCache()
+
+
+def workspace(tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """Shorthand for ``workspaces.get(tag, shape, dtype)``."""
+    return workspaces.get(tag, shape, dtype)

@@ -10,11 +10,26 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.nn.dtype import default_dtype
 from repro.core.models import CNNArchitecture, tiny_cnn_architecture
 from repro.core.split import SplitSpec
 from repro.data.datasets import ArrayDataset, SyntheticCIFAR10, train_test_split
 from repro.data.partition import IIDPartitioner
 from repro.data.transforms import Normalize
+
+
+@pytest.fixture(autouse=True)
+def _float64_precision_mode():
+    """Run the unit-test suite under a float64 dtype policy.
+
+    The library default is float32 (fast mode; see
+    :mod:`repro.nn.dtype`), but the central-difference gradient checks
+    and exact-equivalence assertions in this suite need float64
+    round-off.  Tests that exercise the float32 policy itself opt back
+    in with ``default_dtype(np.float32)``.
+    """
+    with default_dtype(np.float64):
+        yield
 
 
 @pytest.fixture

@@ -1,0 +1,185 @@
+"""Tests for batched server-side queue draining (CentralServer.process_batch).
+
+The suite runs under the float64 precision policy (autouse fixture), so
+the batched-vs-reference equivalence assertions below are tight: the
+concatenated pass must reproduce the weighted-accumulation reference with
+nothing beyond float64 round-off from BLAS blocking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.messages import ActivationMessage
+from repro.core.server import CentralServer
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.nn import Tensor
+from repro.nn.losses import get_loss
+
+
+def make_messages(spec, count, batch_sizes=None, seed=0):
+    """Random activation messages shaped like the tiny split's boundary."""
+    rng = np.random.default_rng(seed)
+    shape = spec.architecture.block_output_shape(spec.client_blocks)
+    batch_sizes = batch_sizes or [4] * count
+    messages = []
+    for index, batch in enumerate(batch_sizes[:count]):
+        messages.append(
+            ActivationMessage(
+                end_system_id=index % 3,
+                batch_id=index,
+                activations=rng.random((batch, *shape)),
+                labels=rng.integers(0, 10, batch),
+                arrival_time=float(index),
+            )
+        )
+    return messages
+
+
+def reference_batch_step(server, messages):
+    """Accumulate per-message gradients of the sample-weighted mean loss,
+    then take one optimizer step — the semantics process_batch must match."""
+    total = sum(message.batch_size for message in messages)
+    server.model.train(True)
+    server.optimizer.zero_grad()
+    sum_loss = get_loss("cross_entropy", reduction="sum")
+    boundary = []
+    losses = []
+    for message in messages:
+        smashed = Tensor(message.activations, requires_grad=True)
+        logits = server.model(smashed)
+        loss = sum_loss(logits, message.labels)
+        loss.backward(np.asarray(1.0 / total))
+        boundary.append(smashed.grad.copy())
+        losses.append(float(loss.item()) / message.batch_size)
+    server.optimizer.step()
+    return boundary, losses
+
+
+class TestProcessBatchEquivalence:
+    def test_matches_weighted_reference(self, tiny_split_spec):
+        batched = CentralServer(tiny_split_spec, seed=7)
+        reference = CentralServer(tiny_split_spec, seed=7)
+        for a, b in zip(batched.model.parameters(), reference.model.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+        messages = make_messages(tiny_split_spec, count=3, batch_sizes=[4, 6, 2])
+        replies = batched.process_batch(messages)
+        ref_boundary, ref_losses = reference_batch_step(reference, messages)
+
+        # Same boundary gradients per message...
+        for reply, expected in zip(replies, ref_boundary):
+            np.testing.assert_allclose(reply.gradient, expected, rtol=1e-9, atol=1e-12)
+        # ...same per-message mean losses...
+        for reply, expected in zip(replies, ref_losses):
+            assert reply.loss == pytest.approx(expected, rel=1e-9)
+        # ...and the same updated server weights.
+        state_a = batched.state_dict()
+        state_b = reference.state_dict()
+        assert set(state_a) == set(state_b)
+        for key in state_a:
+            np.testing.assert_allclose(state_a[key], state_b[key], rtol=1e-9, atol=1e-12)
+
+    def test_differs_from_sequential_multi_step(self, tiny_split_spec):
+        """Sequential process() takes one optimizer step per message, so a
+        multi-message drain is intentionally NOT equivalent to it."""
+        batched = CentralServer(tiny_split_spec, seed=3)
+        sequential = CentralServer(tiny_split_spec, seed=3)
+        messages = make_messages(tiny_split_spec, count=3)
+        batched.process_batch(messages)
+        for message in messages:
+            sequential.process(message)
+        weights_a = batched.model.parameters()[0].data
+        weights_b = sequential.model.parameters()[0].data
+        assert not np.allclose(weights_a, weights_b)
+
+    def test_single_message_batch_equals_process(self, tiny_split_spec):
+        batched = CentralServer(tiny_split_spec, seed=5)
+        sequential = CentralServer(tiny_split_spec, seed=5)
+        message = make_messages(tiny_split_spec, count=1)[0]
+        (batched_reply,) = batched.process_batch([message])
+        sequential_reply = sequential.process(message)
+        np.testing.assert_array_equal(batched_reply.gradient, sequential_reply.gradient)
+        assert batched_reply.loss == pytest.approx(sequential_reply.loss)
+        for key, value in batched.state_dict().items():
+            np.testing.assert_array_equal(value, sequential.state_dict()[key])
+
+    def test_empty_batch_is_a_no_op(self, tiny_split_spec):
+        server = CentralServer(tiny_split_spec, seed=1)
+        before = server.state_dict()
+        assert server.process_batch([]) == []
+        assert server.batches_processed == 0
+        for key, value in server.state_dict().items():
+            np.testing.assert_array_equal(value, before[key])
+
+
+class TestProcessBatchAccounting:
+    def test_counters_and_reply_alignment(self, tiny_split_spec):
+        server = CentralServer(tiny_split_spec, seed=2)
+        messages = make_messages(tiny_split_spec, count=4, batch_sizes=[2, 3, 4, 5])
+        replies = server.process_batch(messages)
+        assert server.batches_processed == 4
+        assert server.samples_processed == 14
+        assert [reply.batch_id for reply in replies] == [m.batch_id for m in messages]
+        assert [reply.end_system_id for reply in replies] == [m.end_system_id for m in messages]
+        for reply, message in zip(replies, messages):
+            assert reply.gradient.shape == message.activations.shape
+            assert np.isfinite(reply.loss)
+            assert 0.0 <= reply.accuracy <= 1.0
+
+    def test_process_pending_batch_respects_policy_order(self, tiny_split_spec):
+        from repro.core.scheduling import StalenessPriorityPolicy
+
+        server = CentralServer(tiny_split_spec, seed=2,
+                               queue_policy=StalenessPriorityPolicy())
+        messages = make_messages(tiny_split_spec, count=3)
+        # Push newest-created first; the staleness policy must drain
+        # oldest-created first regardless.
+        for message, created in zip(messages, [5.0, 1.0, 3.0]):
+            message.created_at = created
+            server.receive(message)
+        results = server.process_pending_batch(now=10.0)
+        drained_created = [activation.created_at for activation, _ in results]
+        assert drained_created == sorted(drained_created)
+        assert not server.has_pending()
+
+
+class TestTrainerIntegration:
+    @pytest.mark.parametrize("mode", ["synchronous", "asynchronous"])
+    @pytest.mark.parametrize("server_batching", [True, False])
+    def test_full_epoch_processes_every_sample(self, tiny_split_spec, tiny_parts,
+                                               normalize, mode, server_batching):
+        config = TrainingConfig.fast_debug(
+            mode=mode, server_batching=server_batching,
+            max_in_flight=2 if mode == "asynchronous" else 1,
+        )
+        trainer = SpatioTemporalTrainer(tiny_split_spec, tiny_parts, config,
+                                        train_transform=normalize)
+        history = trainer.train()
+        total = sum(len(part) for part in tiny_parts)
+        assert trainer.server.samples_processed == total
+        assert all(es.pending_batches == 0 for es in trainer.end_systems)
+        assert np.isfinite(history.records[0].train_loss)
+
+    def test_batched_sync_round_takes_one_server_step(self, tiny_split_spec,
+                                                      tiny_parts, normalize):
+        config = TrainingConfig.fast_debug(server_batching=True)
+        trainer = SpatioTemporalTrainer(tiny_split_spec, tiny_parts, config,
+                                        train_transform=normalize)
+        trainer.train()
+        # Every message is still accounted for individually...
+        expected_messages = sum(
+            -(-len(part) // config.batch_size) for part in tiny_parts
+        )
+        assert trainer.server.batches_processed == expected_messages
+        # ...but the optimizer stepped once per round, not once per message.
+        rounds = max(-(-len(part) // config.batch_size) for part in tiny_parts)
+        assert trainer.server.optimizer.step_count == rounds
+
+    def test_flag_off_reproduces_per_message_steps(self, tiny_split_spec,
+                                                   tiny_parts, normalize):
+        config = TrainingConfig.fast_debug(server_batching=False)
+        trainer = SpatioTemporalTrainer(tiny_split_spec, tiny_parts, config,
+                                        train_transform=normalize)
+        trainer.train()
+        assert trainer.server.optimizer.step_count == trainer.server.batches_processed
