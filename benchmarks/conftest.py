@@ -92,7 +92,7 @@ def pytest_sessionfinish(session, exitstatus):
     for bench in benchmarks:
         group = getattr(bench, "group", None)
         if group not in {"substrate", "hotpaths-conv", "hotpaths-pool",
-                         "hotpaths-col2im", "hotpaths-server"}:
+                         "hotpaths-col2im", "hotpaths-server", "engine"}:
             continue
         stats = getattr(bench, "stats", None)
         if stats is None:
@@ -106,6 +106,11 @@ def pytest_sessionfinish(session, exitstatus):
             "stddev_ms": getattr(stats, "stddev", float("nan")) * 1e3,
             "rounds": getattr(stats, "rounds", None),
         }
+        extra_info = dict(getattr(bench, "extra_info", None) or {})
+        if extra_info:
+            # The engine benchmarks report event throughput here so the
+            # scheduler's overhead is tracked across PRs alongside timings.
+            row["extra_info"] = extra_info
         baseline = SEED_BASELINE_MS.get(name)
         if baseline is not None:
             row["seed_baseline_ms"] = baseline

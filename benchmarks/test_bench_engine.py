@@ -1,0 +1,89 @@
+"""Event-engine throughput benchmark: a 100-client asynchronous epoch.
+
+The discrete-event engine in :mod:`repro.core.engine` schedules one
+arrival, one dispatch share and one landing per message, so its
+per-event overhead bounds how many end-systems a simulated deployment
+can sustain.  This benchmark drives one asynchronous epoch over a
+100-client heterogeneous star on a tiny model (so the NumPy math stays
+cheap and the scheduler dominates) and reports event throughput via
+``extra_info``, which ``conftest.pytest_sessionfinish`` folds into
+``BENCH_substrate.json`` for cross-PR tracking.
+
+Run with::
+
+    pytest benchmarks/test_bench_engine.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.models import tiny_cnn_architecture
+from repro.core.split import SplitSpec
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.data.datasets import SyntheticCIFAR10
+from repro.data.partition import IIDPartitioner
+from repro.simnet.topology import star_topology
+
+NUM_CLIENTS = 100
+
+
+def build_trainer(max_queue_size=None, queue_backpressure="drop"):
+    architecture = tiny_cnn_architecture(image_size=8, num_blocks=2, base_filters=4,
+                                         dense_units=16)
+    spec = SplitSpec(architecture, client_blocks=1)
+    dataset = SyntheticCIFAR10(num_samples=1000, image_size=8, seed=0)
+    parts = IIDPartitioner(NUM_CLIENTS, seed=0).partition(dataset)
+    topology = star_topology(
+        NUM_CLIENTS, latencies_s=list(np.linspace(0.002, 0.12, NUM_CLIENTS)), seed=0,
+    )
+    config = TrainingConfig(
+        epochs=1, batch_size=8, mode="asynchronous", max_in_flight=1,
+        server_step_time_s=0.002, max_queue_size=max_queue_size,
+        queue_backpressure=queue_backpressure, seed=0,
+    )
+    return SpatioTemporalTrainer(spec, parts, config, topology=topology)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_async_epoch_100_clients_event_throughput(benchmark):
+    """One asynchronous epoch over 100 clients; reports events/second."""
+    trainers = []
+
+    def setup():
+        trainers.append(build_trainer())
+        return (trainers[-1],), {}
+
+    def one_epoch(trainer):
+        history = trainer.train()
+        return history.final_train_accuracy
+
+    accuracy = benchmark.pedantic(one_epoch, setup=setup, iterations=1, rounds=1)
+    assert accuracy >= 0.0
+    trainer = trainers[-1]
+    events = trainer.engine.stats.events_processed
+    assert events > 0
+    mean_s = benchmark.stats.stats.mean
+    benchmark.extra_info["engine_events"] = int(events)
+    benchmark.extra_info["events_per_second"] = events / mean_s if mean_s else None
+    benchmark.extra_info["server_steps"] = int(trainer.engine.stats.server_steps)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_async_epoch_100_clients_bounded_queue(benchmark):
+    """Same epoch with a tight bounded queue: drop-path overhead stays flat."""
+    trainers = []
+
+    def setup():
+        trainers.append(build_trainer(max_queue_size=8, queue_backpressure="drop"))
+        return (trainers[-1],), {}
+
+    def one_epoch(trainer):
+        history = trainer.train()
+        return history.final_train_accuracy
+
+    benchmark.pedantic(one_epoch, setup=setup, iterations=1, rounds=1)
+    trainer = trainers[-1]
+    assert all(es.pending_batches == 0 for es in trainer.end_systems)
+    benchmark.extra_info["engine_events"] = int(trainer.engine.stats.events_processed)
+    benchmark.extra_info["queue_drops"] = int(trainer.engine.stats.queue_drops)

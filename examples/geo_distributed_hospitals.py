@@ -49,6 +49,9 @@ def run_policy(policy: str, shards, test, seed: int = 0):
         epochs=4, batch_size=32, seed=seed,
         mode="asynchronous", queue_policy=policy,
         max_in_flight=2, server_step_time_s=0.02,
+        # Per-message server steps: batched draining would empty the queue
+        # every step and erase the contention the policies arbitrate.
+        server_batching=False,
     )
     trainer = SpatioTemporalTrainer(
         split, shards, config, topology=topology,

@@ -19,6 +19,7 @@ from .compression import (
 )
 from .config import TrainingConfig
 from .end_system import EndSystem
+from .engine import EngineStats, TrainingEngine
 from .history import EpochRecord, TrainingHistory
 from .messages import ActivationMessage, GradientMessage
 from .models import (
@@ -57,6 +58,8 @@ __all__ = [
     "EndSystem",
     "CentralServer",
     "SpatioTemporalTrainer",
+    "TrainingEngine",
+    "EngineStats",
     "SplitSpec",
     "TrainingHistory",
     "EpochRecord",

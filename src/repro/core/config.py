@@ -28,6 +28,23 @@ class TrainingConfig:
     queue_policy:
         Name of the server queue's scheduling policy (see
         :func:`repro.core.scheduling.get_policy`).
+    max_queue_size:
+        Capacity of the server's parameter-scheduling queue.  ``None``
+        (the default) models an unbounded queue; a positive integer
+        bounds it, which is the regime where the paper's late/sparse
+        arrivals actually cost something.  What happens at the bound is
+        decided by ``queue_backpressure``.
+    queue_backpressure:
+        Policy applied when the bounded queue has no room:
+
+        * ``"drop"`` — the arriving activation message is discarded and
+          the originating end-system is notified so it can forget the
+          pending activation (no client-side leak) and move on to its
+          next batch.
+        * ``"block"`` — admission control: an end-system defers its next
+          send until the queue has room (counting messages already in
+          flight towards capacity), so nothing is ever dropped at the
+          queue.
     mode:
         ``"synchronous"`` (the default; what Table I uses) or
         ``"asynchronous"`` (event-driven, used by the staleness ablation).
@@ -59,6 +76,8 @@ class TrainingConfig:
     server_lr: float = 1e-3
     loss: str = "cross_entropy"
     queue_policy: str = "fifo"
+    max_queue_size: Optional[int] = None
+    queue_backpressure: str = "drop"
     mode: str = "synchronous"
     server_batching: bool = True
     max_in_flight: int = 1
@@ -83,6 +102,12 @@ class TrainingConfig:
             raise ValueError("max_in_flight must be positive")
         if self.server_step_time_s < 0:
             raise ValueError("server_step_time_s must be non-negative")
+        if self.max_queue_size is not None and self.max_queue_size <= 0:
+            raise ValueError("max_queue_size must be positive (or None for unbounded)")
+        if self.queue_backpressure not in {"drop", "block"}:
+            raise ValueError(
+                f"queue_backpressure must be 'drop' or 'block', got {self.queue_backpressure!r}"
+            )
 
     @property
     def client_optimizer_kwargs(self) -> Dict[str, float]:

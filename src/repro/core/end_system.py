@@ -72,6 +72,9 @@ class EndSystem:
         self._next_batch_id = 0
         self.samples_seen = 0
         self.updates_applied = 0
+        # How many times the network/queue told this end-system one of its
+        # batches was lost (transport drop, downlink drop or queue overflow).
+        self.drops_notified = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -171,6 +174,19 @@ class EndSystem:
         dropped = len(self._pending)
         self._pending.clear()
         return dropped
+
+    def notify_drop(self, batch_id: int) -> int:
+        """Record that the network or server queue lost batch ``batch_id``.
+
+        Every drop anywhere on the path (uplink loss, queue overflow,
+        downlink loss) must funnel through here so the client both
+        forgets the pending activation — its gradient will never arrive —
+        and counts the loss.  The drop-accounting tests check that the
+        sum of these notifications matches the transport log plus the
+        queue's drop counter.
+        """
+        self.drops_notified += 1
+        return self.discard_pending(batch_id)
 
     # ------------------------------------------------------------------ #
     # Inference-side API

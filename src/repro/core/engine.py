@@ -1,0 +1,496 @@
+"""Event-driven training orchestration engine.
+
+Both training modes of :class:`~repro.core.trainer.SpatioTemporalTrainer`
+run on one discrete-event engine built on
+:class:`~repro.simnet.events.Simulator`.  The engine schedules three kinds
+of occurrences:
+
+* **uplink arrival** — a smashed-activation message lands at the server
+  and is admitted into (or shed by) the parameter-scheduling queue;
+* **server step** — the server trains on queued messages.  In
+  *asynchronous* mode a dispatch event fires whenever the server is free
+  and work has arrived; in *synchronous* mode the dispatch is a **barrier**
+  event scheduled at the round's last arrival, so the whole round is a
+  single event chain rather than a separate hand-written loop;
+* **gradient landing** — a gradient message reaches its end-system, which
+  finishes back-propagation and (asynchronously) ships its next batch.
+
+Lossy-network semantics
+-----------------------
+Every way a batch can be lost funnels through
+:meth:`EndSystem.notify_drop`, so client-side pending activations never
+leak:
+
+* the uplink drops the message in transit (the client immediately moves
+  on to its next batch);
+* a bounded queue (``TrainingConfig.max_queue_size``) overflows under the
+  ``"drop"`` backpressure policy (the client is NACKed at arrival time);
+* the downlink drops the gradient (the client forgets the batch when the
+  server's reply fails to appear).
+
+Under the ``"block"`` backpressure policy nothing is ever shed at the
+queue: an end-system defers its next send until the queue has room,
+counting messages already in flight towards the capacity, so admission
+never overflows.  Blocked senders wait in FIFO order and are released as
+the server pops messages, which prevents the low-numbered-client
+starvation a naive retry loop would cause.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.metrics import MetricTracker
+from ..simnet.events import Simulator
+from ..simnet.transport import Transport
+from ..utils.logging import get_logger
+from .config import TrainingConfig
+from .end_system import EndSystem
+from .messages import ActivationMessage, GradientMessage
+from .server import CentralServer
+
+__all__ = [
+    "TrainingEngine",
+    "EngineStats",
+    "PRIORITY_ARRIVAL",
+    "PRIORITY_LANDING",
+    "PRIORITY_DISPATCH",
+]
+
+logger = get_logger("core.engine")
+
+#: Event priorities: at equal simulated times, arrivals are admitted and
+#: gradients land *before* the server dispatches, so a step always sees
+#: every message that has arrived by its start time.
+PRIORITY_ARRIVAL = 0
+PRIORITY_LANDING = 1
+PRIORITY_DISPATCH = 5
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine accumulates across runs (epochs)."""
+
+    queue_drops: int = 0        #: messages shed by a full queue ("drop" policy)
+    blocked_sends: int = 0      #: sends deferred by backpressure ("block" policy)
+    cancelled_at_stop: int = 0  #: batches abandoned when a time budget cut the run
+    events_processed: int = 0   #: simulator events executed
+    server_steps: int = 0       #: training steps the server dispatched
+    rounds: int = 0             #: synchronous rounds driven to completion
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "queue_drops": self.queue_drops,
+            "blocked_sends": self.blocked_sends,
+            "cancelled_at_stop": self.cancelled_at_stop,
+            "events_processed": self.events_processed,
+            "server_steps": self.server_steps,
+            "rounds": self.rounds,
+        }
+
+
+class TrainingEngine:
+    """Discrete-event orchestrator shared by both training modes.
+
+    Parameters
+    ----------
+    end_systems:
+        The deployment's clients, in system-id order.
+    server:
+        The centralized server (owns the bounded scheduling queue).
+    transport:
+        Network transport over the (possibly asymmetric) topology.
+    system_to_node:
+        Map from end-system ids to topology node names.
+    config:
+        Training configuration; the engine consults ``mode``-independent
+        fields (``server_batching``, ``server_step_time_s``,
+        ``max_in_flight``, ``max_queue_size``, ``queue_backpressure``).
+    """
+
+    def __init__(
+        self,
+        end_systems: List[EndSystem],
+        server: CentralServer,
+        transport: Transport,
+        system_to_node: Dict[int, str],
+        config: TrainingConfig,
+    ) -> None:
+        self.end_systems = list(end_systems)
+        self.server = server
+        self.transport = transport
+        self.system_to_node = dict(system_to_node)
+        self.config = config
+        self.clock = 0.0
+        self.stats = EngineStats()
+        self._by_id = {end_system.system_id: end_system for end_system in self.end_systems}
+        # Uplink messages admitted (or simply in transit) but not yet
+        # resolved at the server; counted towards queue capacity so the
+        # "block" policy can never overflow the queue on arrival.
+        self._in_transit = 0
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _blocking(self) -> bool:
+        return (
+            self.config.max_queue_size is not None
+            and self.config.queue_backpressure == "block"
+        )
+
+    def _queue_has_room(self) -> bool:
+        capacity = self.config.max_queue_size
+        if capacity is None:
+            return True
+        return len(self.server.queue) + self._in_transit < capacity
+
+    def _send_uplink(
+        self,
+        end_system: EndSystem,
+        images: np.ndarray,
+        labels: np.ndarray,
+        at_time: float,
+        round_index: int = 0,
+    ) -> Optional[ActivationMessage]:
+        """Forward a batch and ship it; ``None`` when the uplink dropped it."""
+        message = end_system.forward_batch(
+            images, labels, round_index=round_index, created_at=at_time
+        )
+        network_message = self.transport.send_to_server(
+            self.system_to_node[end_system.system_id],
+            {"activations": message.activations, "labels": message.labels},
+            now=at_time,
+        )
+        if network_message is None:
+            end_system.notify_drop(message.batch_id)
+            return None
+        message.arrival_time = network_message.arrival_time
+        message.size_bytes = network_message.size_bytes
+        return message
+
+    def _send_downlink(self, end_system: EndSystem, gradient_message: GradientMessage,
+                       at_time: float):
+        return self.transport.send_to_end_system(
+            self.system_to_node[end_system.system_id],
+            gradient_message.gradient,
+            now=at_time,
+        )
+
+    def _admit(self, message: ActivationMessage, end_system: EndSystem) -> bool:
+        """Resolve an arrival: enqueue it, or shed it and NACK the client."""
+        self._in_transit -= 1
+        if self.server.receive(message):
+            return True
+        end_system.notify_drop(message.batch_id)
+        self.stats.queue_drops += 1
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Synchronous mode: rounds as barrier events
+    # ------------------------------------------------------------------ #
+    def run_synchronous_epoch(
+        self, iterators: Dict[int, Iterator[Tuple[np.ndarray, np.ndarray]]]
+    ) -> MetricTracker:
+        """Drive one synchronous epoch as a chain of round events.
+
+        Each round is three event stages: a *round-start* event where every
+        active end-system ships one batch, per-message *arrival* events
+        that admit (or shed) messages at the queue, and one *barrier* event
+        at the round's last arrival where the server drains the queue —
+        as one concatenated step when ``server_batching`` is on, or one
+        step per message in policy order otherwise — and the gradients
+        flow back.  The next round starts once every gradient has landed.
+        """
+        tracker = MetricTracker()
+        sim = Simulator()
+        active = set(iterators)
+        deferred: Deque[EndSystem] = deque()  # "block" policy: waiting for queue room
+        accepted_this_round: List[ActivationMessage] = []
+        self._in_transit = 0
+
+        def on_arrival(sim: Simulator, message: ActivationMessage,
+                       end_system: EndSystem) -> None:
+            if self._admit(message, end_system):
+                accepted_this_round.append(message)
+
+        def start_round(sim: Simulator, round_index: int) -> None:
+            if not active:
+                return
+            senders: List[EndSystem] = list(deferred)
+            deferred.clear()
+            already_queued = {end_system.system_id for end_system in senders}
+            senders.extend(
+                end_system for end_system in self.end_systems
+                if end_system.system_id in active
+                and end_system.system_id not in already_queued
+            )
+            in_flight = 0
+            last_arrival = self.clock
+            for end_system in senders:
+                if end_system.system_id not in active:
+                    continue
+                if self._blocking() and not self._queue_has_room():
+                    deferred.append(end_system)
+                    self.stats.blocked_sends += 1
+                    continue
+                try:
+                    images, labels = next(iterators[end_system.system_id])
+                except StopIteration:
+                    active.discard(end_system.system_id)
+                    continue
+                message = self._send_uplink(
+                    end_system, images, labels, self.clock, round_index=round_index
+                )
+                if message is None:
+                    # The link dropped the batch; the client forgets it and
+                    # ships its next batch when the following round starts.
+                    continue
+                self._in_transit += 1
+                in_flight += 1
+                last_arrival = max(last_arrival, message.arrival_time)
+                sim.schedule(
+                    message.arrival_time,
+                    lambda s, m=message, e=end_system: on_arrival(s, m, e),
+                    priority=PRIORITY_ARRIVAL,
+                    label="uplink-arrival",
+                )
+            self.stats.rounds += 1
+            if in_flight:
+                sim.schedule(
+                    max(last_arrival, sim.now),
+                    lambda s, r=round_index: barrier(s, r),
+                    priority=PRIORITY_DISPATCH,
+                    label="round-barrier",
+                )
+            elif active:
+                # Every send this round was dropped in transit; retry
+                # immediately — the simulated clock does not advance.
+                sim.schedule(
+                    sim.now,
+                    lambda s, r=round_index: start_round(s, r + 1),
+                    label="round-start",
+                )
+
+        def barrier(sim: Simulator, round_index: int) -> None:
+            # The queue is drained at every barrier and capacity is >= 1,
+            # so a round that put messages in flight always lands at least
+            # one (the round's first arrival cannot be shed).
+            arrived = list(accepted_this_round)
+            accepted_this_round.clear()
+            # Queue-dropped messages never reached the server segment, so
+            # they do not hold the barrier back.
+            latest_arrival = max(
+                (message.arrival_time for message in arrived), default=self.clock
+            )
+            gradient_arrivals = [latest_arrival]
+            if self.config.server_batching:
+                # The concatenated step cannot start before the last
+                # accepted message of the round has arrived, so every
+                # gradient is sent back at latest_arrival.
+                results = self.server.process_pending_batch(now=latest_arrival)
+                send_times = [latest_arrival] * len(results)
+            else:
+                results = []
+                send_times = []
+                while self.server.has_pending():
+                    activation_message, gradient_message = self.server.process_next(
+                        now=latest_arrival
+                    )
+                    results.append((activation_message, gradient_message))
+                    send_times.append(activation_message.arrival_time)
+            self.stats.server_steps += 1
+            for (activation_message, gradient_message), send_time in zip(results, send_times):
+                tracker.update(
+                    {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
+                    count=activation_message.batch_size,
+                )
+                end_system = self._by_id[activation_message.end_system_id]
+                downlink = self._send_downlink(end_system, gradient_message, send_time)
+                if downlink is None:
+                    end_system.notify_drop(gradient_message.batch_id)
+                    continue
+                gradient_arrivals.append(downlink.arrival_time)
+                end_system.apply_gradient(gradient_message)
+            # Synchronous barrier: the next round starts once every
+            # gradient has landed (and not before this barrier fired).
+            self.clock = max(self.clock, max(gradient_arrivals), sim.now)
+            sim.schedule(
+                self.clock,
+                lambda s, r=round_index: start_round(s, r + 1),
+                label="round-start",
+            )
+
+        sim.schedule(self.clock, lambda s: start_round(s, 0), label="round-start")
+        sim.run()
+        self.stats.events_processed += sim.processed_events
+        return tracker
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous mode: arrival / dispatch / landing events
+    # ------------------------------------------------------------------ #
+    def run_asynchronous(
+        self,
+        iterators: Dict[int, Iterator[Tuple[np.ndarray, np.ndarray]]],
+        stop_time: Optional[float] = None,
+    ) -> MetricTracker:
+        """Event-driven asynchronous training.
+
+        Clients keep at most ``config.max_in_flight`` batches outstanding;
+        the server dispatches a step whenever it is free and at least one
+        message has arrived, draining every arrived message into one
+        concatenated step when ``server_batching`` is on or taking one
+        step per message otherwise.  A step that started at ``t`` ends at
+        ``t + server_step_time_s``; the server may dispatch again once the
+        step has ended *and* the step's gradients have landed.  When
+        ``stop_time`` is given, no step starts at or after that simulated
+        time, and every batch still in flight is abandoned (clients
+        discard the pending activations — nothing leaks).
+        """
+        tracker = MetricTracker()
+        sim = Simulator()
+        exhausted: set = set()
+        waiting: Deque[EndSystem] = deque()  # "block" policy: deferred senders
+        in_flight: Dict[int, Tuple[ActivationMessage, EndSystem]] = {}
+        state = {"next_free": self.clock, "dispatch_scheduled": False}
+        self._in_transit = 0
+
+        def try_send(end_system: EndSystem, at_time: float) -> None:
+            if end_system.system_id in exhausted or sim.stopped:
+                return
+            if stop_time is not None and at_time >= stop_time:
+                # Past the budget: stop feeding new work into the pipeline.
+                return
+            if self._blocking() and not self._queue_has_room():
+                waiting.append(end_system)
+                self.stats.blocked_sends += 1
+                return
+            try:
+                images, labels = next(iterators[end_system.system_id])
+            except StopIteration:
+                exhausted.add(end_system.system_id)
+                return
+            message = self._send_uplink(end_system, images, labels, at_time)
+            if message is None:
+                # Dropped in transit; the lost batch is forgotten and the
+                # client immediately computes its next one.
+                try_send(end_system, at_time)
+                return
+            self._in_transit += 1
+            in_flight[message.sequence] = (message, end_system)
+            sim.schedule(
+                message.arrival_time,
+                lambda s, m=message, e=end_system: on_arrival(s, m, e),
+                priority=PRIORITY_ARRIVAL,
+                label="uplink-arrival",
+            )
+
+        def on_arrival(sim: Simulator, message: ActivationMessage,
+                       end_system: EndSystem) -> None:
+            in_flight.pop(message.sequence, None)
+            if not self._admit(message, end_system):
+                # Queue overflow ("drop" policy): the client is NACKed at
+                # arrival time and moves on to its next batch.
+                try_send(end_system, sim.now)
+                return
+            maybe_dispatch(sim)
+
+        def maybe_dispatch(sim: Simulator) -> None:
+            if state["dispatch_scheduled"] or sim.now < state["next_free"]:
+                return
+            if not self.server.has_pending():
+                return
+            state["dispatch_scheduled"] = True
+            sim.schedule(sim.now, dispatch, priority=PRIORITY_DISPATCH, label="server-step")
+
+        def release_waiters(sim: Simulator, at_time: float) -> None:
+            while waiting and self._queue_has_room():
+                try_send(waiting.popleft(), at_time)
+
+        def dispatch(sim: Simulator) -> None:
+            state["dispatch_scheduled"] = False
+            if not self.server.has_pending():
+                # Went idle; the next arrival re-triggers a dispatch.
+                return
+            start_time = sim.now
+            if stop_time is not None and start_time >= stop_time:
+                halt(sim)
+                return
+            if self.config.server_batching:
+                # Batched draining: every message that has arrived by
+                # start_time is folded into one concatenated server step
+                # costing a single server_step_time_s.
+                results = self.server.process_pending_batch(now=start_time)
+            else:
+                results = [self.server.process_next(now=start_time)]
+            self.stats.server_steps += 1
+            # The pops above freed queue slots; blocked senders go first.
+            release_waiters(sim, start_time)
+            finish_time = start_time + self.config.server_step_time_s
+            self.clock = max(self.clock, finish_time)
+            next_dispatch_at = finish_time
+            for activation_message, gradient_message in results:
+                tracker.update(
+                    {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
+                    count=activation_message.batch_size,
+                )
+                end_system = self._by_id[activation_message.end_system_id]
+                downlink = self._send_downlink(end_system, gradient_message, finish_time)
+                if downlink is None:
+                    end_system.notify_drop(gradient_message.batch_id)
+                    # The client moves on as soon as the step has ended.
+                    sim.schedule(
+                        finish_time,
+                        lambda s, e=end_system: try_send(e, s.now),
+                        priority=PRIORITY_LANDING,
+                        label="gradient-lost",
+                    )
+                    continue
+                next_dispatch_at = max(next_dispatch_at, downlink.arrival_time)
+                self.clock = max(self.clock, downlink.arrival_time)
+                sim.schedule(
+                    downlink.arrival_time,
+                    lambda s, e=end_system, g=gradient_message: land(s, e, g),
+                    priority=PRIORITY_LANDING,
+                    label="gradient-landing",
+                )
+            # The server may start its next step once it is free and this
+            # step's gradients have all landed.
+            state["next_free"] = next_dispatch_at
+            state["dispatch_scheduled"] = True
+            sim.schedule(next_dispatch_at, dispatch, priority=PRIORITY_DISPATCH,
+                         label="server-step")
+
+        def land(sim: Simulator, end_system: EndSystem,
+                 gradient_message: GradientMessage) -> None:
+            end_system.apply_gradient(gradient_message)
+            # The client computes its next batch as soon as the gradient lands.
+            try_send(end_system, sim.now)
+
+        def halt(sim: Simulator) -> None:
+            # Budget exhausted.  Abandon whatever has not been trained on —
+            # uplinks still in flight and messages sitting in the queue —
+            # and make sure the owning clients forget the activations.
+            if stop_time is not None:
+                self.clock = max(self.clock, stop_time)
+            for message, end_system in in_flight.values():
+                end_system.discard_pending(message.batch_id)
+                self.stats.cancelled_at_stop += 1
+            in_flight.clear()
+            for message in self.server.queue.flush():
+                self._by_id[message.end_system_id].discard_pending(message.batch_id)
+                self.stats.cancelled_at_stop += 1
+            waiting.clear()
+            self._in_transit = 0
+            sim.stop()
+
+        # Prime the pipeline: every client ships max_in_flight batches.
+        for end_system in self.end_systems:
+            for _ in range(self.config.max_in_flight):
+                try_send(end_system, self.clock)
+        sim.run()
+        self.stats.events_processed += sim.processed_events
+        return tracker

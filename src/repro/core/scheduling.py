@@ -23,6 +23,7 @@ and hands them to the server in an order chosen by a pluggable
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
 from typing import Dict, List, Optional
 
@@ -73,11 +74,15 @@ class RoundRobinPolicy(SchedulingPolicy):
 
     def select(self, pending: List[ActivationMessage], now: float) -> int:
         system_ids = sorted({message.end_system_id for message in pending})
-        if self._last_served is None or self._last_served not in system_ids:
+        if self._last_served is None:
             target = system_ids[0]
         else:
-            position = system_ids.index(self._last_served)
-            target = system_ids[(position + 1) % len(system_ids)]
+            # Continue the cycle from the first id *after* the last-served
+            # system, even when that system currently has nothing pending —
+            # restarting at system_ids[0] would hand low-numbered systems an
+            # extra turn every time a gap appears in the arrivals.
+            position = bisect.bisect_right(system_ids, self._last_served)
+            target = system_ids[position % len(system_ids)]
         candidates = [
             index for index, message in enumerate(pending)
             if message.end_system_id == target
@@ -173,6 +178,26 @@ class ParameterQueue:
         while self._pending:
             messages.append(self.pop(now))
         return messages
+
+    def flush(self) -> List[ActivationMessage]:
+        """Remove and return every pending message *without* statistics.
+
+        Unlike :meth:`drain` this records no waiting times, no
+        per-system processed counts and no policy notifications — it is
+        the shutdown path for messages that will never be trained on
+        (e.g. arrivals still queued when a time-budgeted run stops), so
+        they must not pollute the fairness and waiting statistics.
+        """
+        messages = list(self._pending)
+        self._pending.clear()
+        return messages
+
+    @property
+    def free_slots(self) -> Optional[int]:
+        """Remaining capacity (``None`` when the queue is unbounded)."""
+        if self.max_size is None:
+            return None
+        return max(0, self.max_size - len(self._pending))
 
     def __len__(self) -> int:
         return len(self._pending)

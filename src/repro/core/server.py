@@ -75,12 +75,22 @@ class CentralServer:
     # Queue interface
     # ------------------------------------------------------------------ #
     def receive(self, message: ActivationMessage) -> bool:
-        """Push an arriving activation message into the scheduling queue."""
+        """Push an arriving activation message into the scheduling queue.
+
+        Returns ``False`` when a bounded queue is full and the message was
+        dropped — the caller **must** propagate that verdict back to the
+        originating end-system (``EndSystem.notify_drop``), otherwise the
+        client's pending activation leaks forever.
+        """
         return self.queue.push(message)
 
     def has_pending(self) -> bool:
         """True when the queue holds unprocessed messages."""
         return bool(self.queue)
+
+    def free_queue_slots(self) -> Optional[int]:
+        """Remaining queue capacity (``None`` when unbounded)."""
+        return self.queue.free_slots
 
     # ------------------------------------------------------------------ #
     # Training step

@@ -7,55 +7,71 @@ holding the remaining layers and the scheduling queue
 (:class:`~repro.core.server.CentralServer`), and the simulated
 geo-distributed network (:class:`~repro.simnet.transport.Transport`).
 
-Two training modes are provided:
+Both training modes run on the discrete-event engine in
+:mod:`repro.core.engine` (uplink-arrival, server-step and
+gradient-landing events over :class:`~repro.simnet.events.Simulator`):
 
 * **synchronous** (the default; what Table I measures) — every round each
-  end-system ships one batch, the server drains the queue in policy order,
-  and gradients flow back before the next round starts.  The simulated
-  clock still advances with the link latencies, so the run reports how
-  long an epoch would take over a real WAN.
-* **asynchronous** — an event-driven loop where every end-system keeps a
-  bounded number of batches in flight and the server processes arrivals
-  as they come.  Far-away end-systems complete fewer updates per unit
-  time, which is the arrival bias the paper's queue-scheduling discussion
-  warns about; the scheduling ablation quantifies it.
+  end-system ships one batch and the server step is a *barrier event*
+  scheduled at the round's last accepted arrival; gradients flow back
+  before the next round-start event fires.  The simulated clock advances
+  with the link latencies, so the run reports how long an epoch would
+  take over a real WAN.
+* **asynchronous** — every end-system keeps a bounded number of batches
+  in flight and a dispatch event fires whenever the server is free and
+  arrivals are pending.  Far-away end-systems complete fewer updates per
+  unit time, which is the arrival bias the paper's queue-scheduling
+  discussion warns about; the scheduling ablation quantifies it.
+
+Bounded queues and backpressure
+-------------------------------
+``TrainingConfig.max_queue_size`` bounds the server's parameter-
+scheduling queue; ``TrainingConfig.queue_backpressure`` decides what
+happens at the bound.  Under ``"drop"`` an overflowing arrival is shed
+and the originating end-system is notified so its pending activation
+never leaks; under ``"block"`` an end-system defers its next send until
+the queue has room (messages in flight count towards capacity), so the
+queue never overflows.  The ``queue_congestion`` experiment sweeps both
+policies against queue capacity under a 100+ client star.
+
+Asymmetric links
+----------------
+Uplink (activations) and downlink (gradients) traffic travel over
+*separate* :class:`~repro.simnet.link.Link` objects with independent
+latency samples, drop draws and counters (see
+:meth:`~repro.simnet.topology.GeoTopology.downlink`), and the transport
+log reports per-direction drop counts.
 
 Batched queue draining
 ----------------------
-With ``TrainingConfig.server_batching`` (the default) the server empties
-its scheduling queue through
-:meth:`~repro.core.server.CentralServer.process_batch`: every pending
-activation message is concatenated into one server-segment
-forward/backward and a single optimizer step, and the boundary gradient
-is scattered back per end-system.  Under heavy multi-client traffic this
-amortises the per-message overhead of the NumPy substrate — the server's
-cost scales with the number of *samples*, not the number of *messages*.
-Set ``server_batching=False`` to recover the original one-step-per-message
-behaviour (one optimizer step per queued message), which is what the
-staleness-sensitive ablations model.
+With ``TrainingConfig.server_batching`` (the default) each server step
+drains every arrived activation message into one concatenated
+forward/backward and a single optimizer step
+(:meth:`~repro.core.server.CentralServer.process_batch`), and the
+boundary gradient is scattered back per end-system.  Set
+``server_batching=False`` to recover one-step-per-message processing,
+which is what the staleness-sensitive ablations model.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.datasets import Dataset
 from ..data.loader import DataLoader
 from ..data.transforms import Transform
-from ..nn.metrics import MetricTracker, accuracy
+from ..nn.metrics import MetricTracker
 from ..simnet.topology import GeoTopology, star_topology
 from ..simnet.transport import Transport
 from ..utils.logging import get_logger
 from ..utils.rng import SeedSequence
 from .config import TrainingConfig
 from .end_system import EndSystem
+from .engine import TrainingEngine
 from .history import EpochRecord, TrainingHistory
-from .messages import ActivationMessage
 from .scheduling import get_policy
 from .server import CentralServer
 from .split import SplitSpec
@@ -140,9 +156,9 @@ class SpatioTemporalTrainer:
             optimizer_kwargs=self.config.server_optimizer_kwargs,
             loss_name=self.config.loss,
             queue_policy=get_policy(self.config.queue_policy),
+            max_queue_size=self.config.max_queue_size,
             seed=int(seeds.generator("server").integers(0, 2 ** 31)),
         )
-        self._clock = 0.0
         self._node_name_to_system = {
             end_system.node_name: end_system for end_system in self.end_systems
         }
@@ -152,6 +168,14 @@ class SpatioTemporalTrainer:
             end_system.system_id: node
             for end_system, node in zip(self.end_systems, self.topology.end_systems)
         }
+        self.engine = TrainingEngine(
+            end_systems=self.end_systems,
+            server=self.server,
+            transport=self.transport,
+            system_to_node=self._system_to_node,
+            config=self.config,
+        )
+        self._clock = 0.0
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -159,7 +183,24 @@ class SpatioTemporalTrainer:
     @property
     def simulated_time(self) -> float:
         """Current simulated wall-clock time in seconds."""
-        return self._clock
+        return self.engine.clock
+
+    def _epoch_iterators(self, epoch: int) -> Dict[int, Iterator[Tuple[np.ndarray, np.ndarray]]]:
+        return {
+            end_system.system_id: end_system.batches(epoch)
+            for end_system in self.end_systems
+        }
+
+    def _queue_stats(self) -> Dict[str, object]:
+        """Run-level queue/engine statistics attached to every history."""
+        return {
+            "mean_waiting_time_s": self.server.queue.mean_waiting_time,
+            "fairness_index": self.server.queue.fairness_index(),
+            "dropped": self.server.queue.dropped,
+            "processed_per_system": self.server.queue.processed_per_system(),
+            "blocked_sends": self.engine.stats.blocked_sends,
+            "engine_events": self.engine.stats.events_processed,
+        }
 
     def train(self, test_dataset: Optional[Dataset] = None,
               epochs: Optional[int] = None,
@@ -176,13 +217,16 @@ class SpatioTemporalTrainer:
         """
         epochs = epochs if epochs is not None else self.config.epochs
         history = TrainingHistory(config=self.config.to_dict())
+        last_evaluation: Optional[Dict[str, object]] = None
         for epoch in range(epochs):
             start = time.perf_counter()
-            epoch_start_clock = self._clock
+            epoch_start_clock = self.engine.clock
+            iterators = self._epoch_iterators(epoch)
             if self.config.mode == "synchronous":
-                tracker = self._train_epoch_synchronous(epoch)
+                tracker = self.engine.run_synchronous_epoch(iterators)
             else:
-                tracker = self._train_epoch_asynchronous(epoch)
+                tracker = self.engine.run_asynchronous(iterators)
+            self._clock = self.engine.clock
             wall = time.perf_counter() - start
 
             averages = tracker.averages()
@@ -190,7 +234,7 @@ class SpatioTemporalTrainer:
                 epoch=epoch,
                 train_loss=averages.get("loss", float("nan")),
                 train_accuracy=averages.get("accuracy", 0.0),
-                simulated_time_s=self._clock - epoch_start_clock,
+                simulated_time_s=self.engine.clock - epoch_start_clock,
                 wall_time_s=wall,
                 batches=self.server.batches_processed,
                 samples=self.server.samples_processed,
@@ -199,9 +243,9 @@ class SpatioTemporalTrainer:
                 (epoch + 1) % max(evaluate_every, 1) == 0 or epoch == epochs - 1
             )
             if should_evaluate:
-                evaluation = self.evaluate(test_dataset)
-                record.test_loss = evaluation["loss"]
-                record.test_accuracy = evaluation["accuracy"]
+                last_evaluation = self.evaluate(test_dataset)
+                record.test_loss = last_evaluation["loss"]
+                record.test_accuracy = last_evaluation["accuracy"]
             history.append(record)
             logger.info(
                 "epoch %d: train_acc=%.4f train_loss=%.4f test_acc=%s",
@@ -210,14 +254,13 @@ class SpatioTemporalTrainer:
             )
 
         history.traffic = self.transport.log.summary()
-        history.queue_stats = {
-            "mean_waiting_time_s": self.server.queue.mean_waiting_time,
-            "fairness_index": self.server.queue.fairness_index(),
-            "dropped": self.server.queue.dropped,
-        }
+        history.queue_stats = self._queue_stats()
         if test_dataset is not None:
-            evaluation = self.evaluate(test_dataset)
-            history.per_system_accuracy = evaluation["per_system_accuracy"]
+            # The final epoch always evaluates, so reuse its result instead
+            # of re-running the full test set a second time.
+            if last_evaluation is None:
+                last_evaluation = self.evaluate(test_dataset)
+            history.per_system_accuracy = last_evaluation["per_system_accuracy"]
         return history
 
     def evaluate(self, dataset: Dataset, batch_size: Optional[int] = None) -> Dict[str, object]:
@@ -257,105 +300,6 @@ class SpatioTemporalTrainer:
             "per_system_loss": per_system_loss,
         }
 
-    # ------------------------------------------------------------------ #
-    # Synchronous mode
-    # ------------------------------------------------------------------ #
-    def _train_epoch_synchronous(self, epoch: int) -> MetricTracker:
-        tracker = MetricTracker()
-        iterators = {
-            end_system.system_id: end_system.batches(epoch)
-            for end_system in self.end_systems
-        }
-        active = set(iterators)
-        round_index = 0
-        while active:
-            round_messages: List[ActivationMessage] = []
-            # Spatial phase: every active end-system ships one batch.
-            for end_system in self.end_systems:
-                if end_system.system_id not in active:
-                    continue
-                try:
-                    images, labels = next(iterators[end_system.system_id])
-                except StopIteration:
-                    active.discard(end_system.system_id)
-                    continue
-                message = end_system.forward_batch(
-                    images, labels, round_index=round_index, created_at=self._clock
-                )
-                network_message = self.transport.send_to_server(
-                    self._system_to_node[end_system.system_id],
-                    {"activations": message.activations, "labels": message.labels},
-                    now=self._clock,
-                )
-                if network_message is None:
-                    # Link dropped the batch; the client forgets it.
-                    end_system.discard_pending(message.batch_id)
-                    continue
-                message.arrival_time = network_message.arrival_time
-                message.size_bytes = network_message.size_bytes
-                self.server.receive(message)
-                round_messages.append(message)
-
-            if not round_messages and not self.server.has_pending():
-                round_index += 1
-                continue
-
-            # Temporal phase: the server drains the queue — as one
-            # concatenated batch step when server_batching is on (the
-            # default), or one step per message in policy order otherwise.
-            latest_arrival = max(
-                (message.arrival_time for message in round_messages), default=self._clock
-            )
-            gradient_arrivals = [latest_arrival]
-            if self.config.server_batching:
-                # The concatenated step cannot start before the last
-                # message of the round has arrived, so every gradient is
-                # sent back at latest_arrival.
-                results = self.server.process_pending_batch(now=latest_arrival)
-                send_times = [latest_arrival] * len(results)
-            else:
-                results = []
-                send_times = []
-                while self.server.has_pending():
-                    activation_message, gradient_message = self.server.process_next(
-                        now=latest_arrival
-                    )
-                    results.append((activation_message, gradient_message))
-                    send_times.append(activation_message.arrival_time)
-            for (activation_message, gradient_message), send_time in zip(results, send_times):
-                tracker.update(
-                    {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
-                    count=activation_message.batch_size,
-                )
-                end_system = self.end_systems[activation_message.end_system_id]
-                downlink = self.transport.send_to_end_system(
-                    self._system_to_node[end_system.system_id],
-                    gradient_message.gradient,
-                    now=send_time,
-                )
-                if downlink is None:
-                    end_system.discard_pending(gradient_message.batch_id)
-                    continue
-                gradient_arrivals.append(downlink.arrival_time)
-                end_system.apply_gradient(gradient_message)
-
-            # Synchronous barrier: the next round starts once every gradient
-            # has landed.
-            self._clock = max(gradient_arrivals)
-            round_index += 1
-        return tracker
-
-    # ------------------------------------------------------------------ #
-    # Asynchronous mode
-    # ------------------------------------------------------------------ #
-    def _train_epoch_asynchronous(self, epoch: int) -> MetricTracker:
-        """Event-driven epoch: one pass over every end-system's local data."""
-        iterators = {
-            end_system.system_id: end_system.batches(epoch)
-            for end_system in self.end_systems
-        }
-        return self._run_asynchronous(iterators)
-
     def train_time_budget(self, simulated_seconds: float,
                           test_dataset: Optional[Dataset] = None) -> TrainingHistory:
         """Asynchronous training until the simulated clock reaches a budget.
@@ -384,17 +328,18 @@ class SpatioTemporalTrainer:
             for end_system in self.end_systems
         }
         history = TrainingHistory(config=self.config.to_dict())
-        start_clock = self._clock
+        start_clock = self.engine.clock
         start = time.perf_counter()
-        tracker = self._run_asynchronous(
+        tracker = self.engine.run_asynchronous(
             iterators, stop_time=start_clock + simulated_seconds
         )
+        self._clock = self.engine.clock
         averages = tracker.averages()
         record = EpochRecord(
             epoch=0,
             train_loss=averages.get("loss", float("nan")),
             train_accuracy=averages.get("accuracy", 0.0),
-            simulated_time_s=self._clock - start_clock,
+            simulated_time_s=self.engine.clock - start_clock,
             wall_time_s=time.perf_counter() - start,
             batches=self.server.batches_processed,
             samples=self.server.samples_processed,
@@ -406,116 +351,8 @@ class SpatioTemporalTrainer:
             history.per_system_accuracy = evaluation["per_system_accuracy"]
         history.append(record)
         history.traffic = self.transport.log.summary()
-        history.queue_stats = {
-            "mean_waiting_time_s": self.server.queue.mean_waiting_time,
-            "fairness_index": self.server.queue.fairness_index(),
-            "dropped": self.server.queue.dropped,
-            "processed_per_system": self.server.queue.processed_per_system(),
-        }
+        history.queue_stats = self._queue_stats()
         return history
-
-    def _run_asynchronous(self, iterators, stop_time: Optional[float] = None) -> MetricTracker:
-        """Shared event loop for the asynchronous modes.
-
-        Clients keep at most ``config.max_in_flight`` batches outstanding;
-        the server becomes free ``server_step_time_s`` after starting a
-        batch and always picks the next message through the scheduling
-        policy among those that have already *arrived*.  When ``stop_time``
-        is given, no new server step starts at or after that simulated time.
-
-        With ``config.server_batching`` (default) each server step drains
-        *every* already-arrived message into one concatenated
-        forward/backward (see :meth:`CentralServer.process_batch`), still
-        costing a single ``server_step_time_s``; with the flag off the
-        server takes one step per message, which is the contention regime
-        the staleness ablation studies.
-        """
-        tracker = MetricTracker()
-        exhausted: set = set()
-        # Min-heap of (arrival_time, sequence, message) for in-flight uplinks.
-        in_flight: List[Tuple[float, int, ActivationMessage]] = []
-        counter = itertools.count()
-
-        def send_next_batch(end_system: EndSystem, at_time: float) -> None:
-            if end_system.system_id in exhausted:
-                return
-            if stop_time is not None and at_time >= stop_time:
-                # Past the budget: stop feeding new work into the pipeline.
-                return
-            try:
-                images, labels = next(iterators[end_system.system_id])
-            except StopIteration:
-                exhausted.add(end_system.system_id)
-                return
-            message = end_system.forward_batch(images, labels, created_at=at_time)
-            network_message = self.transport.send_to_server(
-                self._system_to_node[end_system.system_id],
-                {"activations": message.activations, "labels": message.labels},
-                now=at_time,
-            )
-            if network_message is None:
-                end_system.discard_pending(message.batch_id)
-                # Immediately try the next batch; the dropped one is lost.
-                send_next_batch(end_system, at_time)
-                return
-            message.arrival_time = network_message.arrival_time
-            message.size_bytes = network_message.size_bytes
-            heapq.heappush(in_flight, (message.arrival_time, next(counter), message))
-
-        # Prime the pipeline.
-        for end_system in self.end_systems:
-            for _ in range(self.config.max_in_flight):
-                send_next_batch(end_system, self._clock)
-
-        server_free_at = self._clock
-        while in_flight or self.server.has_pending():
-            # Move every arrived message into the scheduling queue.
-            horizon = max(server_free_at, self._clock)
-            if not self.server.has_pending() and in_flight:
-                # Nothing to process yet: jump to the next arrival.
-                horizon = max(horizon, in_flight[0][0])
-            while in_flight and in_flight[0][0] <= horizon:
-                _, _, message = heapq.heappop(in_flight)
-                self.server.receive(message)
-            if not self.server.has_pending():
-                continue
-
-            start_time = max(server_free_at, horizon)
-            if stop_time is not None and start_time >= stop_time:
-                # Budget exhausted: leave the remaining arrivals unprocessed.
-                self._clock = max(self._clock, stop_time)
-                break
-            if self.config.server_batching:
-                # Batched draining: every message that has arrived by
-                # start_time is folded into one concatenated server step
-                # costing a single server_step_time_s.
-                results = self.server.process_pending_batch(now=start_time)
-            else:
-                results = [self.server.process_next(now=start_time)]
-            finish_time = start_time + self.config.server_step_time_s
-            server_free_at = finish_time
-            self._clock = finish_time
-            for activation_message, gradient_message in results:
-                tracker.update(
-                    {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
-                    count=activation_message.batch_size,
-                )
-
-                end_system = self.end_systems[activation_message.end_system_id]
-                downlink = self.transport.send_to_end_system(
-                    self._system_to_node[end_system.system_id],
-                    gradient_message.gradient,
-                    now=finish_time,
-                )
-                if downlink is None:
-                    end_system.discard_pending(gradient_message.batch_id)
-                    send_next_batch(end_system, finish_time)
-                    continue
-                end_system.apply_gradient(gradient_message)
-                # The client computes its next batch as soon as the gradient lands.
-                send_next_batch(end_system, downlink.arrival_time)
-                self._clock = max(self._clock, downlink.arrival_time)
-        return tracker
 
     # ------------------------------------------------------------------ #
     # Convenience

@@ -5,6 +5,7 @@ from .baselines_comparison import run_baselines_comparison
 from .clients_sweep import run_clients_sweep
 from .compression import run_compression
 from .figure4 import PAPER_FIGURE4, run_figure4
+from .queue_congestion import run_queue_congestion
 from .registry import (
     REGISTRY,
     ExperimentEntry,
@@ -25,6 +26,7 @@ __all__ = [
     "run_clients_sweep",
     "run_baselines_comparison",
     "run_compression",
+    "run_queue_congestion",
     "PAPER_TABLE1",
     "PAPER_FIGURE4",
     "REGISTRY",

@@ -15,6 +15,7 @@ from .baselines_comparison import run_baselines_comparison
 from .clients_sweep import run_clients_sweep
 from .compression import run_compression
 from .figure4 import run_figure4
+from .queue_congestion import run_queue_congestion
 from .staleness import run_staleness
 from .table1 import run_table1
 
@@ -61,6 +62,12 @@ REGISTRY: Dict[str, ExperimentEntry] = {
         paper_artifact="Section I positioning",
         description="Spatio-temporal split learning vs. centralized, sequential split and FedAvg.",
         runner=run_baselines_comparison,
+    ),
+    "queue_congestion": ExperimentEntry(
+        name="queue_congestion",
+        paper_artifact="Figure 2 (bounded queue)",
+        description="Bounded scheduling queues under a 100+ client star: capacity x backpressure x policy.",
+        runner=run_queue_congestion,
     ),
     "compression": ExperimentEntry(
         name="compression",

@@ -57,6 +57,7 @@ class Simulator:
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._stop_requested = False
 
     @property
     def now(self) -> float:
@@ -122,6 +123,8 @@ class Simulator:
         """
         executed = 0
         while self._queue:
+            if self._stop_requested:
+                break
             if max_events is not None and executed >= max_events:
                 break
             event = self._queue[0]
@@ -133,12 +136,30 @@ class Simulator:
             event.callback(self)
             self._processed += 1
             executed += 1
-        if until is not None and self._now < until:
+        if until is not None and self._now < until and not self._stop_requested:
             self._now = until
         return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return once the current event finishes.
+
+        Used by callbacks that decide the simulation is over (e.g. a
+        training run hitting its simulated-time budget) while later events
+        are still on the calendar.  The stop is terminal for this
+        simulation: the abandoned events stay queued for inspection
+        (:attr:`pending_events`) until :meth:`reset` discards them along
+        with the rest of the simulator state.
+        """
+        self._stop_requested = True
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has been requested."""
+        return self._stop_requested
 
     def reset(self) -> None:
         """Clear all pending events and reset the clock to zero."""
         self._queue.clear()
         self._now = 0.0
         self._processed = 0
+        self._stop_requested = False

@@ -72,6 +72,10 @@ class Link:
         Probability that a message is silently lost (used by the
         failure-injection tests; the trainer falls back to skipping the
         lost batch).
+    direction:
+        Free-form label (``"up"``/``"down"``/``"both"``) recorded in
+        :meth:`stats` so asymmetric-link deployments can tell uplink and
+        downlink traffic apart.
     """
 
     def __init__(
@@ -80,6 +84,7 @@ class Link:
         bandwidth_bps: Optional[float] = 100e6,
         drop_probability: float = 0.0,
         seed: Optional[int] = None,
+        direction: str = "both",
     ) -> None:
         if bandwidth_bps is not None and bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive (or None for infinite)")
@@ -88,6 +93,7 @@ class Link:
         self.latency = latency if latency is not None else ConstantLatency(0.001)
         self.bandwidth_bps = bandwidth_bps
         self.drop_probability = drop_probability
+        self.direction = direction
         self._rng = np.random.default_rng(seed)
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -133,6 +139,7 @@ class Link:
     def stats(self) -> Dict[str, float]:
         """Traffic counters for this link."""
         return {
+            "direction": self.direction,
             "messages_sent": self.messages_sent,
             "messages_dropped": self.messages_dropped,
             "bytes_sent": self.bytes_sent,
@@ -141,4 +148,4 @@ class Link:
 
     def __repr__(self) -> str:
         bandwidth = "inf" if self.bandwidth_bps is None else f"{self.bandwidth_bps / 1e6:.0f} Mbps"
-        return f"Link(latency={self.latency!r}, bandwidth={bandwidth})"
+        return f"Link(latency={self.latency!r}, bandwidth={bandwidth}, direction={self.direction!r})"

@@ -56,12 +56,22 @@ class GeoTopology:
             raise ValueError(f"node {name!r} already exists")
         self.graph.add_node(name, coordinates=coordinates, role=role)
 
-    def add_link(self, node_a: str, node_b: str, link: Link) -> None:
-        """Connect two existing nodes with a link."""
+    def add_link(self, node_a: str, node_b: str, link: Link,
+                 downlink: Optional[Link] = None) -> None:
+        """Connect two existing nodes with a link.
+
+        ``link`` carries traffic from ``node_a`` towards ``node_b`` (for an
+        end-system/server pair: the uplink).  When ``downlink`` is given the
+        reverse direction gets its own :class:`Link` — independent latency
+        samples, drop draws and traffic counters — which is how the paper's
+        WAN deployments behave: the gradient-return path is not the same
+        queue as the activation-upload path.  Without it the single link is
+        shared by both directions (the legacy symmetric behaviour).
+        """
         for node in (node_a, node_b):
             if node not in self.graph:
                 raise KeyError(f"unknown node {node!r}")
-        self.graph.add_edge(node_a, node_b, link=link)
+        self.graph.add_edge(node_a, node_b, link=link, downlink=downlink)
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -100,13 +110,54 @@ class GeoTopology:
         """Link from an end-system to the server."""
         return self.link(end_system, self.server)
 
+    def downlink(self, end_system: str) -> Link:
+        """Link from the server back to an end-system.
+
+        Falls back to the uplink when the edge was registered without a
+        dedicated downlink (symmetric legacy topologies).
+        """
+        server = self.server
+        try:
+            data = self.graph.edges[end_system, server]
+        except KeyError:
+            raise KeyError(f"no link between {end_system!r} and {server!r}") from None
+        downlink = data.get("downlink")
+        return downlink if downlink is not None else data["link"]
+
     def mean_latencies(self) -> Dict[str, float]:
         """Expected one-way latency (s) from each end-system to the server."""
         return {name: self.uplink(name).latency.mean() for name in self.end_systems}
 
-    def stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-uplink traffic statistics."""
-        return {name: self.uplink(name).stats() for name in self.end_systems}
+    def stats(self, direction: str = "up") -> Dict[str, Dict[str, float]]:
+        """Per-end-system traffic statistics for one direction.
+
+        ``direction="up"`` (default) reports the uplinks, ``"down"`` the
+        downlinks (which alias the uplinks on symmetric topologies).
+        """
+        if direction not in {"up", "down"}:
+            raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+        pick = self.uplink if direction == "up" else self.downlink
+        return {name: pick(name).stats() for name in self.end_systems}
+
+    def dropped_totals(self) -> Dict[str, int]:
+        """Link-level drop counts summed over every end-system edge.
+
+        Used by the drop-accounting regression tests: the transport log's
+        ``dropped_messages`` must equal ``uplink + downlink`` from here.
+        """
+        uplink_drops = sum(self.uplink(name).messages_dropped for name in self.end_systems)
+        downlink_drops = 0
+        for name in self.end_systems:
+            down = self.downlink(name)
+            if down is not self.uplink(name):
+                downlink_drops += down.messages_dropped
+        return {"uplink": uplink_drops, "downlink": downlink_drops}
+
+
+def _make_latency_model(latency_s: float, jitter_std_s: float) -> LatencyModel:
+    if jitter_std_s > 0:
+        return GaussianLatency(latency_s, jitter_std_s)
+    return ConstantLatency(latency_s)
 
 
 def star_topology(
@@ -116,18 +167,30 @@ def star_topology(
     jitter_std_s: float = 0.0,
     drop_probability: float = 0.0,
     seed: Optional[int] = 0,
+    downlink_latencies_s: Optional[Iterable[float]] = None,
+    downlink_bandwidth_bps: Optional[float] = None,
+    downlink_drop_probability: Optional[float] = None,
 ) -> GeoTopology:
     """Build a star topology with configurable per-end-system latencies.
+
+    Every end-system gets *two* links: an uplink carrying activations to
+    the server and a downlink carrying gradients back.  The downlink
+    defaults to the uplink's parameters but is always an independent
+    :class:`Link` instance (its own RNG stream and traffic counters), so
+    gradient-return traffic is modeled and logged separately.
 
     Parameters
     ----------
     latencies_s:
-        One mean latency per end-system; defaults to 5 ms for everyone.
-        Heterogeneous values reproduce the paper's "far-away end-system"
-        scenario.
+        One mean uplink latency per end-system; defaults to 5 ms for
+        everyone.  Heterogeneous values reproduce the paper's "far-away
+        end-system" scenario.
     jitter_std_s:
         When non-zero, latencies are Gaussian around the mean instead of
         constant.
+    downlink_latencies_s / downlink_bandwidth_bps / downlink_drop_probability:
+        Optional asymmetric overrides for the gradient-return direction;
+        each defaults to the corresponding uplink value.
     """
     if num_end_systems <= 0:
         raise ValueError("need at least one end-system")
@@ -136,23 +199,39 @@ def star_topology(
         raise ValueError(
             f"expected {num_end_systems} latencies, got {len(latencies)}"
         )
+    down_latencies = (
+        list(downlink_latencies_s) if downlink_latencies_s is not None else list(latencies)
+    )
+    if len(down_latencies) != num_end_systems:
+        raise ValueError(
+            f"expected {num_end_systems} downlink latencies, got {len(down_latencies)}"
+        )
+    down_bandwidth = (
+        downlink_bandwidth_bps if downlink_bandwidth_bps is not None else bandwidth_bps
+    )
+    down_drop = (
+        downlink_drop_probability if downlink_drop_probability is not None else drop_probability
+    )
     topology = GeoTopology()
     topology.add_node(GeoTopology.SERVER, role="server")
     for index, latency_s in enumerate(latencies):
         name = f"end_system_{index}"
         topology.add_node(name, role="end_system")
-        model: LatencyModel
-        if jitter_std_s > 0:
-            model = GaussianLatency(latency_s, jitter_std_s)
-        else:
-            model = ConstantLatency(latency_s)
-        link = Link(
-            latency=model,
+        uplink = Link(
+            latency=_make_latency_model(latency_s, jitter_std_s),
             bandwidth_bps=bandwidth_bps,
             drop_probability=drop_probability,
             seed=None if seed is None else seed + index,
+            direction="up",
         )
-        topology.add_link(name, GeoTopology.SERVER, link)
+        downlink = Link(
+            latency=_make_latency_model(down_latencies[index], jitter_std_s),
+            bandwidth_bps=down_bandwidth,
+            drop_probability=down_drop,
+            seed=None if seed is None else seed + num_end_systems + index,
+            direction="down",
+        )
+        topology.add_link(name, GeoTopology.SERVER, uplink, downlink=downlink)
     return topology
 
 
@@ -176,18 +255,27 @@ def geo_star_topology(
     unknown = [city for city in [server_city, *city_names] if city not in WORLD_CITIES]
     if unknown:
         raise KeyError(f"unknown cities {unknown}; known cities: {sorted(WORLD_CITIES)}")
+    num_end_systems = len(city_names)
     topology = GeoTopology()
     topology.add_node(GeoTopology.SERVER, coordinates=WORLD_CITIES[server_city], role="server")
     for index, city in enumerate(city_names):
         name = f"end_system_{index}_{city}"
         topology.add_node(name, coordinates=WORLD_CITIES[city], role="end_system")
-        latency = DistanceLatency(
-            WORLD_CITIES[city], WORLD_CITIES[server_city], jitter_std_s=jitter_std_s
-        )
-        link = Link(
-            latency=latency,
+        uplink = Link(
+            latency=DistanceLatency(
+                WORLD_CITIES[city], WORLD_CITIES[server_city], jitter_std_s=jitter_std_s
+            ),
             bandwidth_bps=bandwidth_bps,
             seed=None if seed is None else seed + index,
+            direction="up",
         )
-        topology.add_link(name, GeoTopology.SERVER, link)
+        downlink = Link(
+            latency=DistanceLatency(
+                WORLD_CITIES[server_city], WORLD_CITIES[city], jitter_std_s=jitter_std_s
+            ),
+            bandwidth_bps=bandwidth_bps,
+            seed=None if seed is None else seed + num_end_systems + index,
+            direction="down",
+        )
+        topology.add_link(name, GeoTopology.SERVER, uplink, downlink=downlink)
     return topology

@@ -30,12 +30,18 @@ class TrafficLog:
     uplink_bytes: int = 0
     downlink_bytes: int = 0
     dropped_messages: int = 0
+    uplink_dropped: int = 0
+    downlink_dropped: int = 0
     transit_times: List[float] = field(default_factory=list)
 
     def record(self, message: Optional[Message], direction: str) -> None:
         """Record one message (``None`` means it was dropped)."""
         if message is None:
             self.dropped_messages += 1
+            if direction == "up":
+                self.uplink_dropped += 1
+            else:
+                self.downlink_dropped += 1
             return
         if direction == "up":
             self.uplink_messages += 1
@@ -68,6 +74,8 @@ class TrafficLog:
             "uplink_megabytes": self.uplink_bytes / 1e6,
             "downlink_megabytes": self.downlink_bytes / 1e6,
             "dropped_messages": self.dropped_messages,
+            "uplink_dropped": self.uplink_dropped,
+            "downlink_dropped": self.downlink_dropped,
             "mean_transit_time_s": self.mean_transit_time,
             "max_transit_time_s": self.max_transit_time,
         }
@@ -101,17 +109,32 @@ class Transport:
 
     def send_to_end_system(self, end_system: str, payload: Any, now: Optional[float] = None,
                            kind: str = "gradient") -> Optional[Message]:
-        """Ship a payload from the server back to an end-system."""
+        """Ship a payload from the server back to an end-system.
+
+        Gradient-return traffic travels over the topology's *downlink*
+        for that end-system, so its latency samples, drop draws and
+        per-link counters never commingle with the uplink's.
+        """
         now = self._advance(now)
-        link = self.topology.uplink(end_system)
+        link = self.topology.downlink(end_system)
         message = link.send(self.topology.server, end_system, payload, now, kind=kind)
         self.log.record(message, "down")
         return message
 
     def _advance(self, now: Optional[float]) -> float:
-        if now is not None:
-            self._clock = max(self._clock, float(now))
-        return self._clock
+        """Track the latest send time seen without rewriting the caller's.
+
+        The transport clock (:attr:`now`) stays monotone for
+        introspection, but a message is stamped with the time its sender
+        actually handed it over — concurrent transfers on independent
+        links must not delay each other just because the transport
+        observed a later send first.
+        """
+        if now is None:
+            return self._clock
+        now = float(now)
+        self._clock = max(self._clock, now)
+        return now
 
     def reset_log(self) -> TrafficLog:
         """Replace the traffic log with a fresh one and return the old log."""

@@ -1,0 +1,305 @@
+"""The event-driven engine must reproduce the bespoke pre-refactor loops.
+
+The seed tree drove training with two hand-written loops inside
+``SpatioTemporalTrainer`` (``_train_epoch_synchronous`` and
+``_run_asynchronous``).  They were replaced by the discrete-event engine
+in :mod:`repro.core.engine`; these tests pin the refactor by re-running
+verbatim copies of the old loops (below) against identically-seeded
+trainers and requiring the same training histories — per-epoch loss and
+accuracy — and the same final parameters, on a lossless topology.
+
+The copies operate on the trainer's public components (end-systems,
+server, transport), so they exercise the *orchestration* semantics the
+engine must preserve: round barriers, policy-ordered queue draining,
+batched vs per-message server steps, in-flight bookkeeping and the
+simulated clock.
+"""
+
+import heapq
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.nn.metrics import MetricTracker
+from repro.simnet.topology import star_topology
+
+# Deliberately irregular constants so no two arrival times ever collide
+# (exact float ties would make FIFO fall back to sequence-number order,
+# which is send-order dependent and not part of the pinned semantics).
+LATENCIES_S = [0.0013, 0.0047]
+
+
+def make_trainer(spec, parts, normalize, **overrides):
+    config = TrainingConfig.fast_debug(**overrides)
+    topology = star_topology(len(parts), latencies_s=LATENCIES_S[: len(parts)])
+    return SpatioTemporalTrainer(spec, parts, config, topology=topology,
+                                 train_transform=normalize)
+
+
+# --------------------------------------------------------------------- #
+# Reference implementations: verbatim ports of the pre-refactor loops
+# --------------------------------------------------------------------- #
+def reference_synchronous_epoch(trainer, epoch):
+    tracker = MetricTracker()
+    iterators = {
+        end_system.system_id: end_system.batches(epoch)
+        for end_system in trainer.end_systems
+    }
+    active = set(iterators)
+    round_index = 0
+    while active:
+        round_messages = []
+        for end_system in trainer.end_systems:
+            if end_system.system_id not in active:
+                continue
+            try:
+                images, labels = next(iterators[end_system.system_id])
+            except StopIteration:
+                active.discard(end_system.system_id)
+                continue
+            message = end_system.forward_batch(
+                images, labels, round_index=round_index, created_at=trainer._clock
+            )
+            network_message = trainer.transport.send_to_server(
+                trainer._system_to_node[end_system.system_id],
+                {"activations": message.activations, "labels": message.labels},
+                now=trainer._clock,
+            )
+            if network_message is None:
+                end_system.discard_pending(message.batch_id)
+                continue
+            message.arrival_time = network_message.arrival_time
+            message.size_bytes = network_message.size_bytes
+            trainer.server.receive(message)
+            round_messages.append(message)
+
+        if not round_messages and not trainer.server.has_pending():
+            round_index += 1
+            continue
+
+        latest_arrival = max(
+            (message.arrival_time for message in round_messages), default=trainer._clock
+        )
+        gradient_arrivals = [latest_arrival]
+        if trainer.config.server_batching:
+            results = trainer.server.process_pending_batch(now=latest_arrival)
+            send_times = [latest_arrival] * len(results)
+        else:
+            results = []
+            send_times = []
+            while trainer.server.has_pending():
+                activation_message, gradient_message = trainer.server.process_next(
+                    now=latest_arrival
+                )
+                results.append((activation_message, gradient_message))
+                send_times.append(activation_message.arrival_time)
+        for (activation_message, gradient_message), send_time in zip(results, send_times):
+            tracker.update(
+                {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
+                count=activation_message.batch_size,
+            )
+            end_system = trainer.end_systems[activation_message.end_system_id]
+            downlink = trainer.transport.send_to_end_system(
+                trainer._system_to_node[end_system.system_id],
+                gradient_message.gradient,
+                now=send_time,
+            )
+            if downlink is None:
+                end_system.discard_pending(gradient_message.batch_id)
+                continue
+            gradient_arrivals.append(downlink.arrival_time)
+            end_system.apply_gradient(gradient_message)
+
+        trainer._clock = max(gradient_arrivals)
+        round_index += 1
+    return tracker
+
+
+def reference_asynchronous(trainer, iterators, stop_time=None):
+    tracker = MetricTracker()
+    exhausted = set()
+    in_flight = []
+    counter = itertools.count()
+
+    def send_next_batch(end_system, at_time):
+        if end_system.system_id in exhausted:
+            return
+        if stop_time is not None and at_time >= stop_time:
+            return
+        try:
+            images, labels = next(iterators[end_system.system_id])
+        except StopIteration:
+            exhausted.add(end_system.system_id)
+            return
+        message = end_system.forward_batch(images, labels, created_at=at_time)
+        network_message = trainer.transport.send_to_server(
+            trainer._system_to_node[end_system.system_id],
+            {"activations": message.activations, "labels": message.labels},
+            now=at_time,
+        )
+        if network_message is None:
+            end_system.discard_pending(message.batch_id)
+            send_next_batch(end_system, at_time)
+            return
+        message.arrival_time = network_message.arrival_time
+        message.size_bytes = network_message.size_bytes
+        heapq.heappush(in_flight, (message.arrival_time, next(counter), message))
+
+    for end_system in trainer.end_systems:
+        for _ in range(trainer.config.max_in_flight):
+            send_next_batch(end_system, trainer._clock)
+
+    server_free_at = trainer._clock
+    while in_flight or trainer.server.has_pending():
+        horizon = max(server_free_at, trainer._clock)
+        if not trainer.server.has_pending() and in_flight:
+            horizon = max(horizon, in_flight[0][0])
+        while in_flight and in_flight[0][0] <= horizon:
+            _, _, message = heapq.heappop(in_flight)
+            trainer.server.receive(message)
+        if not trainer.server.has_pending():
+            continue
+
+        start_time = max(server_free_at, horizon)
+        if stop_time is not None and start_time >= stop_time:
+            trainer._clock = max(trainer._clock, stop_time)
+            break
+        if trainer.config.server_batching:
+            results = trainer.server.process_pending_batch(now=start_time)
+        else:
+            results = [trainer.server.process_next(now=start_time)]
+        finish_time = start_time + trainer.config.server_step_time_s
+        server_free_at = finish_time
+        trainer._clock = finish_time
+        for activation_message, gradient_message in results:
+            tracker.update(
+                {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
+                count=activation_message.batch_size,
+            )
+            end_system = trainer.end_systems[activation_message.end_system_id]
+            downlink = trainer.transport.send_to_end_system(
+                trainer._system_to_node[end_system.system_id],
+                gradient_message.gradient,
+                now=finish_time,
+            )
+            if downlink is None:
+                end_system.discard_pending(gradient_message.batch_id)
+                send_next_batch(end_system, finish_time)
+                continue
+            end_system.apply_gradient(gradient_message)
+            send_next_batch(end_system, downlink.arrival_time)
+            trainer._clock = max(trainer._clock, downlink.arrival_time)
+    return tracker
+
+
+def reference_curves(trainer, epochs):
+    """Per-epoch (loss, accuracy) under the pre-refactor orchestration."""
+    curves = []
+    for epoch in range(epochs):
+        if trainer.config.mode == "synchronous":
+            tracker = reference_synchronous_epoch(trainer, epoch)
+        else:
+            iterators = {
+                end_system.system_id: end_system.batches(epoch)
+                for end_system in trainer.end_systems
+            }
+            tracker = reference_asynchronous(trainer, iterators)
+        averages = tracker.averages()
+        curves.append((averages["loss"], averages["accuracy"]))
+    return curves
+
+
+def engine_curves(trainer, epochs):
+    history = trainer.train(epochs=epochs)
+    return [(record.train_loss, record.train_accuracy) for record in history.records]
+
+
+def assert_same_parameters(reference, engine):
+    reference_state = reference.state_dict()
+    engine_state = engine.state_dict()
+    assert set(reference_state) == set(engine_state)
+    for segment, params in reference_state.items():
+        for name, value in params.items():
+            np.testing.assert_allclose(
+                engine_state[segment][name], value, rtol=1e-9, atol=1e-12,
+                err_msg=f"{segment}/{name} diverged",
+            )
+
+
+def assert_same_curves(reference, engine):
+    assert len(reference) == len(engine)
+    for (ref_loss, ref_acc), (eng_loss, eng_acc) in zip(reference, engine):
+        assert eng_loss == pytest.approx(ref_loss, rel=1e-9)
+        assert eng_acc == pytest.approx(ref_acc, rel=1e-9)
+
+
+EPOCHS = 2
+
+
+@pytest.mark.parametrize("server_batching", [True, False],
+                         ids=["batched", "per-message"])
+class TestSynchronousEquivalence:
+    def test_histories_and_parameters_match(self, tiny_split_spec, tiny_parts,
+                                            normalize, server_batching):
+        reference = make_trainer(tiny_split_spec, tiny_parts, normalize,
+                                 server_batching=server_batching)
+        engine = make_trainer(tiny_split_spec, tiny_parts, normalize,
+                              server_batching=server_batching)
+        ref = reference_curves(reference, EPOCHS)
+        eng = engine_curves(engine, EPOCHS)
+        assert_same_curves(ref, eng)
+        assert_same_parameters(reference, engine)
+        # The engine's round barrier must advance the clock exactly like
+        # the old loop's max-gradient-arrival bookkeeping.
+        assert engine.simulated_time == pytest.approx(reference._clock, rel=1e-9)
+
+
+@pytest.mark.parametrize("server_batching,max_in_flight", [(True, 2), (False, 1)],
+                         ids=["batched-pipelined", "per-message-lockstep"])
+class TestAsynchronousEquivalence:
+    def test_histories_and_parameters_match(self, tiny_split_spec, tiny_parts,
+                                            normalize, server_batching, max_in_flight):
+        overrides = dict(mode="asynchronous", server_batching=server_batching,
+                         max_in_flight=max_in_flight, server_step_time_s=0.0021)
+        reference = make_trainer(tiny_split_spec, tiny_parts, normalize, **overrides)
+        engine = make_trainer(tiny_split_spec, tiny_parts, normalize, **overrides)
+        ref = reference_curves(reference, EPOCHS)
+        eng = engine_curves(engine, EPOCHS)
+        assert_same_curves(ref, eng)
+        assert_same_parameters(reference, engine)
+        assert engine.simulated_time == pytest.approx(reference._clock, rel=1e-9)
+
+
+class TestTimeBudgetEquivalence:
+    def test_budgeted_run_matches(self, tiny_split_spec, tiny_parts, normalize):
+        overrides = dict(mode="asynchronous", server_batching=False,
+                         max_in_flight=1, server_step_time_s=0.0021)
+        reference = make_trainer(tiny_split_spec, tiny_parts, normalize, **overrides)
+        engine = make_trainer(tiny_split_spec, tiny_parts, normalize, **overrides)
+
+        def cycling(trainer, end_system):
+            epoch = 0
+            while True:
+                for batch in end_system.batches(epoch):
+                    yield batch
+                epoch += 1
+
+        budget_s = 0.15
+        iterators = {
+            end_system.system_id: cycling(reference, end_system)
+            for end_system in reference.end_systems
+        }
+        ref_tracker = reference_asynchronous(reference, iterators, stop_time=budget_s)
+        history = engine.train_time_budget(budget_s)
+
+        ref_averages = ref_tracker.averages()
+        record = history.records[0]
+        assert record.train_loss == pytest.approx(ref_averages["loss"], rel=1e-9)
+        assert record.train_accuracy == pytest.approx(ref_averages["accuracy"], rel=1e-9)
+        assert engine.simulated_time == pytest.approx(reference._clock, rel=1e-9)
+        # The engine additionally guarantees that batches cut off by the
+        # budget are discarded client-side (the old loop leaked them).
+        assert all(es.pending_batches == 0 for es in engine.end_systems)

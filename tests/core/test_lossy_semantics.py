@@ -1,0 +1,146 @@
+"""Drop/backpressure semantics of the bounded-queue, lossy-network path.
+
+The invariants pinned here are the ones the seed tree violated:
+
+* every drop — uplink loss, queue overflow, downlink loss — notifies the
+  originating end-system, so no client-side pending activation ever
+  leaks (``pending_batches == 0`` after any full run);
+* drop counts are consistent across the layers: the queue's counter, the
+  transport log, the per-link counters and the end-systems' notification
+  counters all agree;
+* the ``"block"`` backpressure policy never sheds work: admission
+  control defers sends instead, so every sample is eventually processed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.simnet.topology import star_topology
+
+
+def make_trainer(spec, parts, normalize, topology=None, **overrides):
+    config = TrainingConfig.fast_debug(**overrides)
+    return SpatioTemporalTrainer(spec, parts, config, topology=topology,
+                                 train_transform=normalize)
+
+
+def assert_drop_accounting(trainer, history):
+    """Drops must agree across queue, transport, links and end-systems."""
+    queue_dropped = trainer.server.queue.dropped
+    transport_dropped = trainer.transport.log.dropped_messages
+    link_totals = trainer.topology.dropped_totals()
+    notified = sum(es.drops_notified for es in trainer.end_systems)
+
+    assert history.queue_stats["dropped"] == queue_dropped
+    assert transport_dropped == link_totals["uplink"] + link_totals["downlink"]
+    assert trainer.transport.log.uplink_dropped == link_totals["uplink"]
+    assert trainer.transport.log.downlink_dropped == link_totals["downlink"]
+    # One notification per lost batch, wherever it was lost.
+    assert notified == queue_dropped + transport_dropped
+    # No client may be left waiting for a gradient that will never come.
+    assert all(es.pending_batches == 0 for es in trainer.end_systems)
+
+
+class TestSynchronousBoundedQueue:
+    def test_drop_policy_sheds_and_notifies(self, tiny_split_spec, tiny_parts, normalize):
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize,
+                               max_queue_size=1, queue_backpressure="drop")
+        history = trainer.train()
+        assert trainer.server.queue.dropped > 0
+        assert_drop_accounting(trainer, history)
+        # Dropped messages never produce gradients: each delivered uplink
+        # either got a downlink reply or was shed at the queue.
+        traffic = history.traffic
+        assert traffic["downlink_messages"] == (
+            traffic["uplink_messages"] - trainer.server.queue.dropped
+        )
+
+    def test_block_policy_defers_instead_of_dropping(self, tiny_split_spec, tiny_parts,
+                                                     normalize):
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize,
+                               max_queue_size=1, queue_backpressure="block")
+        history = trainer.train()
+        assert trainer.server.queue.dropped == 0
+        assert history.queue_stats["blocked_sends"] > 0
+        # Nothing was shed, so every sample still reached the server.
+        total = sum(len(part) for part in tiny_parts)
+        assert trainer.server.samples_processed == total
+        assert_drop_accounting(trainer, history)
+
+    def test_unbounded_queue_never_blocks_or_drops(self, tiny_split_spec, tiny_parts,
+                                                   normalize):
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize)
+        history = trainer.train()
+        assert trainer.server.queue.dropped == 0
+        assert history.queue_stats["blocked_sends"] == 0
+        assert_drop_accounting(trainer, history)
+
+
+class TestAsynchronousBoundedQueue:
+    def make_async(self, spec, parts, normalize, **overrides):
+        # Equal latencies + a slow server make arrivals pile up while the
+        # server is busy, which is what stresses the bound.
+        topology = star_topology(len(parts), latencies_s=[0.003] * len(parts))
+        defaults = dict(mode="asynchronous", max_in_flight=1,
+                        server_step_time_s=0.01, server_batching=False)
+        defaults.update(overrides)
+        return make_trainer(spec, parts, normalize, topology=topology, **defaults)
+
+    def test_drop_policy_sheds_and_notifies(self, tiny_split_spec, tiny_parts, normalize):
+        trainer = self.make_async(tiny_split_spec, tiny_parts, normalize,
+                                  max_queue_size=1, queue_backpressure="drop")
+        history = trainer.train()
+        assert trainer.server.queue.dropped > 0
+        assert_drop_accounting(trainer, history)
+
+    def test_block_policy_processes_everything(self, tiny_split_spec, tiny_parts,
+                                               normalize):
+        trainer = self.make_async(tiny_split_spec, tiny_parts, normalize,
+                                  max_queue_size=1, queue_backpressure="block")
+        history = trainer.train()
+        assert trainer.server.queue.dropped == 0
+        assert history.queue_stats["blocked_sends"] > 0
+        total = sum(len(part) for part in tiny_parts)
+        assert trainer.server.samples_processed == total
+        assert_drop_accounting(trainer, history)
+
+    def test_time_budget_discards_in_flight_work(self, tiny_split_spec, tiny_parts,
+                                                 normalize):
+        trainer = self.make_async(tiny_split_spec, tiny_parts, normalize,
+                                  max_queue_size=2, queue_backpressure="drop")
+        trainer.train_time_budget(0.1)
+        # Batches cut off mid-flight by the budget are abandoned on the
+        # client too (the pre-refactor loop leaked them).
+        assert all(es.pending_batches == 0 for es in trainer.end_systems)
+        assert not trainer.server.has_pending()
+
+
+class TestLossyLinksWithBoundedQueue:
+    @pytest.mark.parametrize("mode", ["synchronous", "asynchronous"])
+    def test_accounting_consistent_under_link_loss(self, tiny_split_spec, tiny_parts,
+                                                   normalize, mode):
+        topology = star_topology(len(tiny_parts), latencies_s=[0.002, 0.006],
+                                 drop_probability=0.25, seed=7)
+        overrides = dict(max_queue_size=2, queue_backpressure="drop")
+        if mode == "asynchronous":
+            overrides.update(mode=mode, max_in_flight=2, server_step_time_s=0.004,
+                             server_batching=False)
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize,
+                               topology=topology, **overrides)
+        history = trainer.train()
+        assert trainer.transport.log.dropped_messages > 0
+        assert_drop_accounting(trainer, history)
+
+    def test_downlink_loss_notifies_client(self, tiny_split_spec, tiny_parts, normalize):
+        # Perfect uplinks, very lossy downlinks: only gradient messages
+        # are ever dropped, and each one must be notified.
+        topology = star_topology(len(tiny_parts), latencies_s=[0.002, 0.006],
+                                 drop_probability=0.0,
+                                 downlink_drop_probability=0.5, seed=3)
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize, topology=topology)
+        history = trainer.train()
+        assert trainer.transport.log.uplink_dropped == 0
+        assert trainer.transport.log.downlink_dropped > 0
+        assert_drop_accounting(trainer, history)

@@ -77,6 +77,21 @@ class TestPolicies:
         pending = [make_message(0, 1)]
         assert pending[policy.select(pending, now=0.0)].end_system_id == 0
 
+    def test_round_robin_continues_cycle_when_last_served_absent(self):
+        """Regression: when the last-served system has nothing pending the
+        cycle must continue from the next id after it, not restart at the
+        lowest id (which hands low-numbered systems extra turns)."""
+        policy = RoundRobinPolicy()
+        policy.notify_processed(make_message(1, 0))
+        pending = [make_message(0, 1), make_message(2, 2)]
+        assert pending[policy.select(pending, now=0.0)].end_system_id == 2
+
+    def test_round_robin_wraps_after_highest_id(self):
+        policy = RoundRobinPolicy()
+        policy.notify_processed(make_message(5, 0))
+        pending = [make_message(0, 1), make_message(3, 2)]
+        assert pending[policy.select(pending, now=0.0)].end_system_id == 0
+
     def test_staleness_policy_prefers_oldest_creation(self):
         fresh = make_message(0, 0, created=5.0, arrival=5.1)
         stale = make_message(1, 1, created=1.0, arrival=6.0)
@@ -172,3 +187,22 @@ class TestParameterQueue:
         queue = ParameterQueue()
         queue.push(make_message(0, 0, arrival=1.5))
         assert queue.peek_arrivals() == [1.5]
+
+    def test_free_slots(self):
+        unbounded = ParameterQueue()
+        assert unbounded.free_slots is None
+        queue = ParameterQueue(max_size=2)
+        assert queue.free_slots == 2
+        queue.push(make_message(0, 0))
+        assert queue.free_slots == 1
+
+    def test_flush_discards_without_statistics(self):
+        queue = ParameterQueue(max_size=2)
+        queue.push(make_message(0, 0, batch_size=4))
+        queue.push(make_message(1, 1, batch_size=4))
+        flushed = queue.flush()
+        assert [message.batch_id for message in flushed] == [0, 1]
+        assert len(queue) == 0
+        # Unlike drain(), flush() records nothing.
+        assert queue.mean_waiting_time == 0.0
+        assert queue.processed_per_system() == {}

@@ -102,6 +102,36 @@ class TestSynchronousTraining:
         # No pending activations should leak after the epoch.
         assert all(es.pending_batches == 0 for es in trainer.end_systems)
 
+    def test_final_epoch_evaluation_is_reused(self, tiny_split_spec, tiny_parts,
+                                              tiny_splits, normalize):
+        """Regression: train() used to re-evaluate the test set after the
+        final epoch even though that epoch had just evaluated it."""
+        _, test = tiny_splits
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize, epochs=2)
+        calls = []
+        original_evaluate = trainer.evaluate
+
+        def counting_evaluate(*args, **kwargs):
+            calls.append(1)
+            return original_evaluate(*args, **kwargs)
+
+        trainer.evaluate = counting_evaluate
+        history = trainer.train(test_dataset=test)
+        assert len(calls) == 2  # one per epoch, none extra at the end
+        # per_system_accuracy is carried from the final epoch's evaluation.
+        assert history.per_system_accuracy
+        assert np.mean(list(history.per_system_accuracy.values())) == pytest.approx(
+            history.records[-1].test_accuracy
+        )
+
+    def test_queue_stats_reports_processed_per_system(self, tiny_split_spec, tiny_parts,
+                                                      normalize):
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize)
+        history = trainer.train()
+        per_system = history.queue_stats["processed_per_system"]
+        assert set(per_system) == {0, 1}
+        assert sum(per_system.values()) == trainer.server.samples_processed
+
     def test_evaluate_reports_per_system(self, tiny_split_spec, tiny_parts, tiny_splits, normalize):
         _, test = tiny_splits
         trainer = make_trainer(tiny_split_spec, tiny_parts, normalize)
@@ -189,6 +219,16 @@ class TestConfigValidation:
             TrainingConfig(max_in_flight=0)
         with pytest.raises(ValueError):
             TrainingConfig(server_step_time_s=-1.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(max_queue_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(queue_backpressure="explode")
+
+    def test_queue_knobs_accepted_and_serialized(self):
+        config = TrainingConfig(max_queue_size=8, queue_backpressure="block")
+        payload = config.to_dict()
+        assert payload["max_queue_size"] == 8
+        assert payload["queue_backpressure"] == "block"
 
     def test_to_dict_and_kwargs(self):
         config = TrainingConfig(client_lr=0.01, server_lr=0.02)

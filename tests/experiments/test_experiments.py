@@ -17,6 +17,7 @@ from repro.experiments import (
     run_compression,
     run_experiment,
     run_figure4,
+    run_queue_congestion,
     run_staleness,
     run_table1,
 )
@@ -81,7 +82,7 @@ class TestRegistry:
     def test_all_expected_experiments_registered(self):
         names = {entry.name for entry in list_experiments()}
         assert {"table1", "figure4", "staleness", "clients_sweep", "baselines",
-                "compression"} <= names
+                "compression", "queue_congestion"} <= names
 
     def test_get_experiment_unknown(self):
         with pytest.raises(KeyError, match="unknown experiment"):
@@ -141,6 +142,44 @@ class TestStaleness:
     def test_latency_count_must_match(self, quick_workload):
         with pytest.raises(ValueError, match="latencies"):
             run_staleness(workload=quick_workload, latencies_s=(0.1,) * 5)
+
+
+class TestQueueCongestion:
+    def test_sweep_rows_and_backpressure_contract(self):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=8, epochs=1,
+                                       batch_size=8)
+        result = run_queue_congestion(
+            workload=workload,
+            capacities=(2, None),
+            backpressures=("drop", "block"),
+            policies=("fifo",),
+            server_step_time_s=0.01,
+            near_latency_s=0.002,
+            far_latency_s=0.02,
+        )
+        # (capacity=2 x {drop, block}) + unbounded reference.
+        assert len(result.rows) == 3
+        keys = list(zip(result.column("capacity"), result.column("backpressure")))
+        dropped = dict(zip(keys, result.column("queue_dropped")))
+        blocked = dict(zip(keys, result.column("blocked_sends")))
+        # A tight bound with drop backpressure sheds work...
+        assert dropped[(2, "drop")] > 0
+        # ...while block defers sends instead of dropping anything...
+        assert dropped[(2, "block")] == 0
+        assert blocked[(2, "block")] > 0
+        # ...and the unbounded reference does neither.
+        assert dropped[("unbounded", "drop")] == 0
+        assert blocked[("unbounded", "drop")] == 0
+
+    def test_registry_dispatch(self):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=4, epochs=1,
+                                       batch_size=16)
+        result = run_experiment(
+            "queue_congestion", workload=workload, capacities=(2,),
+            backpressures=("drop",), policies=("fifo",),
+        )
+        assert len(result.rows) == 1
+        assert result.column("policy") == ["fifo"]
 
 
 class TestClientsSweepAndBaselines:

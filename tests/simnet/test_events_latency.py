@@ -75,6 +75,29 @@ class TestSimulator:
         with pytest.raises(ValueError):
             simulator.schedule_after(-1.0, lambda sim: None)
 
+    def test_stop_requested_mid_run(self):
+        simulator = Simulator()
+        fired = []
+
+        def stopper(sim):
+            fired.append(sim.now)
+            sim.stop()
+
+        simulator.schedule(1.0, stopper)
+        simulator.schedule(2.0, lambda sim: fired.append(sim.now))
+        simulator.run()
+        assert fired == [1.0]
+        assert simulator.stopped
+        assert simulator.pending_events == 1
+        simulator.reset()
+        assert not simulator.stopped
+
+    def test_stop_does_not_advance_clock_to_until(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda sim: sim.stop())
+        assert simulator.run(until=10.0) == 1.0
+        assert simulator.now == 1.0
+
     def test_reset(self):
         simulator = Simulator()
         simulator.schedule(1.0, lambda sim: None)

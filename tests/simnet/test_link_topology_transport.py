@@ -121,6 +121,65 @@ class TestTopology:
         assert "seoul" in WORLD_CITIES
 
 
+class TestAsymmetricLinks:
+    def test_star_topology_has_separate_downlinks(self):
+        topology = star_topology(2)
+        for name in topology.end_systems:
+            assert topology.downlink(name) is not topology.uplink(name)
+            assert topology.uplink(name).direction == "up"
+            assert topology.downlink(name).direction == "down"
+
+    def test_geo_star_topology_has_separate_downlinks(self):
+        topology = geo_star_topology(["tokyo", "new_york"], server_city="seoul")
+        for name in topology.end_systems:
+            assert topology.downlink(name) is not topology.uplink(name)
+
+    def test_downlink_latency_override(self):
+        topology = star_topology(2, latencies_s=[0.001, 0.002],
+                                 downlink_latencies_s=[0.01, 0.02])
+        assert topology.uplink("end_system_1").latency.mean() == pytest.approx(0.002)
+        assert topology.downlink("end_system_1").latency.mean() == pytest.approx(0.02)
+
+    def test_symmetric_fallback_without_downlink(self):
+        topology = GeoTopology()
+        topology.add_node("server", role="server")
+        topology.add_node("clinic", role="end_system")
+        topology.add_link("clinic", "server", Link(latency=ConstantLatency(0.001)))
+        assert topology.downlink("clinic") is topology.uplink("clinic")
+
+    def test_transport_downlink_traffic_does_not_touch_uplink(self):
+        """Regression: send_to_end_system used topology.uplink(), commingling
+        gradient-return traffic into the uplink's counters."""
+        topology = star_topology(1)
+        transport = Transport(topology)
+        transport.send_to_end_system("end_system_0", np.zeros(100), now=0.0)
+        assert topology.uplink("end_system_0").messages_sent == 0
+        assert topology.downlink("end_system_0").messages_sent == 1
+        assert transport.log.downlink_messages == 1
+        assert transport.log.uplink_messages == 0
+
+    def test_per_direction_drop_counters(self):
+        topology = star_topology(1, drop_probability=0.0,
+                                 downlink_drop_probability=0.99, seed=0)
+        transport = Transport(topology)
+        for _ in range(100):
+            transport.send_to_server("end_system_0", np.zeros(4), now=0.0)
+            transport.send_to_end_system("end_system_0", np.zeros(4), now=0.0)
+        assert transport.log.uplink_dropped == 0
+        assert transport.log.downlink_dropped > 50
+        assert transport.log.dropped_messages == transport.log.downlink_dropped
+        totals = topology.dropped_totals()
+        assert totals["uplink"] == 0
+        assert totals["downlink"] == transport.log.downlink_dropped
+
+    def test_stats_direction_argument(self):
+        topology = star_topology(1)
+        assert topology.stats("up")["end_system_0"]["direction"] == "up"
+        assert topology.stats("down")["end_system_0"]["direction"] == "down"
+        with pytest.raises(ValueError):
+            topology.stats("sideways")
+
+
 class TestTransport:
     def make_transport(self, latency=0.01):
         topology = star_topology(2, latencies_s=[latency, latency])
@@ -144,6 +203,15 @@ class TestTransport:
         transport.send_to_server("end_system_0", np.zeros(1), now=5.0)
         transport.send_to_server("end_system_0", np.zeros(1), now=1.0)
         assert transport.now == 5.0
+
+    def test_clock_does_not_rewrite_send_times(self):
+        """A late observation on one link must not delay an independent
+        transfer that was handed over earlier."""
+        transport, _ = self.make_transport(latency=0.01)
+        transport.send_to_server("end_system_0", np.zeros(1), now=5.0)
+        message = transport.send_to_server("end_system_1", np.zeros(1), now=1.0)
+        assert message.created_at == pytest.approx(1.0)
+        assert message.arrival_time < 5.0
 
     def test_dropped_messages_counted(self):
         topology = star_topology(1, latencies_s=[0.001], drop_probability=0.9, seed=0)
