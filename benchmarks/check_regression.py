@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for the verify flow.
+
+Diffs a freshly generated ``BENCH_substrate.json`` against the committed
+baseline (``benchmarks/BENCH_baseline.json``) and **fails (exit 1) when
+any benchmark in a ``hotpaths-*`` or ``engine`` group regresses by more
+than the threshold** (default 20% on the mean).  Benchmarks present in
+the baseline but missing from the current run also fail — silently
+dropping coverage must not pass the gate.
+
+Usage (from the repo root, after a full benchmark run)::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -q
+    python benchmarks/check_regression.py
+
+When a slowdown is intentional (or after a PR deliberately moves the
+performance envelope), refresh the committed baseline with::
+
+    python benchmarks/check_regression.py --update-baseline
+
+New benchmarks absent from the baseline are reported but never fail the
+gate; updating the baseline adopts them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_substrate.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+GATED_GROUPS = ("engine",)
+GATED_PREFIXES = ("hotpaths-",)
+
+
+def gated(group: str) -> bool:
+    return group in GATED_GROUPS or any(group.startswith(p) for p in GATED_PREFIXES)
+
+
+def load_rows(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    return {
+        row["name"]: row
+        for row in payload.get("benchmarks", [])
+        if gated(row.get("group", ""))
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT,
+                        help="freshly generated benchmark file (default: BENCH_substrate.json)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed baseline (default: benchmarks/BENCH_baseline.json)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional mean regression (default: 0.20)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy the current file over the baseline and exit")
+    args = parser.parse_args(argv)
+
+    if not args.current.exists():
+        print(f"error: current benchmark file not found: {args.current}")
+        print("run: PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -q")
+        return 2
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if not args.baseline.exists():
+        print(f"error: baseline not found: {args.baseline} "
+              "(seed it with --update-baseline)")
+        return 2
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+
+    failures = []
+    lines = []
+    for name, base_row in sorted(baseline.items()):
+        base_mean = base_row["mean_ms"]
+        current_row = current.get(name)
+        if current_row is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        mean = current_row["mean_ms"]
+        ratio = mean / base_mean if base_mean else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {base_mean:.3f} ms -> {mean:.3f} ms ({ratio:.2f}x)"
+            )
+        lines.append(
+            f"  {status:>9}  {name:<50} {base_mean:>9.3f} -> {mean:>9.3f} ms"
+            f"  ({ratio:.2f}x)"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"  {'new':>9}  {name:<50} {'':>9}    {current[name]['mean_ms']:>9.3f} ms")
+
+    print(f"benchmark regression gate (threshold: +{args.threshold:.0%} on mean)")
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond +{args.threshold:.0%}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: {len(baseline)} gated benchmarks within +{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

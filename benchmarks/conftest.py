@@ -35,6 +35,24 @@ SEED_BASELINE_MS = {
     "test_one_synchronous_epoch_wall_time": 142.01,
 }
 
+# PR 2 timings of the hotpath/engine groups (mean ms from the PR 2
+# BENCH_substrate.json) — the reference for PR 3's server-throughput
+# substrate (fused losses/pooling, backend GEMMs, activation arena).
+PR2_BASELINE_MS = {
+    "test_conv2d_forward[float32]": 1.561,
+    "test_conv2d_forward[float64]": 3.387,
+    "test_conv2d_forward_backward[float32]": 3.807,
+    "test_conv2d_forward_backward[float64]": 9.021,
+    "test_max_pool_forward_backward": 3.650,
+    "test_max_pool_inference_fast_path": 0.214,
+    "test_col2im_non_overlapping_fast_path": 0.261,
+    "test_col2im_general_path": 0.422,
+    "test_server_sequential_drain": 20.668,
+    "test_server_batched_drain": 12.446,
+    "test_async_epoch_100_clients_event_throughput": 120.413,
+    "test_async_epoch_100_clients_bounded_queue": 73.305,
+}
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -84,6 +102,11 @@ def pytest_sessionfinish(session, exitstatus):
     future PRs can track the performance trajectory without re-running
     the seed revision.
     """
+    # Only benchmark-only sessions may write the tracking file: a plain
+    # test run executes benchmarks once un-calibrated and has the process
+    # -global perf counters polluted with unit-test traffic.
+    if not session.config.getoption("--benchmark-only", default=False):
+        return
     bench_session = getattr(session.config, "_benchmarksession", None)
     benchmarks = getattr(bench_session, "benchmarks", None)
     if not benchmarks:
@@ -116,14 +139,20 @@ def pytest_sessionfinish(session, exitstatus):
             row["seed_baseline_ms"] = baseline
             mean = row["mean_ms"]
             row["speedup_vs_seed"] = round(baseline / mean, 3) if mean else None
+        pr2_baseline = PR2_BASELINE_MS.get(name)
+        if pr2_baseline is not None:
+            row["pr2_baseline_ms"] = pr2_baseline
+            mean = row["mean_ms"]
+            row["speedup_vs_pr2"] = round(pr2_baseline / mean, 3) if mean else None
         rows.append(row)
     if not rows:
         return
-    # Only (re)write the tracking file when the *complete* substrate group
-    # ran; a filtered run (-k, single test) must not clobber the cross-PR
-    # snapshot with partial data.
-    substrate_names = {row["name"] for row in rows if row["group"] == "substrate"}
-    if not substrate_names.issuperset(SEED_BASELINE_MS):
+    # Only (re)write the tracking file when the run covered every tracked
+    # benchmark — the substrate group *and* the gated hotpaths/engine set
+    # that check_regression.py consumes; a filtered run (-k, single file)
+    # must not clobber the cross-PR snapshot with partial data.
+    row_names = {row["name"] for row in rows}
+    if not row_names.issuperset(SEED_BASELINE_MS) or not row_names.issuperset(PR2_BASELINE_MS):
         return
 
     from repro.nn import get_default_dtype

@@ -1,0 +1,95 @@
+"""Hundred-to-five-hundred-client drain throughput (PR 3 tentpole).
+
+The server's batched drain is the throughput bottleneck of the whole
+deployment: wall-clock scales with how fast one queue's worth of
+activation messages becomes one training step.  These benchmarks stage a
+full 500-client backlog through ``CentralServer.receive`` (the arena
+copy happens there, at enqueue time, exactly as it would during network
+arrival) and time only the drain — ``process_pending_batch`` — which
+trains on a contiguous zero-copy view of the activation arena.
+
+``test_server_drain_500_concat`` runs the identical workload with the
+arena disabled, so ``BENCH_substrate.json`` records what the
+``np.concatenate`` rebuild costs at this scale.
+
+Run with::
+
+    pytest benchmarks/test_bench_drain500.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import ActivationMessage
+from repro.core.models import tiny_cnn_architecture
+from repro.core.server import CentralServer
+from repro.core.split import SplitSpec
+from repro.nn import default_dtype
+from repro.utils.perf import counters, track
+
+NUM_CLIENTS = 500
+CLIENT_BATCH = 4
+
+
+@pytest.fixture(scope="module")
+def drain_workload():
+    """A split spec plus one activation message per client (500 total)."""
+    with default_dtype(np.float32):
+        architecture = tiny_cnn_architecture(image_size=16, num_blocks=3,
+                                             base_filters=8, dense_units=64)
+        spec = SplitSpec(architecture, client_blocks=1)
+        shape = architecture.block_output_shape(1)
+        rng = np.random.default_rng(7)
+        messages = [
+            ActivationMessage(
+                end_system_id=index,
+                batch_id=index,
+                activations=rng.random((CLIENT_BATCH, *shape)).astype(np.float32),
+                labels=rng.integers(0, 10, CLIENT_BATCH),
+                arrival_time=float(index),
+            )
+            for index in range(NUM_CLIENTS)
+        ]
+    return spec, messages
+
+
+def _drain_benchmark(benchmark, drain_workload, use_arena):
+    spec, messages = drain_workload
+    with default_dtype(np.float32):
+        server = CentralServer(spec, use_arena=use_arena, seed=0)
+
+    def refill():
+        # Enqueue-time work (admission + arena staging) happens here, on
+        # the arrival path, exactly like a real backlog building up.
+        for message in messages:
+            server.receive(message)
+        return (), {}
+
+    def drain():
+        results = server.process_pending_batch()
+        assert len(results) == NUM_CLIENTS
+        return results
+
+    with track() as delta:
+        benchmark.pedantic(drain, setup=refill, iterations=1, rounds=5,
+                           warmup_rounds=1)
+    assert server.samples_processed >= NUM_CLIENTS * CLIENT_BATCH
+    benchmark.extra_info["clients"] = NUM_CLIENTS
+    benchmark.extra_info["union_batch"] = NUM_CLIENTS * CLIENT_BATCH
+    for key in ("arena_gather_zero_copy", "arena_gather_fallback",
+                "arena_staged", "arena_grows"):
+        if delta.get(key):
+            benchmark.extra_info[key] = delta[key]
+
+
+@pytest.mark.benchmark(group="hotpaths-server")
+def test_server_drain_500_arena(benchmark, drain_workload):
+    """500-client drain through the zero-copy arena gather."""
+    _drain_benchmark(benchmark, drain_workload, use_arena=True)
+    assert counters.get("arena_gather_zero_copy") > 0
+
+
+@pytest.mark.benchmark(group="hotpaths-server")
+def test_server_drain_500_concat(benchmark, drain_workload):
+    """Identical 500-client drain rebuilding the batch with np.concatenate."""
+    _drain_benchmark(benchmark, drain_workload, use_arena=False)

@@ -45,6 +45,15 @@ def build_trainer(max_queue_size=None, queue_backpressure="drop"):
     return SpatioTemporalTrainer(spec, parts, config, topology=topology)
 
 
+# A single un-warmed round gave meaningless cross-PR numbers (rounds: 1,
+# stddev: 0 in BENCH_substrate.json).  Every engine benchmark now runs one
+# discarded warmup round (imports, BLAS init, workspace-cache population)
+# followed by several measured rounds, each on a freshly built trainer so
+# no round trains on another round's parameters.
+WARMUP_ROUNDS = 1
+MEASURED_ROUNDS = 5
+
+
 @pytest.mark.benchmark(group="engine")
 def test_async_epoch_100_clients_event_throughput(benchmark):
     """One asynchronous epoch over 100 clients; reports events/second."""
@@ -58,7 +67,8 @@ def test_async_epoch_100_clients_event_throughput(benchmark):
         history = trainer.train()
         return history.final_train_accuracy
 
-    accuracy = benchmark.pedantic(one_epoch, setup=setup, iterations=1, rounds=1)
+    accuracy = benchmark.pedantic(one_epoch, setup=setup, iterations=1,
+                                  rounds=MEASURED_ROUNDS, warmup_rounds=WARMUP_ROUNDS)
     assert accuracy >= 0.0
     trainer = trainers[-1]
     events = trainer.engine.stats.events_processed
@@ -82,7 +92,8 @@ def test_async_epoch_100_clients_bounded_queue(benchmark):
         history = trainer.train()
         return history.final_train_accuracy
 
-    benchmark.pedantic(one_epoch, setup=setup, iterations=1, rounds=1)
+    benchmark.pedantic(one_epoch, setup=setup, iterations=1,
+                       rounds=MEASURED_ROUNDS, warmup_rounds=WARMUP_ROUNDS)
     trainer = trainers[-1]
     assert all(es.pending_batches == 0 for es in trainer.end_systems)
     benchmark.extra_info["engine_events"] = int(trainer.engine.stats.events_processed)

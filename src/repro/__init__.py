@@ -2,6 +2,8 @@
 
 The package is organised bottom-up:
 
+* :mod:`repro.backend` — pluggable compute backends (GEMM / elementwise /
+  reduce primitives with fused epilogues) behind the nn hot paths.
 * :mod:`repro.nn` — NumPy deep-learning substrate (autograd, Conv2D,
   MaxPooling2D, Dense, losses, optimizers).
 * :mod:`repro.data` — synthetic CIFAR-10-style datasets, loaders,
@@ -17,7 +19,7 @@ The package is organised bottom-up:
   ablations, with a CLI entry point (``repro-experiments``).
 """
 
-from . import baselines, core, data, nn, simnet, utils
+from . import backend, baselines, core, data, nn, simnet, utils
 from .core import (
     CentralServer,
     CNNArchitecture,
@@ -33,6 +35,7 @@ from .data import SyntheticCIFAR10, SyntheticMNIST
 __version__ = "1.0.0"
 
 __all__ = [
+    "backend",
     "nn",
     "data",
     "simnet",

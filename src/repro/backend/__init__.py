@@ -1,0 +1,275 @@
+"""Pluggable compute backends for the substrate's array primitives.
+
+The NumPy substrate funnels its heavy math through three primitives —
+GEMM, elementwise maps and axis reductions — so swapping the
+implementation of those three operations retargets every hot path at
+once (conv2d's im2col GEMMs, the fused dense layer, the fused
+cross-entropy loss, the server's batched drain).  A backend is a small
+object implementing
+
+* :meth:`Backend.gemm` — matrix multiply with an optional **fused
+  epilogue** (``bias`` add and/or ``activation``) applied while the
+  output tile is still cache-hot, and an optional ``out=`` destination
+  so callers can supply workspace-cached buffers;
+* :meth:`Backend.elementwise` — named elementwise maps (``relu``,
+  ``exp``, ``add``, …) with ``out=`` support;
+* :meth:`Backend.reduce` — named axis reductions (``sum``, ``max``,
+  ``mean``, ``argmax``) with ``out=`` support.
+
+Two implementations ship in-tree:
+
+* :class:`NumpyBackend` — the trivially readable reference: one
+  ``np.matmul`` per GEMM, ufuncs for the rest.
+* :class:`BlockedBackend` — tiles large GEMMs over blocks of output
+  rows and applies the bias/activation epilogue per tile, so the
+  epilogue never costs an extra full pass over a cache-cold output.
+  Tiling splits only the *M* dimension (full *K* per tile), so partial
+  sums are computed in the same order as the direct product and results
+  match the reference backend to round-off.
+
+The active backend is process-global:
+
+>>> from repro import backend
+>>> backend.set_backend("blocked")
+>>> with backend.use_backend("numpy"):
+...     ...  # reference semantics inside the block
+
+``TrainingConfig.compute_backend`` threads the same selection through
+the trainer.  Backend traffic is recorded in
+:data:`repro.utils.perf.counters` (``gemm_calls``,
+``backend_gemm_blocked``, ``backend_gemm_tiles``,
+``backend_fused_bias``, ``backend_fused_activation``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator, Optional, Union
+
+import numpy as np
+
+from ..utils.perf import counters
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "BlockedBackend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+
+class Backend:
+    """Interface every compute backend implements.
+
+    All three primitives accept ``out=``: when given, the result is
+    written into that array (which is also returned), so hot paths can
+    reuse workspace-cached buffers instead of allocating.
+    """
+
+    name: str = "abstract"
+
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        *,
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+    ) -> np.ndarray:
+        """Matrix product ``a @ b`` with an optional fused epilogue.
+
+        ``bias`` (broadcast-added over the output rows) and
+        ``activation`` (a named elementwise map, e.g. ``"relu"``) are
+        applied in place on the output — blocked implementations apply
+        them per tile while the tile is cache-hot.
+        """
+        raise NotImplementedError
+
+    def elementwise(self, op: str, *operands: np.ndarray,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply the named elementwise map to ``operands``."""
+        raise NotImplementedError
+
+    def reduce(self, op: str, operand: np.ndarray, axis=None,
+               out: Optional[np.ndarray] = None, keepdims: bool = False) -> np.ndarray:
+        """Apply the named reduction along ``axis``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _relu(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    # 0 is passed as a python scalar so float32 operands stay float32.
+    return np.maximum(x, 0, out=out)
+
+
+_UNARY: Dict[str, Callable] = {
+    "relu": _relu,
+    "exp": np.exp,
+    "log": np.log,
+    "neg": np.negative,
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    "tanh": np.tanh,
+}
+
+_BINARY: Dict[str, Callable] = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.true_divide,
+    "maximum": np.maximum,
+    "minimum": np.minimum,
+}
+
+_REDUCTIONS: Dict[str, Callable] = {
+    "sum": np.sum,
+    "max": np.max,
+    "min": np.min,
+    "mean": np.mean,
+    "argmax": np.argmax,
+}
+
+
+class NumpyBackend(Backend):
+    """Reference backend: plain NumPy calls, nothing clever."""
+
+    name = "numpy"
+
+    def gemm(self, a, b, out=None, *, bias=None, activation=None):
+        self._count_gemm(bias, activation)
+        out = np.matmul(a, b, out=out)
+        return self._epilogue(out, bias, activation)
+
+    @staticmethod
+    def _count_gemm(bias: Optional[np.ndarray], activation: Optional[str]) -> None:
+        # Counted once per fused op (never per tile), so the counters
+        # mean the same thing on every backend.
+        counters.add("gemm_calls")
+        if bias is not None:
+            counters.add("backend_fused_bias")
+        if activation is not None:
+            counters.add("backend_fused_activation")
+
+    @staticmethod
+    def _epilogue(out: np.ndarray, bias: Optional[np.ndarray],
+                  activation: Optional[str]) -> np.ndarray:
+        if bias is not None:
+            out += bias
+        if activation is not None:
+            _UNARY[activation](out, out=out)
+        return out
+
+    def elementwise(self, op, *operands, out=None):
+        if op in _UNARY:
+            (x,) = operands
+            return _UNARY[op](x, out=out)
+        if op in _BINARY:
+            x, y = operands
+            return _BINARY[op](x, y, out=out)
+        known = ", ".join(sorted(_UNARY) + sorted(_BINARY))
+        raise KeyError(f"unknown elementwise op {op!r}; known ops: {known}")
+
+    def reduce(self, op, operand, axis=None, out=None, keepdims=False):
+        try:
+            fn = _REDUCTIONS[op]
+        except KeyError:
+            known = ", ".join(sorted(_REDUCTIONS))
+            raise KeyError(f"unknown reduction {op!r}; known reductions: {known}") from None
+        if op == "argmax":
+            # np.argmax has no keepdims before numpy 1.22 semantics we rely
+            # on; keep its signature minimal.
+            return fn(operand, axis=axis, out=out)
+        return fn(operand, axis=axis, out=out, keepdims=keepdims)
+
+
+class BlockedBackend(NumpyBackend):
+    """Row-tiled GEMM with cache-hot fused epilogues.
+
+    Large products are computed ``block_rows`` output rows at a time;
+    the bias/activation epilogue runs on each tile right after its
+    product, while the tile is still in cache, instead of as a second
+    full pass over the output.  Only the *M* dimension is tiled — every
+    tile sees the full *K* — so the summation order (and therefore the
+    result, up to BLAS round-off) matches the direct product.
+
+    Small problems (fewer than ``2 * block_rows`` output rows) and
+    non-2D operands defer to the reference implementation.
+    """
+
+    name = "blocked"
+
+    def __init__(self, block_rows: int = 2048) -> None:
+        if block_rows <= 0:
+            raise ValueError("block_rows must be positive")
+        self.block_rows = int(block_rows)
+
+    def gemm(self, a, b, out=None, *, bias=None, activation=None):
+        if a.ndim != 2 or b.ndim != 2 or a.shape[0] < 2 * self.block_rows:
+            return super().gemm(a, b, out=out, bias=bias, activation=activation)
+        self._count_gemm(bias, activation)
+        counters.add("backend_gemm_blocked")
+        m = a.shape[0]
+        if out is None:
+            out = np.empty((m, b.shape[1]), dtype=np.result_type(a, b))
+        for start in range(0, m, self.block_rows):
+            stop = min(m, start + self.block_rows)
+            tile = out[start:stop]
+            np.matmul(a[start:stop], b, out=tile)
+            self._epilogue(tile, bias, activation)
+            counters.add("backend_gemm_tiles")
+        return out
+
+
+_BACKENDS: Dict[str, Callable[[], Backend]] = {
+    "numpy": NumpyBackend,
+    "blocked": BlockedBackend,
+}
+
+#: Process-global active backend.  ``blocked`` is the default: it defers
+#: to the reference implementation for small problems, so it is never
+#: slower and needs no configuration.
+_ACTIVE: Backend = BlockedBackend()
+
+
+def available_backends() -> list:
+    """Names accepted by :func:`set_backend`."""
+    return sorted(_BACKENDS)
+
+
+def get_backend() -> Backend:
+    """The currently active backend."""
+    return _ACTIVE
+
+
+def set_backend(backend: Union[str, Backend]) -> Backend:
+    """Install ``backend`` (a name or an instance) as the active backend."""
+    global _ACTIVE
+    if isinstance(backend, str):
+        try:
+            backend = _BACKENDS[backend.lower()]()
+        except KeyError:
+            known = ", ".join(available_backends())
+            raise KeyError(
+                f"unknown backend {backend!r}; known backends: {known}"
+            ) from None
+    if not isinstance(backend, Backend):
+        raise TypeError(f"expected a Backend or a name, got {type(backend).__name__}")
+    _ACTIVE = backend
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_backend(backend: Union[str, Backend]) -> Iterator[Backend]:
+    """Temporarily switch the active backend within a ``with`` block."""
+    previous = get_backend()
+    installed = set_backend(backend)
+    try:
+        yield installed
+    finally:
+        set_backend(previous)

@@ -55,6 +55,19 @@ class TrainingConfig:
         of running one pass per message, and performs a single optimizer
         step on the union batch.  Set to ``False`` to recover the
         per-message processing of the original implementation.
+    server_arena:
+        When ``True`` (the default) the server stages admitted
+        activation payloads into a preallocated shape-bucketed arena at
+        enqueue time (:class:`repro.utils.arena.ActivationArena`), so
+        batched drains train on a contiguous zero-copy view instead of
+        re-concatenating every pending message.
+    compute_backend:
+        Name of the compute backend the trainer installs **for the
+        duration of each run** (``train`` / ``evaluate`` /
+        ``train_time_budget``, via :func:`repro.backend.use_backend`):
+        ``"numpy"`` (reference) or ``"blocked"`` (tiled GEMMs with fused
+        epilogues).  ``None`` (the default) runs on whatever backend is
+        globally active.
     max_in_flight:
         Asynchronous mode only: how many batches an end-system may have
         outstanding (sent but not yet acknowledged with a gradient).
@@ -80,6 +93,8 @@ class TrainingConfig:
     queue_backpressure: str = "drop"
     mode: str = "synchronous"
     server_batching: bool = True
+    server_arena: bool = True
+    compute_backend: Optional[str] = None
     max_in_flight: int = 1
     server_step_time_s: float = 0.0
     seed: int = 0
@@ -108,6 +123,15 @@ class TrainingConfig:
             raise ValueError(
                 f"queue_backpressure must be 'drop' or 'block', got {self.queue_backpressure!r}"
             )
+        if self.compute_backend is not None:
+            from ..backend import available_backends
+
+            if self.compute_backend not in available_backends():
+                known = ", ".join(available_backends())
+                raise ValueError(
+                    f"compute_backend must be one of {known} (or None), "
+                    f"got {self.compute_backend!r}"
+                )
 
     @property
     def client_optimizer_kwargs(self) -> Dict[str, float]:

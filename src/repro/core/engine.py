@@ -480,7 +480,9 @@ class TrainingEngine:
                 end_system.discard_pending(message.batch_id)
                 self.stats.cancelled_at_stop += 1
             in_flight.clear()
-            for message in self.server.queue.flush():
+            # flush_queue also releases the messages' activation-arena
+            # rows, so a budgeted stop does not pin staged memory.
+            for message in self.server.flush_queue():
                 self._by_id[message.end_system_id].discard_pending(message.batch_id)
                 self.stats.cancelled_at_stop += 1
             waiting.clear()

@@ -55,11 +55,13 @@ which is what the staleness-sensitive ablations model.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import use_backend
 from ..data.datasets import Dataset
 from ..data.loader import DataLoader
 from ..data.transforms import Transform
@@ -157,6 +159,9 @@ class SpatioTemporalTrainer:
             loss_name=self.config.loss,
             queue_policy=get_policy(self.config.queue_policy),
             max_queue_size=self.config.max_queue_size,
+            # Per-message processing never gathers, so staging would be a
+            # pure copy tax; the arena rides with batched draining.
+            use_arena=self.config.server_arena and self.config.server_batching,
             seed=int(seeds.generator("server").integers(0, 2 ** 31)),
         )
         self._node_name_to_system = {
@@ -202,6 +207,18 @@ class SpatioTemporalTrainer:
             "engine_events": self.engine.stats.events_processed,
         }
 
+    def _backend_context(self):
+        """Install ``config.compute_backend`` for the duration of a run.
+
+        The selection is scoped (``use_backend``) rather than a
+        process-global ``set_backend`` at construction time, so two
+        trainers with different backend configs can run in one process
+        without the last-constructed one winning.
+        """
+        if self.config.compute_backend is None:
+            return contextlib.nullcontext()
+        return use_backend(self.config.compute_backend)
+
     def train(self, test_dataset: Optional[Dataset] = None,
               epochs: Optional[int] = None,
               evaluate_every: int = 1) -> TrainingHistory:
@@ -215,6 +232,12 @@ class SpatioTemporalTrainer:
         epochs:
             Override for ``config.epochs``.
         """
+        with self._backend_context():
+            return self._train(test_dataset, epochs, evaluate_every)
+
+    def _train(self, test_dataset: Optional[Dataset],
+               epochs: Optional[int],
+               evaluate_every: int) -> TrainingHistory:
         epochs = epochs if epochs is not None else self.config.epochs
         history = TrainingHistory(config=self.config.to_dict())
         last_evaluation: Optional[Dict[str, object]] = None
@@ -272,6 +295,10 @@ class SpatioTemporalTrainer:
         own patients in the paper's scenario), and the per-system values
         are reported for fairness analysis.
         """
+        with self._backend_context():
+            return self._evaluate(dataset, batch_size)
+
+    def _evaluate(self, dataset: Dataset, batch_size: Optional[int]) -> Dict[str, object]:
         images, labels = dataset.arrays()
         if self.eval_transform is not None:
             images = self.eval_transform(images)
@@ -330,9 +357,10 @@ class SpatioTemporalTrainer:
         history = TrainingHistory(config=self.config.to_dict())
         start_clock = self.engine.clock
         start = time.perf_counter()
-        tracker = self.engine.run_asynchronous(
-            iterators, stop_time=start_clock + simulated_seconds
-        )
+        with self._backend_context():
+            tracker = self.engine.run_asynchronous(
+                iterators, stop_time=start_clock + simulated_seconds
+            )
         self._clock = self.engine.clock
         averages = tracker.averages()
         record = EpochRecord(

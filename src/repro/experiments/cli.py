@@ -28,6 +28,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..backend import available_backends, get_backend, set_backend
 from ..utils.logging import set_verbosity
 from .base import WorkloadSpec
 from .registry import get_experiment, list_experiments, run_experiment
@@ -69,10 +70,15 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=None, help="override the epoch budget")
     parser.add_argument("--batch-size", type=int, default=None, help="override the batch size")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument("--backend", choices=available_backends(), default=None,
+                        help="compute backend for the run (default: leave the "
+                             f"process default, currently {get_backend().name!r})")
     parser.add_argument("--json", action="store_true", help="print JSON instead of a table")
 
 
 def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    if getattr(args, "backend", None) is not None:
+        set_backend(args.backend)
     factory = WorkloadSpec.paper if args.scale == "paper" else WorkloadSpec.laptop
     overrides = {}
     if args.num_samples is not None:

@@ -30,7 +30,17 @@ split-learning experiment, so they are written to minimise allocations:
 * when gradients are disabled (``evaluate``/``predict``), pooling reduces
   directly over the strided window view and convolution reuses a cached
   column workspace, so steady-state inference performs no large
-  allocations beyond its outputs.
+  allocations beyond its outputs;
+* every GEMM goes through the pluggable backend in :mod:`repro.backend`
+  (``conv2d``'s forward product fuses the bias into the GEMM epilogue,
+  :func:`linear` is a single fused affine node, and the blocked backend
+  tiles large products with cache-hot epilogues);
+* :func:`cross_entropy` fuses the log-softmax into the loss: one pass
+  computes the per-sample losses and the backward closure emits
+  ``(softmax - one_hot) * scale`` directly, with no intermediate graph
+  nodes;
+* unpadded ``max_pool2d`` training reduces with pairwise maxima (no
+  window matrix or argmax) and recomputes the winner mask in backward.
 
 Op-level counters (GEMM calls, conv/pool invocations, workspace traffic)
 are recorded in :data:`repro.utils.perf.counters`.
@@ -43,6 +53,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from ..backend import get_backend
 from ..utils.perf import counters, workspace
 from .dtype import get_default_dtype
 from .tensor import Tensor, ensure_tensor, is_grad_enabled
@@ -51,6 +62,7 @@ __all__ = [
     "im2col",
     "col2im",
     "conv2d",
+    "linear",
     "max_pool2d",
     "avg_pool2d",
     "softmax",
@@ -93,7 +105,14 @@ def _pad_images(images: np.ndarray, ph: int, pw: int,
     if scratch_tag is None:
         return np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     padded = workspace(scratch_tag, (n, c, h + 2 * ph, w + 2 * pw), images.dtype)
-    padded.fill(0.0)
+    # Zero only the border stripes: the interior is overwritten below, so
+    # a full fill would redundantly touch most of the buffer twice.
+    if ph:
+        padded[:, :, :ph, :] = 0.0
+        padded[:, :, ph + h:, :] = 0.0
+    if pw:
+        padded[:, :, ph:ph + h, :pw] = 0.0
+        padded[:, :, ph:ph + h, pw + w:] = 0.0
     padded[:, :, ph:ph + h, pw:pw + w] = images
     return padded
 
@@ -104,20 +123,54 @@ def _strided_windows(padded: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> 
     return windows[:, :, ::sh, ::sw]
 
 
+def _gather_patches_direct(x: np.ndarray, out: np.ndarray, ph: int, pw: int) -> np.ndarray:
+    """Stride-1 patch gather straight from the *unpadded* input.
+
+    Rather than materialising a zero-padded copy of ``x`` and gathering
+    from it, each kernel offset copies its clipped in-bounds window and
+    zeroes only the thin boundary strips the padding would have
+    contributed — one full write plus one full read of the image less
+    than the pad-then-gather path.
+    """
+    _, _, h, w = x.shape
+    _, oh, ow, kh, kw, _ = out.shape
+    for i in range(kh):
+        di = i - ph
+        r0, r1 = max(0, -di), min(oh, h - di)
+        for j in range(kw):
+            dj = j - pw
+            c0, c1 = max(0, -dj), min(ow, w - dj)
+            view = out[:, :, :, i, j, :]
+            if r0 > 0:
+                view[:, :r0, :, :] = 0.0
+            if r1 < oh:
+                view[:, r1:, :, :] = 0.0
+            if c0 > 0:
+                view[:, r0:r1, :c0, :] = 0.0
+            if c1 < ow:
+                view[:, r0:r1, c1:, :] = 0.0
+            view[:, r0:r1, c0:c1, :] = (
+                x[:, :, r0 + di:r1 + di, c0 + dj:c1 + dj].transpose(0, 2, 3, 1)
+            )
+    return out
+
+
 def _gather_patches(padded: np.ndarray, out: np.ndarray, sh: int, sw: int) -> np.ndarray:
-    """Fill ``out`` (``(N, oh, ow, C, kh, kw)``) with convolution patches.
+    """Fill ``out`` (``(N, oh, ow, kh, kw, C)``) with convolution patches.
 
     Writing the patch-major layout directly — one vectorised slice
     assignment per kernel offset — is the contiguous-reshape fast path:
-    ``out.reshape(N*oh*ow, C*kh*kw)`` is then a zero-copy view, where the
-    seed implementation paid a second transpose-reshape copy.
+    ``out.reshape(N*oh*ow, kh*kw*C)`` is then a zero-copy view, where the
+    seed implementation paid a second transpose-reshape copy.  Keeping
+    the channel axis *last* makes every slice assignment write
+    contiguous ``C``-sized chunks instead of single strided elements.
     """
-    _, oh, ow, _, kh, kw = out.shape
+    _, oh, ow, kh, kw, _ = out.shape
     for i in range(kh):
         i_end = i + sh * oh
         for j in range(kw):
             j_end = j + sw * ow
-            out[:, :, :, :, i, j] = padded[:, :, i:i_end:sh, j:j_end:sw].transpose(0, 2, 3, 1)
+            out[:, :, :, i, j, :] = padded[:, :, i:i_end:sh, j:j_end:sw].transpose(0, 2, 3, 1)
     return out
 
 
@@ -220,6 +273,7 @@ def conv2d(
     bias: Optional[Tensor] = None,
     stride: IntOrPair = 1,
     padding: IntOrPair = 0,
+    activation: Optional[str] = None,
 ) -> Tensor:
     """2-D convolution over a mini-batch in NCHW layout.
 
@@ -231,6 +285,11 @@ def conv2d(
         Tensor of shape ``(C_out, C_in, kh, kw)``.
     bias:
         Optional tensor of shape ``(C_out,)``.
+    activation:
+        Optional elementwise epilogue (currently ``"relu"``).  In
+        inference mode it is fused into the backend's GEMM epilogue
+        (applied per tile, no separate pass); in training mode it is
+        appended as a regular autograd node so gradients stay exact.
     """
     inputs = ensure_tensor(inputs)
     weight = ensure_tensor(weight)
@@ -255,24 +314,38 @@ def conv2d(
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
 
     counters.add("conv2d_forward")
-    padded = _pad_images(x, ph, pw, scratch_tag="conv2d.pad")
+    backend = get_backend()
     # Single-copy rearrangement into the GEMM operand (N*oh*ow, C*kh*kw):
     # the patches are gathered directly in patch-major order, so the
     # reshape below is a zero-copy view (no second transpose-copy).
     if requires:
         # The backward pass reads cols_matrix (weight gradient GEMM), so
         # it must own its storage — no workspace reuse here.
-        patches = np.empty((n, out_h, out_w, c_in, kh, kw), dtype=x.dtype)
+        patches = np.empty((n, out_h, out_w, kh, kw, c_in), dtype=x.dtype)
     else:
-        patches = workspace("conv2d.cols", (n, out_h, out_w, c_in, kh, kw), x.dtype)
-    _gather_patches(padded, patches, sh, sw)
-    cols_matrix = patches.reshape(n * out_h * out_w, c_in * kh * kw)
-    weight_matrix = w.reshape(c_out, -1)
+        patches = workspace("conv2d.cols", (n, out_h, out_w, kh, kw, c_in), x.dtype)
+    if sh == 1 and sw == 1:
+        # Stride-1 (the paper's convs): clip per offset instead of
+        # materialising a zero-padded copy of the input.
+        _gather_patches_direct(x, patches, ph, pw)
+    else:
+        padded = _pad_images(x, ph, pw, scratch_tag="conv2d.pad")
+        _gather_patches(padded, patches, sh, sw)
+    cols_matrix = patches.reshape(n * out_h * out_w, kh * kw * c_in)
+    # Weight rearranged to match the (kh, kw, C) patch order; the copy is
+    # kernel-sized (tiny) and shared by forward and backward.
+    weight_matrix = np.ascontiguousarray(w.transpose(0, 2, 3, 1)).reshape(c_out, -1)
 
-    counters.add("gemm_calls")
-    out_matrix = cols_matrix @ weight_matrix.T  # (N*oh*ow, C_out)
-    if bias is not None:
-        out_matrix += bias.data  # in-place broadcast over the row dimension
+    if activation is not None and activation != "relu":
+        raise ValueError(f"conv2d supports activation='relu' or None, got {activation!r}")
+    # The bias is fused into the GEMM epilogue (per-tile on the blocked
+    # backend) instead of a second full pass over the output; in
+    # inference mode the activation rides the same epilogue.
+    out_matrix = backend.gemm(
+        cols_matrix, weight_matrix.T,
+        bias=bias.data if bias is not None else None,
+        activation=activation if not requires else None,
+    )  # (N*oh*ow, C_out)
     out_data = out_matrix.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
 
     out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
@@ -286,29 +359,98 @@ def conv2d(
             n * out_h * out_w, c_out
         )
         if weight.requires_grad:
-            counters.add("gemm_calls")
-            grad_weight = (grad_matrix.T @ cols_matrix).reshape(w.shape)
+            grad_weight = np.ascontiguousarray(
+                backend.gemm(grad_matrix.T, cols_matrix)
+                .reshape(c_out, kh, kw, c_in)
+                .transpose(0, 3, 1, 2)
+            )
             weight._accumulate(grad_weight, owned=True)
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)), owned=True)
         if inputs.requires_grad:
-            counters.add("gemm_calls")
-            grad_cols_matrix = grad_matrix @ weight_matrix  # (N*oh*ow, C*kh*kw)
+            # The patch-gradient matrix is transient scratch — it is fully
+            # folded into grad_padded below before the closure returns —
+            # so the GEMM writes into a workspace-cached buffer.
+            grad_cols_matrix = backend.gemm(
+                grad_matrix, weight_matrix,
+                out=workspace("conv2d.grad_cols",
+                              (n * out_h * out_w, kh * kw * c_in), grad.dtype),
+            )  # (N*oh*ow, kh*kw*C)
             # Fold the patch gradients in their native patch-major layout:
-            # each kernel offset reads a near-contiguous slice of the GEMM
-            # output and accumulates into an NHWC padded image, avoiding
-            # the badly-strided reads a transposed col2im view would incur.
-            grad_cols = grad_cols_matrix.reshape(n, out_h, out_w, c_in, kh, kw)
-            grad_padded = np.zeros((n, h + 2 * ph, w_in + 2 * pw, c_in), dtype=grad.dtype)
-            for i in range(kh):
+            # each kernel offset reads contiguous C-sized chunks of the
+            # GEMM output and accumulates into an NHWC padded image,
+            # avoiding the badly-strided reads a transposed col2im view
+            # would incur.
+            grad_cols = grad_cols_matrix.reshape(n, out_h, out_w, kh, kw, c_in)
+            padded_shape = (n, h + 2 * ph, w_in + 2 * pw, c_in)
+            if sh == 1 and sw == 1:
+                # Stride-1 fast path: offset (0, 0) covers all but the
+                # trailing kh-1 rows / kw-1 cols, so assign it into
+                # uninitialized memory (zeroing only those strips) and
+                # skip both the full zero fill and one accumulation pass.
+                grad_padded = np.empty(padded_shape, dtype=grad.dtype)
+                if kh > 1:
+                    grad_padded[:, out_h:, :, :] = 0.0
+                if kw > 1:
+                    grad_padded[:, :out_h, out_w:, :] = 0.0
+                grad_padded[:, :out_h, :out_w, :] = grad_cols[:, :, :, 0, 0, :]
+                offsets = [(i, j) for i in range(kh) for j in range(kw)][1:]
+            else:
+                grad_padded = np.zeros(padded_shape, dtype=grad.dtype)
+                offsets = [(i, j) for i in range(kh) for j in range(kw)]
+            for i, j in offsets:
                 i_end = i + sh * out_h
-                for j in range(kw):
-                    j_end = j + sw * out_w
-                    grad_padded[:, i:i_end:sh, j:j_end:sw, :] += grad_cols[:, :, :, :, i, j]
+                j_end = j + sw * out_w
+                grad_padded[:, i:i_end:sh, j:j_end:sw, :] += grad_cols[:, :, :, i, j, :]
             grad_input = np.ascontiguousarray(
                 grad_padded[:, ph:ph + h, pw:pw + w_in, :].transpose(0, 3, 1, 2)
             )
             inputs._accumulate(grad_input, owned=True)
+
+    out._backward = _backward
+    if activation is not None:
+        # Training mode: the epilogue becomes a regular graph node.
+        return out.relu()
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Dense / linear
+# --------------------------------------------------------------------------- #
+def linear(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``inputs @ weight + bias`` as one fused graph node.
+
+    The bias add rides the GEMM epilogue (per-tile on the blocked
+    backend) instead of being a separate broadcast-add node, so the
+    forward pass is a single backend call and the backward pass is two
+    GEMMs plus a column reduction.
+    """
+    inputs = ensure_tensor(inputs)
+    weight = ensure_tensor(weight)
+    if inputs.ndim != 2 or weight.ndim != 2:
+        raise ValueError(
+            f"linear expects 2-D operands, got {inputs.shape} @ {weight.shape}"
+        )
+    x = inputs.data
+    w = weight.data
+    parents = (inputs, weight) if bias is None else (inputs, weight, bias)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    backend = get_backend()
+    counters.add("linear_forward")
+    out_data = backend.gemm(x, w, bias=bias.data if bias is not None else None)
+
+    out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
+    if not requires:
+        return out
+    out._parents = parents
+
+    def _backward(grad: np.ndarray) -> None:
+        if inputs.requires_grad:
+            inputs._accumulate(backend.gemm(grad, w.T), owned=True)
+        if weight.requires_grad:
+            weight._accumulate(backend.gemm(x.T, grad), owned=True)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0), owned=True)
 
     out._backward = _backward
     return out
@@ -317,6 +459,22 @@ def conv2d(
 # --------------------------------------------------------------------------- #
 # Pooling
 # --------------------------------------------------------------------------- #
+def _pairwise_max(images: np.ndarray, kh: int, kw: int, sh: int, sw: int,
+                  out_h: int, out_w: int) -> np.ndarray:
+    """Window maximum as pairwise maxima over the kh*kw strided planes."""
+    planes = [
+        images[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw]
+        for i in range(kh)
+        for j in range(kw)
+    ]
+    if len(planes) == 1:
+        return planes[0].copy()
+    out = np.maximum(planes[0], planes[1])
+    for plane in planes[2:]:
+        np.maximum(out, plane, out=out)
+    return out
+
+
 def max_pool2d(inputs: Tensor, kernel_size: IntOrPair = 2, stride: Optional[IntOrPair] = None,
                padding: IntOrPair = 0) -> Tensor:
     """Max pooling over spatial windows in NCHW layout.
@@ -344,17 +502,51 @@ def max_pool2d(inputs: Tensor, kernel_size: IntOrPair = 2, stride: Optional[IntO
     if not requires:
         # Inference fast path: pairwise maximum over the kh*kw strided
         # planes — no window matrix is ever materialised.
-        out_data: Optional[np.ndarray] = None
-        for i in range(kh):
-            i_end = i + sh * out_h
-            for j in range(kw):
-                j_end = j + sw * out_w
-                plane = padded[:, :, i:i_end:sh, j:j_end:sw]
-                if out_data is None:
-                    out_data = plane.copy()
-                else:
-                    np.maximum(out_data, plane, out=out_data)
+        out_data = _pairwise_max(padded, kh, kw, sh, sw, out_h, out_w)
         return Tensor(out_data, dtype=x.dtype)
+
+    if ph == 0 and pw == 0:
+        # Training fast path for unpadded pooling (the paper's
+        # MaxPooling2D case): reduce with pairwise maxima over the kh*kw
+        # strided planes — no window matrix, no argmax, no gather — and
+        # let the backward pass recompute the winners by comparing each
+        # plane against the pooled output.  Ties resolve to the first
+        # (i, j) offset, exactly matching ``argmax`` order.
+        counters.add("max_pool_fused")
+        out_data = _pairwise_max(x, kh, kw, sh, sw, out_h, out_w)
+        out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
+        out._parents = (inputs,)
+
+        def _backward_fused(grad: np.ndarray) -> None:
+            counters.add("pool_backward")
+            grad_image = np.zeros((n, c, h, w), dtype=grad.dtype)
+            # Bool scratch is transient within this closure, so it comes
+            # from the workspace cache (no per-step allocations).
+            equal = workspace("max_pool2d.equal", out_data.shape, np.bool_)
+            winner = workspace("max_pool2d.winner", out_data.shape, np.bool_)
+            assigned = workspace("max_pool2d.assigned", out_data.shape, np.bool_)
+            assigned.fill(False)
+            # With stride >= kernel every image cell belongs to at most
+            # one window offset, so the masked gradient can be written
+            # straight into the image instead of accumulated.
+            disjoint = sh >= kh and sw >= kw
+            for i in range(kh):
+                i_end = i + sh * out_h
+                for j in range(kw):
+                    j_end = j + sw * out_w
+                    np.equal(x[:, :, i:i_end:sh, j:j_end:sw], out_data, out=equal)
+                    np.greater(equal, assigned, out=winner)  # equal & ~assigned
+                    target = grad_image[:, :, i:i_end:sh, j:j_end:sw]
+                    if disjoint:
+                        np.multiply(grad, winner, out=target)
+                    else:
+                        target += grad * winner
+                    if (i, j) != (kh - 1, kw - 1):
+                        np.logical_or(assigned, equal, out=assigned)
+            inputs._accumulate(grad_image, owned=True)
+
+        out._backward = _backward_fused
+        return out
 
     # The window matrix is only read during the forward pass (argmax +
     # gather); the backward closure touches just its *shape*, so the
@@ -458,40 +650,136 @@ def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
-def one_hot(labels: np.ndarray, num_classes: int, dtype=None) -> np.ndarray:
-    """Convert integer labels of shape ``(N,)`` to a one-hot matrix ``(N, K)``.
-
-    The matrix is created in ``dtype`` (default: the global dtype policy)
-    so that losses never up-cast float32 logits through a float64 mask.
-    """
+def _validate_labels(labels: np.ndarray, num_classes: int) -> np.ndarray:
     labels = np.asarray(labels, dtype=np.int64).reshape(-1)
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError(
             f"labels must lie in [0, {num_classes}), got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    encoded = np.zeros(
-        (labels.shape[0], num_classes),
-        dtype=dtype if dtype is not None else get_default_dtype(),
-    )
+    return labels
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=None,
+            out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Convert integer labels of shape ``(N,)`` to a one-hot matrix ``(N, K)``.
+
+    The encoding is a direct scatter — zero the destination, then write
+    the label positions — rather than any row-gather of an identity
+    matrix.  Passing ``out=`` scatters into that buffer (e.g. a
+    workspace array) instead of allocating; otherwise the matrix is
+    created in ``dtype`` (default: the global dtype policy) so that
+    losses never up-cast float32 logits through a float64 mask.
+    """
+    labels = _validate_labels(labels, num_classes)
+    if out is not None:
+        if out.shape != (labels.shape[0], num_classes):
+            raise ValueError(
+                f"out has shape {out.shape}, expected {(labels.shape[0], num_classes)}"
+            )
+        encoded = out
+        encoded.fill(0.0)
+    else:
+        encoded = np.zeros(
+            (labels.shape[0], num_classes),
+            dtype=dtype if dtype is not None else get_default_dtype(),
+        )
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 
 
 def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
-    """Negative log-likelihood of integer ``labels`` under ``log_probs``."""
+    """Negative log-likelihood of integer ``labels`` under ``log_probs``.
+
+    In inference mode the one-hot mask scatters into a workspace buffer
+    (nothing holds it after the op); in training mode the mask must stay
+    alive for the multiply's backward closure, so it owns its storage.
+    """
     log_probs = ensure_tensor(log_probs)
     labels = np.asarray(labels, dtype=np.int64).reshape(-1)
     num_classes = log_probs.shape[-1]
-    encoded = one_hot(labels, num_classes, dtype=log_probs.dtype)
+    if is_grad_enabled() and log_probs.requires_grad:
+        encoded = one_hot(labels, num_classes, dtype=log_probs.dtype)
+    else:
+        encoded = one_hot(
+            labels, num_classes,
+            out=workspace("nll_loss.one_hot", (labels.shape[0], num_classes),
+                          log_probs.dtype),
+        )
     mask = Tensor(encoded, dtype=encoded.dtype)
     per_sample = -(log_probs * mask).sum(axis=-1)
     return _reduce(per_sample, reduction)
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
-    """Softmax cross-entropy between raw ``logits`` and integer ``labels``."""
-    return nll_loss(log_softmax(logits, axis=-1), labels, reduction=reduction)
+    """Softmax cross-entropy between raw ``logits`` and integer ``labels``.
+
+    The log-softmax is **fused into the loss**: one NumPy pass computes
+    the shifted exponentials and per-sample losses, and the backward
+    closure emits the classic ``(softmax - one_hot) * scale`` gradient
+    directly — no separate softmax materialisation, no intermediate
+    graph nodes.  Non-2-D logits fall back to the composed
+    ``nll_loss(log_softmax(...))`` reference path.
+    """
+    logits = ensure_tensor(logits)
+    if logits.ndim != 2:
+        return nll_loss(log_softmax(logits, axis=-1), labels, reduction=reduction)
+    x = logits.data
+    num_samples, num_classes = x.shape
+    labels = _validate_labels(labels, num_classes)
+    if labels.shape[0] != num_samples:
+        raise ValueError(
+            f"batch mismatch: {num_samples} logit rows vs {labels.shape[0]} labels"
+        )
+    counters.add("cross_entropy_fused")
+    requires = is_grad_enabled() and logits.requires_grad
+    rows = np.arange(num_samples)
+
+    shift = x.max(axis=1, keepdims=True)
+    if requires:
+        # The backward closure reads the probabilities, so they own
+        # their storage; inference scatters into a workspace instead.
+        probs = np.empty_like(x)
+    else:
+        probs = workspace("cross_entropy.probs", x.shape, x.dtype)
+    np.subtract(x, shift, out=probs)
+    np.exp(probs, out=probs)
+    sum_exp = probs.sum(axis=1, keepdims=True)                  # (N, 1)
+    per_sample = np.log(sum_exp[:, 0]) - (x[rows, labels] - shift[:, 0])
+    if requires:
+        probs /= sum_exp                                        # softmax(x)
+
+    if reduction == "none":
+        out_data = per_sample
+    elif reduction == "mean":
+        out_data = np.asarray(per_sample.mean())
+    elif reduction == "sum":
+        out_data = np.asarray(per_sample.sum())
+    else:
+        raise ValueError(
+            f"unknown reduction {reduction!r}; expected 'mean', 'sum' or 'none'"
+        )
+    out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
+    if not requires:
+        return out
+    out._parents = (logits,)
+
+    def _backward(grad: np.ndarray) -> None:
+        if reduction == "none":
+            scale = np.asarray(grad).reshape(num_samples, 1)
+        elif reduction == "mean":
+            scale = np.asarray(grad) / num_samples
+        else:
+            scale = np.asarray(grad)
+        grad_logits = probs * scale
+        if reduction == "none":
+            grad_logits[rows, labels] -= scale[:, 0]
+        else:
+            grad_logits[rows, labels] -= scale
+        logits._accumulate(grad_logits, owned=True)
+
+    out._backward = _backward
+    return out
 
 
 def mse_loss(predictions: Tensor, targets: Tensor, reduction: str = "mean") -> Tensor:

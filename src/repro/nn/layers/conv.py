@@ -35,6 +35,11 @@ class Conv2D(Module):
     padding:
         Integer padding, or ``"same"`` to preserve spatial size for odd
         kernels with stride 1, or ``"valid"`` for no padding.
+    activation:
+        Optional fused epilogue (``"relu"``).  Equivalent to following
+        the layer with ``ReLU()``, but in inference mode the clamp is
+        applied inside the backend's GEMM epilogue while each output
+        tile is cache-hot instead of as a separate pass.
     """
 
     def __init__(
@@ -46,16 +51,20 @@ class Conv2D(Module):
         padding: Union[int, Tuple[int, int], str] = "same",
         bias: bool = True,
         weight_init: str = "he_normal",
+        activation: Optional[str] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
         if in_channels <= 0 or out_channels <= 0:
             raise ValueError("channel counts must be positive")
+        if activation not in (None, "relu"):
+            raise ValueError(f"activation must be 'relu' or None, got {activation!r}")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = F._pair(kernel_size)
         self.stride = F._pair(stride)
         self.padding = self._resolve_padding(padding)
+        self.activation = activation
 
         weight_fn = initializers.get_initializer(weight_init)
         weight_shape = (out_channels, in_channels, *self.kernel_size)
@@ -89,7 +98,8 @@ class Conv2D(Module):
             raise ValueError(
                 f"Conv2D expects {self.in_channels} input channels, got {inputs.shape[1]}"
             )
-        return F.conv2d(inputs, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(inputs, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, activation=self.activation)
 
     def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
         """Return the ``(C, H, W)`` output shape for a ``(C, H, W)`` input."""
@@ -99,7 +109,10 @@ class Conv2D(Module):
         return self.out_channels, out_h, out_w
 
     def extra_repr(self) -> str:
-        return (
+        base = (
             f"in_channels={self.in_channels}, out_channels={self.out_channels}, "
             f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
         )
+        if self.activation is not None:
+            base += f", activation={self.activation!r}"
+        return base

@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import functional as F
 from .. import init as initializers
 from ..tensor import Tensor
 from .base import Module, Parameter
@@ -65,10 +66,9 @@ class Dense(Module):
             raise ValueError(
                 f"Dense expects {self.in_features} input features, got {inputs.shape[1]}"
             )
-        out = inputs.matmul(self.weight)
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # One fused affine node: the bias rides the GEMM epilogue of the
+        # active backend instead of a separate broadcast-add node.
+        return F.linear(inputs, self.weight, self.bias)
 
     def extra_repr(self) -> str:
         return f"in_features={self.in_features}, out_features={self.out_features}, bias={self.bias is not None}"

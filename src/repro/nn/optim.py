@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..utils.perf import workspace
 from .layers.base import Parameter
 
 __all__ = [
@@ -155,19 +156,27 @@ class Adam(Optimizer):
             self._m[index] = m
             self._v[index] = v
         # In-place moment updates avoid reallocating two state-sized
-        # arrays per parameter per step.
+        # arrays per parameter per step; the intermediate products live
+        # in workspace scratch (transient: fully consumed below).
+        scratch = workspace("optim.adam.scratch", grad.shape, grad.dtype)
+        denom = workspace("optim.adam.denom", grad.shape, grad.dtype)
         m *= self.beta1
-        m += (1 - self.beta1) * grad
+        np.multiply(grad, 1 - self.beta1, out=scratch)
+        m += scratch
         v *= self.beta2
-        v += (1 - self.beta2) * (grad * grad)
-        m_hat = m / (1 - self.beta1 ** self._step_count)
-        v_hat = v / (1 - self.beta2 ** self._step_count)
-        np.sqrt(v_hat, out=v_hat)
-        v_hat += self.eps
-        m_hat /= v_hat
+        np.multiply(grad, grad, out=scratch)
+        scratch *= 1 - self.beta2
+        v += scratch
+        # step = lr * m_hat / (sqrt(v_hat) + eps), with the bias
+        # corrections folded into the scalar factors.
+        np.divide(v, 1 - self.beta2 ** self._step_count, out=denom)
+        np.sqrt(denom, out=denom)
+        denom += self.eps
+        np.divide(m, denom, out=scratch)
+        scratch *= self.lr / (1 - self.beta1 ** self._step_count)
         # Rebind (see SGD._update): pending backward closures may hold
         # views of the current weight buffer.
-        parameter.data = parameter.data - self.lr * m_hat
+        parameter.data = parameter.data - scratch
 
 
 class AdamW(Adam):

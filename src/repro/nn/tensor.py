@@ -365,19 +365,22 @@ class Tensor:
         return self.matmul(other)
 
     def matmul(self, other: ArrayLike) -> "Tensor":
-        """Matrix product with gradient support for 2-D operands."""
-        from ..utils.perf import counters
+        """Matrix product (via the active compute backend)."""
+        from ..backend import get_backend
 
         other = ensure_tensor(other)
-        counters.add("gemm_calls")
-        out = self._make_output(self.data @ other.data, (self, other))
+        backend = get_backend()
+        out = self._make_output(backend.gemm(self.data, other.data), (self, other))
 
         def _backward(grad: np.ndarray) -> None:
-            counters.add("gemm_calls", 2 if self.requires_grad and other.requires_grad else 1)
             if self.requires_grad:
-                self._accumulate(grad @ np.swapaxes(other.data, -1, -2), owned=True)
+                self._accumulate(
+                    backend.gemm(grad, np.swapaxes(other.data, -1, -2)), owned=True
+                )
             if other.requires_grad:
-                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad, owned=True)
+                other._accumulate(
+                    backend.gemm(np.swapaxes(self.data, -1, -2), grad), owned=True
+                )
 
         if out.requires_grad:
             out._backward = _backward
@@ -470,10 +473,17 @@ class Tensor:
         return out
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = self._make_output(self.data * mask, (self,))
+        from ..backend import get_backend
+        from ..utils.perf import workspace
+
+        # One clamping pass via the backend; the winner mask is
+        # recovered in backward from the output (out > 0 iff data > 0).
+        out_data = get_backend().elementwise("relu", self.data)
+        out = self._make_output(out_data, (self,))
 
         def _backward(grad: np.ndarray) -> None:
+            mask = workspace("relu.mask", out_data.shape, np.bool_)
+            np.greater(out_data, 0, out=mask)
             self._accumulate(grad * mask, owned=True)
 
         if out.requires_grad:

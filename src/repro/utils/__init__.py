@@ -1,6 +1,7 @@
-"""Shared utilities: seeding, logging, timing, perf counters and tables."""
+"""Shared utilities: seeding, logging, timing, perf counters, arenas and tables."""
 
-from . import perf
+from . import arena, perf
+from .arena import ActivationArena
 from .logging import get_logger, set_verbosity
 from .rng import SeedSequence, seeded_rng, spawn_rngs
 from .timer import Timer
@@ -14,5 +15,7 @@ __all__ = [
     "SeedSequence",
     "Timer",
     "format_table",
+    "arena",
+    "ActivationArena",
     "perf",
 ]

@@ -1,0 +1,310 @@
+"""Preallocated, shape-bucketed arena for queued activation payloads.
+
+The server's batched drain used to rebuild its training batch with
+``np.concatenate`` over every pending activation message — a fresh
+allocation plus one copy per drain, paid on the latency-critical server
+step.  :class:`ActivationArena` moves that copy to **enqueue time**:
+:meth:`CentralServer.receive` stages each arriving payload into a
+preallocated per-shape bucket, so when the queue is drained the
+concatenated batch already exists and the server trains on a contiguous
+**zero-copy view** of the bucket.
+
+Buckets are keyed by ``(per-sample activation shape, activation dtype,
+label dtype)``; ragged traffic (clients cutting the network at different
+layers, mixed dtypes) lands in different buckets and the drain falls
+back to the concatenate path — semantics never change, only the copy
+moves.  Buckets grow geometrically up to ``max_bytes`` and are rewound
+to empty whenever no staged message is live, so steady-state traffic
+stages into already-allocated memory.
+
+Arena traffic is recorded in :data:`repro.utils.perf.counters`:
+
+* ``arena_staged`` / ``arena_stage_rejected`` — payloads copied in at
+  enqueue time vs refused (byte cap);
+* ``arena_grows`` / ``arena_compactions`` / ``arena_bytes_allocated`` —
+  bucket growth, and hole reclamation that avoided a growth;
+* ``arena_gather_zero_copy`` / ``arena_gather_fallback`` — drains served
+  from a contiguous view vs punted to ``np.concatenate``.
+
+Lifetime contract
+-----------------
+A gathered view is valid until the staged messages backing it are
+released (:meth:`ActivationArena.release`).  The server releases a drain
+only after its training step has consumed the batch and copied the
+per-message gradient slices out, so nothing downstream ever observes a
+recycled row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .perf import counters
+
+__all__ = ["ActivationArena", "GatheredBatch"]
+
+
+@dataclass
+class GatheredBatch:
+    """A drain's worth of staged payloads as one contiguous view."""
+
+    activations: np.ndarray          #: ``(total_rows, *sample_shape)`` zero-copy view
+    labels: np.ndarray               #: ``(total_rows,)`` zero-copy view
+    segments: List[Tuple[int, int]]  #: per-message ``(start, stop)`` rows into the view
+
+
+@dataclass
+class _Bucket:
+    activations: np.ndarray
+    labels: np.ndarray
+    used: int = 0    #: write cursor (rows)
+    live: int = 0    #: staged-but-unreleased messages
+
+    @property
+    def capacity(self) -> int:
+        return self.activations.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.activations.nbytes + self.labels.nbytes
+
+
+class ActivationArena:
+    """Shape-bucketed staging area for :class:`ActivationMessage` payloads.
+
+    Parameters
+    ----------
+    initial_rows:
+        Rows allocated when a bucket is first created (grown on demand).
+    max_bytes:
+        Cap on total arena memory; staging that would exceed it is
+        refused (the message simply stays un-staged and the drain falls
+        back to concatenation for it).
+    """
+
+    def __init__(self, initial_rows: int = 256, max_bytes: int = 1 << 30) -> None:
+        if initial_rows <= 0:
+            raise ValueError("initial_rows must be positive")
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.initial_rows = int(initial_rows)
+        self.max_bytes = int(max_bytes)
+        self._buckets: Dict[Tuple, _Bucket] = {}
+        # message.sequence -> (bucket key, start row, stop row)
+        self._segments: Dict[int, Tuple[Tuple, int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Staging (enqueue time)
+    # ------------------------------------------------------------------ #
+    def stage(self, message) -> bool:
+        """Copy ``message``'s payload into the arena.
+
+        Returns ``False`` (and counts a rejection) when the payload will
+        not fit under ``max_bytes`` — the message keeps its own arrays
+        and the eventual drain concatenates as before.
+        """
+        activations = message.activations
+        labels = message.labels
+        rows = int(activations.shape[0])
+        key = (activations.shape[1:], activations.dtype, labels.dtype)
+        if message.sequence in self._segments:
+            # Re-staging the same message (e.g. a requeue): drop the old
+            # rows first so live counts stay consistent.
+            self.discard(message)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._new_bucket(key, max(self.initial_rows, rows))
+            if bucket is None:
+                counters.add("arena_stage_rejected")
+                return False
+            self._buckets[key] = bucket
+        if bucket.used + rows > bucket.capacity:
+            bucket = self._make_room(key, bucket, rows)
+            if bucket is None:
+                counters.add("arena_stage_rejected")
+                return False
+        start, stop = bucket.used, bucket.used + rows
+        bucket.activations[start:stop] = activations
+        bucket.labels[start:stop] = labels
+        bucket.used = stop
+        bucket.live += 1
+        self._segments[message.sequence] = (key, start, stop)
+        counters.add("arena_staged")
+        counters.add("arena_bytes_staged", int(activations.nbytes + labels.nbytes))
+        return True
+
+    def _new_bucket(self, key: Tuple, rows: int,
+                    replacing: Optional[_Bucket] = None) -> Optional[_Bucket]:
+        sample_shape, act_dtype, label_dtype = key
+        row_bytes = (
+            int(np.prod(sample_shape, dtype=np.int64)) * np.dtype(act_dtype).itemsize
+            + np.dtype(label_dtype).itemsize
+        )
+        # A growth replaces its old bucket, so the old bucket's bytes do
+        # not count against the cap — otherwise a grow that fits after
+        # the swap would be refused and the arena would silently degrade
+        # to the concatenate path forever.
+        budget_used = self.allocated_bytes - (replacing.nbytes if replacing else 0)
+        if budget_used + rows * row_bytes > self.max_bytes:
+            return None
+        counters.add("arena_bytes_allocated", rows * row_bytes)
+        return _Bucket(
+            activations=np.empty((rows, *sample_shape), dtype=act_dtype),
+            labels=np.empty(rows, dtype=label_dtype),
+        )
+
+    def _make_room(self, key: Tuple, bucket: _Bucket, rows: int) -> Optional[_Bucket]:
+        """Make space for ``rows`` more rows: compact holes, else grow.
+
+        Single-message pops (per-message processing, requeues) leave
+        holes behind the write cursor; compacting the live segments to
+        the front reclaims them without allocating, which bounds a
+        bucket to its true live footprint instead of growing
+        geometrically whenever the queue never quite empties.
+        """
+        # Sorted by *start row*: the in-place compaction below moves
+        # segments left in position order, so no move ever overwrites a
+        # not-yet-moved segment's source rows (staging order can differ
+        # from sequence order under network reordering or re-stages).
+        live = sorted(
+            (
+                (sequence, start, stop)
+                for sequence, (seg_key, start, stop) in self._segments.items()
+                if seg_key == key
+            ),
+            key=lambda record: record[1],
+        )
+        live_rows = sum(stop - start for _, start, stop in live)
+        if live_rows + rows <= bucket.capacity:
+            # Holes cover the shortfall: slide live segments to the front.
+            self._compact(key, bucket, live)
+            counters.add("arena_compactions")
+            return bucket
+        capacity = bucket.capacity
+        while capacity < live_rows + rows:
+            capacity *= 2
+        grown = self._new_bucket(key, capacity, replacing=bucket)
+        if grown is None:
+            return None
+        cursor = 0
+        for sequence, start, stop in live:
+            length = stop - start
+            grown.activations[cursor:cursor + length] = bucket.activations[start:stop]
+            grown.labels[cursor:cursor + length] = bucket.labels[start:stop]
+            self._segments[sequence] = (key, cursor, cursor + length)
+            cursor += length
+        grown.used = cursor
+        grown.live = bucket.live
+        self._buckets[key] = grown
+        counters.add("arena_grows")
+        return grown
+
+    def _compact(self, key: Tuple, bucket: _Bucket, live) -> None:
+        cursor = 0
+        for sequence, start, stop in live:
+            length = stop - start
+            if start != cursor:
+                source = bucket.activations[start:stop]
+                labels = bucket.labels[start:stop]
+                if start < cursor + length:
+                    # The move overlaps its own source; copy through a temp.
+                    source = source.copy()
+                    labels = labels.copy()
+                bucket.activations[cursor:cursor + length] = source
+                bucket.labels[cursor:cursor + length] = labels
+                self._segments[sequence] = (key, cursor, cursor + length)
+            cursor += length
+        bucket.used = cursor
+
+    # ------------------------------------------------------------------ #
+    # Draining
+    # ------------------------------------------------------------------ #
+    def gather(self, messages: Sequence) -> Optional[GatheredBatch]:
+        """Return the drain's payloads as one contiguous zero-copy view.
+
+        Succeeds when every message is staged in the same bucket and
+        their rows tile one contiguous span (the common case: they were
+        staged consecutively and are all drained together).  Returns
+        ``None`` otherwise — un-staged messages, ragged buckets, or
+        holes left by single-message pops — and the caller concatenates.
+        """
+        if not messages:
+            return None
+        segments = []
+        keys = set()
+        for message in messages:
+            record = self._segments.get(message.sequence)
+            if record is None:
+                counters.add("arena_gather_fallback")
+                return None
+            key, start, stop = record
+            keys.add(key)
+            segments.append((start, stop))
+        if len(keys) > 1:
+            counters.add("arena_gather_fallback")
+            return None
+        ordered = sorted(segments)
+        for (_, stop), (next_start, _) in zip(ordered, ordered[1:]):
+            if stop != next_start:
+                counters.add("arena_gather_fallback")
+                return None
+        low, high = ordered[0][0], ordered[-1][1]
+        bucket = self._buckets[keys.pop()]
+        counters.add("arena_gather_zero_copy")
+        return GatheredBatch(
+            activations=bucket.activations[low:high],
+            labels=bucket.labels[low:high],
+            segments=[(start - low, stop - low) for start, stop in segments],
+        )
+
+    def discard(self, message) -> None:
+        """Forget one staged message (e.g. popped for per-message processing).
+
+        The freed rows are only reclaimed once the whole bucket goes
+        idle; a drain spanning the resulting hole falls back to
+        concatenation.
+        """
+        record = self._segments.pop(message.sequence, None)
+        if record is None:
+            return
+        bucket = self._buckets.get(record[0])
+        if bucket is None:
+            return
+        bucket.live -= 1
+        if bucket.live <= 0:
+            bucket.live = 0
+            bucket.used = 0
+
+    def release(self, messages: Sequence) -> None:
+        """Release every staged message of a consumed drain."""
+        for message in messages:
+            self.discard(message)
+
+    def reset(self) -> None:
+        """Forget all staged payloads (keeps the allocated buckets)."""
+        self._segments.clear()
+        for bucket in self._buckets.values():
+            bucket.used = 0
+            bucket.live = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes currently held by every bucket."""
+        return sum(bucket.nbytes for bucket in self._buckets.values())
+
+    @property
+    def staged_messages(self) -> int:
+        """Messages currently staged and not yet released."""
+        return len(self._segments)
+
+    def __repr__(self) -> str:
+        return (
+            f"ActivationArena(buckets={len(self._buckets)}, "
+            f"staged={self.staged_messages}, bytes={self.allocated_bytes})"
+        )

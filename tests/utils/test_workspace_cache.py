@@ -1,0 +1,140 @@
+"""Dedicated coverage for `repro.utils.perf.WorkspaceCache` eviction.
+
+The cache was previously exercised only incidentally through the nn hot
+paths; these tests pin its contract directly: LRU eviction under
+``max_bytes`` pressure, the `_evict` keep-semantics (the buffer that
+triggered the eviction is never evicted, even when it is the oldest),
+and `clear()` under interleaved `get`s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils.perf import PerfCounters, WorkspaceCache, counters, track
+
+
+def fill_marker(buffer, value):
+    buffer.fill(value)
+    return buffer
+
+
+class TestBasicReuse:
+    def test_same_key_returns_same_buffer(self):
+        cache = WorkspaceCache()
+        first = cache.get("tag", (4, 4), np.float32)
+        second = cache.get("tag", (4, 4), np.float32)
+        assert first is second
+
+    def test_distinct_tags_shapes_dtypes_are_distinct_buffers(self):
+        cache = WorkspaceCache()
+        base = cache.get("a", (4,), np.float32)
+        assert cache.get("b", (4,), np.float32) is not base
+        assert cache.get("a", (5,), np.float32) is not base
+        assert cache.get("a", (4,), np.float64) is not base
+        assert len(cache) == 4
+
+    def test_hit_and_miss_counters(self):
+        cache = WorkspaceCache()
+        with track() as delta:
+            cache.get("t", (8,), np.float64)
+            cache.get("t", (8,), np.float64)
+        assert delta["workspace_misses"] == 1
+        assert delta["workspace_hits"] == 1
+        assert delta["workspace_bytes_allocated"] == 64
+
+
+class TestEviction:
+    def test_lru_evicted_under_byte_pressure(self):
+        # Each float64 buffer of 16 elements is 128 bytes; cap at 3.
+        cache = WorkspaceCache(max_bytes=3 * 128)
+        for name in ("a", "b", "c"):
+            cache.get(name, (16,), np.float64)
+        assert len(cache) == 3
+        with track() as delta:
+            cache.get("d", (16,), np.float64)  # evicts "a" (least recent)
+        assert delta["workspace_evictions"] == 1
+        assert delta["workspace_bytes_evicted"] == 128
+        assert len(cache) == 3
+        # "a" is gone: requesting it again is a miss (and evicts "b").
+        with track() as delta:
+            cache.get("a", (16,), np.float64)
+        assert delta["workspace_misses"] == 1
+
+    def test_recent_use_protects_from_eviction(self):
+        cache = WorkspaceCache(max_bytes=3 * 128)
+        buffers = {name: cache.get(name, (16,), np.float64) for name in "abc"}
+        # Touch "a" so "b" becomes the least recently used.
+        cache.get("a", (16,), np.float64)
+        cache.get("d", (16,), np.float64)
+        assert cache.get("a", (16,), np.float64) is buffers["a"]  # survived
+        with track() as delta:
+            cache.get("b", (16,), np.float64)  # evicted above -> miss
+        assert delta["workspace_misses"] == 1
+
+    def test_evict_keeps_the_triggering_buffer(self):
+        # A single oversized buffer exceeds the cap by itself; _evict must
+        # keep it (it is the buffer being handed out) rather than evict it.
+        cache = WorkspaceCache(max_bytes=100)
+        big = cache.get("big", (64,), np.float64)  # 512 bytes > cap
+        assert len(cache) == 1
+        assert cache.cached_bytes == 512
+        # And the same oversized buffer is still a hit afterwards.
+        assert cache.get("big", (64,), np.float64) is big
+
+    def test_oversized_newcomer_evicts_everyone_else_but_itself(self):
+        cache = WorkspaceCache(max_bytes=300)
+        for name in ("a", "b"):
+            cache.get(name, (16,), np.float64)
+        with track() as delta:
+            huge = cache.get("huge", (64,), np.float64)  # 512 bytes
+        assert delta["workspace_evictions"] == 2
+        assert len(cache) == 1
+        assert cache.get("huge", (64,), np.float64) is huge
+
+    def test_eviction_cascade_counts_bytes(self):
+        cache = WorkspaceCache(max_bytes=4 * 128)
+        for name in "abcd":
+            cache.get(name, (16,), np.float64)
+        with track() as delta:
+            cache.get("wide", (32,), np.float64)  # 256 bytes -> evict 2 LRU
+        assert delta["workspace_evictions"] == 2
+        assert delta["workspace_bytes_evicted"] == 256
+
+
+class TestClear:
+    def test_clear_under_interleaved_gets(self):
+        cache = WorkspaceCache()
+        first = fill_marker(cache.get("t", (4,), np.float32), 1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.cached_bytes == 0
+        # A get after clear() is a fresh miss; the old buffer object is
+        # detached from the cache (caller-held references stay valid).
+        with track() as delta:
+            second = cache.get("t", (4,), np.float32)
+        assert delta["workspace_misses"] == 1
+        assert second is not first
+        np.testing.assert_array_equal(first, np.full(4, 1.0, dtype=np.float32))
+        # Interleave more gets and clears.
+        cache.get("u", (8,), np.float64)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("u", (8,), np.float64).shape == (8,)
+
+
+class TestPerfCounters:
+    def test_snapshot_reset_roundtrip(self):
+        local = PerfCounters()
+        local.add("x")
+        local.add("x", 4)
+        assert local.get("x") == 5
+        assert local.snapshot() == {"x": 5}
+        local.reset()
+        assert local.get("x") == 0
+
+    def test_track_reports_only_deltas(self):
+        counters.add("tracked_thing", 3)
+        with track() as delta:
+            counters.add("tracked_thing", 2)
+        assert delta["tracked_thing"] == 2
