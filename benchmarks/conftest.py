@@ -115,7 +115,8 @@ def pytest_sessionfinish(session, exitstatus):
     for bench in benchmarks:
         group = getattr(bench, "group", None)
         if group not in {"substrate", "hotpaths-conv", "hotpaths-pool",
-                         "hotpaths-col2im", "hotpaths-server", "engine"}:
+                         "hotpaths-col2im", "hotpaths-server", "engine",
+                         "cluster"}:
             continue
         stats = getattr(bench, "stats", None)
         if stats is None:

@@ -1,0 +1,127 @@
+"""Multi-shard drain throughput (PR 4 tentpole).
+
+A sharded deployment splits one big backlog across S independent server
+replicas, each draining its own queue/arena.  These benchmarks stage the
+*same* 96-client backlog through 1, 2 and 4 shards and time a full
+cluster drain — every shard's ``process_pending_batch`` — so
+``BENCH_substrate.json`` records how the server-side step cost moves as
+the union batch is split (per-shard batches shrink, per-step overhead is
+paid S times; on a single core the shard drains serialize, which is the
+honest lower bound a multi-process backend would beat).
+
+Run with::
+
+    pytest benchmarks/test_bench_cluster.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterCoordinator, ServerShard
+from repro.core.messages import ActivationMessage
+from repro.core.models import tiny_cnn_architecture
+from repro.core.server import CentralServer
+from repro.core.split import SplitSpec
+from repro.nn import default_dtype
+from repro.utils.perf import counters, track
+
+NUM_CLIENTS = 96
+CLIENT_BATCH = 4
+
+
+@pytest.fixture(scope="module")
+def cluster_workload():
+    """A split spec plus one activation message per client (96 total)."""
+    with default_dtype(np.float32):
+        architecture = tiny_cnn_architecture(image_size=16, num_blocks=3,
+                                             base_filters=8, dense_units=64)
+        spec = SplitSpec(architecture, client_blocks=1)
+        shape = architecture.block_output_shape(1)
+        rng = np.random.default_rng(7)
+        messages = [
+            ActivationMessage(
+                end_system_id=index,
+                batch_id=index,
+                activations=rng.random((CLIENT_BATCH, *shape)).astype(np.float32),
+                labels=rng.integers(0, 10, CLIENT_BATCH),
+                arrival_time=float(index),
+            )
+            for index in range(NUM_CLIENTS)
+        ]
+    return spec, messages
+
+
+@pytest.mark.benchmark(group="cluster")
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_cluster_drain(benchmark, cluster_workload, num_shards):
+    """Drain a 96-client backlog split across ``num_shards`` replicas."""
+    spec, messages = cluster_workload
+    with default_dtype(np.float32):
+        shards = [
+            ServerShard(index, CentralServer(spec, use_arena=True, seed=0),
+                        f"server_{index}")
+            for index in range(num_shards)
+        ]
+    cluster = ClusterCoordinator(
+        shards=shards,
+        assignment={index: index % num_shards for index in range(NUM_CLIENTS)},
+    )
+
+    def refill():
+        # Enqueue-time work (admission + arena staging) happens on the
+        # arrival path, exactly like a real backlog building up.
+        for message in messages:
+            cluster.shard_of(message.end_system_id).receive(message)
+        return (), {}
+
+    def drain():
+        replies = 0
+        for shard in shards:
+            replies += len(shard.process_pending_batch())
+        assert replies == NUM_CLIENTS
+        return replies
+
+    with track() as delta:
+        benchmark.pedantic(drain, setup=refill, iterations=1, rounds=5,
+                           warmup_rounds=1)
+    assert cluster.samples_processed >= NUM_CLIENTS * CLIENT_BATCH
+    benchmark.extra_info["clients"] = NUM_CLIENTS
+    benchmark.extra_info["shards"] = num_shards
+    benchmark.extra_info["rows_per_shard"] = NUM_CLIENTS * CLIENT_BATCH // num_shards
+    if delta.get("arena_gather_zero_copy"):
+        benchmark.extra_info["arena_gather_zero_copy"] = delta["arena_gather_zero_copy"]
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_sync_average_cost(benchmark, cluster_workload):
+    """Wall cost of one full-averaging sync across 4 replicas."""
+    spec, messages = cluster_workload
+    with default_dtype(np.float32):
+        shards = [
+            ServerShard(index, CentralServer(spec, use_arena=True, seed=0),
+                        f"server_{index}")
+            for index in range(4)
+        ]
+    cluster = ClusterCoordinator(
+        shards=shards,
+        assignment={index: index % 4 for index in range(NUM_CLIENTS)},
+    )
+
+    def desync():
+        # Give every shard distinct weights and fresh per-sync counters,
+        # as one round of independent training would.
+        for offset, shard in enumerate(shards):
+            state = {
+                name: value + (offset + 1) * 1e-3
+                for name, value in shard.server.state_dict().items()
+            }
+            shard.server.load_state_dict(state)
+            shard.samples_since_sync = (offset + 1) * CLIENT_BATCH
+        return (), {}
+
+    benchmark.pedantic(cluster.sync_average, setup=desync, iterations=1,
+                       rounds=5, warmup_rounds=1)
+    benchmark.extra_info["shards"] = 4
+    benchmark.extra_info["parameters"] = int(sum(
+        np.asarray(value).size for value in shards[0].server.state_dict().values()
+    ))

@@ -13,13 +13,16 @@ The package is organised bottom-up:
 * :mod:`repro.core` — the paper's contribution: split specification,
   end-systems, centralized server with its parameter-scheduling queue,
   the spatio-temporal trainer and the privacy (Fig. 4) analysis.
+* :mod:`repro.cluster` — sharded multi-server deployments: server
+  replicas, client-to-shard assignment and inter-server weight sync.
 * :mod:`repro.baselines` — centralized, sequential split learning and
   FedAvg comparators.
 * :mod:`repro.experiments` — one module per paper table/figure plus the
   ablations, with a CLI entry point (``repro-experiments``).
 """
 
-from . import backend, baselines, core, data, nn, simnet, utils
+from . import backend, baselines, cluster, core, data, nn, simnet, utils
+from .cluster import ClusterCoordinator, ServerShard
 from .core import (
     CentralServer,
     CNNArchitecture,
@@ -40,8 +43,11 @@ __all__ = [
     "data",
     "simnet",
     "core",
+    "cluster",
     "baselines",
     "utils",
+    "ClusterCoordinator",
+    "ServerShard",
     "SplitSpec",
     "TrainingConfig",
     "EndSystem",

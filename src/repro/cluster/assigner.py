@@ -1,0 +1,162 @@
+"""Client-to-shard assignment strategies.
+
+A sharded deployment places every end-system on exactly one
+:class:`~repro.cluster.shard.ServerShard`; the :class:`ShardAssigner`
+decides which one.  Three strategies cover the regimes the scaling
+experiment sweeps:
+
+* :class:`StaticHashAssigner` — ``client i -> i mod num_shards``.  Cheap,
+  stateless, and uniform in *count*; blind to both data volume and
+  geography (the baseline any smarter strategy must beat).
+* :class:`LoadAwareAssigner` — greedy balanced-partition on each client's
+  local sample count, so every shard trains on roughly the same number of
+  samples per round even under skewed partitions.
+* :class:`LatencyAwareAssigner` — sorts clients by their uplink latency
+  and hands each shard one contiguous latency band.  Geographically
+  clustered clients land on the same shard, which keeps each shard's
+  round barrier tight: a shard of nearby clients never waits for the
+  far-away stragglers another shard owns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "ShardAssigner",
+    "StaticHashAssigner",
+    "LoadAwareAssigner",
+    "LatencyAwareAssigner",
+    "get_assigner",
+    "available_assigners",
+]
+
+
+class ShardAssigner:
+    """Maps ``num_clients`` end-systems onto ``num_shards`` server shards."""
+
+    #: Registry name (set on subclasses).
+    name = "base"
+
+    def assign(
+        self,
+        num_clients: int,
+        num_shards: int,
+        latencies_s: Optional[Sequence[float]] = None,
+        loads: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Return one shard index (``0 <= s < num_shards``) per client.
+
+        Parameters
+        ----------
+        latencies_s:
+            Mean uplink latency per client (used by latency-aware
+            strategies; optional).
+        loads:
+            Per-client workload proxy — typically the local sample count
+            (used by load-aware strategies; optional).
+        """
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if latencies_s is not None and len(latencies_s) != num_clients:
+            raise ValueError(
+                f"expected {num_clients} latencies, got {len(latencies_s)}"
+            )
+        if loads is not None and len(loads) != num_clients:
+            raise ValueError(f"expected {num_clients} loads, got {len(loads)}")
+        if num_shards == 1:
+            return [0] * num_clients
+        return self._assign(num_clients, num_shards, latencies_s, loads)
+
+    def _assign(
+        self,
+        num_clients: int,
+        num_shards: int,
+        latencies_s: Optional[Sequence[float]],
+        loads: Optional[Sequence[int]],
+    ) -> List[int]:
+        raise NotImplementedError
+
+
+class StaticHashAssigner(ShardAssigner):
+    """``client i -> i mod num_shards``: uniform counts, zero knowledge."""
+
+    name = "static_hash"
+
+    def _assign(self, num_clients, num_shards, latencies_s, loads) -> List[int]:
+        return [index % num_shards for index in range(num_clients)]
+
+
+class LoadAwareAssigner(ShardAssigner):
+    """Greedy balanced partition on per-client load (sample counts).
+
+    Clients are placed heaviest-first onto the currently lightest shard —
+    the classic LPT heuristic, within 4/3 of the optimal makespan.  With
+    no load information it degrades gracefully to round-robin counts.
+    """
+
+    name = "load_aware"
+
+    def _assign(self, num_clients, num_shards, latencies_s, loads) -> List[int]:
+        if loads is None:
+            loads = [1] * num_clients
+        order = sorted(range(num_clients), key=lambda index: (-loads[index], index))
+        shard_load = [0.0] * num_shards
+        assignment = [0] * num_clients
+        for client in order:
+            target = min(range(num_shards), key=lambda shard: (shard_load[shard], shard))
+            assignment[client] = target
+            shard_load[target] += loads[client]
+        return assignment
+
+
+class LatencyAwareAssigner(ShardAssigner):
+    """Contiguous latency bands: each shard owns one geographic cluster.
+
+    Clients are sorted by uplink latency and chunked into ``num_shards``
+    near-equal groups, so a shard's synchronous round barrier is set by
+    its *own* latency band instead of the global straggler.  Without
+    latency information the sort is the identity and the result is plain
+    contiguous chunking.
+    """
+
+    name = "latency_aware"
+
+    def _assign(self, num_clients, num_shards, latencies_s, loads) -> List[int]:
+        if latencies_s is None:
+            order = list(range(num_clients))
+        else:
+            order = sorted(range(num_clients),
+                           key=lambda index: (latencies_s[index], index))
+        assignment = [0] * num_clients
+        base, remainder = divmod(num_clients, num_shards)
+        cursor = 0
+        for shard in range(num_shards):
+            size = base + (1 if shard < remainder else 0)
+            for client in order[cursor:cursor + size]:
+                assignment[client] = shard
+            cursor += size
+        return assignment
+
+
+_ASSIGNERS = {
+    StaticHashAssigner.name: StaticHashAssigner,
+    LoadAwareAssigner.name: LoadAwareAssigner,
+    LatencyAwareAssigner.name: LatencyAwareAssigner,
+}
+
+
+def available_assigners() -> List[str]:
+    """Names of the registered assignment strategies."""
+    return sorted(_ASSIGNERS)
+
+
+def get_assigner(name: str) -> ShardAssigner:
+    """Instantiate a shard assigner by registry name."""
+    try:
+        return _ASSIGNERS[name.lower()]()
+    except KeyError:
+        known = ", ".join(available_assigners())
+        raise KeyError(f"unknown assigner {name!r}; known assigners: {known}") from None

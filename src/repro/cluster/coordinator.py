@@ -1,0 +1,269 @@
+"""Cluster coordinator: shard assignment and inter-server weight sync.
+
+The coordinator is the control plane of a sharded deployment: it owns the
+:class:`~repro.cluster.shard.ServerShard` replicas, the client-to-shard
+assignment produced by a :class:`~repro.cluster.assigner.ShardAssigner`,
+and the weight-synchronization math that keeps the replicas consistent.
+The *data plane* — uplink arrivals, per-shard queue drains, gradient
+landings and the sync events themselves — runs on the discrete-event
+engine (:class:`~repro.core.engine.TrainingEngine`), which calls back
+into the coordinator when a sync fires.
+
+Two synchronization modes are supported (``TrainingConfig.server_sync_mode``):
+
+* ``"average"`` — every ``server_sync_every`` rounds, a **barrier event**:
+  all shards exchange weights over the inter-server links and install the
+  sample-weighted average (each shard weighted by the samples it trained
+  on since the previous sync, exactly like FedAvg's aggregation).  The
+  next round starts only after the slowest inter-server transfer lands.
+* ``"staleness"`` — asynchronous gossip: every ``server_sync_every`` of a
+  shard's own server steps it broadcasts its weights; each recipient
+  merges them on arrival with a coefficient that *decays with the
+  snapshot's staleness* (transit-delayed weights move the recipient
+  less), and nobody ever blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.messages import ActivationMessage
+from ..core.scheduling import jain_fairness_index
+from .shard import ServerShard
+
+__all__ = ["ClusterCoordinator"]
+
+#: Base mixing coefficient of the staleness-weighted merge: a perfectly
+#: fresh remote snapshot moves the recipient halfway (a plain pairwise
+#: average); staleness decays it towards zero.
+STALENESS_MERGE_ALPHA = 0.5
+
+#: Staleness (seconds) at which the merge coefficient has halved.
+STALENESS_HALF_LIFE_S = 1.0
+
+
+class ClusterCoordinator:
+    """Owns the shard replicas and the weight-synchronization math.
+
+    Parameters
+    ----------
+    shards:
+        The server replicas, indexed by shard id.
+    assignment:
+        ``system_id -> shard_index`` for every end-system.
+    sync_every:
+        Synchronization cadence — rounds (``"average"`` mode) or
+        per-shard server steps (``"staleness"`` mode).
+    sync_mode:
+        ``"average"`` or ``"staleness"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ServerShard],
+        assignment: Dict[int, int],
+        sync_every: int = 1,
+        sync_mode: str = "average",
+    ) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        if sync_every <= 0:
+            raise ValueError("sync_every must be positive")
+        if sync_mode not in {"average", "staleness"}:
+            raise ValueError(
+                f"sync_mode must be 'average' or 'staleness', got {sync_mode!r}"
+            )
+        self.shards: List[ServerShard] = list(shards)
+        self.sync_every = int(sync_every)
+        self.sync_mode = sync_mode
+        self.assignment: Dict[int, int] = {}
+        for system_id, shard_index in assignment.items():
+            if not 0 <= shard_index < len(self.shards):
+                raise ValueError(
+                    f"end-system {system_id} assigned to shard {shard_index}, "
+                    f"but the cluster has {len(self.shards)} shards"
+                )
+            self.assignment[int(system_id)] = int(shard_index)
+        for shard in self.shards:
+            shard.client_ids = []
+        for system_id, shard_index in sorted(self.assignment.items()):
+            self.shards[shard_index].client_ids.append(system_id)
+        #: Full-averaging barriers completed (gossip merges are tallied
+        #: per shard in :attr:`ServerShard.syncs_applied`; the engine's
+        #: ``EngineStats.weight_syncs`` is the mode-independent count).
+        self.syncs_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, system_id: int) -> ServerShard:
+        """The shard serving one end-system."""
+        try:
+            return self.shards[self.assignment[system_id]]
+        except KeyError:
+            raise KeyError(f"end-system {system_id} is not assigned to any shard") from None
+
+    def clients_per_shard(self) -> List[int]:
+        """Client counts per shard (assignment balance diagnostic)."""
+        return [len(shard.client_ids) for shard in self.shards]
+
+    # ------------------------------------------------------------------ #
+    # Weight synchronization
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _weighted_average(snapshots: Sequence[Dict[str, np.ndarray]],
+                          raw_weights: Sequence[float]) -> Dict[str, np.ndarray]:
+        weights = np.asarray(raw_weights, dtype=np.float64)
+        if weights.sum() <= 0:
+            weights = np.ones(len(snapshots), dtype=np.float64)
+        weights = weights / weights.sum()
+        averaged: Dict[str, np.ndarray] = {}
+        for name in snapshots[0]:
+            accumulator = weights[0] * np.asarray(snapshots[0][name], dtype=np.float64)
+            for factor, snapshot in zip(weights[1:], snapshots[1:]):
+                accumulator = accumulator + factor * np.asarray(snapshot[name],
+                                                                dtype=np.float64)
+            averaged[name] = accumulator.astype(snapshots[0][name].dtype, copy=False)
+        return averaged
+
+    def sync_average(
+        self,
+        delivered: Optional[Dict[int, Iterable[int]]] = None,
+        snapshots: Optional[Sequence[Dict[str, np.ndarray]]] = None,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Barrier sync: install the sample-weighted average on every shard.
+
+        Each shard is weighted by the samples it trained on since the
+        previous sync; if no shard trained at all (a degenerate round),
+        the average is uniform.  Per-sync counters reset, so consecutive
+        syncs weight only fresh work.
+
+        ``snapshots`` (one per shard, in shard order) are the weight
+        copies that actually travelled the inter-server links — the
+        engine passes the payloads it shipped, so the average is taken
+        over the weights *as broadcast* (and nothing is deep-copied a
+        second time).  When omitted, fresh snapshots are taken.
+
+        ``delivered`` models lossy inter-server links: it maps each
+        destination shard id to the *source* shard ids whose snapshots
+        actually arrived (a shard always holds its own).  Every
+        destination then averages only what it received — dropped
+        snapshots genuinely do not contribute, so replicas can diverge
+        under loss exactly as a real deployment's would.  With
+        ``delivered=None`` (lossless) every shard installs the same
+        global average, which is returned (the float64 reference tests
+        compare against it); the partial path returns ``None``.
+        """
+        if snapshots is None:
+            snapshots = [shard.weights_snapshot() for shard in self.shards]
+        elif len(snapshots) != len(self.shards):
+            raise ValueError(
+                f"expected {len(self.shards)} snapshots, got {len(snapshots)}"
+            )
+        raw_weights = [float(shard.samples_since_sync) for shard in self.shards]
+        if delivered is None:
+            averaged = self._weighted_average(snapshots, raw_weights)
+            for shard in self.shards:
+                shard.install_weights(averaged)
+            self.syncs_completed += 1
+            return averaged
+        for shard in self.shards:
+            sources = sorted(set(delivered.get(shard.shard_id, [])) | {shard.shard_id})
+            partial = self._weighted_average(
+                [snapshots[source] for source in sources],
+                [raw_weights[source] for source in sources],
+            )
+            shard.install_weights(partial)
+        self.syncs_completed += 1
+        return None
+
+    @staticmethod
+    def staleness_merge_weight(staleness_s: float) -> float:
+        """Mixing coefficient of a remote snapshot aged ``staleness_s``.
+
+        ``alpha / (1 + staleness / half_life)``: a fresh snapshot is a
+        pairwise average (0.5), one delayed by the half-life moves the
+        recipient half as far, and ancient snapshots barely register —
+        the gossip analogue of staleness-damped asynchronous SGD.
+        """
+        staleness_s = max(0.0, float(staleness_s))
+        return STALENESS_MERGE_ALPHA / (1.0 + staleness_s / STALENESS_HALF_LIFE_S)
+
+    def merge_staleness(self, shard: ServerShard, state: Dict[str, np.ndarray],
+                        staleness_s: float) -> float:
+        """Apply one staleness-weighted merge; returns the coefficient used.
+
+        Per-destination merges are tallied on the receiving shard
+        (:attr:`ServerShard.syncs_applied`), not on
+        :attr:`syncs_completed` — one gossip broadcast fans out into up
+        to S-1 merges, so counting them here would not be comparable to
+        the barrier count (`EngineStats.weight_syncs` is the
+        mode-independent event count).
+        """
+        weight = self.staleness_merge_weight(staleness_s)
+        shard.merge_weights(state, weight)
+        return weight
+
+    # ------------------------------------------------------------------ #
+    # Shutdown / statistics rollup
+    # ------------------------------------------------------------------ #
+    def flush_all(self) -> List[ActivationMessage]:
+        """Flush every shard's queue (budget stops); arena rows released."""
+        flushed: List[ActivationMessage] = []
+        for shard in self.shards:
+            flushed.extend(shard.flush_queue())
+        return flushed
+
+    def has_pending(self) -> bool:
+        return any(shard.has_pending() for shard in self.shards)
+
+    @property
+    def batches_processed(self) -> int:
+        return sum(shard.batches_processed for shard in self.shards)
+
+    @property
+    def samples_processed(self) -> int:
+        return sum(shard.samples_processed for shard in self.shards)
+
+    @property
+    def queue_dropped(self) -> int:
+        return sum(shard.queue.dropped for shard in self.shards)
+
+    def processed_per_system(self) -> Dict[int, int]:
+        """Per-system processed sample counts merged across shards."""
+        merged: Dict[int, int] = {}
+        for shard in self.shards:
+            for system_id, count in shard.queue.processed_per_system().items():
+                merged[system_id] = merged.get(system_id, 0) + count
+        return merged
+
+    def fairness_index(self) -> float:
+        """Jain's index over the cluster-wide per-system sample counts."""
+        return jain_fairness_index(self.processed_per_system().values())
+
+    def mean_waiting_time(self) -> float:
+        """Mean queue wait over every message processed by any shard."""
+        total = 0.0
+        count = 0
+        for shard in self.shards:
+            shard_count = shard.queue.waiting_times_recorded
+            total += shard.queue.mean_waiting_time * shard_count
+            count += shard_count
+        return total / count if count else 0.0
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """Per-shard statistic rows (for histories and experiment tables)."""
+        return [shard.stats() for shard in self.shards]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterCoordinator(shards={self.num_shards}, "
+            f"sync_mode={self.sync_mode!r}, sync_every={self.sync_every}, "
+            f"syncs_completed={self.syncs_completed})"
+        )

@@ -1,0 +1,151 @@
+"""One server replica in a sharded split-learning deployment.
+
+A :class:`ServerShard` wraps a full :class:`~repro.core.server.CentralServer`
+— its own server-segment copy, optimizer state, scheduling queue and
+activation arena — and adds the bookkeeping a multi-server deployment
+needs: which topology hub the shard sits on, which end-systems it owns,
+and how much work it has absorbed since the last inter-server weight
+synchronization (the weighting used by full averaging).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.messages import ActivationMessage, GradientMessage
+from ..core.server import CentralServer
+
+__all__ = ["ServerShard"]
+
+
+class ServerShard:
+    """A :class:`CentralServer` replica owning one shard of the clients.
+
+    Parameters
+    ----------
+    shard_id:
+        Index of this shard within the cluster (``0 <= shard_id < S``).
+    server:
+        The wrapped server instance (exclusively owned by this shard).
+    node_name:
+        Name of the shard's hub node in the simulated topology.
+    """
+
+    def __init__(self, shard_id: int, server: CentralServer, node_name: str) -> None:
+        self.shard_id = int(shard_id)
+        self.server = server
+        self.node_name = node_name
+        #: System ids of the end-systems assigned to this shard.
+        self.client_ids: List[int] = []
+        #: Samples trained on since the last weight sync (averaging weight).
+        self.samples_since_sync = 0
+        #: Server steps taken since the last weight sync (async merge cadence).
+        self.steps_since_sync = 0
+        #: Weight synchronizations this shard has participated in.
+        self.syncs_applied = 0
+
+    # ------------------------------------------------------------------ #
+    # Queue interface (delegates to the wrapped server)
+    # ------------------------------------------------------------------ #
+    def receive(self, message: ActivationMessage) -> bool:
+        """Admit an arriving activation message into this shard's queue."""
+        return self.server.receive(message)
+
+    def has_pending(self) -> bool:
+        return self.server.has_pending()
+
+    @property
+    def queue(self):
+        return self.server.queue
+
+    # ------------------------------------------------------------------ #
+    # Training steps (track per-sync work for weighted averaging)
+    # ------------------------------------------------------------------ #
+    def process_next(self, now: Optional[float] = None
+                     ) -> Tuple[ActivationMessage, GradientMessage]:
+        """Pop and train on one message (per-message processing mode)."""
+        activation_message, gradient_message = self.server.process_next(now=now)
+        self.samples_since_sync += activation_message.batch_size
+        self.steps_since_sync += 1
+        return activation_message, gradient_message
+
+    def process_pending_batch(self, now: Optional[float] = None
+                              ) -> List[Tuple[ActivationMessage, GradientMessage]]:
+        """Drain this shard's queue into one concatenated training step."""
+        results = self.server.process_pending_batch(now=now)
+        self.samples_since_sync += sum(
+            activation_message.batch_size for activation_message, _ in results
+        )
+        if results:
+            self.steps_since_sync += 1
+        return results
+
+    def flush_queue(self) -> List[ActivationMessage]:
+        """Discard pending messages and release their arena rows (shutdown)."""
+        return self.server.flush_queue()
+
+    # ------------------------------------------------------------------ #
+    # Weight exchange
+    # ------------------------------------------------------------------ #
+    def weights_snapshot(self) -> Dict[str, np.ndarray]:
+        """Deep copy of the server segment's parameters (safe to ship)."""
+        return {name: np.array(value, copy=True)
+                for name, value in self.server.state_dict().items()}
+
+    def install_weights(self, state: Dict[str, np.ndarray]) -> None:
+        """Replace the server segment's parameters (post-sync)."""
+        self.server.load_state_dict(state)
+        self.syncs_applied += 1
+        self.samples_since_sync = 0
+        self.steps_since_sync = 0
+
+    def merge_weights(self, state: Dict[str, np.ndarray], weight: float) -> None:
+        """Blend remote parameters in: ``w_local = (1-a)*w_local + a*w_remote``.
+
+        Used by the asynchronous staleness-weighted sync mode; unlike
+        :meth:`install_weights` the local optimizer state and per-sync
+        counters keep running (the merge is a nudge, not a barrier).
+        """
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"merge weight must be in [0, 1], got {weight}")
+        local = self.server.state_dict()
+        merged = {
+            name: (1.0 - weight) * np.asarray(local[name]) + weight * np.asarray(value)
+            for name, value in state.items()
+        }
+        self.server.load_state_dict(merged)
+        self.syncs_applied += 1
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def batches_processed(self) -> int:
+        return self.server.batches_processed
+
+    @property
+    def samples_processed(self) -> int:
+        return self.server.samples_processed
+
+    def stats(self) -> Dict[str, object]:
+        """Flat per-shard statistics for history/metrics rollups."""
+        queue = self.server.queue
+        return {
+            "shard_id": self.shard_id,
+            "node": self.node_name,
+            "clients": len(self.client_ids),
+            "batches_processed": self.batches_processed,
+            "samples_processed": self.samples_processed,
+            "queue_dropped": queue.dropped,
+            "mean_waiting_time_s": queue.mean_waiting_time,
+            "fairness_index": queue.fairness_index(),
+            "syncs_applied": self.syncs_applied,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerShard(id={self.shard_id}, node={self.node_name!r}, "
+            f"clients={len(self.client_ids)}, batches={self.batches_processed})"
+        )

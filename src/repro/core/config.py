@@ -48,6 +48,27 @@ class TrainingConfig:
     mode:
         ``"synchronous"`` (the default; what Table I uses) or
         ``"asynchronous"`` (event-driven, used by the staleness ablation).
+    num_servers:
+        Number of server shards.  ``1`` (the default) is the paper's
+        single central server; larger values split the clients across
+        that many :class:`~repro.cluster.shard.ServerShard` replicas —
+        each with its own queue, arena and optimizer — kept consistent
+        by periodic weight synchronization (see ``server_sync_mode``).
+    shard_assigner:
+        Client-to-shard assignment strategy (see
+        :func:`repro.cluster.assigner.get_assigner`): ``"static_hash"``,
+        ``"load_aware"`` or ``"latency_aware"``.  Ignored when a custom
+        multi-hub topology already fixes the assignment.
+    server_sync_every:
+        Inter-server synchronization cadence: every this-many *rounds*
+        (synchronous mode) or per-shard *server steps* (asynchronous
+        mode).  Irrelevant with one server.
+    server_sync_mode:
+        ``"average"`` — a barrier event where every shard installs the
+        sample-weighted average of all server segments (FedAvg-style;
+        synchronous mode only), or ``"staleness"`` — asynchronous
+        gossip whose merge coefficient decays with each snapshot's
+        transit staleness (either training mode).
     server_batching:
         When ``True`` (the default) the server drains every pending
         activation message in one concatenated forward/backward pass
@@ -92,6 +113,10 @@ class TrainingConfig:
     max_queue_size: Optional[int] = None
     queue_backpressure: str = "drop"
     mode: str = "synchronous"
+    num_servers: int = 1
+    shard_assigner: str = "static_hash"
+    server_sync_every: int = 1
+    server_sync_mode: str = "average"
     server_batching: bool = True
     server_arena: bool = True
     compute_backend: Optional[str] = None
@@ -123,6 +148,34 @@ class TrainingConfig:
             raise ValueError(
                 f"queue_backpressure must be 'drop' or 'block', got {self.queue_backpressure!r}"
             )
+        if self.num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        if self.server_sync_every <= 0:
+            raise ValueError("server_sync_every must be positive")
+        if self.server_sync_mode not in {"average", "staleness"}:
+            raise ValueError(
+                f"server_sync_mode must be 'average' or 'staleness', "
+                f"got {self.server_sync_mode!r}"
+            )
+        if (
+            self.num_servers > 1
+            and self.mode == "asynchronous"
+            and self.server_sync_mode == "average"
+        ):
+            raise ValueError(
+                "server_sync_mode='average' is a round barrier and requires "
+                "mode='synchronous'; asynchronous clusters use the "
+                "'staleness' gossip mode"
+            )
+        if self.num_servers > 1:
+            from ..cluster.assigner import available_assigners
+
+            if self.shard_assigner not in available_assigners():
+                known = ", ".join(available_assigners())
+                raise ValueError(
+                    f"shard_assigner must be one of {known}, "
+                    f"got {self.shard_assigner!r}"
+                )
         if self.compute_backend is not None:
             from ..backend import available_backends
 

@@ -2,18 +2,33 @@
 
 Both training modes of :class:`~repro.core.trainer.SpatioTemporalTrainer`
 run on one discrete-event engine built on
-:class:`~repro.simnet.events.Simulator`.  The engine schedules three kinds
+:class:`~repro.simnet.events.Simulator`.  The engine schedules four kinds
 of occurrences:
 
-* **uplink arrival** — a smashed-activation message lands at the server
-  and is admitted into (or shed by) the parameter-scheduling queue;
-* **server step** — the server trains on queued messages.  In
-  *asynchronous* mode a dispatch event fires whenever the server is free
-  and work has arrived; in *synchronous* mode the dispatch is a **barrier**
-  event scheduled at the round's last arrival, so the whole round is a
-  single event chain rather than a separate hand-written loop;
+* **uplink arrival** — a smashed-activation message lands at its shard's
+  server and is admitted into (or shed by) that shard's parameter-
+  scheduling queue;
+* **server step** — a shard trains on its queued messages.  In
+  *asynchronous* mode a dispatch event fires per shard whenever that
+  shard is free and work has arrived; in *synchronous* mode each shard's
+  dispatch is a **barrier** event scheduled at the shard's last arrival
+  of the round, and the shard's next round starts once its *own*
+  gradients have landed — shards progress independently and meet only
+  at sync rendezvous, so nobody waits for stragglers they do not own;
 * **gradient landing** — a gradient message reaches its end-system, which
-  finishes back-propagation and (asynchronously) ships its next batch.
+  finishes back-propagation and (asynchronously) ships its next batch;
+* **inter-server sync** — with more than one shard, the shards'
+  server-segment weights are periodically synchronized over the
+  inter-server links: ``"average"`` mode installs a sample-weighted full
+  average as a barrier event between rounds, ``"staleness"`` mode
+  gossips snapshots whose merge coefficient decays with their transit
+  staleness (see :mod:`repro.cluster.coordinator`).
+
+The engine is **shard-generalized**: every queue, arena, backpressure
+deque and dispatch state is per shard, and a single-shard cluster runs
+the exact same event chains the pre-cluster engine ran (pinned to 1e-9
+by ``tests/core/test_engine_equivalence.py`` and
+``tests/cluster/test_cluster_equivalence.py``).
 
 Lossy-network semantics
 -----------------------
@@ -24,16 +39,20 @@ leak:
 * the uplink drops the message in transit (the client immediately moves
   on to its next batch);
 * a bounded queue (``TrainingConfig.max_queue_size``) overflows under the
-  ``"drop"`` backpressure policy (the client is NACKed at arrival time);
+  ``"drop"`` backpressure policy.  The server NACKs the client **over the
+  downlink**: the client learns of the loss one downlink delay after the
+  overflow (not instantaneously), which is when it forgets the pending
+  activation and ships its next batch.  A NACK lost in transit degrades
+  to an immediate notification (the timeout abstraction also used for
+  lost gradients), so accounting never leaks;
 * the downlink drops the gradient (the client forgets the batch when the
   server's reply fails to appear).
 
 Under the ``"block"`` backpressure policy nothing is ever shed at the
-queue: an end-system defers its next send until the queue has room,
-counting messages already in flight towards the capacity, so admission
-never overflows.  Blocked senders wait in FIFO order and are released as
-the server pops messages, which prevents the low-numbered-client
-starvation a naive retry loop would cause.
+queue: an end-system defers its next send until its shard's queue has
+room, counting messages already in flight towards the capacity, so
+admission never overflows.  Blocked senders wait in per-shard FIFO order
+and are released as the shard pops messages.
 """
 
 from __future__ import annotations
@@ -44,6 +63,8 @@ from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..cluster.coordinator import ClusterCoordinator
+from ..cluster.shard import ServerShard
 from ..nn.metrics import MetricTracker
 from ..simnet.events import Simulator
 from ..simnet.transport import Transport
@@ -79,10 +100,26 @@ class EngineStats:
     blocked_sends: int = 0      #: sends deferred by backpressure ("block" policy)
     cancelled_at_stop: int = 0  #: batches abandoned when a time budget cut the run
     events_processed: int = 0   #: simulator events executed
-    server_steps: int = 0       #: training steps the server dispatched
+    server_steps: int = 0       #: training steps dispatched (across all shards)
     rounds: int = 0             #: synchronous rounds driven to completion
+    nacks_sent: int = 0         #: queue-drop NACKs shipped over the downlink
+    nacks_lost: int = 0         #: NACKs the downlink dropped (immediate fallback)
+    nack_delay_total_s: float = 0.0  #: summed client-side notification delays
+    weight_syncs: int = 0       #: sync events: one per "average" barrier or
+                                #: per "staleness" broadcast (NOT per-destination
+                                #: merge — per-shard merge counts live in
+                                #: ``ServerShard.syncs_applied``)
+    sync_messages: int = 0      #: weight snapshots shipped between shards
+    sync_messages_lost: int = 0  #: snapshots the inter-server links dropped
 
-    def as_dict(self) -> Dict[str, int]:
+    @property
+    def mean_nack_delay_s(self) -> float:
+        """Mean delay before a client learned of a queue drop (0 if none)."""
+        if self.nacks_sent == 0:
+            return 0.0
+        return self.nack_delay_total_s / self.nacks_sent
+
+    def as_dict(self) -> Dict[str, float]:
         return {
             "queue_drops": self.queue_drops,
             "blocked_sends": self.blocked_sends,
@@ -90,7 +127,39 @@ class EngineStats:
             "events_processed": self.events_processed,
             "server_steps": self.server_steps,
             "rounds": self.rounds,
+            "nacks_sent": self.nacks_sent,
+            "nacks_lost": self.nacks_lost,
+            "mean_nack_delay_s": self.mean_nack_delay_s,
+            "weight_syncs": self.weight_syncs,
+            "sync_messages": self.sync_messages,
+            "sync_messages_lost": self.sync_messages_lost,
         }
+
+
+class _ShardRuntime:
+    """Per-shard engine state (transit counts, backpressure, dispatch)."""
+
+    __slots__ = ("shard", "in_transit", "deferred", "waiting", "accepted",
+                 "next_free", "dispatch_scheduled", "clock", "active")
+
+    def __init__(self, shard: ServerShard) -> None:
+        self.shard = shard
+        #: Uplink messages admitted (or in transit) but not yet resolved
+        #: at this shard; counted towards queue capacity so the "block"
+        #: policy can never overflow the queue on arrival.
+        self.in_transit = 0
+        self.deferred: Deque[EndSystem] = deque()   # sync-mode blocked senders
+        self.waiting: Deque[EndSystem] = deque()    # async-mode blocked senders
+        self.accepted: List[ActivationMessage] = []  # sync mode, current round
+        self.next_free = 0.0
+        self.dispatch_scheduled = False
+        #: This shard's round clock (synchronous mode): shards progress
+        #: through their rounds independently, so a shard of nearby
+        #: clients is not throttled by a far-away band it does not own.
+        self.clock = 0.0
+        #: System ids (of this shard's clients) still holding data this
+        #: epoch.
+        self.active: set = set()
 
 
 class TrainingEngine:
@@ -100,38 +169,61 @@ class TrainingEngine:
     ----------
     end_systems:
         The deployment's clients, in system-id order.
-    server:
-        The centralized server (owns the bounded scheduling queue).
     transport:
-        Network transport over the (possibly asymmetric) topology.
+        Network transport over the (possibly multi-hub) topology.
     system_to_node:
         Map from end-system ids to topology node names.
     config:
         Training configuration; the engine consults ``mode``-independent
         fields (``server_batching``, ``server_step_time_s``,
         ``max_in_flight``, ``max_queue_size``, ``queue_backpressure``).
+        The weight-sync cadence and mode live on the ``cluster``.
+    cluster:
+        The shard cluster (owns the sync cadence/mode the trainer seeds
+        from the config).  May be omitted (legacy single-server
+        construction) when ``server`` is given instead.
+    server:
+        Legacy single-server argument; wrapped into a one-shard cluster.
     """
 
     def __init__(
         self,
         end_systems: List[EndSystem],
-        server: CentralServer,
         transport: Transport,
         system_to_node: Dict[int, str],
         config: TrainingConfig,
+        cluster: Optional[ClusterCoordinator] = None,
+        server: Optional[CentralServer] = None,
     ) -> None:
         self.end_systems = list(end_systems)
-        self.server = server
+        if cluster is None:
+            if server is None:
+                raise ValueError("need either a cluster or a server")
+            cluster = ClusterCoordinator(
+                shards=[ServerShard(0, server, "server")],
+                assignment={es.system_id: 0 for es in self.end_systems},
+                sync_every=config.server_sync_every,
+                sync_mode=config.server_sync_mode,
+            )
+        self.cluster = cluster
+        #: Shard 0's server (back-compat alias for single-server callers).
+        self.server = cluster.shards[0].server
         self.transport = transport
         self.system_to_node = dict(system_to_node)
         self.config = config
         self.clock = 0.0
         self.stats = EngineStats()
         self._by_id = {end_system.system_id: end_system for end_system in self.end_systems}
-        # Uplink messages admitted (or simply in transit) but not yet
-        # resolved at the server; counted towards queue capacity so the
-        # "block" policy can never overflow the queue on arrival.
-        self._in_transit = 0
+        self._runtimes: List[_ShardRuntime] = [
+            _ShardRuntime(shard) for shard in cluster.shards
+        ]
+        self._runtime_of: Dict[int, _ShardRuntime] = {
+            system_id: self._runtimes[shard_index]
+            for system_id, shard_index in cluster.assignment.items()
+        }
+        # Queue-dropped batches whose NACK is still in flight, keyed by
+        # activation sequence; a budget stop resolves them immediately.
+        self._awaiting_nack: Dict[int, Tuple[EndSystem, int]] = {}
 
     # ------------------------------------------------------------------ #
     # Shared helpers
@@ -142,11 +234,11 @@ class TrainingEngine:
             and self.config.queue_backpressure == "block"
         )
 
-    def _queue_has_room(self) -> bool:
+    def _queue_has_room(self, runtime: _ShardRuntime) -> bool:
         capacity = self.config.max_queue_size
         if capacity is None:
             return True
-        return len(self.server.queue) + self._in_transit < capacity
+        return len(runtime.shard.queue) + runtime.in_transit < capacity
 
     def _send_uplink(
         self,
@@ -180,14 +272,114 @@ class TrainingEngine:
             now=at_time,
         )
 
-    def _admit(self, message: ActivationMessage, end_system: EndSystem) -> bool:
+    def _send_nack(self, sim: Simulator, message: ActivationMessage,
+                   end_system: EndSystem, on_notified=None) -> None:
+        """NACK a queue-dropped batch to its client over the downlink.
+
+        The client forgets the pending activation when the NACK *lands*,
+        one downlink delay after the overflow; ``on_notified`` (async
+        mode's retry hook) fires at the same moment.  A NACK lost on the
+        downlink degrades to an immediate notification — the same
+        timeout abstraction lost gradients use — so nothing ever leaks.
+        """
+        self.stats.nacks_sent += 1
+        sent_at = sim.now
+        nack = self.transport.send_to_end_system(
+            self.system_to_node[end_system.system_id],
+            {"nack_batch_id": message.batch_id},
+            now=sent_at,
+            kind="nack",
+        )
+        if nack is None:
+            self.stats.nacks_lost += 1
+            end_system.notify_drop(message.batch_id)
+            if on_notified is not None:
+                on_notified(sim)
+            return
+        self._awaiting_nack[message.sequence] = (end_system, message.batch_id)
+        self.stats.nack_delay_total_s += nack.arrival_time - sent_at
+
+        def land_nack(landing_sim: Simulator) -> None:
+            if self._awaiting_nack.pop(message.sequence, None) is None:
+                return  # already resolved by a budget stop
+            end_system.notify_drop(message.batch_id)
+            if on_notified is not None:
+                on_notified(landing_sim)
+
+        sim.schedule(nack.arrival_time, land_nack, priority=PRIORITY_LANDING,
+                     label="queue-nack")
+
+    def _admit(self, sim: Simulator, message: ActivationMessage,
+               end_system: EndSystem, runtime: _ShardRuntime,
+               on_notified=None) -> bool:
         """Resolve an arrival: enqueue it, or shed it and NACK the client."""
-        self._in_transit -= 1
-        if self.server.receive(message):
+        runtime.in_transit -= 1
+        if runtime.shard.receive(message):
             return True
-        end_system.notify_drop(message.batch_id)
         self.stats.queue_drops += 1
+        self._send_nack(sim, message, end_system, on_notified=on_notified)
         return False
+
+    def _sync_due(self, completed: int) -> bool:
+        # The coordinator owns the sync cadence and mode (the trainer
+        # seeds them from TrainingConfig).
+        return (
+            self.cluster.num_shards > 1
+            and completed % self.cluster.sync_every == 0
+        )
+
+    def _broadcast_weights(self, sim: Simulator, source: _ShardRuntime,
+                           at_time: float, merge_on_landing: bool,
+                           delivered: Optional[Dict[int, set]] = None,
+                           snapshot_out: Optional[Dict[int, Dict]] = None) -> float:
+        """Ship one shard's weight snapshot to every other shard.
+
+        Returns the latest arrival time among the delivered snapshots
+        (``at_time`` when everything was dropped).  With
+        ``merge_on_landing`` each delivery schedules a staleness-weighted
+        merge at its arrival; otherwise the caller owns what happens
+        once the transfers have landed (the ``"average"`` barrier), and
+        each successful delivery is recorded in ``delivered`` (a
+        ``destination shard id -> source shard ids`` map) so a dropped
+        snapshot genuinely never contributes to its destination.
+        ``snapshot_out`` receives the shipped copy keyed by source shard
+        id, so the barrier can average exactly what travelled the wire
+        without snapshotting a second time.
+        """
+        snapshot = source.shard.weights_snapshot()
+        if snapshot_out is not None:
+            snapshot_out[source.shard.shard_id] = snapshot
+        latest_arrival = at_time
+        for destination in self._runtimes:
+            if destination is source:
+                continue
+            sync_message = self.transport.send_between_servers(
+                source.shard.node_name, destination.shard.node_name,
+                snapshot, now=at_time,
+            )
+            self.stats.sync_messages += 1
+            if sync_message is None:
+                self.stats.sync_messages_lost += 1
+                continue
+            if delivered is not None:
+                delivered.setdefault(destination.shard.shard_id, set()).add(
+                    source.shard.shard_id
+                )
+            latest_arrival = max(latest_arrival, sync_message.arrival_time)
+            if merge_on_landing:
+                sim.schedule(
+                    sync_message.arrival_time,
+                    lambda s, d=destination.shard, snap=snapshot, m=sync_message: (
+                        self._apply_staleness_merge(d, snap, m.transit_time)
+                    ),
+                    priority=PRIORITY_LANDING,
+                    label="weight-merge",
+                )
+        return latest_arrival
+
+    def _apply_staleness_merge(self, shard: ServerShard, snapshot, staleness_s: float
+                               ) -> None:
+        self.cluster.merge_staleness(shard, snapshot, staleness_s)
 
     # ------------------------------------------------------------------ #
     # Synchronous mode: rounds as barrier events
@@ -195,66 +387,91 @@ class TrainingEngine:
     def run_synchronous_epoch(
         self, iterators: Dict[int, Iterator[Tuple[np.ndarray, np.ndarray]]]
     ) -> MetricTracker:
-        """Drive one synchronous epoch as a chain of round events.
+        """Drive one synchronous epoch as per-shard chains of round events.
 
-        Each round is three event stages: a *round-start* event where every
-        active end-system ships one batch, per-message *arrival* events
-        that admit (or shed) messages at the queue, and one *barrier* event
-        at the round's last arrival where the server drains the queue —
-        as one concatenated step when ``server_batching`` is on, or one
-        step per message in policy order otherwise — and the gradients
-        flow back.  The next round starts once every gradient has landed.
+        Each shard runs its own round chain: a *round-start* event where
+        the shard's active end-systems each ship one batch, per-message
+        *arrival* events that admit (or shed) messages at the shard's
+        queue, and one *barrier* event at the shard's last arrival, where
+        it drains its queue — as one concatenated step when
+        ``server_batching`` is on, or one step per message in policy
+        order otherwise — and the gradients flow back.  A shard's next
+        round starts once *its own* gradients have landed; shards do not
+        wait for each other's stragglers, which is the straggler
+        isolation a latency-aware assignment buys.
+
+        The chains meet only at synchronization points: every
+        ``server_sync_every`` rounds, ``"average"`` mode parks each shard
+        at a **rendezvous** until all still-running shards arrive, then
+        exchanges weights over the inter-server links and releases
+        everyone once the slowest transfer lands (a shard that already
+        exhausted its data joins the average but never blocks the
+        rendezvous); ``"staleness"`` mode broadcasts snapshots without
+        stopping and peers merge them on landing.  With one shard no
+        sync ever fires and the chain reduces exactly to the
+        pre-cluster engine's round loop.
         """
         tracker = MetricTracker()
         sim = Simulator()
-        active = set(iterators)
-        deferred: Deque[EndSystem] = deque()  # "block" policy: waiting for queue room
-        accepted_this_round: List[ActivationMessage] = []
-        self._in_transit = 0
+        for runtime in self._runtimes:
+            runtime.in_transit = 0
+            runtime.accepted = []
+            runtime.clock = self.clock
+            runtime.active = {
+                system_id for system_id in iterators
+                if self._runtime_of[system_id] is runtime
+            }
+        # Rendezvous state ("average" mode): shards parked at a sync
+        # point (mapped to the round they just finished) and shards done
+        # with their data for this epoch.
+        arrived: Dict[int, int] = {}
+        finished: set = set()
 
         def on_arrival(sim: Simulator, message: ActivationMessage,
-                       end_system: EndSystem) -> None:
-            if self._admit(message, end_system):
-                accepted_this_round.append(message)
+                       end_system: EndSystem, runtime: _ShardRuntime) -> None:
+            if self._admit(sim, message, end_system, runtime):
+                runtime.accepted.append(message)
 
-        def start_round(sim: Simulator, round_index: int) -> None:
-            if not active:
+        def start_round(sim: Simulator, runtime: _ShardRuntime,
+                        round_index: int) -> None:
+            if not runtime.active:
+                finish_shard(sim, runtime)
                 return
-            senders: List[EndSystem] = list(deferred)
-            deferred.clear()
+            senders: List[EndSystem] = list(runtime.deferred)
             already_queued = {end_system.system_id for end_system in senders}
+            runtime.deferred.clear()
             senders.extend(
                 end_system for end_system in self.end_systems
-                if end_system.system_id in active
+                if end_system.system_id in runtime.active
                 and end_system.system_id not in already_queued
             )
             in_flight = 0
-            last_arrival = self.clock
+            last_arrival = runtime.clock
             for end_system in senders:
-                if end_system.system_id not in active:
+                if end_system.system_id not in runtime.active:
                     continue
-                if self._blocking() and not self._queue_has_room():
-                    deferred.append(end_system)
+                if self._blocking() and not self._queue_has_room(runtime):
+                    runtime.deferred.append(end_system)
                     self.stats.blocked_sends += 1
                     continue
                 try:
                     images, labels = next(iterators[end_system.system_id])
                 except StopIteration:
-                    active.discard(end_system.system_id)
+                    runtime.active.discard(end_system.system_id)
                     continue
                 message = self._send_uplink(
-                    end_system, images, labels, self.clock, round_index=round_index
+                    end_system, images, labels, runtime.clock, round_index=round_index
                 )
                 if message is None:
                     # The link dropped the batch; the client forgets it and
                     # ships its next batch when the following round starts.
                     continue
-                self._in_transit += 1
+                runtime.in_transit += 1
                 in_flight += 1
                 last_arrival = max(last_arrival, message.arrival_time)
                 sim.schedule(
                     message.arrival_time,
-                    lambda s, m=message, e=end_system: on_arrival(s, m, e),
+                    lambda s, m=message, e=end_system, r=runtime: on_arrival(s, m, e, r),
                     priority=PRIORITY_ARRIVAL,
                     label="uplink-arrival",
                 )
@@ -262,42 +479,46 @@ class TrainingEngine:
             if in_flight:
                 sim.schedule(
                     max(last_arrival, sim.now),
-                    lambda s, r=round_index: barrier(s, r),
+                    lambda s, r=round_index, rt=runtime: barrier(s, r, rt),
                     priority=PRIORITY_DISPATCH,
                     label="round-barrier",
                 )
-            elif active:
+            elif runtime.active:
                 # Every send this round was dropped in transit; retry
                 # immediately — the simulated clock does not advance.
                 sim.schedule(
                     sim.now,
-                    lambda s, r=round_index: start_round(s, r + 1),
+                    lambda s, r=round_index, rt=runtime: start_round(s, rt, r + 1),
                     label="round-start",
                 )
+            else:
+                finish_shard(sim, runtime)
 
-        def barrier(sim: Simulator, round_index: int) -> None:
-            # The queue is drained at every barrier and capacity is >= 1,
-            # so a round that put messages in flight always lands at least
-            # one (the round's first arrival cannot be shed).
-            arrived = list(accepted_this_round)
-            accepted_this_round.clear()
+        def barrier(sim: Simulator, round_index: int, runtime: _ShardRuntime) -> None:
+            # The shard's queue is drained at every barrier and capacity
+            # is >= 1, so a round that put messages in flight always
+            # lands at least one (the shard's first arrival cannot be
+            # shed).
+            arrived_messages = list(runtime.accepted)
+            runtime.accepted = []
             # Queue-dropped messages never reached the server segment, so
             # they do not hold the barrier back.
             latest_arrival = max(
-                (message.arrival_time for message in arrived), default=self.clock
+                (message.arrival_time for message in arrived_messages),
+                default=runtime.clock,
             )
             gradient_arrivals = [latest_arrival]
             if self.config.server_batching:
-                # The concatenated step cannot start before the last
-                # accepted message of the round has arrived, so every
+                # The concatenated step cannot start before the shard's
+                # last accepted message of the round has arrived, so every
                 # gradient is sent back at latest_arrival.
-                results = self.server.process_pending_batch(now=latest_arrival)
+                results = runtime.shard.process_pending_batch(now=latest_arrival)
                 send_times = [latest_arrival] * len(results)
             else:
                 results = []
                 send_times = []
-                while self.server.has_pending():
-                    activation_message, gradient_message = self.server.process_next(
+                while runtime.shard.has_pending():
+                    activation_message, gradient_message = runtime.shard.process_next(
                         now=latest_arrival
                     )
                     results.append((activation_message, gradient_message))
@@ -315,18 +536,103 @@ class TrainingEngine:
                     continue
                 gradient_arrivals.append(downlink.arrival_time)
                 end_system.apply_gradient(gradient_message)
-            # Synchronous barrier: the next round starts once every
-            # gradient has landed (and not before this barrier fired).
-            self.clock = max(self.clock, max(gradient_arrivals), sim.now)
+            # Shard-local barrier: this shard's next round starts once its
+            # own gradients have landed (and not before this barrier fired).
+            runtime.clock = max(runtime.clock, max(gradient_arrivals), sim.now)
+            round_done(sim, runtime, round_index)
+
+        def round_done(sim: Simulator, runtime: _ShardRuntime,
+                       round_index: int) -> None:
+            if self._sync_due(round_index + 1):
+                if self.cluster.sync_mode == "average":
+                    # Park this shard at the rendezvous; the sync fires
+                    # once every still-running shard has arrived.
+                    arrived[runtime.shard.shard_id] = round_index
+                    maybe_fire_sync(sim)
+                    return
+                # Staleness gossip: snapshots broadcast now, merges land
+                # between rounds, and nobody blocks.
+                self.stats.weight_syncs += 1
+                self._broadcast_weights(sim, runtime, runtime.clock,
+                                        merge_on_landing=True)
             sim.schedule(
-                self.clock,
-                lambda s, r=round_index: start_round(s, r + 1),
+                runtime.clock,
+                lambda s, r=round_index, rt=runtime: start_round(s, rt, r + 1),
                 label="round-start",
             )
 
-        sim.schedule(self.clock, lambda s: start_round(s, 0), label="round-start")
+        def finish_shard(sim: Simulator, runtime: _ShardRuntime) -> None:
+            # Out of data for this epoch.  A rendezvous must not wait for
+            # a shard that will never arrive.
+            if runtime.shard.shard_id not in finished:
+                finished.add(runtime.shard.shard_id)
+                maybe_fire_sync(sim)
+
+        def maybe_fire_sync(sim: Simulator) -> None:
+            if not arrived:
+                return
+            if any(
+                runtime.shard.shard_id not in arrived
+                and runtime.shard.shard_id not in finished
+                for runtime in self._runtimes
+            ):
+                return
+            # Full-averaging barrier: every shard (finished ones too —
+            # their weights still count) broadcasts its snapshot, and the
+            # parked shards resume once the slowest transfer has landed.
+            sync_start = max([sim.now] + [rt.clock for rt in self._runtimes])
+            sync_done = sync_start
+            delivered: Dict[int, set] = {}
+            snapshots: Dict[int, Dict] = {}
+            for runtime in self._runtimes:
+                sync_done = max(
+                    sync_done,
+                    self._broadcast_weights(sim, runtime, sync_start,
+                                            merge_on_landing=False,
+                                            delivered=delivered,
+                                            snapshot_out=snapshots),
+                )
+            complete = all(
+                len(delivered.get(runtime.shard.shard_id, ())) == len(self._runtimes) - 1
+                for runtime in self._runtimes
+            )
+            released = dict(arrived)
+            arrived.clear()
+
+            def apply_average(sim: Simulator) -> None:
+                # Average the snapshots that travelled the wire (every
+                # shard is parked, so nobody trained since broadcast).
+                # Lossy inter-server links: a shard averages only the
+                # snapshots that actually reached it, so replicas may
+                # diverge under loss exactly like a real deployment's.
+                self.cluster.sync_average(
+                    None if complete else delivered,
+                    snapshots=[snapshots[rt.shard.shard_id] for rt in self._runtimes],
+                )
+                self.stats.weight_syncs += 1
+                for runtime in self._runtimes:
+                    round_index = released.get(runtime.shard.shard_id)
+                    if round_index is None:
+                        continue
+                    runtime.clock = max(runtime.clock, sim.now)
+                    sim.schedule(
+                        runtime.clock,
+                        lambda s, r=round_index, rt=runtime: start_round(s, rt, r + 1),
+                        label="round-start",
+                    )
+
+            sim.schedule(sync_done, apply_average, priority=PRIORITY_DISPATCH,
+                         label="weight-sync")
+
+        for runtime in self._runtimes:
+            sim.schedule(
+                runtime.clock,
+                lambda s, rt=runtime: start_round(s, rt, 0),
+                label="round-start",
+            )
         sim.run()
         self.stats.events_processed += sim.processed_events
+        self.clock = max([self.clock] + [rt.clock for rt in self._runtimes])
         return tracker
 
     # ------------------------------------------------------------------ #
@@ -340,23 +646,27 @@ class TrainingEngine:
         """Event-driven asynchronous training.
 
         Clients keep at most ``config.max_in_flight`` batches outstanding;
-        the server dispatches a step whenever it is free and at least one
+        each shard dispatches a step whenever it is free and at least one
         message has arrived, draining every arrived message into one
         concatenated step when ``server_batching`` is on or taking one
         step per message otherwise.  A step that started at ``t`` ends at
-        ``t + server_step_time_s``; the server may dispatch again once the
-        step has ended *and* the step's gradients have landed.  When
-        ``stop_time`` is given, no step starts at or after that simulated
-        time, and every batch still in flight is abandoned (clients
-        discard the pending activations — nothing leaks).
+        ``t + server_step_time_s``; a shard may dispatch again once the
+        step has ended *and* the step's gradients have landed.  With more
+        than one shard, every ``server_sync_every`` steps a shard gossips
+        its weights to its peers (staleness-weighted merge on landing).
+        When ``stop_time`` is given, no step starts at or after that
+        simulated time, and every batch still in flight is abandoned
+        (clients discard the pending activations — nothing leaks).
         """
         tracker = MetricTracker()
         sim = Simulator()
         exhausted: set = set()
-        waiting: Deque[EndSystem] = deque()  # "block" policy: deferred senders
         in_flight: Dict[int, Tuple[ActivationMessage, EndSystem]] = {}
-        state = {"next_free": self.clock, "dispatch_scheduled": False}
-        self._in_transit = 0
+        for runtime in self._runtimes:
+            runtime.in_transit = 0
+            runtime.waiting.clear()
+            runtime.next_free = self.clock
+            runtime.dispatch_scheduled = False
 
         def try_send(end_system: EndSystem, at_time: float) -> None:
             if end_system.system_id in exhausted or sim.stopped:
@@ -364,8 +674,9 @@ class TrainingEngine:
             if stop_time is not None and at_time >= stop_time:
                 # Past the budget: stop feeding new work into the pipeline.
                 return
-            if self._blocking() and not self._queue_has_room():
-                waiting.append(end_system)
+            runtime = self._runtime_of[end_system.system_id]
+            if self._blocking() and not self._queue_has_room(runtime):
+                runtime.waiting.append(end_system)
                 self.stats.blocked_sends += 1
                 return
             try:
@@ -379,40 +690,45 @@ class TrainingEngine:
                 # client immediately computes its next one.
                 try_send(end_system, at_time)
                 return
-            self._in_transit += 1
+            runtime.in_transit += 1
             in_flight[message.sequence] = (message, end_system)
             sim.schedule(
                 message.arrival_time,
-                lambda s, m=message, e=end_system: on_arrival(s, m, e),
+                lambda s, m=message, e=end_system, r=runtime: on_arrival(s, m, e, r),
                 priority=PRIORITY_ARRIVAL,
                 label="uplink-arrival",
             )
 
         def on_arrival(sim: Simulator, message: ActivationMessage,
-                       end_system: EndSystem) -> None:
+                       end_system: EndSystem, runtime: _ShardRuntime) -> None:
             in_flight.pop(message.sequence, None)
-            if not self._admit(message, end_system):
-                # Queue overflow ("drop" policy): the client is NACKed at
-                # arrival time and moves on to its next batch.
-                try_send(end_system, sim.now)
+            if not self._admit(
+                sim, message, end_system, runtime,
+                # Queue overflow ("drop" policy): the client is NACKed
+                # over the downlink and moves on to its next batch when
+                # the NACK lands.
+                on_notified=lambda s, e=end_system: try_send(e, s.now),
+            ):
                 return
-            maybe_dispatch(sim)
+            maybe_dispatch(sim, runtime)
 
-        def maybe_dispatch(sim: Simulator) -> None:
-            if state["dispatch_scheduled"] or sim.now < state["next_free"]:
+        def maybe_dispatch(sim: Simulator, runtime: _ShardRuntime) -> None:
+            if runtime.dispatch_scheduled or sim.now < runtime.next_free:
                 return
-            if not self.server.has_pending():
+            if not runtime.shard.has_pending():
                 return
-            state["dispatch_scheduled"] = True
-            sim.schedule(sim.now, dispatch, priority=PRIORITY_DISPATCH, label="server-step")
+            runtime.dispatch_scheduled = True
+            sim.schedule(sim.now, lambda s, r=runtime: dispatch(s, r),
+                         priority=PRIORITY_DISPATCH, label="server-step")
 
-        def release_waiters(sim: Simulator, at_time: float) -> None:
-            while waiting and self._queue_has_room():
-                try_send(waiting.popleft(), at_time)
+        def release_waiters(sim: Simulator, runtime: _ShardRuntime,
+                            at_time: float) -> None:
+            while runtime.waiting and self._queue_has_room(runtime):
+                try_send(runtime.waiting.popleft(), at_time)
 
-        def dispatch(sim: Simulator) -> None:
-            state["dispatch_scheduled"] = False
-            if not self.server.has_pending():
+        def dispatch(sim: Simulator, runtime: _ShardRuntime) -> None:
+            runtime.dispatch_scheduled = False
+            if not runtime.shard.has_pending():
                 # Went idle; the next arrival re-triggers a dispatch.
                 return
             start_time = sim.now
@@ -423,12 +739,12 @@ class TrainingEngine:
                 # Batched draining: every message that has arrived by
                 # start_time is folded into one concatenated server step
                 # costing a single server_step_time_s.
-                results = self.server.process_pending_batch(now=start_time)
+                results = runtime.shard.process_pending_batch(now=start_time)
             else:
-                results = [self.server.process_next(now=start_time)]
+                results = [runtime.shard.process_next(now=start_time)]
             self.stats.server_steps += 1
             # The pops above freed queue slots; blocked senders go first.
-            release_waiters(sim, start_time)
+            release_waiters(sim, runtime, start_time)
             finish_time = start_time + self.config.server_step_time_s
             self.clock = max(self.clock, finish_time)
             next_dispatch_at = finish_time
@@ -457,12 +773,24 @@ class TrainingEngine:
                     priority=PRIORITY_LANDING,
                     label="gradient-landing",
                 )
-            # The server may start its next step once it is free and this
+            if (
+                self.cluster.num_shards > 1
+                and runtime.shard.steps_since_sync >= self.cluster.sync_every
+            ):
+                # Gossip this shard's weights; peers merge on landing
+                # with a staleness-decayed coefficient.  The broadcast
+                # happens when the step's results ship (finish_time) and
+                # never blocks the pipeline.
+                runtime.shard.steps_since_sync = 0
+                self.stats.weight_syncs += 1
+                self._broadcast_weights(sim, runtime, finish_time,
+                                        merge_on_landing=True)
+            # The shard may start its next step once it is free and this
             # step's gradients have all landed.
-            state["next_free"] = next_dispatch_at
-            state["dispatch_scheduled"] = True
-            sim.schedule(next_dispatch_at, dispatch, priority=PRIORITY_DISPATCH,
-                         label="server-step")
+            runtime.next_free = next_dispatch_at
+            runtime.dispatch_scheduled = True
+            sim.schedule(next_dispatch_at, lambda s, r=runtime: dispatch(s, r),
+                         priority=PRIORITY_DISPATCH, label="server-step")
 
         def land(sim: Simulator, end_system: EndSystem,
                  gradient_message: GradientMessage) -> None:
@@ -472,21 +800,30 @@ class TrainingEngine:
 
         def halt(sim: Simulator) -> None:
             # Budget exhausted.  Abandon whatever has not been trained on —
-            # uplinks still in flight and messages sitting in the queue —
-            # and make sure the owning clients forget the activations.
+            # uplinks still in flight and messages sitting in the shard
+            # queues — and make sure the owning clients forget the
+            # activations.
             if stop_time is not None:
                 self.clock = max(self.clock, stop_time)
             for message, end_system in in_flight.values():
                 end_system.discard_pending(message.batch_id)
                 self.stats.cancelled_at_stop += 1
             in_flight.clear()
-            # flush_queue also releases the messages' activation-arena
-            # rows, so a budgeted stop does not pin staged memory.
-            for message in self.server.flush_queue():
+            # Queue-dropped batches whose NACK is still in flight resolve
+            # as if the NACK had just landed (they were already counted
+            # as queue drops, not cancellations).
+            for end_system, batch_id in self._awaiting_nack.values():
+                end_system.notify_drop(batch_id)
+            self._awaiting_nack.clear()
+            # flush_all also releases the messages' activation-arena
+            # rows on every shard, so a budgeted stop does not pin
+            # staged memory.
+            for message in self.cluster.flush_all():
                 self._by_id[message.end_system_id].discard_pending(message.batch_id)
                 self.stats.cancelled_at_stop += 1
-            waiting.clear()
-            self._in_transit = 0
+            for runtime in self._runtimes:
+                runtime.waiting.clear()
+                runtime.in_transit = 0
             sim.stop()
 
         # Prime the pipeline: every client ships max_in_flight batches.

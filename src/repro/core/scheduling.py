@@ -24,7 +24,8 @@ and hands them to the server in an order chosen by a pluggable
 from __future__ import annotations
 
 import bisect
-from collections import defaultdict
+import heapq
+from collections import defaultdict, deque
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -39,7 +40,21 @@ __all__ = [
     "WeightedFairPolicy",
     "ParameterQueue",
     "get_policy",
+    "jain_fairness_index",
 ]
+
+
+def jain_fairness_index(counts) -> float:
+    """Jain's fairness index of per-end-system contribution counts.
+
+    1.0 means every end-system contributed equally; 1/M means a single
+    end-system dominated.  Shared by the single queue's statistics and
+    the multi-shard cluster rollup so the definition cannot diverge.
+    """
+    values = np.asarray(list(counts), dtype=np.float64)
+    if values.size == 0 or values.sum() == 0:
+        return 1.0
+    return float(values.sum() ** 2 / (values.size * (values ** 2).sum()))
 
 
 class SchedulingPolicy:
@@ -57,9 +72,11 @@ class SchedulingPolicy:
         return the full order directly, letting
         :meth:`ParameterQueue.drain` sort once — O(n log n) — instead of
         running one O(n) :meth:`select` per pop (O(n²), the dominant
-        server-side cost beyond ~100 queued clients).  Policies whose
-        choice depends on feedback from earlier pops return ``None`` and
-        keep the generic pop loop.
+        server-side cost beyond ~100 queued clients).  Stateful policies
+        may *simulate* their feedback loop (without mutating their
+        state — :meth:`notify_processed` still fires per message during
+        the drain) to the same end; only policies that cannot predict
+        their own choices return ``None`` and keep the generic pop loop.
         """
         return None
 
@@ -120,6 +137,39 @@ class RoundRobinPolicy(SchedulingPolicy):
         ]
         return min(candidates, key=lambda index: pending[index].sequence)
 
+    def drain_order(self, pending: List[ActivationMessage],
+                    now: float) -> Optional[List[int]]:
+        """Simulate the full cycle without mutating policy state.
+
+        The only feedback :meth:`select` consumes is which system the
+        *previous pop of this same drain* served, so the whole order can
+        be computed up front: group the pending messages per system
+        (each group in sequence order, matching the per-pop ``min``)
+        and walk the id cycle with a local ``last_served`` cursor,
+        retiring systems as their groups empty.  One O(n log n) pass
+        replaces n O(n) selections; :meth:`ParameterQueue.drain` still
+        calls :meth:`notify_processed` per message afterwards, which
+        leaves ``_last_served`` exactly where the pop loop would.
+        """
+        groups: Dict[int, deque] = {}
+        for index in sorted(range(len(pending)),
+                            key=lambda position: pending[position].sequence):
+            groups.setdefault(pending[index].end_system_id, deque()).append(index)
+        system_ids = sorted(groups)
+        last_served = self._last_served
+        order: List[int] = []
+        while system_ids:
+            if last_served is None:
+                position = 0
+            else:
+                position = bisect.bisect_right(system_ids, last_served) % len(system_ids)
+            target = system_ids[position]
+            order.append(groups[target].popleft())
+            last_served = target
+            if not groups[target]:
+                system_ids.pop(position)
+        return order
+
     def notify_processed(self, message: ActivationMessage) -> None:
         self._last_served = message.end_system_id
 
@@ -155,6 +205,48 @@ class WeightedFairPolicy(SchedulingPolicy):
                 pending[index].sequence,
             ),
         )
+
+    def drain_order(self, pending: List[ActivationMessage],
+                    now: float) -> Optional[List[int]]:
+        """Simulate the fairness feedback loop with a heap, state untouched.
+
+        Within one system the selection key always prefers the lowest
+        ``(arrival_time, sequence)`` message, so only each system's
+        *front* message can ever win a pop.  A heap over those fronts —
+        keyed exactly like :meth:`select` — pops the global winner in
+        O(log M); the winner's simulated sample count is bumped and its
+        system's next front re-enters the heap.  n pops cost O(n log M)
+        instead of the generic loop's O(n²) selections.
+        """
+        fronts: Dict[int, List[int]] = {}
+        for index in sorted(
+            range(len(pending)),
+            key=lambda position: (pending[position].arrival_time,
+                                  pending[position].sequence),
+        ):
+            fronts.setdefault(pending[index].end_system_id, []).append(index)
+        processed = dict(self._processed_samples)
+        heap = []
+        cursors = {system_id: 0 for system_id in fronts}
+        for system_id, indices in fronts.items():
+            front = pending[indices[0]]
+            heapq.heappush(heap, (processed.get(system_id, 0), front.arrival_time,
+                                  front.sequence, indices[0]))
+        order: List[int] = []
+        while heap:
+            _, _, _, index = heapq.heappop(heap)
+            message = pending[index]
+            order.append(index)
+            system_id = message.end_system_id
+            processed[system_id] = processed.get(system_id, 0) + message.batch_size
+            cursors[system_id] += 1
+            indices = fronts[system_id]
+            if cursors[system_id] < len(indices):
+                next_index = indices[cursors[system_id]]
+                front = pending[next_index]
+                heapq.heappush(heap, (processed[system_id], front.arrival_time,
+                                      front.sequence, next_index))
+        return order
 
     def notify_processed(self, message: ActivationMessage) -> None:
         self._processed_samples[message.end_system_id] += message.batch_size
@@ -209,11 +301,13 @@ class ParameterQueue:
         """Pop every pending message in policy order.
 
         The drain timestamp defaults to the latest pending arrival —
-        resolved **once** for the whole drain.  Stateless policies
-        (FIFO, staleness) hand back a full sort order so the drain is a
-        single O(n log n) sort rather than n O(n) selections, which is
-        what keeps a several-hundred-client backlog drainable; stateful
-        policies (round-robin, weighted-fair) keep the pop loop.  The
+        resolved **once** for the whole drain.  Every built-in policy
+        now hands back a full drain order: the stateless ones (FIFO,
+        staleness) as a single O(n log n) sort, the stateful ones
+        (round-robin, weighted-fair) by *simulating* their own feedback
+        loop without touching policy state — so no drain pays the
+        generic loop's O(n²) selection cost.  The pop loop remains the
+        fallback for third-party policies returning ``None``, and the
         recorded statistics are identical either way.
         """
         if not self._pending:
@@ -283,6 +377,15 @@ class ParameterQueue:
         """Mean seconds a processed message spent waiting in the queue."""
         return float(np.mean(self._waiting_times)) if self._waiting_times else 0.0
 
+    @property
+    def waiting_times_recorded(self) -> int:
+        """Messages whose queue wait has been recorded (drain/pop count).
+
+        Multi-shard deployments weight each shard's mean by this count
+        when rolling the per-shard queues up into one cluster-wide mean.
+        """
+        return len(self._waiting_times)
+
     def processed_per_system(self) -> Dict[int, int]:
         """Samples processed so far, keyed by end-system id."""
         return dict(self._processed_per_system)
@@ -290,14 +393,10 @@ class ParameterQueue:
     def fairness_index(self) -> float:
         """Jain's fairness index of the per-end-system processed sample counts.
 
-        1.0 means every end-system contributed equally; 1/M means a single
-        end-system dominated.  This is the headline metric of the
-        scheduling ablation (the "bias" the paper warns about).
+        This is the headline metric of the scheduling ablation (the
+        "bias" the paper warns about); see :func:`jain_fairness_index`.
         """
-        counts = np.array(list(self._processed_per_system.values()), dtype=np.float64)
-        if counts.size == 0 or counts.sum() == 0:
-            return 1.0
-        return float(counts.sum() ** 2 / (counts.size * (counts ** 2).sum()))
+        return jain_fairness_index(self._processed_per_system.values())
 
 
 _POLICIES = {

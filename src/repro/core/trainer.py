@@ -42,6 +42,17 @@ latency samples, drop draws and counters (see
 :meth:`~repro.simnet.topology.GeoTopology.downlink`), and the transport
 log reports per-direction drop counts.
 
+Sharded multi-server deployments
+--------------------------------
+``TrainingConfig.num_servers > 1`` splits the end-systems across that
+many :class:`~repro.cluster.shard.ServerShard` replicas (assignment via
+``TrainingConfig.shard_assigner``), each with its own queue, arena and
+optimizer, connected by a multi-hub star topology whose inter-server
+links carry periodic weight-synchronization traffic
+(``TrainingConfig.server_sync_every`` / ``server_sync_mode``; see
+:mod:`repro.cluster`).  ``num_servers=1`` reduces exactly to the paper's
+single central server — pinned to 1e-9 by the cluster equivalence tests.
+
 Batched queue draining
 ----------------------
 With ``TrainingConfig.server_batching`` (the default) each server step
@@ -62,11 +73,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..backend import use_backend
+from ..cluster.assigner import get_assigner
+from ..cluster.coordinator import ClusterCoordinator
+from ..cluster.shard import ServerShard
 from ..data.datasets import Dataset
 from ..data.loader import DataLoader
 from ..data.transforms import Transform
 from ..nn.metrics import MetricTracker
-from ..simnet.topology import GeoTopology, star_topology
+from ..simnet.topology import GeoTopology, multi_hub_star_topology, star_topology
 from ..simnet.transport import Transport
 from ..utils.logging import get_logger
 from ..utils.rng import SeedSequence
@@ -118,13 +132,32 @@ class SpatioTemporalTrainer:
         self.split_spec = split_spec
         self.config = config if config is not None else TrainingConfig()
         self.num_end_systems = len(client_datasets)
-        self.topology = (
-            topology if topology is not None else star_topology(self.num_end_systems)
-        )
+        num_servers = self.config.num_servers
+        if topology is None:
+            if num_servers == 1:
+                topology = star_topology(self.num_end_systems)
+            else:
+                # The assigner sees the clients' local sample counts (the
+                # load proxy); a default star is latency-homogeneous.
+                assignment = get_assigner(self.config.shard_assigner).assign(
+                    self.num_end_systems,
+                    num_servers,
+                    loads=[len(dataset) for dataset in client_datasets],
+                )
+                topology = multi_hub_star_topology(
+                    self.num_end_systems, num_servers, assignment=assignment
+                )
+        self.topology = topology
         if len(self.topology.end_systems) != self.num_end_systems:
             raise ValueError(
                 f"topology has {len(self.topology.end_systems)} end-systems but "
                 f"{self.num_end_systems} datasets were provided"
+            )
+        hubs = self.topology.servers
+        if len(hubs) != num_servers:
+            raise ValueError(
+                f"topology has {len(hubs)} server hubs but config.num_servers="
+                f"{num_servers}"
             )
         self.transport = Transport(self.topology)
         self.train_transform = train_transform
@@ -152,18 +185,26 @@ class SpatioTemporalTrainer:
                 )
             )
 
-        self.server = CentralServer(
-            split_spec=split_spec,
-            optimizer_name=self.config.server_optimizer,
-            optimizer_kwargs=self.config.server_optimizer_kwargs,
-            loss_name=self.config.loss,
-            queue_policy=get_policy(self.config.queue_policy),
-            max_queue_size=self.config.max_queue_size,
-            # Per-message processing never gathers, so staging would be a
-            # pure copy tax; the arena rides with batched draining.
-            use_arena=self.config.server_arena and self.config.server_batching,
-            seed=int(seeds.generator("server").integers(0, 2 ** 31)),
-        )
+        # Every shard replica initializes from the same "server" seed
+        # stream, so all server segments start with identical weights (they
+        # are replicas of one logical server) and shard 0 is bit-identical
+        # to the pre-cluster single server.
+        server_seed = int(seeds.generator("server").integers(0, 2 ** 31))
+        shards: List[ServerShard] = []
+        for shard_index, hub in enumerate(hubs):
+            server = CentralServer(
+                split_spec=split_spec,
+                optimizer_name=self.config.server_optimizer,
+                optimizer_kwargs=self.config.server_optimizer_kwargs,
+                loss_name=self.config.loss,
+                queue_policy=get_policy(self.config.queue_policy),
+                max_queue_size=self.config.max_queue_size,
+                # Per-message processing never gathers, so staging would be a
+                # pure copy tax; the arena rides with batched draining.
+                use_arena=self.config.server_arena and self.config.server_batching,
+                seed=server_seed,
+            )
+            shards.append(ServerShard(shard_index, server, hub))
         self._node_name_to_system = {
             end_system.node_name: end_system for end_system in self.end_systems
         }
@@ -173,12 +214,30 @@ class SpatioTemporalTrainer:
             end_system.system_id: node
             for end_system, node in zip(self.end_systems, self.topology.end_systems)
         }
+        # The topology is the assignment's ground truth: each end-system
+        # belongs to the shard whose hub its node hangs off.
+        hub_to_shard = {hub: index for index, hub in enumerate(hubs)}
+        assignment = {
+            end_system.system_id: hub_to_shard[
+                self.topology.hub_of(self._system_to_node[end_system.system_id])
+            ]
+            for end_system in self.end_systems
+        }
+        self.cluster = ClusterCoordinator(
+            shards=shards,
+            assignment=assignment,
+            sync_every=self.config.server_sync_every,
+            sync_mode=self.config.server_sync_mode,
+        )
+        #: Shard 0's server — the *only* server with ``num_servers=1``
+        #: (back-compat alias used throughout the single-server tests).
+        self.server = self.cluster.shards[0].server
         self.engine = TrainingEngine(
             end_systems=self.end_systems,
-            server=self.server,
             transport=self.transport,
             system_to_node=self._system_to_node,
             config=self.config,
+            cluster=self.cluster,
         )
         self._clock = 0.0
 
@@ -197,15 +256,29 @@ class SpatioTemporalTrainer:
         }
 
     def _queue_stats(self) -> Dict[str, object]:
-        """Run-level queue/engine statistics attached to every history."""
-        return {
-            "mean_waiting_time_s": self.server.queue.mean_waiting_time,
-            "fairness_index": self.server.queue.fairness_index(),
-            "dropped": self.server.queue.dropped,
-            "processed_per_system": self.server.queue.processed_per_system(),
+        """Run-level queue/engine statistics attached to every history.
+
+        With one shard the headline numbers equal the single queue's; a
+        multi-shard run rolls every shard's queue up (summed drops,
+        count-weighted mean wait, Jain's index over the merged per-system
+        sample counts) and attaches the per-shard breakdown plus the
+        inter-server synchronization counters.
+        """
+        stats = {
+            "mean_waiting_time_s": self.cluster.mean_waiting_time(),
+            "fairness_index": self.cluster.fairness_index(),
+            "dropped": self.cluster.queue_dropped,
+            "processed_per_system": self.cluster.processed_per_system(),
             "blocked_sends": self.engine.stats.blocked_sends,
             "engine_events": self.engine.stats.events_processed,
+            "mean_nack_delay_s": self.engine.stats.mean_nack_delay_s,
+            "num_servers": self.cluster.num_shards,
         }
+        if self.cluster.num_shards > 1:
+            stats["per_shard"] = self.cluster.shard_stats()
+            stats["weight_syncs"] = self.engine.stats.weight_syncs
+            stats["sync_messages"] = self.engine.stats.sync_messages
+        return stats
 
     def _backend_context(self):
         """Install ``config.compute_backend`` for the duration of a run.
@@ -259,8 +332,8 @@ class SpatioTemporalTrainer:
                 train_accuracy=averages.get("accuracy", 0.0),
                 simulated_time_s=self.engine.clock - epoch_start_clock,
                 wall_time_s=wall,
-                batches=self.server.batches_processed,
-                samples=self.server.samples_processed,
+                batches=self.cluster.batches_processed,
+                samples=self.cluster.samples_processed,
             )
             should_evaluate = test_dataset is not None and (
                 (epoch + 1) % max(evaluate_every, 1) == 0 or epoch == epochs - 1
@@ -290,10 +363,11 @@ class SpatioTemporalTrainer:
         """Evaluate the deployed split model on a held-out dataset.
 
         Every end-system evaluates the full test set through *its own*
-        client segment followed by the shared server segment; the headline
-        accuracy is the mean over end-systems (they would each serve their
-        own patients in the paper's scenario), and the per-system values
-        are reported for fairness analysis.
+        client segment followed by its shard's server segment (the one
+        shared server when ``num_servers=1``); the headline accuracy is
+        the mean over end-systems (they would each serve their own
+        patients in the paper's scenario), and the per-system values are
+        reported for fairness analysis.
         """
         with self._backend_context():
             return self._evaluate(dataset, batch_size)
@@ -306,6 +380,7 @@ class SpatioTemporalTrainer:
         per_system_accuracy: Dict[int, float] = {}
         per_system_loss: Dict[int, float] = {}
         for end_system in self.end_systems:
+            shard_server = self.cluster.shard_of(end_system.system_id).server
             correct_weighted = 0.0
             loss_weighted = 0.0
             total = 0
@@ -314,7 +389,7 @@ class SpatioTemporalTrainer:
                 batch_images = images[start:stop]
                 batch_labels = labels[start:stop]
                 smashed = end_system.forward_inference(batch_images)
-                metrics = self.server.evaluate(smashed, batch_labels)
+                metrics = shard_server.evaluate(smashed, batch_labels)
                 correct_weighted += metrics["accuracy"] * batch_images.shape[0]
                 loss_weighted += metrics["loss"] * batch_images.shape[0]
                 total += batch_images.shape[0]
@@ -369,8 +444,8 @@ class SpatioTemporalTrainer:
             train_accuracy=averages.get("accuracy", 0.0),
             simulated_time_s=self.engine.clock - start_clock,
             wall_time_s=time.perf_counter() - start,
-            batches=self.server.batches_processed,
-            samples=self.server.samples_processed,
+            batches=self.cluster.batches_processed,
+            samples=self.cluster.samples_processed,
         )
         if test_dataset is not None:
             evaluation = self.evaluate(test_dataset)
@@ -393,14 +468,29 @@ class SpatioTemporalTrainer:
         }
 
     def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
-        """Checkpoint of the server segment and every end-system segment."""
-        state = {"server": self.server.state_dict()}
+        """Checkpoint of every server shard and every end-system segment.
+
+        Single-server deployments keep the legacy ``"server"`` key;
+        sharded deployments store one ``"server_shard_{k}"`` entry per
+        replica.
+        """
+        if self.cluster.num_shards == 1:
+            state = {"server": self.server.state_dict()}
+        else:
+            state = {
+                f"server_shard_{shard.shard_id}": shard.server.state_dict()
+                for shard in self.cluster.shards
+            }
         for end_system in self.end_systems:
             state[f"end_system_{end_system.system_id}"] = end_system.state_dict()
         return state
 
     def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
         """Restore a checkpoint produced by :meth:`state_dict`."""
-        self.server.load_state_dict(state["server"])
+        if self.cluster.num_shards == 1:
+            self.server.load_state_dict(state["server"])
+        else:
+            for shard in self.cluster.shards:
+                shard.server.load_state_dict(state[f"server_shard_{shard.shard_id}"])
         for end_system in self.end_systems:
             end_system.load_state_dict(state[f"end_system_{end_system.system_id}"])

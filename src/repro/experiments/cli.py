@@ -6,7 +6,9 @@ List everything that can be reproduced::
 
     repro-experiments list
 
-Reproduce Table I on the quick laptop-scale workload::
+Reproduce Table I on its canonical workload (each experiment defines its
+own default — the congestion and sharding sweeps use a 100+ client
+star; pass any workload flag to override)::
 
     repro-experiments run table1
 
@@ -61,24 +63,46 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", choices=["laptop", "paper"], default="laptop",
-                        help="workload size: quick laptop run or full paper-scale run")
+    parser.add_argument("--scale", choices=["laptop", "paper"], default=None,
+                        help="workload size: quick laptop run or full paper-scale run "
+                             "(default: the experiment's canonical workload for 'run', "
+                             "laptop for 'run-all')")
     parser.add_argument("--num-samples", type=int, default=None,
                         help="override the synthetic dataset size")
     parser.add_argument("--end-systems", type=int, default=None,
                         help="override the number of end-systems M")
     parser.add_argument("--epochs", type=int, default=None, help="override the epoch budget")
     parser.add_argument("--batch-size", type=int, default=None, help="override the batch size")
-    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master random seed (default: 0)")
     parser.add_argument("--backend", choices=available_backends(), default=None,
                         help="compute backend for the run (default: leave the "
                              f"process default, currently {get_backend().name!r})")
     parser.add_argument("--json", action="store_true", help="print JSON instead of a table")
 
 
-def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
+def _workload_from_args(args: argparse.Namespace,
+                        required: bool = True) -> Optional[WorkloadSpec]:
+    """Build the workload the CLI flags describe.
+
+    With ``required=False`` (the single-experiment ``run`` command) and
+    no workload flag given, returns ``None`` so the experiment runs on
+    its **own canonical workload** — e.g. ``queue_congestion`` and
+    ``server_sharding`` default to a 100+ client star that a generic
+    4-client override would defeat.
+    """
     if getattr(args, "backend", None) is not None:
         set_backend(args.backend)
+    overridden = (
+        args.scale is not None
+        or args.num_samples is not None
+        or args.end_systems is not None
+        or args.epochs is not None
+        or args.batch_size is not None
+        or args.seed is not None
+    )
+    if not required and not overridden:
+        return None
     factory = WorkloadSpec.paper if args.scale == "paper" else WorkloadSpec.laptop
     overrides = {}
     if args.num_samples is not None:
@@ -89,7 +113,7 @@ def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
         overrides["epochs"] = args.epochs
     if args.batch_size is not None:
         overrides["batch_size"] = args.batch_size
-    overrides["seed"] = args.seed
+    overrides["seed"] = args.seed if args.seed is not None else 0
     return factory(**overrides)
 
 
@@ -101,8 +125,11 @@ def _command_list() -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     entry = get_experiment(args.experiment)
-    workload = _workload_from_args(args)
-    result = entry.runner(workload=workload)
+    workload = _workload_from_args(args, required=False)
+    if workload is None:
+        result = entry.runner()
+    else:
+        result = entry.runner(workload=workload)
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, default=str))
     else:

@@ -15,8 +15,10 @@ who gets starved and what that costs in accuracy.  This experiment sweeps
 under a heterogeneous-latency star with (by default) 100 end-systems
 training in asynchronous mode.  Reported per configuration: processed and
 dropped message counts, deferred (blocked) sends, Jain's fairness index
-over processed samples, mean queue wait, training accuracy and the
-simulated completion time.  Leak detection is built in: a configuration
+over processed samples, mean queue wait, the mean queue-drop NACK delay
+(the client learns of an overflow one *downlink delay* after it happens,
+so far-away clients waste longer holding doomed activations), training
+accuracy and the simulated completion time.  Leak detection is built in: a configuration
 row is only emitted after asserting that no end-system is left holding a
 pending activation, which is precisely the bug the bounded-queue path
 used to have.
@@ -93,6 +95,7 @@ def run_queue_congestion(
             "blocked_sends",
             "fairness_index",
             "mean_queue_wait_ms",
+            "mean_nack_delay_ms",
             "train_accuracy_pct",
             "simulated_time_s",
         ],
@@ -169,6 +172,7 @@ def run_queue_congestion(
                     history.queue_stats["blocked_sends"],
                     history.queue_stats["fairness_index"],
                     1e3 * history.queue_stats["mean_waiting_time_s"],
+                    1e3 * history.queue_stats["mean_nack_delay_s"],
                     100.0 * history.final_train_accuracy,
                     history.total_simulated_time,
                 ])

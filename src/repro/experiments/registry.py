@@ -16,6 +16,7 @@ from .clients_sweep import run_clients_sweep
 from .compression import run_compression
 from .figure4 import run_figure4
 from .queue_congestion import run_queue_congestion
+from .server_sharding import run_server_sharding
 from .staleness import run_staleness
 from .table1 import run_table1
 
@@ -68,6 +69,13 @@ REGISTRY: Dict[str, ExperimentEntry] = {
         paper_artifact="Figure 2 (bounded queue)",
         description="Bounded scheduling queues under a 100+ client star: capacity x backpressure x policy.",
         runner=run_queue_congestion,
+    ),
+    "server_sharding": ExperimentEntry(
+        name="server_sharding",
+        paper_artifact="Fig. 2 architecture (scaling extension)",
+        description="Sharded multi-server deployment: accuracy and completion time "
+                    "vs. shard count under a 100+ client heterogeneous star.",
+        runner=run_server_sharding,
     ),
     "compression": ExperimentEntry(
         name="compression",

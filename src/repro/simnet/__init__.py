@@ -18,7 +18,13 @@ from .latency import (
     great_circle_km,
 )
 from .link import Link, Message, payload_bytes
-from .topology import WORLD_CITIES, GeoTopology, geo_star_topology, star_topology
+from .topology import (
+    WORLD_CITIES,
+    GeoTopology,
+    geo_star_topology,
+    multi_hub_star_topology,
+    star_topology,
+)
 from .transport import TrafficLog, Transport
 
 __all__ = [
@@ -36,6 +42,7 @@ __all__ = [
     "GeoTopology",
     "star_topology",
     "geo_star_topology",
+    "multi_hub_star_topology",
     "WORLD_CITIES",
     "Transport",
     "TrafficLog",

@@ -18,7 +18,13 @@ import numpy as np
 from .latency import ConstantLatency, DistanceLatency, GaussianLatency, LatencyModel
 from .link import Link
 
-__all__ = ["GeoTopology", "star_topology", "geo_star_topology", "WORLD_CITIES"]
+__all__ = [
+    "GeoTopology",
+    "star_topology",
+    "geo_star_topology",
+    "multi_hub_star_topology",
+    "WORLD_CITIES",
+]
 
 # A handful of city coordinates (latitude, longitude) used to synthesize
 # realistic geo-distributed deployments without external data.
@@ -71,7 +77,11 @@ class GeoTopology:
         for node in (node_a, node_b):
             if node not in self.graph:
                 raise KeyError(f"unknown node {node!r}")
-        self.graph.add_edge(node_a, node_b, link=link, downlink=downlink)
+        # "source" records the edge's orientation so directional lookups
+        # (uplink/downlink/inter-server) work regardless of the order the
+        # undirected graph reports the endpoints in.
+        self.graph.add_edge(node_a, node_b, link=link, downlink=downlink,
+                            source=node_a)
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -102,27 +112,63 @@ class GeoTopology:
             raise ValueError(f"expected exactly one server node, found {servers}")
         return servers[0]
 
+    @property
+    def servers(self) -> List[str]:
+        """Names of all server (hub) nodes, in insertion order."""
+        return self.nodes(role="server")
+
+    def hub_of(self, end_system: str) -> str:
+        """The server hub an end-system is connected to.
+
+        Single-server stars return the one server; in a multi-hub
+        topology every end-system must hang off exactly one hub.
+        """
+        if end_system not in self.graph:
+            raise KeyError(f"unknown node {end_system!r}")
+        hubs = [
+            neighbor for neighbor in self.graph.neighbors(end_system)
+            if self.graph.nodes[neighbor].get("role") == "server"
+        ]
+        if len(hubs) != 1:
+            raise ValueError(
+                f"end-system {end_system!r} is connected to {len(hubs)} server "
+                f"hubs ({hubs}); expected exactly one"
+            )
+        return hubs[0]
+
     def coordinates(self, name: str) -> Optional[Tuple[float, float]]:
         """Coordinates of a node (``None`` if it has none)."""
         return self.graph.nodes[name].get("coordinates")
 
+    def _directional_link(self, src: str, dst: str) -> Link:
+        """The link carrying traffic from ``src`` towards ``dst``."""
+        try:
+            data = self.graph.edges[src, dst]
+        except KeyError:
+            raise KeyError(f"no link between {src!r} and {dst!r}") from None
+        if data.get("source", src) == src:
+            return data["link"]
+        downlink = data.get("downlink")
+        return downlink if downlink is not None else data["link"]
+
     def uplink(self, end_system: str) -> Link:
-        """Link from an end-system to the server."""
-        return self.link(end_system, self.server)
+        """Link from an end-system to its server hub."""
+        return self._directional_link(end_system, self.hub_of(end_system))
 
     def downlink(self, end_system: str) -> Link:
-        """Link from the server back to an end-system.
+        """Link from the server hub back to an end-system.
 
         Falls back to the uplink when the edge was registered without a
         dedicated downlink (symmetric legacy topologies).
         """
-        server = self.server
-        try:
-            data = self.graph.edges[end_system, server]
-        except KeyError:
-            raise KeyError(f"no link between {end_system!r} and {server!r}") from None
-        downlink = data.get("downlink")
-        return downlink if downlink is not None else data["link"]
+        return self._directional_link(self.hub_of(end_system), end_system)
+
+    def inter_server_link(self, src: str, dst: str) -> Link:
+        """Link carrying synchronization traffic between two server hubs."""
+        for node in (src, dst):
+            if self.graph.nodes.get(node, {}).get("role") != "server":
+                raise KeyError(f"{node!r} is not a server node")
+        return self._directional_link(src, dst)
 
     def mean_latencies(self) -> Dict[str, float]:
         """Expected one-way latency (s) from each end-system to the server."""
@@ -140,10 +186,11 @@ class GeoTopology:
         return {name: pick(name).stats() for name in self.end_systems}
 
     def dropped_totals(self) -> Dict[str, int]:
-        """Link-level drop counts summed over every end-system edge.
+        """Link-level drop counts summed over every edge, by direction.
 
         Used by the drop-accounting regression tests: the transport log's
-        ``dropped_messages`` must equal ``uplink + downlink`` from here.
+        ``dropped_messages`` must equal ``uplink + downlink + sync`` from
+        here.  NACK losses ride the downlink, so they count there.
         """
         uplink_drops = sum(self.uplink(name).messages_dropped for name in self.end_systems)
         downlink_drops = 0
@@ -151,7 +198,18 @@ class GeoTopology:
             down = self.downlink(name)
             if down is not self.uplink(name):
                 downlink_drops += down.messages_dropped
-        return {"uplink": uplink_drops, "downlink": downlink_drops}
+        sync_drops = 0
+        servers = self.servers
+        for index, src in enumerate(servers):
+            for dst in servers[index + 1:]:
+                if not self.graph.has_edge(src, dst):
+                    continue
+                forward = self._directional_link(src, dst)
+                backward = self._directional_link(dst, src)
+                sync_drops += forward.messages_dropped
+                if backward is not forward:
+                    sync_drops += backward.messages_dropped
+        return {"uplink": uplink_drops, "downlink": downlink_drops, "sync": sync_drops}
 
 
 def _make_latency_model(latency_s: float, jitter_std_s: float) -> LatencyModel:
@@ -232,6 +290,123 @@ def star_topology(
             direction="down",
         )
         topology.add_link(name, GeoTopology.SERVER, uplink, downlink=downlink)
+    return topology
+
+
+def multi_hub_star_topology(
+    num_end_systems: int,
+    num_servers: int,
+    assignment: Optional[Iterable[int]] = None,
+    assigner: str = "static_hash",
+    latencies_s: Optional[Iterable[float]] = None,
+    bandwidth_bps: Optional[float] = 100e6,
+    jitter_std_s: float = 0.0,
+    drop_probability: float = 0.0,
+    seed: Optional[int] = 0,
+    downlink_latencies_s: Optional[Iterable[float]] = None,
+    downlink_bandwidth_bps: Optional[float] = None,
+    downlink_drop_probability: Optional[float] = None,
+    inter_server_latency_s: float = 0.01,
+    inter_server_bandwidth_bps: Optional[float] = 1e9,
+    inter_server_drop_probability: float = 0.0,
+) -> GeoTopology:
+    """Build a sharded star: one hub per server shard plus inter-server links.
+
+    Every end-system connects (uplink + downlink, exactly like
+    :func:`star_topology`) to the single hub its shard assignment names;
+    the hubs are pairwise connected by dedicated per-direction links that
+    carry the weight-synchronization traffic, typically a datacenter
+    interconnect — lower latency and higher bandwidth than the WAN edges.
+
+    With ``num_servers=1`` the result is link-for-link identical to
+    :func:`star_topology` (same per-link RNG streams), which is what the
+    cluster equivalence tests pin.
+
+    Parameters
+    ----------
+    assignment:
+        Shard index per end-system.  When omitted, the named ``assigner``
+        strategy computes it from ``latencies_s``.
+    inter_server_latency_s / inter_server_bandwidth_bps / inter_server_drop_probability:
+        Parameters shared by every inter-server link.
+    """
+    if num_end_systems <= 0:
+        raise ValueError("need at least one end-system")
+    if num_servers <= 0:
+        raise ValueError("need at least one server")
+    latencies = list(latencies_s) if latencies_s is not None else [0.005] * num_end_systems
+    if len(latencies) != num_end_systems:
+        raise ValueError(f"expected {num_end_systems} latencies, got {len(latencies)}")
+    if assignment is None:
+        from ..cluster.assigner import get_assigner
+
+        assignment = get_assigner(assigner).assign(
+            num_end_systems, num_servers, latencies_s=latencies
+        )
+    assignment = [int(shard) for shard in assignment]
+    if len(assignment) != num_end_systems:
+        raise ValueError(
+            f"expected {num_end_systems} assignment entries, got {len(assignment)}"
+        )
+    if assignment and not all(0 <= shard < num_servers for shard in assignment):
+        raise ValueError(f"assignment indices must be in [0, {num_servers})")
+    down_latencies = (
+        list(downlink_latencies_s) if downlink_latencies_s is not None else list(latencies)
+    )
+    if len(down_latencies) != num_end_systems:
+        raise ValueError(
+            f"expected {num_end_systems} downlink latencies, got {len(down_latencies)}"
+        )
+    down_bandwidth = (
+        downlink_bandwidth_bps if downlink_bandwidth_bps is not None else bandwidth_bps
+    )
+    down_drop = (
+        downlink_drop_probability if downlink_drop_probability is not None else drop_probability
+    )
+    topology = GeoTopology()
+    hubs = [f"server_{index}" for index in range(num_servers)]
+    for hub in hubs:
+        topology.add_node(hub, role="server")
+    # Client-edge link seeds replicate star_topology (uplink: seed+i,
+    # downlink: seed+M+i) so a 1-hub cluster is RNG-identical to the
+    # classic star; inter-server links draw from seed+2M onwards.
+    for index, latency_s in enumerate(latencies):
+        name = f"end_system_{index}"
+        topology.add_node(name, role="end_system")
+        uplink = Link(
+            latency=_make_latency_model(latency_s, jitter_std_s),
+            bandwidth_bps=bandwidth_bps,
+            drop_probability=drop_probability,
+            seed=None if seed is None else seed + index,
+            direction="up",
+        )
+        downlink = Link(
+            latency=_make_latency_model(down_latencies[index], jitter_std_s),
+            bandwidth_bps=down_bandwidth,
+            drop_probability=down_drop,
+            seed=None if seed is None else seed + num_end_systems + index,
+            direction="down",
+        )
+        topology.add_link(name, hubs[assignment[index]], uplink, downlink=downlink)
+    pair_index = 0
+    for left in range(num_servers):
+        for right in range(left + 1, num_servers):
+            forward = Link(
+                latency=_make_latency_model(inter_server_latency_s, jitter_std_s),
+                bandwidth_bps=inter_server_bandwidth_bps,
+                drop_probability=inter_server_drop_probability,
+                seed=None if seed is None else seed + 2 * num_end_systems + 2 * pair_index,
+                direction="sync",
+            )
+            backward = Link(
+                latency=_make_latency_model(inter_server_latency_s, jitter_std_s),
+                bandwidth_bps=inter_server_bandwidth_bps,
+                drop_probability=inter_server_drop_probability,
+                seed=None if seed is None else seed + 2 * num_end_systems + 2 * pair_index + 1,
+                direction="sync",
+            )
+            topology.add_link(hubs[left], hubs[right], forward, downlink=backward)
+            pair_index += 1
     return topology
 
 

@@ -23,33 +23,65 @@ __all__ = ["Transport", "TrafficLog"]
 
 @dataclass
 class TrafficLog:
-    """Aggregate statistics of the traffic a transport has carried."""
+    """Aggregate statistics of the traffic a transport has carried.
+
+    Four directions are tracked: ``"up"`` (activations), ``"down"``
+    (gradients), ``"nack"`` (queue-overflow notifications — they ride
+    the downlink :class:`~repro.simnet.link.Link`, so their *drops*
+    count towards ``downlink_dropped`` for link-level parity, but their
+    deliveries are logged separately so gradient traffic stays clean)
+    and ``"sync"`` (inter-server weight synchronization).
+    """
 
     uplink_messages: int = 0
     downlink_messages: int = 0
     uplink_bytes: int = 0
     downlink_bytes: int = 0
+    nack_messages: int = 0
+    nack_bytes: int = 0
+    sync_messages: int = 0
+    sync_bytes: int = 0
     dropped_messages: int = 0
     uplink_dropped: int = 0
     downlink_dropped: int = 0
+    nack_dropped: int = 0
+    sync_dropped: int = 0
     transit_times: List[float] = field(default_factory=list)
 
     def record(self, message: Optional[Message], direction: str) -> None:
         """Record one message (``None`` means it was dropped)."""
+        if direction not in {"up", "down", "nack", "sync"}:
+            raise ValueError(f"unknown traffic direction {direction!r}")
         if message is None:
             self.dropped_messages += 1
             if direction == "up":
                 self.uplink_dropped += 1
-            else:
+            elif direction == "down":
                 self.downlink_dropped += 1
+            elif direction == "nack":
+                # The NACK was lost on the downlink link, so the
+                # per-link counters see it there; mirror that here.
+                self.nack_dropped += 1
+                self.downlink_dropped += 1
+            else:
+                self.sync_dropped += 1
             return
         if direction == "up":
             self.uplink_messages += 1
             self.uplink_bytes += message.size_bytes
-        else:
+        elif direction == "down":
             self.downlink_messages += 1
             self.downlink_bytes += message.size_bytes
-        self.transit_times.append(message.transit_time)
+        elif direction == "nack":
+            self.nack_messages += 1
+            self.nack_bytes += message.size_bytes
+        else:
+            self.sync_messages += 1
+            self.sync_bytes += message.size_bytes
+        # Only the payload-bearing directions feed the transit-time
+        # statistics; control traffic would skew the latency headline.
+        if direction in {"up", "down"}:
+            self.transit_times.append(message.transit_time)
 
     @property
     def total_bytes(self) -> int:
@@ -73,9 +105,14 @@ class TrafficLog:
             "downlink_messages": self.downlink_messages,
             "uplink_megabytes": self.uplink_bytes / 1e6,
             "downlink_megabytes": self.downlink_bytes / 1e6,
+            "nack_messages": self.nack_messages,
+            "sync_messages": self.sync_messages,
+            "sync_megabytes": self.sync_bytes / 1e6,
             "dropped_messages": self.dropped_messages,
             "uplink_dropped": self.uplink_dropped,
             "downlink_dropped": self.downlink_dropped,
+            "nack_dropped": self.nack_dropped,
+            "sync_dropped": self.sync_dropped,
             "mean_transit_time_s": self.mean_transit_time,
             "max_transit_time_s": self.max_transit_time,
         }
@@ -103,7 +140,8 @@ class Transport:
         """
         now = self._advance(now)
         link = self.topology.uplink(end_system)
-        message = link.send(end_system, self.topology.server, payload, now, kind=kind)
+        message = link.send(end_system, self.topology.hub_of(end_system), payload,
+                            now, kind=kind)
         self.log.record(message, "up")
         return message
 
@@ -113,12 +151,25 @@ class Transport:
 
         Gradient-return traffic travels over the topology's *downlink*
         for that end-system, so its latency samples, drop draws and
-        per-link counters never commingle with the uplink's.
+        per-link counters never commingle with the uplink's.  Queue-drop
+        NACKs (``kind="nack"``) ride the same downlink but are logged in
+        their own direction so gradient counts stay meaningful.
         """
         now = self._advance(now)
         link = self.topology.downlink(end_system)
-        message = link.send(self.topology.server, end_system, payload, now, kind=kind)
-        self.log.record(message, "down")
+        message = link.send(self.topology.hub_of(end_system), end_system, payload,
+                            now, kind=kind)
+        self.log.record(message, "nack" if kind == "nack" else "down")
+        return message
+
+    def send_between_servers(self, source: str, destination: str, payload: Any,
+                             now: Optional[float] = None,
+                             kind: str = "sync") -> Optional[Message]:
+        """Ship a weight-synchronization payload between two server hubs."""
+        now = self._advance(now)
+        link = self.topology.inter_server_link(source, destination)
+        message = link.send(source, destination, payload, now, kind=kind)
+        self.log.record(message, "sync")
         return message
 
     def _advance(self, now: Optional[float]) -> float:

@@ -1,0 +1,16 @@
+"""Fixtures for the cluster (sharded multi-server) test suite."""
+
+import pytest
+
+from repro.data.partition import IIDPartitioner
+
+
+@pytest.fixture(scope="session")
+def tiny_parts4(tiny_splits):
+    """The tiny training set partitioned IID across 4 end-systems.
+
+    Two shards then own two clients each, so every shard trains every
+    round and the weighted averaging is non-trivial.
+    """
+    train, _ = tiny_splits
+    return IIDPartitioner(4, seed=5).partition(train)

@@ -1,0 +1,81 @@
+"""Shard-assignment strategies: balance, determinism and validation."""
+
+import pytest
+
+from repro.cluster import (
+    LatencyAwareAssigner,
+    LoadAwareAssigner,
+    StaticHashAssigner,
+    available_assigners,
+    get_assigner,
+)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert available_assigners() == ["latency_aware", "load_aware", "static_hash"]
+        for name in available_assigners():
+            assert get_assigner(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown assigner"):
+            get_assigner("bogus")
+
+    def test_validation(self):
+        assigner = StaticHashAssigner()
+        with pytest.raises(ValueError):
+            assigner.assign(0, 2)
+        with pytest.raises(ValueError):
+            assigner.assign(4, 0)
+        with pytest.raises(ValueError):
+            assigner.assign(4, 2, latencies_s=[0.1])
+        with pytest.raises(ValueError):
+            assigner.assign(4, 2, loads=[1, 2, 3])
+
+    def test_single_shard_short_circuits(self):
+        for name in available_assigners():
+            assert get_assigner(name).assign(5, 1) == [0] * 5
+
+
+class TestStaticHash:
+    def test_modulo_assignment(self):
+        assert StaticHashAssigner().assign(6, 3) == [0, 1, 2, 0, 1, 2]
+
+    def test_counts_balanced_within_one(self):
+        assignment = StaticHashAssigner().assign(10, 4)
+        counts = [assignment.count(shard) for shard in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestLoadAware:
+    def test_balances_skewed_loads(self):
+        # One giant client plus many small ones: the giant must sit alone
+        # (or nearly so) while the small ones share the other shard.
+        loads = [100, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10]
+        assignment = LoadAwareAssigner().assign(len(loads), 2, loads=loads)
+        shard_loads = [0, 0]
+        for client, shard in enumerate(assignment):
+            shard_loads[shard] += loads[client]
+        assert abs(shard_loads[0] - shard_loads[1]) <= 10
+
+    def test_defaults_to_uniform_without_loads(self):
+        assignment = LoadAwareAssigner().assign(8, 2)
+        assert assignment.count(0) == assignment.count(1) == 4
+
+
+class TestLatencyAware:
+    def test_contiguous_latency_bands(self):
+        # Interleaved near/far clients: each shard must own one band.
+        latencies = [0.001, 0.100, 0.002, 0.110, 0.003, 0.120]
+        assignment = LatencyAwareAssigner().assign(6, 2, latencies_s=latencies)
+        near = {client for client, lat in enumerate(latencies) if lat < 0.05}
+        far = set(range(6)) - near
+        near_shards = {assignment[client] for client in near}
+        far_shards = {assignment[client] for client in far}
+        assert len(near_shards) == 1 and len(far_shards) == 1
+        assert near_shards != far_shards
+
+    def test_near_equal_group_sizes(self):
+        assignment = LatencyAwareAssigner().assign(10, 3, latencies_s=list(range(10)))
+        counts = [assignment.count(shard) for shard in range(3)]
+        assert sorted(counts) == [3, 3, 4]

@@ -1,0 +1,315 @@
+"""The sharded cluster path must reduce to the single-server trainer.
+
+``num_servers=1`` runs the exact same event chains the pre-cluster
+engine ran: a one-hub ``multi_hub_star_topology`` deployment (the
+cluster-construction path) must reproduce the classic single-server
+``star_topology`` run — per-epoch histories, final parameters and the
+simulated clock all matching to 1e-9 on a lossless topology, in both
+training modes (the same pinning style as
+``tests/core/test_engine_equivalence.py``).
+
+For actual multi-shard runs, the ``"average"`` sync mode is pinned
+against an independent weighted-average reference at float64: every sync
+must install exactly the per-shard-sample-weighted mean of the pre-sync
+server segments, on every shard.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.simnet.topology import multi_hub_star_topology, star_topology
+
+# Deliberately irregular latencies so no two arrival times collide.
+LATENCIES_S = [0.0013, 0.0047, 0.0031, 0.0062]
+
+
+def make_trainer(spec, parts, normalize, topology, **overrides):
+    config = TrainingConfig.fast_debug(**overrides)
+    return SpatioTemporalTrainer(spec, parts, config, topology=topology,
+                                 train_transform=normalize)
+
+
+def curves(history):
+    return [(record.train_loss, record.train_accuracy) for record in history.records]
+
+
+def assert_same_parameters(reference, cluster):
+    reference_state = reference.state_dict()
+    cluster_state = cluster.state_dict()
+    assert set(reference_state) == set(cluster_state)
+    for segment, params in reference_state.items():
+        for name, value in params.items():
+            np.testing.assert_allclose(
+                cluster_state[segment][name], value, rtol=1e-9, atol=1e-12,
+                err_msg=f"{segment}/{name} diverged",
+            )
+
+
+def assert_same_curves(reference, cluster):
+    assert len(reference) == len(cluster)
+    for (ref_loss, ref_acc), (clu_loss, clu_acc) in zip(reference, cluster):
+        assert clu_loss == pytest.approx(ref_loss, rel=1e-9)
+        assert clu_acc == pytest.approx(ref_acc, rel=1e-9)
+
+
+EPOCHS = 2
+
+
+class TestSingleShardEquivalence:
+    """One hub == the classic star, event for event."""
+
+    @pytest.mark.parametrize("server_batching", [True, False],
+                             ids=["batched", "per-message"])
+    def test_synchronous_matches_star(self, tiny_split_spec, tiny_parts, normalize,
+                                      server_batching):
+        latencies = LATENCIES_S[: len(tiny_parts)]
+        reference = make_trainer(
+            tiny_split_spec, tiny_parts, normalize,
+            star_topology(len(tiny_parts), latencies_s=latencies),
+            server_batching=server_batching,
+        )
+        cluster = make_trainer(
+            tiny_split_spec, tiny_parts, normalize,
+            multi_hub_star_topology(len(tiny_parts), 1, latencies_s=latencies),
+            server_batching=server_batching,
+        )
+        assert cluster.cluster.num_shards == 1
+        ref_history = reference.train(epochs=EPOCHS)
+        clu_history = cluster.train(epochs=EPOCHS)
+        assert_same_curves(curves(ref_history), curves(clu_history))
+        assert_same_parameters(reference, cluster)
+        assert cluster.simulated_time == pytest.approx(reference.simulated_time, rel=1e-9)
+        # The rolled-up queue statistics must be the single queue's.
+        for key in ("dropped", "fairness_index", "mean_waiting_time_s"):
+            assert clu_history.queue_stats[key] == pytest.approx(
+                ref_history.queue_stats[key], rel=1e-9
+            )
+
+    def test_asynchronous_matches_star(self, tiny_split_spec, tiny_parts, normalize):
+        latencies = LATENCIES_S[: len(tiny_parts)]
+        overrides = dict(mode="asynchronous", max_in_flight=2,
+                         server_step_time_s=0.0021)
+        reference = make_trainer(
+            tiny_split_spec, tiny_parts, normalize,
+            star_topology(len(tiny_parts), latencies_s=latencies), **overrides,
+        )
+        cluster = make_trainer(
+            tiny_split_spec, tiny_parts, normalize,
+            multi_hub_star_topology(len(tiny_parts), 1, latencies_s=latencies),
+            **overrides,
+        )
+        ref_history = reference.train(epochs=EPOCHS)
+        clu_history = cluster.train(epochs=EPOCHS)
+        assert_same_curves(curves(ref_history), curves(clu_history))
+        assert_same_parameters(reference, cluster)
+        assert cluster.simulated_time == pytest.approx(reference.simulated_time, rel=1e-9)
+
+    def test_sync_settings_are_inert_with_one_shard(self, tiny_split_spec, tiny_parts,
+                                                    normalize):
+        """server_sync_every/mode must not perturb a single-server run."""
+        latencies = LATENCIES_S[: len(tiny_parts)]
+        plain = make_trainer(
+            tiny_split_spec, tiny_parts, normalize,
+            star_topology(len(tiny_parts), latencies_s=latencies),
+        )
+        tuned = make_trainer(
+            tiny_split_spec, tiny_parts, normalize,
+            star_topology(len(tiny_parts), latencies_s=latencies),
+            server_sync_every=1, server_sync_mode="staleness",
+        )
+        assert_same_curves(curves(plain.train(epochs=1)), curves(tuned.train(epochs=1)))
+        assert_same_parameters(plain, tuned)
+        assert tuned.engine.stats.weight_syncs == 0
+        assert tuned.engine.stats.sync_messages == 0
+
+
+class TestWeightedAverageReference:
+    """2-shard full averaging == an independent weighted-mean reference."""
+
+    def test_every_sync_installs_the_weighted_average(self, tiny_split_spec,
+                                                      tiny_parts4, normalize):
+        config = TrainingConfig.fast_debug(
+            num_servers=2, server_sync_every=1, server_sync_mode="average",
+        )
+        trainer = SpatioTemporalTrainer(tiny_split_spec, tiny_parts4, config,
+                                        train_transform=normalize)
+        shards = trainer.cluster.shards
+        original_sync = trainer.cluster.sync_average
+        records = []
+
+        def spying_sync(delivered=None, snapshots=None):
+            assert delivered is None, "lossless run must use the global-average path"
+            pre = [
+                {name: value.copy() for name, value in shard.server.state_dict().items()}
+                for shard in shards
+            ]
+            weights = [shard.samples_since_sync for shard in shards]
+            result = original_sync(snapshots=snapshots)
+            post = [
+                {name: value.copy() for name, value in shard.server.state_dict().items()}
+                for shard in shards
+            ]
+            records.append((pre, weights, post))
+            return result
+
+        trainer.cluster.sync_average = spying_sync
+        trainer.train(epochs=1)
+
+        assert records, "no sync event ever fired"
+        for pre, weights, post in records:
+            # The shards genuinely diverged before the sync (each trained
+            # on different clients), so the averaging is load-bearing.
+            assert any(
+                not np.array_equal(pre[0][name], pre[1][name]) for name in pre[0]
+            )
+            total = float(sum(weights))
+            assert total > 0
+            for name in pre[0]:
+                expected = np.average(
+                    np.stack([np.asarray(state[name], dtype=np.float64)
+                              for state in pre]),
+                    axis=0,
+                    weights=[weight / total for weight in weights],
+                )
+                for shard_index in range(len(shards)):
+                    np.testing.assert_allclose(
+                        post[shard_index][name], expected, rtol=1e-12, atol=1e-15,
+                        err_msg=f"shard {shard_index} {name} is not the weighted average",
+                    )
+
+    def test_sync_counters_and_cadence(self, tiny_split_spec, tiny_parts4, normalize):
+        config = TrainingConfig.fast_debug(
+            num_servers=2, server_sync_every=2, server_sync_mode="average",
+        )
+        trainer = SpatioTemporalTrainer(tiny_split_spec, tiny_parts4, config,
+                                        train_transform=normalize)
+        history = trainer.train(epochs=1)
+        # Every client holds 30 samples at batch 8 -> 4 rounds per shard;
+        # a rendezvous fires after shard-rounds 2 and 4.
+        expected_syncs = 2
+        assert trainer.engine.stats.weight_syncs == expected_syncs
+        # Full mesh: every sync ships S*(S-1) snapshots.
+        assert trainer.engine.stats.sync_messages == expected_syncs * 2
+        assert history.traffic["sync_messages"] == expected_syncs * 2
+        assert history.traffic["sync_megabytes"] > 0
+        assert history.queue_stats["weight_syncs"] == expected_syncs
+
+    def test_average_barrier_costs_inter_server_latency(self, tiny_split_spec,
+                                                        tiny_parts4, normalize):
+        """The averaging barrier delays the next round; gossip does not."""
+        inter_latency = 0.25
+
+        def build(sync_mode):
+            topology = multi_hub_star_topology(
+                len(tiny_parts4), 2, latencies_s=[0.001] * len(tiny_parts4),
+                inter_server_latency_s=inter_latency,
+            )
+            config = TrainingConfig.fast_debug(
+                num_servers=2, server_sync_every=1, server_sync_mode=sync_mode,
+            )
+            return SpatioTemporalTrainer(tiny_split_spec, tiny_parts4, config,
+                                         topology=topology, train_transform=normalize)
+
+        barrier = build("average")
+        gossip = build("staleness")
+        barrier_history = barrier.train(epochs=1)
+        gossip_history = gossip.train(epochs=1)
+        syncs = barrier.engine.stats.weight_syncs
+        assert syncs > 0
+        # Every barrier sync adds at least one inter-server round trip of
+        # simulated time that the non-blocking gossip mode does not pay.
+        assert barrier_history.total_simulated_time >= (
+            gossip_history.total_simulated_time + syncs * inter_latency - 1e-9
+        )
+
+
+class TestLossyAverageSync:
+    """Dropped inter-server snapshots must not contribute to the average."""
+
+    def test_partial_delivery_averages_only_what_arrived(self, tiny_split_spec):
+        from repro.cluster import ClusterCoordinator, ServerShard
+        from repro.core.server import CentralServer
+
+        shards = [
+            ServerShard(index, CentralServer(tiny_split_spec, seed=0), f"server_{index}")
+            for index in range(2)
+        ]
+        cluster = ClusterCoordinator(shards, {0: 0, 1: 1})
+        # Give the replicas known, distinct weights and sync weights 1:3.
+        base = shards[0].server.state_dict()
+        shards[1].server.load_state_dict({k: v + 1.0 for k, v in base.items()})
+        shards[0].samples_since_sync = 1
+        shards[1].samples_since_sync = 3
+        # Shard 0's snapshot was lost on the way to shard 1's peer — no:
+        # here, shard 0 received nothing, shard 1 received shard 0's.
+        cluster.sync_average(delivered={0: set(), 1: {0}})
+        after_0 = shards[0].server.state_dict()
+        after_1 = shards[1].server.state_dict()
+        for name, value in base.items():
+            # Shard 0 heard from nobody: keeps its own weights.
+            np.testing.assert_allclose(after_0[name], value, rtol=0, atol=0)
+            # Shard 1 averages itself (weight 3) with shard 0 (weight 1).
+            np.testing.assert_allclose(
+                after_1[name], 0.25 * value + 0.75 * (value + 1.0),
+                rtol=1e-12, atol=1e-15,
+            )
+
+    def test_lossy_inter_server_links_let_replicas_diverge(self, tiny_split_spec,
+                                                           tiny_parts4, normalize):
+        topology = multi_hub_star_topology(
+            len(tiny_parts4), 2, latencies_s=[0.001] * len(tiny_parts4),
+            inter_server_drop_probability=0.9, seed=21,
+        )
+        config = TrainingConfig.fast_debug(
+            num_servers=2, server_sync_every=1, server_sync_mode="average",
+        )
+        trainer = SpatioTemporalTrainer(tiny_split_spec, tiny_parts4, config,
+                                        topology=topology, train_transform=normalize)
+        history = trainer.train(epochs=1)
+        assert trainer.engine.stats.sync_messages_lost > 0
+        assert history.traffic["sync_dropped"] == trainer.engine.stats.sync_messages_lost
+        # With 90% loss the replicas cannot have ended identical — lost
+        # snapshots genuinely never contributed.
+        state_a = trainer.cluster.shards[0].server.state_dict()
+        state_b = trainer.cluster.shards[1].server.state_dict()
+        assert any(not np.array_equal(state_a[name], state_b[name]) for name in state_a)
+        assert all(es.pending_batches == 0 for es in trainer.end_systems)
+
+
+class TestStalenessMerge:
+    def test_merge_weight_decays_with_staleness(self):
+        from repro.cluster.coordinator import ClusterCoordinator
+
+        fresh = ClusterCoordinator.staleness_merge_weight(0.0)
+        aged = ClusterCoordinator.staleness_merge_weight(1.0)
+        ancient = ClusterCoordinator.staleness_merge_weight(100.0)
+        assert fresh == pytest.approx(0.5)
+        assert aged == pytest.approx(0.25)
+        assert ancient < 0.01
+        assert fresh > aged > ancient
+
+    def test_async_gossip_converges_replicas(self, tiny_split_spec, tiny_parts4,
+                                             normalize):
+        config = TrainingConfig.fast_debug(
+            num_servers=2, server_sync_every=1, server_sync_mode="staleness",
+            mode="asynchronous", server_step_time_s=0.001,
+        )
+        trainer = SpatioTemporalTrainer(tiny_split_spec, tiny_parts4, config,
+                                        train_transform=normalize)
+        trainer.train(epochs=1)
+        assert trainer.engine.stats.weight_syncs > 0
+        # Gossip keeps the replicas close: the relative gap between the
+        # two server segments stays far below the weight scale.
+        state_a = trainer.cluster.shards[0].server.state_dict()
+        state_b = trainer.cluster.shards[1].server.state_dict()
+        for name in state_a:
+            scale = np.abs(state_a[name]).mean() + 1e-12
+            gap = np.abs(state_a[name] - state_b[name]).mean()
+            assert gap / scale < 1.0
+
+    def test_average_mode_rejected_in_async(self):
+        with pytest.raises(ValueError, match="barrier"):
+            TrainingConfig(num_servers=2, mode="asynchronous",
+                           server_sync_mode="average")

@@ -1,0 +1,123 @@
+"""Multi-hub star topology: hub routing, inter-server links, sync traffic."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.link import Link
+from repro.simnet.topology import GeoTopology, multi_hub_star_topology, star_topology
+from repro.simnet.transport import Transport
+
+
+class TestMultiHubConstruction:
+    def test_hubs_and_assignment(self):
+        topology = multi_hub_star_topology(6, 2, assignment=[0, 0, 0, 1, 1, 1])
+        assert topology.servers == ["server_0", "server_1"]
+        for index in range(3):
+            assert topology.hub_of(f"end_system_{index}") == "server_0"
+        for index in range(3, 6):
+            assert topology.hub_of(f"end_system_{index}") == "server_1"
+        # Single-server helper must refuse the ambiguity.
+        with pytest.raises(ValueError):
+            topology.server
+
+    def test_default_assignment_is_static_hash(self):
+        topology = multi_hub_star_topology(4, 2)
+        assert topology.hub_of("end_system_0") == "server_0"
+        assert topology.hub_of("end_system_1") == "server_1"
+        assert topology.hub_of("end_system_2") == "server_0"
+        assert topology.hub_of("end_system_3") == "server_1"
+
+    def test_inter_server_links_are_directional(self):
+        topology = multi_hub_star_topology(2, 2, assignment=[0, 1])
+        forward = topology.inter_server_link("server_0", "server_1")
+        backward = topology.inter_server_link("server_1", "server_0")
+        assert isinstance(forward, Link) and isinstance(backward, Link)
+        assert forward is not backward
+        assert forward.direction == backward.direction == "sync"
+
+    def test_inter_server_link_rejects_end_systems(self):
+        topology = multi_hub_star_topology(2, 2, assignment=[0, 1])
+        with pytest.raises(KeyError):
+            topology.inter_server_link("end_system_0", "server_0")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_hub_star_topology(0, 2)
+        with pytest.raises(ValueError):
+            multi_hub_star_topology(4, 0)
+        with pytest.raises(ValueError):
+            multi_hub_star_topology(4, 2, assignment=[0, 1])
+        with pytest.raises(ValueError):
+            multi_hub_star_topology(4, 2, assignment=[0, 1, 2, 0])
+
+    def test_one_hub_matches_star_link_streams(self):
+        """num_servers=1 must be RNG-identical to the classic star."""
+        latencies = [0.002, 0.007, 0.013]
+        star = star_topology(3, latencies_s=latencies, jitter_std_s=0.001, seed=11)
+        hub = multi_hub_star_topology(3, 1, latencies_s=latencies,
+                                      jitter_std_s=0.001, seed=11)
+        for index in range(3):
+            name = f"end_system_{index}"
+            for pick in ("uplink", "downlink"):
+                star_link = getattr(star, pick)(name)
+                hub_link = getattr(hub, pick)(name)
+                star_samples = [star_link.transfer_time(1000) for _ in range(5)]
+                hub_samples = [hub_link.transfer_time(1000) for _ in range(5)]
+                assert star_samples == pytest.approx(hub_samples, abs=0.0)
+
+
+class TestHubOfOnClassicTopologies:
+    def test_star_hub_is_the_server(self):
+        topology = star_topology(3)
+        for name in topology.end_systems:
+            assert topology.hub_of(name) == GeoTopology.SERVER
+        assert topology.servers == [GeoTopology.SERVER]
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            star_topology(2).hub_of("nope")
+
+
+class TestSyncTransport:
+    def test_send_between_servers_logs_sync_traffic(self):
+        topology = multi_hub_star_topology(
+            2, 2, assignment=[0, 1], inter_server_latency_s=0.02,
+        )
+        transport = Transport(topology)
+        payload = {"weights": np.zeros((16, 16))}
+        message = transport.send_between_servers("server_0", "server_1", payload,
+                                                 now=1.0)
+        assert message is not None
+        assert message.arrival_time >= 1.0 + 0.02
+        assert transport.log.sync_messages == 1
+        assert transport.log.sync_bytes >= 16 * 16 * 8
+        assert transport.log.uplink_messages == 0
+        assert transport.log.downlink_messages == 0
+        summary = transport.log.summary()
+        assert summary["sync_messages"] == 1
+        assert summary["sync_megabytes"] > 0
+
+    def test_dropped_sync_message_is_counted(self):
+        topology = multi_hub_star_topology(
+            2, 2, assignment=[0, 1], inter_server_drop_probability=0.99,
+            seed=5,
+        )
+        transport = Transport(topology)
+        drops = 0
+        for attempt in range(20):
+            if transport.send_between_servers("server_0", "server_1",
+                                              {"w": np.zeros(4)},
+                                              now=float(attempt)) is None:
+                drops += 1
+        assert drops > 0
+        assert transport.log.sync_dropped == drops
+        assert transport.log.dropped_messages == drops
+        assert topology.dropped_totals()["sync"] == drops
+
+    def test_uplinks_route_to_the_owning_hub(self):
+        topology = multi_hub_star_topology(4, 2, assignment=[0, 1, 0, 1])
+        transport = Transport(topology)
+        message = transport.send_to_server("end_system_1", {"x": np.zeros(2)}, now=0.0)
+        assert message.destination == "server_1"
+        message = transport.send_to_end_system("end_system_2", np.zeros(2), now=0.0)
+        assert message.source == "server_0"

@@ -28,17 +28,25 @@ def make_trainer(spec, parts, normalize, topology=None, **overrides):
 
 def assert_drop_accounting(trainer, history):
     """Drops must agree across queue, transport, links and end-systems."""
-    queue_dropped = trainer.server.queue.dropped
+    queue_dropped = sum(shard.queue.dropped for shard in trainer.cluster.shards)
     transport_dropped = trainer.transport.log.dropped_messages
+    nack_dropped = trainer.transport.log.nack_dropped
+    sync_dropped = trainer.transport.log.sync_dropped
     link_totals = trainer.topology.dropped_totals()
     notified = sum(es.drops_notified for es in trainer.end_systems)
 
     assert history.queue_stats["dropped"] == queue_dropped
-    assert transport_dropped == link_totals["uplink"] + link_totals["downlink"]
+    assert transport_dropped == (
+        link_totals["uplink"] + link_totals["downlink"] + link_totals["sync"]
+    )
     assert trainer.transport.log.uplink_dropped == link_totals["uplink"]
+    # NACKs ride the downlink link, so its counter sees their losses too.
     assert trainer.transport.log.downlink_dropped == link_totals["downlink"]
-    # One notification per lost batch, wherever it was lost.
-    assert notified == queue_dropped + transport_dropped
+    # One notification per lost batch, wherever it was lost.  A dropped
+    # NACK is *not* another lost batch — the queue overflow it reports
+    # was already counted (and notified via the immediate fallback) —
+    # and a dropped inter-server sync snapshot never involves a client.
+    assert notified == queue_dropped + transport_dropped - nack_dropped - sync_dropped
     # No client may be left waiting for a gradient that will never come.
     assert all(es.pending_batches == 0 for es in trainer.end_systems)
 

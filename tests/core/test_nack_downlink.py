@@ -1,0 +1,107 @@
+"""Queue-drop NACKs travel over the downlink, not instantaneously.
+
+When a bounded queue sheds an arrival under the ``"drop"`` backpressure
+policy, the client now learns of the loss one *downlink delay* after the
+overflow (previously: at the overflow instant).  These tests pin the new
+semantics: the measured notification delay matches the downlink latency,
+NACK traffic is logged in its own direction (gradient counts stay
+clean), a NACK lost in transit degrades to an immediate notification,
+and the leak-freedom/accounting invariants survive all of it.
+"""
+
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.simnet.topology import star_topology
+
+from test_lossy_semantics import assert_drop_accounting
+
+DOWNLINK_LATENCY_S = 0.035
+
+
+def make_congested_trainer(spec, parts, normalize, **overrides):
+    """Fast uplinks, slow server, slow downlinks: queue drops guaranteed."""
+    topology = star_topology(
+        len(parts),
+        latencies_s=[0.001] * len(parts),
+        downlink_latencies_s=[DOWNLINK_LATENCY_S] * len(parts),
+        **overrides.pop("topology_kwargs", {}),
+    )
+    defaults = dict(mode="asynchronous", max_in_flight=2, server_step_time_s=0.01,
+                    server_batching=False, max_queue_size=1,
+                    queue_backpressure="drop")
+    defaults.update(overrides)
+    config = TrainingConfig.fast_debug(**defaults)
+    return SpatioTemporalTrainer(spec, parts, config, topology=topology,
+                                 train_transform=normalize)
+
+
+class TestNackDelay:
+    def test_mean_nack_delay_matches_downlink_latency(self, tiny_split_spec,
+                                                      tiny_parts, normalize):
+        trainer = make_congested_trainer(tiny_split_spec, tiny_parts, normalize)
+        history = trainer.train()
+        stats = trainer.engine.stats
+        assert stats.nacks_sent > 0
+        assert stats.queue_drops == stats.nacks_sent
+        # Constant-latency downlinks: every NACK takes latency + tiny
+        # serialization time, so the mean sits just above the latency.
+        assert stats.mean_nack_delay_s >= DOWNLINK_LATENCY_S
+        assert stats.mean_nack_delay_s < DOWNLINK_LATENCY_S + 0.005
+        assert history.queue_stats["mean_nack_delay_s"] == pytest.approx(
+            stats.mean_nack_delay_s
+        )
+        assert_drop_accounting(trainer, history)
+
+    def test_nack_traffic_logged_separately(self, tiny_split_spec, tiny_parts,
+                                            normalize):
+        trainer = make_congested_trainer(tiny_split_spec, tiny_parts, normalize)
+        history = trainer.train()
+        log = trainer.transport.log
+        assert log.nack_messages == trainer.engine.stats.nacks_sent
+        # Gradient accounting is untouched by NACK traffic: every
+        # delivered uplink either got a gradient back or was shed.
+        assert history.traffic["downlink_messages"] == (
+            history.traffic["uplink_messages"] - trainer.server.queue.dropped
+        )
+
+    def test_synchronous_mode_also_delays_the_nack(self, tiny_split_spec, tiny_parts,
+                                                   normalize):
+        topology = star_topology(
+            len(tiny_parts),
+            latencies_s=[0.001, 0.002],
+            downlink_latencies_s=[DOWNLINK_LATENCY_S] * len(tiny_parts),
+        )
+        config = TrainingConfig.fast_debug(max_queue_size=1,
+                                           queue_backpressure="drop")
+        trainer = SpatioTemporalTrainer(tiny_split_spec, tiny_parts, config,
+                                        topology=topology, train_transform=normalize)
+        history = trainer.train()
+        stats = trainer.engine.stats
+        assert stats.nacks_sent > 0
+        assert stats.mean_nack_delay_s >= DOWNLINK_LATENCY_S
+        assert_drop_accounting(trainer, history)
+
+    def test_lost_nack_degrades_to_immediate_notification(self, tiny_split_spec,
+                                                          tiny_parts, normalize):
+        trainer = make_congested_trainer(
+            tiny_split_spec, tiny_parts, normalize,
+            topology_kwargs=dict(downlink_drop_probability=0.6, seed=13),
+        )
+        history = trainer.train()
+        stats = trainer.engine.stats
+        assert stats.nacks_sent > 0
+        assert stats.nacks_lost > 0
+        assert trainer.transport.log.nack_dropped == stats.nacks_lost
+        # Leak freedom and cross-layer drop accounting survive lost NACKs.
+        assert_drop_accounting(trainer, history)
+
+    def test_block_policy_sends_no_nacks(self, tiny_split_spec, tiny_parts, normalize):
+        trainer = make_congested_trainer(tiny_split_spec, tiny_parts, normalize,
+                                         queue_backpressure="block")
+        history = trainer.train()
+        assert trainer.engine.stats.nacks_sent == 0
+        assert trainer.engine.stats.mean_nack_delay_s == 0.0
+        assert history.queue_stats["dropped"] == 0
+        assert_drop_accounting(trainer, history)

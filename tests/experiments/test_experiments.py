@@ -18,6 +18,7 @@ from repro.experiments import (
     run_experiment,
     run_figure4,
     run_queue_congestion,
+    run_server_sharding,
     run_staleness,
     run_table1,
 )
@@ -82,7 +83,7 @@ class TestRegistry:
     def test_all_expected_experiments_registered(self):
         names = {entry.name for entry in list_experiments()}
         assert {"table1", "figure4", "staleness", "clients_sweep", "baselines",
-                "compression", "queue_congestion"} <= names
+                "compression", "queue_congestion", "server_sharding"} <= names
 
     def test_get_experiment_unknown(self):
         with pytest.raises(KeyError, match="unknown experiment"):
@@ -182,6 +183,58 @@ class TestQueueCongestion:
         assert result.column("policy") == ["fifo"]
 
 
+class TestServerSharding:
+    def test_shard_sweep_rows_and_sync_accounting(self):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=8, epochs=1,
+                                       batch_size=16)
+        result = run_server_sharding(
+            workload=workload, shard_counts=(1, 2),
+            near_latency_s=0.002, far_latency_s=0.03,
+        )
+        assert result.column("num_servers") == [1, 2]
+        for accuracy in result.column("train_accuracy_pct"):
+            assert 0.0 <= accuracy <= 100.0
+        balance = result.column("clients_per_shard")
+        assert balance[0] == "8"
+        assert balance[1] == "4/4"
+        syncs = dict(zip(result.column("num_servers"), result.column("weight_syncs")))
+        sync_mb = dict(zip(result.column("num_servers"), result.column("sync_megabytes")))
+        # One server never synchronizes; two shards must, and it costs traffic.
+        assert syncs[1] == 0 and sync_mb[1] == 0.0
+        assert syncs[2] > 0 and sync_mb[2] > 0.0
+
+    def test_latency_aware_sharding_cuts_queue_wait(self):
+        """Splitting off the far latency band must cut the mean queue wait.
+
+        A synchronous epoch still ends when the slowest band's last round
+        does, but the near shard's messages stop waiting behind far-away
+        arrivals at the (per-shard) barrier — the freshness win sharding
+        actually buys in the synchronous regime.
+        """
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=8, epochs=1,
+                                       batch_size=16)
+        result = run_server_sharding(
+            workload=workload, shard_counts=(1, 2), shard_assigner="latency_aware",
+            near_latency_s=0.002, far_latency_s=0.2, inter_server_latency_s=0.001,
+        )
+        waits = dict(zip(result.column("num_servers"),
+                         result.column("mean_queue_wait_ms")))
+        assert waits[2] < 0.6 * waits[1]
+        # The sync barrier must not blow the completion time up either:
+        # the far band still sets the epoch length.
+        times = dict(zip(result.column("num_servers"),
+                         result.column("simulated_time_s")))
+        assert times[2] <= times[1] * 1.1
+
+    def test_registry_dispatch(self):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=4, epochs=1,
+                                       batch_size=16)
+        result = run_experiment("server_sharding", workload=workload,
+                                shard_counts=(2,))
+        assert len(result.rows) == 1
+        assert result.column("num_servers") == [2]
+
+
 class TestClientsSweepAndBaselines:
     def test_clients_sweep_rows(self):
         workload = WorkloadSpec.laptop(num_samples=240, epochs=1, batch_size=16)
@@ -241,3 +294,15 @@ class TestCLI:
         args = build_parser().parse_args(["run", "table1", "--scale", "paper", "--seed", "3"])
         assert args.scale == "paper"
         assert args.seed == 3
+
+    def test_run_without_flags_uses_the_experiments_canonical_workload(self):
+        from repro.experiments.cli import _workload_from_args
+
+        bare = build_parser().parse_args(["run", "server_sharding"])
+        assert _workload_from_args(bare, required=False) is None
+        tuned = build_parser().parse_args(["run", "server_sharding", "--epochs", "1"])
+        workload = _workload_from_args(tuned, required=False)
+        assert workload is not None and workload.epochs == 1
+        # run-all keeps the explicit shared workload either way.
+        shared = build_parser().parse_args(["run-all"])
+        assert _workload_from_args(shared) is not None
