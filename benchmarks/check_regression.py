@@ -20,6 +20,19 @@ performance envelope), refresh the committed baseline with::
 
 New benchmarks absent from the baseline are reported but never fail the
 gate; updating the baseline adopts them.
+
+``--report-only`` prints the same comparison but always exits 0 on
+regressions or missing benchmarks (setup errors such as a missing input
+file still exit 2).  This is the CI benchmark-smoke mode: shared runners
+are far too noisy for a hard gate, and a smoke run covers only one
+benchmark per group, so both "REGRESSED" and "missing" rows are
+downgraded to warnings.
+
+The ``--current`` file may be either this repo's ``BENCH_substrate.json``
+format (rows with ``mean_ms``) or pytest-benchmark's native
+``--benchmark-json`` output (rows with a ``stats`` object, seconds) —
+the CI smoke job uses the native format because the custom tracking file
+is deliberately only written by *full* benchmark runs.
 """
 
 from __future__ import annotations
@@ -41,12 +54,26 @@ def gated(group: str) -> bool:
     return group in GATED_GROUPS or any(group.startswith(p) for p in GATED_PREFIXES)
 
 
+def normalize_row(row: dict) -> dict:
+    """Accept both this repo's tracking format and pytest-benchmark's.
+
+    The tracking file carries ``mean_ms`` directly; pytest-benchmark's
+    ``--benchmark-json`` output nests seconds under ``stats``.
+    """
+    if "mean_ms" in row:
+        return row
+    stats = row.get("stats") or {}
+    normalized = dict(row)
+    normalized["mean_ms"] = float(stats.get("mean", float("nan"))) * 1e3
+    return normalized
+
+
 def load_rows(path: Path) -> dict:
     payload = json.loads(path.read_text())
     return {
-        row["name"]: row
+        row["name"]: normalize_row(row)
         for row in payload.get("benchmarks", [])
-        if gated(row.get("group", ""))
+        if gated(row.get("group") or "")
     }
 
 
@@ -60,6 +87,10 @@ def main(argv=None) -> int:
                         help="allowed fractional mean regression (default: 0.20)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="copy the current file over the baseline and exit")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but exit 0 even on regressions "
+                             "or missing benchmarks (CI smoke mode for noisy "
+                             "shared runners)")
     args = parser.parse_args(argv)
 
     if not args.current.exists():
@@ -85,7 +116,10 @@ def main(argv=None) -> int:
         base_mean = base_row["mean_ms"]
         current_row = current.get(name)
         if current_row is None:
-            failures.append(f"{name}: missing from current run")
+            if args.report_only:
+                lines.append(f"  {'skipped':>9}  {name:<50} (not in this run)")
+            else:
+                failures.append(f"{name}: missing from current run")
             continue
         mean = current_row["mean_ms"]
         ratio = mean / base_mean if base_mean else float("inf")
@@ -102,14 +136,22 @@ def main(argv=None) -> int:
     for name in sorted(set(current) - set(baseline)):
         lines.append(f"  {'new':>9}  {name:<50} {'':>9}    {current[name]['mean_ms']:>9.3f} ms")
 
-    print(f"benchmark regression gate (threshold: +{args.threshold:.0%} on mean)")
+    mode = "report" if args.report_only else "gate"
+    print(f"benchmark regression {mode} (threshold: +{args.threshold:.0%} on mean)")
     print("\n".join(lines))
     if failures:
+        if args.report_only:
+            print(f"\nWARN: {len(failures)} benchmark(s) beyond "
+                  f"+{args.threshold:.0%} (report-only mode; not failing — "
+                  "shared runners are noisy, re-check locally with an A/B run):")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 0
         print(f"\nFAIL: {len(failures)} regression(s) beyond +{args.threshold:.0%}:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nOK: {len(baseline)} gated benchmarks within +{args.threshold:.0%} of baseline")
+    print(f"\nOK: gated benchmarks within +{args.threshold:.0%} of baseline")
     return 0
 
 

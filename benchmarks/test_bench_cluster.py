@@ -23,7 +23,7 @@ from repro.core.models import tiny_cnn_architecture
 from repro.core.server import CentralServer
 from repro.core.split import SplitSpec
 from repro.nn import default_dtype
-from repro.utils.perf import counters, track
+from repro.utils.perf import track
 
 NUM_CLIENTS = 96
 CLIENT_BATCH = 4

@@ -12,7 +12,6 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
-import numpy as np
 
 from ..data.datasets import Dataset
 from ..data.loader import DataLoader

@@ -25,6 +25,17 @@ from .assigner import (
     get_assigner,
 )
 from .coordinator import ClusterCoordinator
+from .failover import (
+    FailoverPolicy,
+    FailureModel,
+    RebalanceFailover,
+    ScheduledFailures,
+    ShardTransition,
+    StandbyFailover,
+    StochasticFailures,
+    available_failover_policies,
+    get_failover_policy,
+)
 from .shard import ServerShard
 
 __all__ = [
@@ -36,4 +47,13 @@ __all__ = [
     "get_assigner",
     "ClusterCoordinator",
     "ServerShard",
+    "FailureModel",
+    "ScheduledFailures",
+    "StochasticFailures",
+    "ShardTransition",
+    "FailoverPolicy",
+    "RebalanceFailover",
+    "StandbyFailover",
+    "available_failover_policies",
+    "get_failover_policy",
 ]

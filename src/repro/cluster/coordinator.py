@@ -90,10 +90,17 @@ class ClusterCoordinator:
             shard.client_ids = []
         for system_id, shard_index in sorted(self.assignment.items()):
             self.shards[shard_index].client_ids.append(system_id)
+        #: The home assignment: failover moves clients away from a crashed
+        #: shard, failback restores them from this record on recovery.
+        self.original_assignment: Dict[int, int] = dict(self.assignment)
         #: Full-averaging barriers completed (gossip merges are tallied
         #: per shard in :attr:`ServerShard.syncs_applied`; the engine's
         #: ``EngineStats.weight_syncs`` is the mode-independent count).
         self.syncs_completed = 0
+        #: The most recent synchronized weights — the recovery point a
+        #: shard reinstalls when it comes back from a crash.  Updated by
+        #: every :meth:`sync_average` install; ``None`` until a sync fires.
+        self.last_sync_snapshot: Optional[Dict[str, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -112,6 +119,42 @@ class ClusterCoordinator:
     def clients_per_shard(self) -> List[int]:
         """Client counts per shard (assignment balance diagnostic)."""
         return [len(shard.client_ids) for shard in self.shards]
+
+    def healthy_shards(self) -> List[ServerShard]:
+        """The shards currently accepting traffic, in shard order."""
+        return [shard for shard in self.shards if shard.healthy]
+
+    def original_clients(self, shard_index: int) -> List[int]:
+        """System ids whose *home* shard is ``shard_index`` (failback set)."""
+        return sorted(
+            system_id for system_id, home in self.original_assignment.items()
+            if home == shard_index
+        )
+
+    def reassign(self, system_id: int, shard_index: int) -> bool:
+        """Move one end-system to another shard (failover / failback).
+
+        Returns ``True`` when the assignment actually changed.  The
+        engine owns the rest of the move — rerouting the topology edge
+        and migrating its per-shard runtime state.
+        """
+        system_id = int(system_id)
+        if not 0 <= shard_index < len(self.shards):
+            raise ValueError(
+                f"cannot reassign end-system {system_id} to shard {shard_index}: "
+                f"the cluster has {len(self.shards)} shards"
+            )
+        current = self.assignment.get(system_id)
+        if current is None:
+            raise KeyError(f"end-system {system_id} is not assigned to any shard")
+        if current == shard_index:
+            return False
+        self.assignment[system_id] = int(shard_index)
+        self.shards[current].client_ids.remove(system_id)
+        target = self.shards[shard_index].client_ids
+        target.append(system_id)
+        target.sort()
+        return True
 
     # ------------------------------------------------------------------ #
     # Weight synchronization
@@ -159,28 +202,66 @@ class ClusterCoordinator:
         ``delivered=None`` (lossless) every shard installs the same
         global average, which is returned (the float64 reference tests
         compare against it); the partial path returns ``None``.
+
+        **Unhealthy shards are skipped entirely** — a crashed replica
+        neither contributes a snapshot nor receives the install, so the
+        rendezvous never hangs on (or is polluted by) a dead hub.  Every
+        install also refreshes :attr:`last_sync_snapshot`, the recovery
+        point a shard reinstalls when it comes back.
         """
+        participants = self.healthy_shards()
+        if not participants:
+            return None
+        snapshot_of: Dict[int, Dict[str, np.ndarray]]
         if snapshots is None:
-            snapshots = [shard.weights_snapshot() for shard in self.shards]
-        elif len(snapshots) != len(self.shards):
-            raise ValueError(
-                f"expected {len(self.shards)} snapshots, got {len(snapshots)}"
-            )
-        raw_weights = [float(shard.samples_since_sync) for shard in self.shards]
+            snapshot_of = {}
+        elif isinstance(snapshots, dict):
+            snapshot_of = dict(snapshots)
+        else:
+            if len(snapshots) != len(self.shards):
+                raise ValueError(
+                    f"expected {len(self.shards)} snapshots, got {len(snapshots)}"
+                )
+            snapshot_of = {
+                shard.shard_id: snapshot
+                for shard, snapshot in zip(self.shards, snapshots)
+            }
+        for shard in participants:
+            if shard.shard_id not in snapshot_of:
+                snapshot_of[shard.shard_id] = shard.weights_snapshot()
+        raw_weights = {
+            shard.shard_id: float(shard.samples_since_sync) for shard in participants
+        }
+        participant_ids = {shard.shard_id for shard in participants}
         if delivered is None:
-            averaged = self._weighted_average(snapshots, raw_weights)
-            for shard in self.shards:
+            averaged = self._weighted_average(
+                [snapshot_of[shard.shard_id] for shard in participants],
+                [raw_weights[shard.shard_id] for shard in participants],
+            )
+            for shard in participants:
                 shard.install_weights(averaged)
             self.syncs_completed += 1
+            self.last_sync_snapshot = averaged
             return averaged
-        for shard in self.shards:
-            sources = sorted(set(delivered.get(shard.shard_id, [])) | {shard.shard_id})
+        best_recovery_point: Optional[Dict[str, np.ndarray]] = None
+        best_weight = -1.0
+        for shard in participants:
+            sources = sorted(
+                (set(delivered.get(shard.shard_id, [])) & participant_ids)
+                | {shard.shard_id}
+            )
             partial = self._weighted_average(
-                [snapshots[source] for source in sources],
+                [snapshot_of[source] for source in sources],
                 [raw_weights[source] for source in sources],
             )
             shard.install_weights(partial)
+            # Under partial delivery the replicas legitimately diverge;
+            # record the best-trained replica's view as the recovery point.
+            if raw_weights[shard.shard_id] > best_weight:
+                best_weight = raw_weights[shard.shard_id]
+                best_recovery_point = partial
         self.syncs_completed += 1
+        self.last_sync_snapshot = best_recovery_point
         return None
 
     @staticmethod
@@ -205,7 +286,12 @@ class ClusterCoordinator:
         to S-1 merges, so counting them here would not be comparable to
         the barrier count (`EngineStats.weight_syncs` is the
         mode-independent event count).
+
+        A snapshot landing at a shard that crashed while it was in
+        transit is discarded (returns 0.0) — dead replicas do not merge.
         """
+        if not shard.healthy:
+            return 0.0
         weight = self.staleness_merge_weight(staleness_s)
         shard.merge_weights(state, weight)
         return weight

@@ -45,6 +45,36 @@ class ServerShard:
         self.steps_since_sync = 0
         #: Weight synchronizations this shard has participated in.
         self.syncs_applied = 0
+        #: Health state (failure injection): a crashed shard accepts no
+        #: traffic and is skipped by every sync rendezvous/broadcast.
+        self.healthy = True
+        self.crashes = 0
+        self.recoveries = 0
+        #: Simulated time of the crash currently in effect (``None`` while up).
+        self.down_since: Optional[float] = None
+        #: Total simulated seconds spent down across completed outages.
+        self.downtime_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Health (failure injection)
+    # ------------------------------------------------------------------ #
+    def mark_down(self, now: float) -> None:
+        """Record a crash at simulated time ``now``."""
+        if not self.healthy:
+            raise RuntimeError(f"shard {self.shard_id} is already down")
+        self.healthy = False
+        self.crashes += 1
+        self.down_since = float(now)
+
+    def mark_up(self, now: float) -> None:
+        """Record a recovery at simulated time ``now``."""
+        if self.healthy:
+            raise RuntimeError(f"shard {self.shard_id} is already up")
+        self.healthy = True
+        self.recoveries += 1
+        if self.down_since is not None:
+            self.downtime_s += max(0.0, float(now) - self.down_since)
+        self.down_since = None
 
     # ------------------------------------------------------------------ #
     # Queue interface (delegates to the wrapped server)
@@ -142,6 +172,10 @@ class ServerShard:
             "mean_waiting_time_s": queue.mean_waiting_time,
             "fairness_index": queue.fairness_index(),
             "syncs_applied": self.syncs_applied,
+            "healthy": self.healthy,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "downtime_s": self.downtime_s,
         }
 
     def __repr__(self) -> str:

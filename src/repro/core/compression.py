@@ -22,7 +22,7 @@ report the accuracy / traffic / leakage trade-off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 __all__ = ["TrainingConfig"]
 
@@ -89,6 +89,31 @@ class TrainingConfig:
         ``"numpy"`` (reference) or ``"blocked"`` (tiled GEMMs with fused
         epilogues).  ``None`` (the default) runs on whatever backend is
         globally active.
+    failure_schedule:
+        Scripted shard crashes: a list of ``(time_s, shard_id)`` or
+        ``(time_s, shard_id, downtime_s)`` entries (simulated seconds;
+        without a downtime the shard stays down).  Mutually exclusive
+        with ``failure_mtbf_s``.  ``None`` (the default) injects no
+        failures and runs the exact pre-failover event chains.
+    failure_mtbf_s:
+        Stochastic churn: mean time between failures of each shard
+        (exponential draws from a per-shard stream seeded off ``seed``).
+        ``None`` disables stochastic failures.
+    failure_mttr_s:
+        Mean time to recovery under stochastic churn (exponential).
+    failover_policy:
+        What happens to a crashed shard's clients (see
+        :func:`repro.cluster.failover.get_failover_policy`):
+        ``"rebalance"`` reassigns them across the healthy survivors and
+        fails them back on recovery; ``"standby"`` parks them until
+        their home shard returns.
+    failover_assigner:
+        :class:`~repro.cluster.assigner.ShardAssigner` the rebalancing
+        failover reuses to spread orphaned clients over the survivors;
+        ``None`` defaults to ``"load_aware"``.
+    failover_delay_s:
+        Simulated detection-plus-switchover delay between a crash and
+        the reassignment of its clients.
     max_in_flight:
         Asynchronous mode only: how many batches an end-system may have
         outstanding (sent but not yet acknowledged with a gradient).
@@ -120,6 +145,12 @@ class TrainingConfig:
     server_batching: bool = True
     server_arena: bool = True
     compute_backend: Optional[str] = None
+    failure_schedule: Optional[List[Sequence[float]]] = None
+    failure_mtbf_s: Optional[float] = None
+    failure_mttr_s: float = 1.0
+    failover_policy: str = "rebalance"
+    failover_assigner: Optional[str] = None
+    failover_delay_s: float = 0.0
     max_in_flight: int = 1
     server_step_time_s: float = 0.0
     seed: int = 0
@@ -185,6 +216,55 @@ class TrainingConfig:
                     f"compute_backend must be one of {known} (or None), "
                     f"got {self.compute_backend!r}"
                 )
+        if self.failure_schedule is not None and self.failure_mtbf_s is not None:
+            raise ValueError(
+                "failure_schedule and failure_mtbf_s are mutually exclusive: "
+                "use a scripted timeline or stochastic churn, not both"
+            )
+        if self.failure_mtbf_s is not None and self.failure_mtbf_s <= 0:
+            raise ValueError("failure_mtbf_s must be positive (or None)")
+        if self.failure_mttr_s <= 0:
+            raise ValueError("failure_mttr_s must be positive")
+        if self.failover_delay_s < 0:
+            raise ValueError("failover_delay_s must be non-negative")
+        if self.failure_schedule:
+            # An out-of-range shard id would silently never fire (the
+            # engine only peeks the timelines of existing shards), so the
+            # scripted churn would quietly run failure-free.
+            for entry in self.failure_schedule:
+                if len(entry) < 2:
+                    continue  # malformed entries get ScheduledFailures' error
+                shard_id = int(entry[1])
+                if not 0 <= shard_id < self.num_servers:
+                    raise ValueError(
+                        f"failure_schedule names shard {shard_id}, but the "
+                        f"deployment has num_servers={self.num_servers} "
+                        f"(shard ids are 0-based)"
+                    )
+        if self.failures_enabled:
+            from ..cluster.assigner import available_assigners
+            from ..cluster.failover import available_failover_policies
+
+            if self.failover_policy not in available_failover_policies():
+                known = ", ".join(available_failover_policies())
+                raise ValueError(
+                    f"failover_policy must be one of {known}, "
+                    f"got {self.failover_policy!r}"
+                )
+            if (
+                self.failover_assigner is not None
+                and self.failover_assigner not in available_assigners()
+            ):
+                known = ", ".join(available_assigners())
+                raise ValueError(
+                    f"failover_assigner must be one of {known} (or None), "
+                    f"got {self.failover_assigner!r}"
+                )
+
+    @property
+    def failures_enabled(self) -> bool:
+        """True when either failure-injection mechanism is configured."""
+        return bool(self.failure_schedule) or self.failure_mtbf_s is not None
 
     @property
     def client_optimizer_kwargs(self) -> Dict[str, float]:

@@ -53,17 +53,36 @@ queue: an end-system defers its next send until its shard's queue has
 room, counting messages already in flight towards the capacity, so
 admission never overflows.  Blocked senders wait in per-shard FIFO order
 and are released as the shard pops messages.
+
+Failure injection and failover
+------------------------------
+With a :class:`~repro.cluster.failover.FailureModel` installed, shard
+**crash/recovery transitions** become simulator events too.  A crash
+sheds the shard's queued (and arena-staged) work through the same
+``notify_drop`` path — counted in ``EngineStats.failover_dropped`` so
+the cross-layer drop accounting still balances — takes the hub's links
+down in the topology, and kills the shard's event chains via a
+generation guard.  One ``failover_delay_s`` later the configured
+:class:`~repro.cluster.failover.FailoverPolicy` reassigns the dead
+shard's clients to the healthy survivors (their uplinks are rerouted in
+the topology and they rejoin the survivors' round chains / dispatch
+loops).  A recovery reinstalls the coordinator's last sync snapshot,
+fails the original clients back (policy permitting), and restarts the
+shard's chain; ``"average"`` rendezvous and ``"staleness"`` gossip
+always skip unhealthy shards, so a dead hub can neither hang a barrier
+nor absorb a merge.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..cluster.coordinator import ClusterCoordinator
+from ..cluster.failover import FailoverPolicy, FailureModel, ShardTransition
 from ..cluster.shard import ServerShard
 from ..nn.metrics import MetricTracker
 from ..simnet.events import Simulator
@@ -79,6 +98,7 @@ __all__ = [
     "EngineStats",
     "PRIORITY_ARRIVAL",
     "PRIORITY_LANDING",
+    "PRIORITY_FAILURE",
     "PRIORITY_DISPATCH",
 ]
 
@@ -86,9 +106,13 @@ logger = get_logger("core.engine")
 
 #: Event priorities: at equal simulated times, arrivals are admitted and
 #: gradients land *before* the server dispatches, so a step always sees
-#: every message that has arrived by its start time.
+#: every message that has arrived by its start time.  Failure transitions
+#: sit between landings and dispatches: a crash at time ``t`` still lets
+#: ``t``-stamped gradients land, but kills the step that would have
+#: started at ``t``.
 PRIORITY_ARRIVAL = 0
 PRIORITY_LANDING = 1
+PRIORITY_FAILURE = 3
 PRIORITY_DISPATCH = 5
 
 
@@ -111,6 +135,13 @@ class EngineStats:
                                 #: ``ServerShard.syncs_applied``)
     sync_messages: int = 0      #: weight snapshots shipped between shards
     sync_messages_lost: int = 0  #: snapshots the inter-server links dropped
+    shard_crashes: int = 0      #: shard crash events applied (failure injection)
+    shard_recoveries: int = 0   #: shard recovery events applied
+    clients_reassigned: int = 0  #: client moves: failover to survivors + failback
+    failover_dropped: int = 0   #: messages shed because their shard crashed
+                                #: (queued/arena contents at crash time plus
+                                #: uplinks that arrived at a dead hub) — every
+                                #: one notifies its client via ``notify_drop``
 
     @property
     def mean_nack_delay_s(self) -> float:
@@ -133,6 +164,10 @@ class EngineStats:
             "weight_syncs": self.weight_syncs,
             "sync_messages": self.sync_messages,
             "sync_messages_lost": self.sync_messages_lost,
+            "shard_crashes": self.shard_crashes,
+            "shard_recoveries": self.shard_recoveries,
+            "clients_reassigned": self.clients_reassigned,
+            "failover_dropped": self.failover_dropped,
         }
 
 
@@ -140,7 +175,8 @@ class _ShardRuntime:
     """Per-shard engine state (transit counts, backpressure, dispatch)."""
 
     __slots__ = ("shard", "in_transit", "deferred", "waiting", "accepted",
-                 "next_free", "dispatch_scheduled", "clock", "active")
+                 "next_free", "dispatch_scheduled", "clock", "active",
+                 "generation", "round_index", "chain_idle")
 
     def __init__(self, shard: ServerShard) -> None:
         self.shard = shard
@@ -160,6 +196,18 @@ class _ShardRuntime:
         #: System ids (of this shard's clients) still holding data this
         #: epoch.
         self.active: set = set()
+        #: Bumped on every crash *and* recovery: scheduled round/dispatch
+        #: events capture the generation they were created under and
+        #: no-op when it has moved on, so a dead shard's event chain dies
+        #: cleanly and cannot double-fire after a recovery restart.
+        self.generation = 0
+        #: Last round index this shard started (synchronous mode); a
+        #: restarted chain resumes at ``round_index + 1``.
+        self.round_index = -1
+        #: True while the shard has no live round chain (crashed, out of
+        #: data, or down at epoch start) — the restart logic's idempotence
+        #: latch.
+        self.chain_idle = False
 
 
 class TrainingEngine:
@@ -184,6 +232,16 @@ class TrainingEngine:
         construction) when ``server`` is given instead.
     server:
         Legacy single-server argument; wrapped into a one-shard cluster.
+    failure_model:
+        Optional :class:`~repro.cluster.failover.FailureModel` whose
+        crash/recovery transitions are injected as simulator events.
+        ``None`` (the default) disables failure injection entirely — the
+        engine then runs the exact event chains it ran before failures
+        existed.
+    failover:
+        The :class:`~repro.cluster.failover.FailoverPolicy` applied when
+        a shard crashes (reassign its clients to survivors, or park them
+        until recovery).  Only consulted when a failure model is set.
     """
 
     def __init__(
@@ -194,6 +252,8 @@ class TrainingEngine:
         config: TrainingConfig,
         cluster: Optional[ClusterCoordinator] = None,
         server: Optional[CentralServer] = None,
+        failure_model: Optional[FailureModel] = None,
+        failover: Optional[FailoverPolicy] = None,
     ) -> None:
         self.end_systems = list(end_systems)
         if cluster is None:
@@ -224,6 +284,25 @@ class TrainingEngine:
         # Queue-dropped batches whose NACK is still in flight, keyed by
         # activation sequence; a budget stop resolves them immediately.
         self._awaiting_nack: Dict[int, Tuple[EndSystem, int]] = {}
+        self.failure_model = failure_model
+        self.failover = failover
+        # Deferred sends of clients whose shard is down (async mode):
+        # system id -> number of sends to re-issue once the client is
+        # failed over or its shard recovers.
+        self._stranded: Dict[int, int] = {}
+        # Per-epoch callbacks the mode drivers install so the shared
+        # crash/recovery machinery can restart round chains, re-trigger
+        # sends and unblock rendezvous without knowing the mode.
+        self._epoch_hooks: Dict[str, object] = self._inert_hooks()
+
+    @staticmethod
+    def _inert_hooks() -> Dict[str, object]:
+        return {
+            "live": lambda: False,
+            "on_shard_down": lambda sim, runtime, flushed, parked: None,
+            "on_shard_up": lambda sim, runtime: None,
+            "on_client_moved": lambda sim, end_system, runtime, was_parked: None,
+        }
 
     # ------------------------------------------------------------------ #
     # Shared helpers
@@ -311,9 +390,26 @@ class TrainingEngine:
 
     def _admit(self, sim: Simulator, message: ActivationMessage,
                end_system: EndSystem, runtime: _ShardRuntime,
-               on_notified=None) -> bool:
+               on_notified=None, sent_generation: Optional[int] = None) -> bool:
         """Resolve an arrival: enqueue it, or shed it and NACK the client."""
         runtime.in_transit -= 1
+        stale = (
+            sent_generation is not None
+            and runtime.generation != sent_generation
+        )
+        if not runtime.shard.healthy or stale:
+            # The hub died while the message was in flight — or crashed
+            # *and recovered* before it landed, which severs the message's
+            # round/dispatch chain just the same (connections do not
+            # survive a crash).  Shed it through the same leak-free
+            # notification path a queue drop uses; there is no server
+            # context left to NACK from, so the client learns immediately
+            # (the timeout abstraction again).
+            self.stats.failover_dropped += 1
+            end_system.notify_drop(message.batch_id)
+            if on_notified is not None:
+                on_notified(sim)
+            return False
         if runtime.shard.receive(message):
             return True
         self.stats.queue_drops += 1
@@ -351,7 +447,7 @@ class TrainingEngine:
             snapshot_out[source.shard.shard_id] = snapshot
         latest_arrival = at_time
         for destination in self._runtimes:
-            if destination is source:
+            if destination is source or not destination.shard.healthy:
                 continue
             sync_message = self.transport.send_between_servers(
                 source.shard.node_name, destination.shard.node_name,
@@ -380,6 +476,185 @@ class TrainingEngine:
     def _apply_staleness_merge(self, shard: ServerShard, snapshot, staleness_s: float
                                ) -> None:
         self.cluster.merge_staleness(shard, snapshot, staleness_s)
+
+    def _healthy_count(self) -> int:
+        return sum(1 for runtime in self._runtimes if runtime.shard.healthy)
+
+    # ------------------------------------------------------------------ #
+    # Failure injection: crash / recovery / failover
+    # ------------------------------------------------------------------ #
+    def _schedule_failure_events(self, sim: Simulator) -> None:
+        """Schedule each shard's next pending health transition.
+
+        Called once per epoch run: the failure model's timelines are in
+        absolute simulated time and span epochs, so a transition that did
+        not fire last epoch (it lay beyond the training horizon) is
+        re-scheduled here, clamped to the fresh simulator's clock.
+        """
+        if self.failure_model is None:
+            return
+        for runtime in self._runtimes:
+            self._schedule_next_transition(sim, runtime)
+
+    def _schedule_next_transition(self, sim: Simulator, runtime: _ShardRuntime) -> None:
+        transition = self.failure_model.peek(runtime.shard.shard_id)
+        if transition is None:
+            return
+        sim.schedule(
+            max(transition.time, sim.now),
+            lambda s, rt=runtime, tr=transition: self._on_transition(s, rt, tr),
+            priority=PRIORITY_FAILURE,
+            label=f"shard-{transition.kind}",
+        )
+
+    def _on_transition(self, sim: Simulator, runtime: _ShardRuntime,
+                       transition: ShardTransition) -> None:
+        if not self._epoch_hooks["live"]():
+            # The epoch's real work is already done: leave the transition
+            # pending (not advanced) so the next epoch re-schedules it.
+            return
+        self.failure_model.advance(runtime.shard.shard_id)
+        if transition.kind == "crash":
+            if runtime.shard.healthy:
+                self._crash_shard(sim, runtime)
+        elif not runtime.shard.healthy:
+            self._recover_shard(sim, runtime)
+        self._schedule_next_transition(sim, runtime)
+
+    def _crash_shard(self, sim: Simulator, runtime: _ShardRuntime) -> None:
+        """Apply a shard crash: shed its work leak-free, then fail over.
+
+        The shard's queued/arena contents are flushed and every owning
+        client is notified (``notify_drop``), in-flight uplinks will be
+        shed on arrival (:meth:`_admit`), the hub's links go down in the
+        topology, and — when a failover policy is installed — the shard's
+        clients are reassigned to the healthy survivors one failover
+        delay later.
+        """
+        shard = runtime.shard
+        shard.mark_down(sim.now)
+        self.stats.shard_crashes += 1
+        runtime.generation += 1
+        runtime.chain_idle = True
+        runtime.dispatch_scheduled = False
+        runtime.accepted = []
+        self.transport.topology.set_node_up(shard.node_name, False)
+        logger.info("shard %d (%s) crashed at t=%.4fs", shard.shard_id,
+                    shard.node_name, sim.now)
+        flushed = shard.flush_queue()
+        for message in flushed:
+            self.stats.failover_dropped += 1
+            self._by_id[message.end_system_id].notify_drop(message.batch_id)
+        # Blocked senders hold no pending work; pull them off the dead
+        # shard's deques — failover or recovery re-triggers their sends.
+        parked = list(runtime.deferred) + list(runtime.waiting)
+        runtime.deferred.clear()
+        runtime.waiting.clear()
+        self._epoch_hooks["on_shard_down"](sim, runtime, flushed, parked)
+        if self.failover is not None:
+            sim.schedule(
+                sim.now + max(0.0, self.config.failover_delay_s),
+                lambda s, rt=runtime: self._failover_clients(s, rt),
+                priority=PRIORITY_FAILURE,
+                label="failover",
+            )
+
+    def _failover_clients(self, sim: Simulator, dead_runtime: _ShardRuntime) -> None:
+        """Reassign a dead shard's clients to the healthy survivors."""
+        shard = dead_runtime.shard
+        if shard.healthy:
+            return  # recovered before the failover delay elapsed
+        # The coordinator keeps each shard's client list sorted and in
+        # sync with the assignment map.
+        clients = list(shard.client_ids)
+        survivors = [
+            runtime.shard.shard_id for runtime in self._runtimes
+            if runtime.shard.healthy
+        ]
+        if not clients or not survivors:
+            return  # nothing to move, or a total outage: everyone waits
+        latencies = [
+            self.transport.topology.uplink(self.system_to_node[system_id]).latency.mean()
+            for system_id in clients
+        ]
+        loads = [self._by_id[system_id].num_local_samples for system_id in clients]
+        moves = self.failover.reassign(
+            clients, survivors, latencies_s=latencies, loads=loads
+        )
+        self._apply_reassignment(
+            sim,
+            {
+                system_id: shard_index
+                for system_id, shard_index in moves.items()
+                if shard_index != shard.shard_id
+            },
+        )
+
+    def _apply_reassignment(self, sim: Simulator, moves: Dict[int, int]) -> None:
+        """Move clients between shards: assignment, topology and runtime."""
+        for system_id, shard_index in sorted(moves.items()):
+            old_runtime = self._runtime_of[system_id]
+            if not self.cluster.reassign(system_id, shard_index):
+                continue
+            new_runtime = self._runtimes[shard_index]
+            self._runtime_of[system_id] = new_runtime
+            end_system = self._by_id[system_id]
+            self.transport.topology.reroute_end_system(
+                self.system_to_node[system_id], new_runtime.shard.node_name
+            )
+            self.stats.clients_reassigned += 1
+            if system_id in old_runtime.active:
+                old_runtime.active.discard(system_id)
+                new_runtime.active.add(system_id)
+            was_parked = False
+            for blocked in (old_runtime.deferred, old_runtime.waiting):
+                if end_system in blocked:
+                    blocked.remove(end_system)
+                    was_parked = True
+            self._epoch_hooks["on_client_moved"](sim, end_system, new_runtime,
+                                                 was_parked)
+
+    def _recover_shard(self, sim: Simulator, runtime: _ShardRuntime) -> None:
+        """Apply a shard recovery: restore state, fail clients back, restart.
+
+        The shard reinstalls the coordinator's last synchronization
+        snapshot (when one exists) so it rejoins near the cluster
+        consensus instead of resurrecting its pre-crash weights; from
+        there the regular sync path — the next ``"average"`` rendezvous
+        or the ``"staleness"`` gossip merges — closes the remaining gap.
+        """
+        shard = runtime.shard
+        shard.mark_up(sim.now)
+        self.stats.shard_recoveries += 1
+        runtime.generation += 1
+        runtime.clock = max(runtime.clock, sim.now)
+        # The pre-crash dispatch chain died with its generation, so a
+        # stale next_free (e.g. a slow downlink's landing time) would
+        # gate maybe_dispatch with no event left to fire at it — post-
+        # recovery arrivals would sit in the queue forever.  A freshly
+        # recovered server is free now.
+        runtime.next_free = min(runtime.next_free, sim.now)
+        self.transport.topology.set_node_up(shard.node_name, True)
+        logger.info("shard %d (%s) recovered at t=%.4fs", shard.shard_id,
+                    shard.node_name, sim.now)
+        snapshot = self.cluster.last_sync_snapshot
+        if snapshot is not None:
+            shard.install_weights(snapshot)
+        else:
+            # No sync has fired yet: the shard resumes with its pre-crash
+            # weights but its per-sync counters restart from zero.
+            shard.samples_since_sync = 0
+            shard.steps_since_sync = 0
+        if self.failover is not None and self.failover.failback:
+            self._apply_reassignment(
+                sim,
+                {
+                    system_id: shard.shard_id
+                    for system_id in self.cluster.original_clients(shard.shard_id)
+                    if self.cluster.assignment[system_id] != shard.shard_id
+                },
+            )
+        self._epoch_hooks["on_shard_up"](sim, runtime)
 
     # ------------------------------------------------------------------ #
     # Synchronous mode: rounds as barrier events
@@ -417,6 +692,10 @@ class TrainingEngine:
             runtime.in_transit = 0
             runtime.accepted = []
             runtime.clock = self.clock
+            runtime.round_index = -1
+            # A shard that is down when the epoch starts has no chain; a
+            # recovery transition restarts it mid-epoch.
+            runtime.chain_idle = not runtime.shard.healthy
             runtime.active = {
                 system_id for system_id in iterators
                 if self._runtime_of[system_id] is runtime
@@ -427,13 +706,31 @@ class TrainingEngine:
         arrived: Dict[int, int] = {}
         finished: set = set()
 
+        def schedule_round_start(at_time: float, runtime: _ShardRuntime,
+                                 round_index: int) -> None:
+            # Generation-guarded: a crash (or recovery) between scheduling
+            # and firing orphans the event, so a dead shard's chain dies
+            # cleanly and a restarted chain never double-fires.
+            generation = runtime.generation
+            runtime.chain_idle = False
+
+            def fire(sim: Simulator) -> None:
+                if runtime.generation != generation or not runtime.shard.healthy:
+                    return
+                start_round(sim, runtime, round_index)
+
+            sim.schedule(max(at_time, sim.now), fire, label="round-start")
+
         def on_arrival(sim: Simulator, message: ActivationMessage,
-                       end_system: EndSystem, runtime: _ShardRuntime) -> None:
-            if self._admit(sim, message, end_system, runtime):
+                       end_system: EndSystem, runtime: _ShardRuntime,
+                       sent_generation: int) -> None:
+            if self._admit(sim, message, end_system, runtime,
+                           sent_generation=sent_generation):
                 runtime.accepted.append(message)
 
         def start_round(sim: Simulator, runtime: _ShardRuntime,
                         round_index: int) -> None:
+            runtime.round_index = round_index
             if not runtime.active:
                 finish_shard(sim, runtime)
                 return
@@ -471,26 +768,31 @@ class TrainingEngine:
                 last_arrival = max(last_arrival, message.arrival_time)
                 sim.schedule(
                     message.arrival_time,
-                    lambda s, m=message, e=end_system, r=runtime: on_arrival(s, m, e, r),
+                    lambda s, m=message, e=end_system, r=runtime,
+                    g=runtime.generation: on_arrival(s, m, e, r, g),
                     priority=PRIORITY_ARRIVAL,
                     label="uplink-arrival",
                 )
             self.stats.rounds += 1
             if in_flight:
+                generation = runtime.generation
+
+                def fire_barrier(sim: Simulator, r=round_index, rt=runtime,
+                                 gen=generation) -> None:
+                    if rt.generation != gen or not rt.shard.healthy:
+                        return
+                    barrier(sim, r, rt)
+
                 sim.schedule(
                     max(last_arrival, sim.now),
-                    lambda s, r=round_index, rt=runtime: barrier(s, r, rt),
+                    fire_barrier,
                     priority=PRIORITY_DISPATCH,
                     label="round-barrier",
                 )
             elif runtime.active:
                 # Every send this round was dropped in transit; retry
                 # immediately — the simulated clock does not advance.
-                sim.schedule(
-                    sim.now,
-                    lambda s, r=round_index, rt=runtime: start_round(s, rt, r + 1),
-                    label="round-start",
-                )
+                schedule_round_start(sim.now, runtime, round_index + 1)
             else:
                 finish_shard(sim, runtime)
 
@@ -543,10 +845,13 @@ class TrainingEngine:
 
         def round_done(sim: Simulator, runtime: _ShardRuntime,
                        round_index: int) -> None:
-            if self._sync_due(round_index + 1):
+            # A sync needs at least two healthy shards — with the rest of
+            # the cluster down there is nobody to exchange weights with,
+            # so the chain continues straight into its next round.
+            if self._sync_due(round_index + 1) and self._healthy_count() > 1:
                 if self.cluster.sync_mode == "average":
                     # Park this shard at the rendezvous; the sync fires
-                    # once every still-running shard has arrived.
+                    # once every still-running healthy shard has arrived.
                     arrived[runtime.shard.shard_id] = round_index
                     maybe_fire_sync(sim)
                     return
@@ -555,18 +860,28 @@ class TrainingEngine:
                 self.stats.weight_syncs += 1
                 self._broadcast_weights(sim, runtime, runtime.clock,
                                         merge_on_landing=True)
-            sim.schedule(
-                runtime.clock,
-                lambda s, r=round_index, rt=runtime: start_round(s, rt, r + 1),
-                label="round-start",
-            )
+            schedule_round_start(runtime.clock, runtime, round_index + 1)
 
         def finish_shard(sim: Simulator, runtime: _ShardRuntime) -> None:
             # Out of data for this epoch.  A rendezvous must not wait for
             # a shard that will never arrive.
+            runtime.chain_idle = True
             if runtime.shard.shard_id not in finished:
                 finished.add(runtime.shard.shard_id)
                 maybe_fire_sync(sim)
+
+        def ensure_chain_running(sim: Simulator, runtime: _ShardRuntime) -> None:
+            # Restart latch for failover/recovery: give the shard a live
+            # round chain when it has gained clients (or come back up)
+            # and its previous chain has died.
+            if not runtime.chain_idle or not runtime.shard.healthy:
+                return
+            if not runtime.active:
+                finish_shard(sim, runtime)
+                return
+            finished.discard(runtime.shard.shard_id)
+            runtime.clock = max(runtime.clock, sim.now)
+            schedule_round_start(runtime.clock, runtime, runtime.round_index + 1)
 
         def maybe_fire_sync(sim: Simulator) -> None:
             if not arrived:
@@ -574,17 +889,25 @@ class TrainingEngine:
             if any(
                 runtime.shard.shard_id not in arrived
                 and runtime.shard.shard_id not in finished
+                and runtime.shard.healthy
                 for runtime in self._runtimes
             ):
+                # The rendezvous waits only for *healthy* running shards;
+                # a crashed shard can never arrive and must not hang the
+                # barrier (its rendezvous entry was dropped at crash time).
                 return
-            # Full-averaging barrier: every shard (finished ones too —
-            # their weights still count) broadcasts its snapshot, and the
-            # parked shards resume once the slowest transfer has landed.
-            sync_start = max([sim.now] + [rt.clock for rt in self._runtimes])
+            # Full-averaging barrier: every healthy shard (finished ones
+            # too — their weights still count) broadcasts its snapshot,
+            # and the parked shards resume once the slowest transfer has
+            # landed.
+            healthy_runtimes = [
+                runtime for runtime in self._runtimes if runtime.shard.healthy
+            ]
+            sync_start = max([sim.now] + [rt.clock for rt in healthy_runtimes])
             sync_done = sync_start
             delivered: Dict[int, set] = {}
             snapshots: Dict[int, Dict] = {}
-            for runtime in self._runtimes:
+            for runtime in healthy_runtimes:
                 sync_done = max(
                     sync_done,
                     self._broadcast_weights(sim, runtime, sync_start,
@@ -593,10 +916,21 @@ class TrainingEngine:
                                             snapshot_out=snapshots),
                 )
             complete = all(
-                len(delivered.get(runtime.shard.shard_id, ())) == len(self._runtimes) - 1
-                for runtime in self._runtimes
+                len(delivered.get(runtime.shard.shard_id, ()))
+                == len(healthy_runtimes) - 1
+                for runtime in healthy_runtimes
             )
-            released = dict(arrived)
+            # Release tickets carry the parked shard's generation: a shard
+            # that crashes (or crashes AND recovers) while the sync is in
+            # flight must not be released here — its chain either died or
+            # was already restarted by the recovery, and a second release
+            # would run a duplicate round chain.
+            released = {
+                runtime.shard.shard_id: (arrived[runtime.shard.shard_id],
+                                         runtime.generation)
+                for runtime in self._runtimes
+                if runtime.shard.shard_id in arrived
+            }
             arrived.clear()
 
             def apply_average(sim: Simulator) -> None:
@@ -605,32 +939,52 @@ class TrainingEngine:
                 # Lossy inter-server links: a shard averages only the
                 # snapshots that actually reached it, so replicas may
                 # diverge under loss exactly like a real deployment's.
+                # The coordinator skips shards that crashed since the
+                # broadcast; their rendezvous release below is skipped
+                # too (a recovery restarts the chain instead).
                 self.cluster.sync_average(
-                    None if complete else delivered,
-                    snapshots=[snapshots[rt.shard.shard_id] for rt in self._runtimes],
+                    None if complete else delivered, snapshots=snapshots
                 )
                 self.stats.weight_syncs += 1
                 for runtime in self._runtimes:
-                    round_index = released.get(runtime.shard.shard_id)
-                    if round_index is None:
+                    ticket = released.get(runtime.shard.shard_id)
+                    if ticket is None or not runtime.shard.healthy:
+                        continue
+                    round_index, generation = ticket
+                    if runtime.generation != generation:
                         continue
                     runtime.clock = max(runtime.clock, sim.now)
-                    sim.schedule(
-                        runtime.clock,
-                        lambda s, r=round_index, rt=runtime: start_round(s, rt, r + 1),
-                        label="round-start",
-                    )
+                    schedule_round_start(runtime.clock, runtime, round_index + 1)
 
             sim.schedule(sync_done, apply_average, priority=PRIORITY_DISPATCH,
                          label="weight-sync")
 
-        for runtime in self._runtimes:
-            sim.schedule(
-                runtime.clock,
-                lambda s, rt=runtime: start_round(s, rt, 0),
-                label="round-start",
-            )
-        sim.run()
+        def on_shard_down(sim: Simulator, runtime: _ShardRuntime,
+                          flushed, parked) -> None:
+            # The crashed shard cannot resume from a rendezvous it was
+            # parked at — and the survivors must not wait for it.
+            arrived.pop(runtime.shard.shard_id, None)
+            maybe_fire_sync(sim)
+
+        self._epoch_hooks = {
+            "live": lambda: len(finished) < len(self._runtimes),
+            "on_shard_down": on_shard_down,
+            "on_shard_up": ensure_chain_running,
+            "on_client_moved": lambda sim, end_system, runtime, was_parked: (
+                ensure_chain_running(sim, runtime)
+            ),
+        }
+        try:
+            for runtime in self._runtimes:
+                if runtime.shard.healthy:
+                    schedule_round_start(runtime.clock, runtime, 0)
+            self._schedule_failure_events(sim)
+            sim.run()
+        finally:
+            # Always drop the epoch's closures: an exception escaping the
+            # run must not leave the engine pinning a dead epoch's state
+            # (or reporting its liveness to later failure transitions).
+            self._epoch_hooks = self._inert_hooks()
         self.stats.events_processed += sim.processed_events
         self.clock = max([self.clock] + [rt.clock for rt in self._runtimes])
         return tracker
@@ -662,6 +1016,7 @@ class TrainingEngine:
         sim = Simulator()
         exhausted: set = set()
         in_flight: Dict[int, Tuple[ActivationMessage, EndSystem]] = {}
+        self._stranded = {}
         for runtime in self._runtimes:
             runtime.in_transit = 0
             runtime.waiting.clear()
@@ -675,6 +1030,14 @@ class TrainingEngine:
                 # Past the budget: stop feeding new work into the pipeline.
                 return
             runtime = self._runtime_of[end_system.system_id]
+            if not runtime.shard.healthy:
+                # The client's shard is down and nobody has failed it
+                # over (yet): park the send — failover or recovery
+                # re-issues it.
+                self._stranded[end_system.system_id] = (
+                    self._stranded.get(end_system.system_id, 0) + 1
+                )
+                return
             if self._blocking() and not self._queue_has_room(runtime):
                 runtime.waiting.append(end_system)
                 self.stats.blocked_sends += 1
@@ -694,13 +1057,15 @@ class TrainingEngine:
             in_flight[message.sequence] = (message, end_system)
             sim.schedule(
                 message.arrival_time,
-                lambda s, m=message, e=end_system, r=runtime: on_arrival(s, m, e, r),
+                lambda s, m=message, e=end_system, r=runtime,
+                g=runtime.generation: on_arrival(s, m, e, r, g),
                 priority=PRIORITY_ARRIVAL,
                 label="uplink-arrival",
             )
 
         def on_arrival(sim: Simulator, message: ActivationMessage,
-                       end_system: EndSystem, runtime: _ShardRuntime) -> None:
+                       end_system: EndSystem, runtime: _ShardRuntime,
+                       sent_generation: int) -> None:
             in_flight.pop(message.sequence, None)
             if not self._admit(
                 sim, message, end_system, runtime,
@@ -708,18 +1073,29 @@ class TrainingEngine:
                 # over the downlink and moves on to its next batch when
                 # the NACK lands.
                 on_notified=lambda s, e=end_system: try_send(e, s.now),
+                sent_generation=sent_generation,
             ):
                 return
             maybe_dispatch(sim, runtime)
 
+        def schedule_dispatch(at_time: float, runtime: _ShardRuntime) -> None:
+            generation = runtime.generation
+
+            def fire(sim: Simulator) -> None:
+                if runtime.generation != generation or not runtime.shard.healthy:
+                    return
+                dispatch(sim, runtime)
+
+            sim.schedule(at_time, fire, priority=PRIORITY_DISPATCH,
+                         label="server-step")
+
         def maybe_dispatch(sim: Simulator, runtime: _ShardRuntime) -> None:
             if runtime.dispatch_scheduled or sim.now < runtime.next_free:
                 return
-            if not runtime.shard.has_pending():
+            if not runtime.shard.healthy or not runtime.shard.has_pending():
                 return
             runtime.dispatch_scheduled = True
-            sim.schedule(sim.now, lambda s, r=runtime: dispatch(s, r),
-                         priority=PRIORITY_DISPATCH, label="server-step")
+            schedule_dispatch(sim.now, runtime)
 
         def release_waiters(sim: Simulator, runtime: _ShardRuntime,
                             at_time: float) -> None:
@@ -775,12 +1151,15 @@ class TrainingEngine:
                 )
             if (
                 self.cluster.num_shards > 1
+                and self._healthy_count() > 1
                 and runtime.shard.steps_since_sync >= self.cluster.sync_every
             ):
                 # Gossip this shard's weights; peers merge on landing
                 # with a staleness-decayed coefficient.  The broadcast
                 # happens when the step's results ship (finish_time) and
-                # never blocks the pipeline.
+                # never blocks the pipeline.  With every peer down there
+                # is nobody to gossip with — the cadence counter keeps
+                # running and the next due step after a recovery gossips.
                 runtime.shard.steps_since_sync = 0
                 self.stats.weight_syncs += 1
                 self._broadcast_weights(sim, runtime, finish_time,
@@ -789,8 +1168,7 @@ class TrainingEngine:
             # step's gradients have all landed.
             runtime.next_free = next_dispatch_at
             runtime.dispatch_scheduled = True
-            sim.schedule(next_dispatch_at, lambda s, r=runtime: dispatch(s, r),
-                         priority=PRIORITY_DISPATCH, label="server-step")
+            schedule_dispatch(next_dispatch_at, runtime)
 
         def land(sim: Simulator, end_system: EndSystem,
                  gradient_message: GradientMessage) -> None:
@@ -824,12 +1202,58 @@ class TrainingEngine:
             for runtime in self._runtimes:
                 runtime.waiting.clear()
                 runtime.in_transit = 0
+            # Stranded sends hold no pending activations — just forget them.
+            self._stranded.clear()
             sim.stop()
 
-        # Prime the pipeline: every client ships max_in_flight batches.
-        for end_system in self.end_systems:
-            for _ in range(self.config.max_in_flight):
-                try_send(end_system, self.clock)
-        sim.run()
+        def live() -> bool:
+            if sim.stopped:
+                return False
+            if len(exhausted) < len(self.end_systems):
+                return True
+            return bool(in_flight) or any(
+                runtime.shard.has_pending() for runtime in self._runtimes
+            )
+
+        def on_shard_down(sim: Simulator, runtime: _ShardRuntime,
+                          flushed, parked) -> None:
+            # Clients whose batches were shed at the crash (or who were
+            # parked in the dead shard's backpressure queue) immediately
+            # try again; the send strands until failover or recovery.
+            for message in flushed:
+                try_send(self._by_id[message.end_system_id], sim.now)
+            for end_system in parked:
+                try_send(end_system, sim.now)
+
+        def on_client_moved(sim: Simulator, end_system: EndSystem,
+                            runtime: _ShardRuntime, was_parked: bool) -> None:
+            pending_sends = self._stranded.pop(end_system.system_id, 0)
+            if was_parked:
+                pending_sends += 1
+            for _ in range(pending_sends):
+                try_send(end_system, sim.now)
+
+        def on_shard_up(sim: Simulator, runtime: _ShardRuntime) -> None:
+            # Standby clients (never failed over) resume their sends.
+            for system_id in list(runtime.shard.client_ids):
+                for _ in range(self._stranded.pop(system_id, 0)):
+                    try_send(self._by_id[system_id], sim.now)
+            maybe_dispatch(sim, runtime)
+
+        self._epoch_hooks = {
+            "live": live,
+            "on_shard_down": on_shard_down,
+            "on_shard_up": on_shard_up,
+            "on_client_moved": on_client_moved,
+        }
+        try:
+            # Prime the pipeline: every client ships max_in_flight batches.
+            for end_system in self.end_systems:
+                for _ in range(self.config.max_in_flight):
+                    try_send(end_system, self.clock)
+            self._schedule_failure_events(sim)
+            sim.run()
+        finally:
+            self._epoch_hooks = self._inert_hooks()
         self.stats.events_processed += sim.processed_events
         return tracker

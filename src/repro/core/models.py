@@ -11,7 +11,7 @@ express cut points such as "everything up to and including ``L2``".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

@@ -14,7 +14,7 @@ the server — the non-private global model) through "L1, L2, L3, L4".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -53,6 +53,17 @@ links carry periodic weight-synchronization traffic
 :mod:`repro.cluster`).  ``num_servers=1`` reduces exactly to the paper's
 single central server — pinned to 1e-9 by the cluster equivalence tests.
 
+Failure injection and failover
+------------------------------
+``TrainingConfig.failure_schedule`` (scripted crashes) or
+``failure_mtbf_s``/``failure_mttr_s`` (stochastic churn) inject shard
+crash/recovery events into the simulation; ``failover_policy`` decides
+whether a dead shard's clients are rebalanced across the survivors
+(reusing the pluggable assigners) or parked until recovery.  Work shed
+by a crash rides the same leak-free ``notify_drop`` accounting as every
+other loss, and the run's history reports crashes, recoveries,
+reassignments and total downtime (see :mod:`repro.cluster.failover`).
+
 Batched queue draining
 ----------------------
 With ``TrainingConfig.server_batching`` (the default) each server step
@@ -75,11 +86,16 @@ import numpy as np
 from ..backend import use_backend
 from ..cluster.assigner import get_assigner
 from ..cluster.coordinator import ClusterCoordinator
+from ..cluster.failover import (
+    FailureModel,
+    ScheduledFailures,
+    StochasticFailures,
+    get_failover_policy,
+)
 from ..cluster.shard import ServerShard
 from ..data.datasets import Dataset
 from ..data.loader import DataLoader
 from ..data.transforms import Transform
-from ..nn.metrics import MetricTracker
 from ..simnet.topology import GeoTopology, multi_hub_star_topology, star_topology
 from ..simnet.transport import Transport
 from ..utils.logging import get_logger
@@ -232,14 +248,41 @@ class SpatioTemporalTrainer:
         #: Shard 0's server — the *only* server with ``num_servers=1``
         #: (back-compat alias used throughout the single-server tests).
         self.server = self.cluster.shards[0].server
+        failure_model = self._build_failure_model()
         self.engine = TrainingEngine(
             end_systems=self.end_systems,
             transport=self.transport,
             system_to_node=self._system_to_node,
             config=self.config,
             cluster=self.cluster,
+            failure_model=failure_model,
+            failover=(
+                get_failover_policy(
+                    self.config.failover_policy,
+                    assigner=self.config.failover_assigner,
+                )
+                if failure_model is not None
+                else None
+            ),
         )
         self._clock = 0.0
+
+    def _build_failure_model(self) -> Optional[FailureModel]:
+        """Instantiate the configured failure-injection model (or ``None``).
+
+        A scripted timeline wins over stochastic churn (the config
+        rejects setting both); the stochastic streams are derived from
+        the master seed so a run's failure pattern is reproducible.
+        """
+        if not self.config.failures_enabled:
+            return None
+        if self.config.failure_schedule:
+            return ScheduledFailures(self.config.failure_schedule)
+        return StochasticFailures(
+            mtbf_s=self.config.failure_mtbf_s,
+            mttr_s=self.config.failure_mttr_s,
+            seed=self.config.seed + 104729,
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -278,6 +321,23 @@ class SpatioTemporalTrainer:
             stats["per_shard"] = self.cluster.shard_stats()
             stats["weight_syncs"] = self.engine.stats.weight_syncs
             stats["sync_messages"] = self.engine.stats.sync_messages
+        if self.engine.failure_model is not None:
+            engine_stats = self.engine.stats
+            stats["shard_crashes"] = engine_stats.shard_crashes
+            stats["shard_recoveries"] = engine_stats.shard_recoveries
+            stats["clients_reassigned"] = engine_stats.clients_reassigned
+            stats["failover_dropped"] = engine_stats.failover_dropped
+            # Completed outages plus the tail of any outage still open
+            # when the run ended.
+            stats["total_downtime_s"] = sum(
+                shard.downtime_s
+                + (
+                    max(0.0, self.engine.clock - shard.down_since)
+                    if shard.down_since is not None
+                    else 0.0
+                )
+                for shard in self.cluster.shards
+            )
         return stats
 
     def _backend_context(self):

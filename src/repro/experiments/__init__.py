@@ -13,6 +13,7 @@ from .registry import (
     list_experiments,
     run_experiment,
 )
+from .server_failover import run_server_failover
 from .server_sharding import run_server_sharding
 from .staleness import run_staleness
 from .table1 import PAPER_TABLE1, run_table1
@@ -28,6 +29,7 @@ __all__ = [
     "run_baselines_comparison",
     "run_compression",
     "run_queue_congestion",
+    "run_server_failover",
     "run_server_sharding",
     "PAPER_TABLE1",
     "PAPER_FIGURE4",

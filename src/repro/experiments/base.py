@@ -14,12 +14,11 @@ benchmark runs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..core.models import CNNArchitecture, paper_cnn_architecture, tiny_cnn_architecture
-from ..data.datasets import Dataset, Subset, SyntheticCIFAR10, train_test_split
+from ..data.datasets import Subset, SyntheticCIFAR10, train_test_split
 from ..data.partition import get_partitioner
 from ..data.transforms import Normalize
 from ..utils.tables import format_table

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from ..baselines.centralized import CentralizedTrainer
 from ..baselines.fedavg import FedAvgTrainer

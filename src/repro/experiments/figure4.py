@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
 
 from ..core.config import TrainingConfig
 from ..core.privacy import leakage_report

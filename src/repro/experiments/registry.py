@@ -16,6 +16,7 @@ from .clients_sweep import run_clients_sweep
 from .compression import run_compression
 from .figure4 import run_figure4
 from .queue_congestion import run_queue_congestion
+from .server_failover import run_server_failover
 from .server_sharding import run_server_sharding
 from .staleness import run_staleness
 from .table1 import run_table1
@@ -76,6 +77,13 @@ REGISTRY: Dict[str, ExperimentEntry] = {
         description="Sharded multi-server deployment: accuracy and completion time "
                     "vs. shard count under a 100+ client heterogeneous star.",
         runner=run_server_sharding,
+    ),
+    "server_failover": ExperimentEntry(
+        name="server_failover",
+        paper_artifact="Dependability claim (Sec. I) — failover extension",
+        description="Shard failover under churn: MTBF x failover policy x sync mode "
+                    "on a sharded heterogeneous star.",
+        runner=run_server_failover,
     ),
     "compression": ExperimentEntry(
         name="compression",

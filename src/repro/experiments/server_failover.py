@@ -1,0 +1,187 @@
+"""Server-failover sweep: dependability under shard churn.
+
+The DSN paper is about *dependable* distributed training, yet its
+platform — and the PR 4 cluster that scales it — assumed every server
+shard lives forever.  This experiment injects shard crashes into a
+sharded deployment and sweeps the three axes that decide how much an
+outage costs:
+
+* **failure intensity** — no failures (the control row), then stochastic
+  churn at a few MTBF settings (mean exponential up-time per shard, with
+  a fixed MTTR);
+* **failover policy** — ``"rebalance"`` (a dead shard's clients are
+  spread over the survivors by the load-aware assigner and failed back
+  on recovery) vs. ``"standby"`` (clients park until their home shard
+  returns);
+* **sync mode** — the blocking ``"average"`` rendezvous (which must skip
+  dead shards to avoid hanging) vs. non-blocking ``"staleness"`` gossip.
+
+Reported per configuration: crash/recovery counts, client reassignments,
+work shed at crash time (leak-free, via ``notify_drop``), cumulative
+shard downtime, final train/test accuracy and the simulated completion
+time.
+
+Expected shape: the control rows reproduce the ``server_sharding``
+behaviour; under churn, ``rebalance`` trades extra reassignment traffic
+for steady throughput (accuracy degrades mildly), while ``standby``
+loses the dead band's progress for the whole outage — visible as a
+completion-time stretch roughly equal to the downtime its clients sat
+out.  Shed work stays small because only in-queue messages die with a
+shard; everything else is rerouted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.config import TrainingConfig
+from ..core.split import SplitSpec
+from ..core.trainer import SpatioTemporalTrainer
+from ..simnet.topology import multi_hub_star_topology
+from ..utils.logging import get_logger
+from .base import ExperimentResult, WorkloadSpec, build_workload
+
+__all__ = ["run_server_failover"]
+
+logger = get_logger("experiments.server_failover")
+
+#: Mean time between failures settings swept by default; ``None`` is the
+#: failure-free control.
+DEFAULT_MTBF_S = (None, 0.5, 0.1)
+
+
+def run_server_failover(
+    workload: Optional[WorkloadSpec] = None,
+    mtbf_values_s: Sequence[Optional[float]] = DEFAULT_MTBF_S,
+    mttr_s: float = 0.05,
+    failover_policies: Sequence[str] = ("rebalance", "standby"),
+    sync_modes: Sequence[str] = ("average", "staleness"),
+    num_servers: int = 2,
+    shard_assigner: str = "latency_aware",
+    server_sync_every: int = 1,
+    failover_delay_s: float = 0.002,
+    client_blocks: int = 1,
+    near_latency_s: float = 0.002,
+    far_latency_s: float = 0.08,
+    inter_server_latency_s: float = 0.005,
+) -> ExperimentResult:
+    """Sweep MTBF x failover policy x sync mode on a sharded star.
+
+    Training runs in synchronous mode so both sync modes are admissible;
+    the stochastic failure streams derive from the workload seed, so the
+    same churn pattern hits every policy/sync-mode combination at a given
+    MTBF — the comparison isolates the *response* to failures, not the
+    failures themselves.
+    """
+    workload = workload if workload is not None else WorkloadSpec.laptop(
+        num_end_systems=40, num_samples=1600, epochs=2, batch_size=16,
+    )
+    pieces = build_workload(workload)
+    spec = SplitSpec(pieces["architecture"], client_blocks=client_blocks)
+    latencies = list(np.linspace(near_latency_s, far_latency_s,
+                                 workload.num_end_systems))
+
+    result = ExperimentResult(
+        name="Server failover — dependability under shard churn "
+             f"({workload.num_end_systems}-client star, {num_servers} shards)",
+        headers=[
+            "mtbf_s",
+            "policy",
+            "sync_mode",
+            "crashes",
+            "recoveries",
+            "reassigned",
+            "shed_msgs",
+            "downtime_s",
+            "train_accuracy_pct",
+            "test_accuracy_pct",
+            "simulated_time_s",
+        ],
+        paper_reference={
+            "figure": "dependability claim (title/Sec. I) — failover extension",
+            "claim": "the platform must keep training through end-system and "
+                     "server faults; shard failover with leak-free shedding "
+                     "and snapshot recovery is the server-side half of that",
+        },
+        metadata={
+            "workload": workload.__dict__.copy(),
+            "mtbf_values_s": list(mtbf_values_s),
+            "mttr_s": mttr_s,
+            "failover_policies": list(failover_policies),
+            "sync_modes": list(sync_modes),
+            "num_servers": num_servers,
+            "shard_assigner": shard_assigner,
+            "server_sync_every": server_sync_every,
+            "failover_delay_s": failover_delay_s,
+            "latency_range_s": [near_latency_s, far_latency_s],
+            "inter_server_latency_s": inter_server_latency_s,
+        },
+    )
+
+    for mtbf_s in mtbf_values_s:
+        for sync_mode in sync_modes:
+            for policy in failover_policies:
+                if mtbf_s is None and policy != failover_policies[0]:
+                    # The failure-free control is policy-independent; one
+                    # row per sync mode is enough.
+                    continue
+                topology = multi_hub_star_topology(
+                    workload.num_end_systems,
+                    num_servers,
+                    assigner=shard_assigner,
+                    latencies_s=latencies,
+                    inter_server_latency_s=inter_server_latency_s,
+                    seed=workload.seed,
+                )
+                config = TrainingConfig(
+                    epochs=workload.epochs,
+                    batch_size=workload.batch_size,
+                    num_servers=num_servers,
+                    shard_assigner=shard_assigner,
+                    server_sync_every=server_sync_every,
+                    server_sync_mode=sync_mode,
+                    failure_mtbf_s=mtbf_s,
+                    failure_mttr_s=mttr_s,
+                    failover_policy=policy,
+                    failover_delay_s=failover_delay_s,
+                    seed=workload.seed,
+                )
+                trainer = SpatioTemporalTrainer(
+                    spec, pieces["parts"], config, topology=topology,
+                    train_transform=pieces["normalize"],
+                )
+                history = trainer.train(pieces["test"],
+                                        evaluate_every=workload.epochs)
+                stats = trainer.engine.stats
+                # Leak-freedom is part of the experiment's contract: a
+                # crash must never leave a client waiting forever.
+                leaked = sum(es.pending_batches for es in trainer.end_systems)
+                if leaked:
+                    raise AssertionError(
+                        f"{leaked} pending activations leaked under churn "
+                        f"(mtbf={mtbf_s}, policy={policy}, sync={sync_mode})"
+                    )
+                downtime = history.queue_stats.get("total_downtime_s", 0.0)
+                logger.info(
+                    "failover mtbf=%s policy=%s sync=%s crashes=%d "
+                    "reassigned=%d acc=%.4f sim_time=%.2fs",
+                    mtbf_s, policy, sync_mode, stats.shard_crashes,
+                    stats.clients_reassigned, history.final_train_accuracy,
+                    history.total_simulated_time,
+                )
+                result.add_row([
+                    mtbf_s if mtbf_s is not None else "inf",
+                    policy if mtbf_s is not None else "-",
+                    sync_mode,
+                    stats.shard_crashes,
+                    stats.shard_recoveries,
+                    stats.clients_reassigned,
+                    stats.failover_dropped,
+                    downtime,
+                    100.0 * history.final_train_accuracy,
+                    100.0 * (history.final_test_accuracy or 0.0),
+                    history.total_simulated_time,
+                ])
+    return result

@@ -94,6 +94,10 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.drop_probability = drop_probability
         self.direction = direction
+        #: Administrative state: a link incident to a crashed hub is
+        #: marked down (``GeoTopology.set_node_up``) and loses every
+        #: message deterministically until the hub recovers.
+        self.up = True
         self._rng = np.random.default_rng(seed)
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -121,6 +125,12 @@ class Link:
         """
         size = payload_bytes(payload)
         self.messages_sent += 1
+        if not self.up:
+            # One of the endpoints is down: the message is lost without
+            # consuming a drop draw, so the loss RNG stream stays aligned
+            # with an identically-seeded run that never saw the outage.
+            self.messages_dropped += 1
+            return None
         if self.drop_probability and self._rng.random() < self.drop_probability:
             self.messages_dropped += 1
             return None

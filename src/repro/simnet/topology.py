@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
-import numpy as np
 
 from .latency import ConstantLatency, DistanceLatency, GaussianLatency, LatencyModel
 from .link import Link
@@ -139,6 +138,60 @@ class GeoTopology:
     def coordinates(self, name: str) -> Optional[Tuple[float, float]]:
         """Coordinates of a node (``None`` if it has none)."""
         return self.graph.nodes[name].get("coordinates")
+
+    # ------------------------------------------------------------------ #
+    # Failure injection: node health and uplink rerouting
+    # ------------------------------------------------------------------ #
+    def is_up(self, name: str) -> bool:
+        """Whether a node is administratively up (default ``True``)."""
+        if name not in self.graph:
+            raise KeyError(f"unknown node {name!r}")
+        return self.graph.nodes[name].get("up", True)
+
+    def _refresh_edge_health(self, node_a: str, node_b: str) -> None:
+        status = self.is_up(node_a) and self.is_up(node_b)
+        data = self.graph.edges[node_a, node_b]
+        data["link"].up = status
+        downlink = data.get("downlink")
+        if downlink is not None:
+            downlink.up = status
+
+    def set_node_up(self, name: str, up: bool = True) -> None:
+        """Mark a node up or down, propagating to every incident link.
+
+        A link is usable only while *both* endpoints are up, so crashing
+        a server hub takes down the uplinks/downlinks of every end-system
+        hanging off it plus its inter-server links — anything sent over
+        them is deterministically lost (and counted on the link) until
+        the hub recovers.
+        """
+        if name not in self.graph:
+            raise KeyError(f"unknown node {name!r}")
+        self.graph.nodes[name]["up"] = bool(up)
+        for _, neighbor in self.graph.edges(name):
+            self._refresh_edge_health(name, neighbor)
+
+    def reroute_end_system(self, end_system: str, new_hub: str) -> None:
+        """Reattach an end-system's access links to a different server hub.
+
+        Failover for a crashed hub: the client keeps its physical access
+        links (same latency model, RNG streams and traffic counters — the
+        WAN last mile does not change), but they now terminate at
+        ``new_hub``.  No-op when the end-system already hangs off
+        ``new_hub``.
+        """
+        if self.graph.nodes.get(end_system, {}).get("role") != "end_system":
+            raise KeyError(f"{end_system!r} is not an end-system node")
+        if self.graph.nodes.get(new_hub, {}).get("role") != "server":
+            raise KeyError(f"{new_hub!r} is not a server node")
+        old_hub = self.hub_of(end_system)
+        if old_hub == new_hub:
+            return
+        data = dict(self.graph.edges[end_system, old_hub])
+        self.graph.remove_edge(end_system, old_hub)
+        self.graph.add_edge(end_system, new_hub, link=data["link"],
+                            downlink=data.get("downlink"), source=end_system)
+        self._refresh_edge_health(end_system, new_hub)
 
     def _directional_link(self, src: str, dst: str) -> Link:
         """The link carrying traffic from ``src`` towards ``dst``."""

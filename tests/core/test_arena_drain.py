@@ -9,7 +9,7 @@ the original concatenate path, to round-off.
 import numpy as np
 import pytest
 
-from repro.backend import BlockedBackend, get_backend, set_backend, use_backend
+from repro.backend import BlockedBackend, use_backend
 from repro.core.messages import ActivationMessage
 from repro.core.models import tiny_cnn_architecture
 from repro.core.scheduling import StalenessPriorityPolicy

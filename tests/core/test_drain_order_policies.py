@@ -14,11 +14,8 @@ import pytest
 
 from repro.core.messages import ActivationMessage
 from repro.core.scheduling import (
-    FIFOPolicy,
     ParameterQueue,
     RoundRobinPolicy,
-    StalenessPriorityPolicy,
-    WeightedFairPolicy,
     get_policy,
 )
 

@@ -12,11 +12,11 @@ The invariants pinned here are the ones the seed tree violated:
   control defers sends instead, so every sample is eventually processed.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.config import TrainingConfig
 from repro.core.trainer import SpatioTemporalTrainer
+from repro.data.partition import IIDPartitioner
 from repro.simnet.topology import star_topology
 
 
@@ -32,6 +32,7 @@ def assert_drop_accounting(trainer, history):
     transport_dropped = trainer.transport.log.dropped_messages
     nack_dropped = trainer.transport.log.nack_dropped
     sync_dropped = trainer.transport.log.sync_dropped
+    failover_dropped = trainer.engine.stats.failover_dropped
     link_totals = trainer.topology.dropped_totals()
     notified = sum(es.drops_notified for es in trainer.end_systems)
 
@@ -46,7 +47,13 @@ def assert_drop_accounting(trainer, history):
     # NACK is *not* another lost batch — the queue overflow it reports
     # was already counted (and notified via the immediate fallback) —
     # and a dropped inter-server sync snapshot never involves a client.
-    assert notified == queue_dropped + transport_dropped - nack_dropped - sync_dropped
+    # Batches shed by a shard crash never touched a link or the queue's
+    # drop counter, so they enter the balance through the engine's
+    # failover counter.
+    assert notified == (
+        queue_dropped + transport_dropped - nack_dropped - sync_dropped
+        + failover_dropped
+    )
     # No client may be left waiting for a gradient that will never come.
     assert all(es.pending_batches == 0 for es in trainer.end_systems)
 
@@ -151,4 +158,67 @@ class TestLossyLinksWithBoundedQueue:
         history = trainer.train()
         assert trainer.transport.log.uplink_dropped == 0
         assert trainer.transport.log.downlink_dropped > 0
+        assert_drop_accounting(trainer, history)
+
+
+class TestShardCrashLeakFreedom:
+    """Killing a shard mid-epoch preserves every lossy-path invariant.
+
+    The crash sheds the dead shard's queued work and in-flight arrivals
+    through ``notify_drop``, so the client ``_pending`` maps still drain
+    to empty and the cross-layer drop counts still agree — on top of a
+    bounded queue and a lossy WAN doing their usual damage.
+    """
+
+    @pytest.fixture()
+    def four_parts(self, tiny_splits):
+        train, _ = tiny_splits
+        return IIDPartitioner(4, seed=5).partition(train)
+
+    @pytest.mark.parametrize("mode", ["synchronous", "asynchronous"])
+    def test_crash_keeps_accounting_consistent(self, tiny_split_spec, four_parts,
+                                               normalize, mode):
+        overrides = dict(
+            num_servers=2, server_sync_every=1, server_sync_mode="staleness",
+            max_queue_size=2, queue_backpressure="drop",
+            failure_schedule=[(0.012, 1)], failover_policy="rebalance",
+        )
+        if mode == "asynchronous":
+            overrides.update(mode=mode, max_in_flight=2, server_step_time_s=0.004,
+                             server_batching=False)
+        trainer = make_trainer(tiny_split_spec, four_parts, normalize, **overrides)
+        history = trainer.train()
+        stats = trainer.engine.stats
+        assert stats.shard_crashes == 1
+        # The dead shard's clients were all failed over to the survivor.
+        orphans = trainer.cluster.original_clients(1)
+        assert all(trainer.cluster.assignment[sid] == 0 for sid in orphans)
+        assert all(es.pending_batches == 0 for es in trainer.end_systems)
+        assert_drop_accounting(trainer, history)
+
+    @pytest.mark.parametrize("mode", ["synchronous", "asynchronous"])
+    def test_crash_under_link_loss(self, tiny_split_spec, four_parts, normalize,
+                                   mode):
+        from repro.simnet.topology import multi_hub_star_topology
+
+        topology = multi_hub_star_topology(
+            4, 2, latencies_s=[0.002, 0.004, 0.006, 0.008],
+            drop_probability=0.2, seed=11,
+        )
+        overrides = dict(
+            num_servers=2, server_sync_every=1, server_sync_mode="staleness",
+            max_queue_size=2, queue_backpressure="drop",
+            failure_schedule=[(0.015, 0, 0.04)], failover_policy="rebalance",
+        )
+        if mode == "asynchronous":
+            overrides.update(mode=mode, max_in_flight=2, server_step_time_s=0.004,
+                             server_batching=False)
+        trainer = make_trainer(tiny_split_spec, four_parts, normalize,
+                               topology=topology, **overrides)
+        history = trainer.train()
+        stats = trainer.engine.stats
+        assert stats.shard_crashes >= 1
+        assert stats.shard_recoveries >= 1
+        assert trainer.transport.log.dropped_messages > 0
+        assert all(es.pending_batches == 0 for es in trainer.end_systems)
         assert_drop_accounting(trainer, history)

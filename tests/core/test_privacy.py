@@ -14,7 +14,6 @@ from repro.core.privacy import (
     upsample_nearest,
 )
 from repro.core.split import SplitSpec
-from repro.nn import Tensor
 
 
 class TestRendering:

@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -18,6 +17,7 @@ from repro.experiments import (
     run_experiment,
     run_figure4,
     run_queue_congestion,
+    run_server_failover,
     run_server_sharding,
     run_staleness,
     run_table1,
@@ -83,7 +83,8 @@ class TestRegistry:
     def test_all_expected_experiments_registered(self):
         names = {entry.name for entry in list_experiments()}
         assert {"table1", "figure4", "staleness", "clients_sweep", "baselines",
-                "compression", "queue_congestion", "server_sharding"} <= names
+                "compression", "queue_congestion", "server_sharding",
+                "server_failover"} <= names
 
     def test_get_experiment_unknown(self):
         with pytest.raises(KeyError, match="unknown experiment"):
@@ -233,6 +234,47 @@ class TestServerSharding:
                                 shard_counts=(2,))
         assert len(result.rows) == 1
         assert result.column("num_servers") == [2]
+
+
+class TestServerFailover:
+    def test_sweep_rows_and_churn_accounting(self):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=8, epochs=1,
+                                       batch_size=16)
+        result = run_server_failover(
+            workload=workload,
+            mtbf_values_s=(None, 0.02),
+            mttr_s=0.01,
+            failover_policies=("rebalance", "standby"),
+            sync_modes=("average",),
+            near_latency_s=0.002, far_latency_s=0.03,
+        )
+        # Control (policy-independent) + one row per policy under churn.
+        assert len(result.rows) == 3
+        crashes = result.column("crashes")
+        assert crashes[0] == 0, "the failure-free control must see no crashes"
+        assert all(count > 0 for count in crashes[1:])
+        # The same seeded churn hits every policy: crash counts match.
+        assert crashes[1] == crashes[2]
+        policies = result.column("policy")
+        reassigned = dict(zip(policies, result.column("reassigned")))
+        assert reassigned["rebalance"] > 0
+        assert reassigned["standby"] == 0
+        downtime = result.column("downtime_s")
+        assert downtime[0] == 0.0
+        assert all(value > 0 for value in downtime[1:])
+        for accuracy in result.column("train_accuracy_pct"):
+            assert 0.0 <= accuracy <= 100.0
+
+    def test_registry_dispatch(self):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=4, epochs=1,
+                                       batch_size=16)
+        result = run_experiment(
+            "server_failover", workload=workload,
+            mtbf_values_s=(0.05,), failover_policies=("rebalance",),
+            sync_modes=("staleness",),
+        )
+        assert len(result.rows) == 1
+        assert result.column("sync_mode") == ["staleness"]
 
 
 class TestClientsSweepAndBaselines:

@@ -235,3 +235,69 @@ class TestTransport:
         assert log.mean_transit_time == 0.0
         assert log.max_transit_time == 0.0
         assert log.total_bytes == 0
+
+
+class TestNodeHealthAndRerouting:
+    """Failure-injection support: hub down-marking and uplink rerouting."""
+
+    def make_multi_hub(self):
+        from repro.simnet.topology import multi_hub_star_topology
+
+        return multi_hub_star_topology(4, 2, latencies_s=[0.002] * 4, seed=0)
+
+    def test_nodes_default_up(self):
+        topology = self.make_multi_hub()
+        assert topology.is_up("server_0")
+        assert topology.is_up("end_system_0")
+        with pytest.raises(KeyError):
+            topology.is_up("nowhere")
+
+    def test_down_hub_kills_incident_links(self):
+        topology = self.make_multi_hub()
+        transport = Transport(topology)
+        topology.set_node_up("server_1", False)
+        # end_system_1 hangs off server_1 (static_hash: 1 % 2).
+        assert topology.uplink("end_system_1").up is False
+        assert topology.downlink("end_system_1").up is False
+        assert topology.inter_server_link("server_0", "server_1").up is False
+        # The other hub's client edges are untouched.
+        assert topology.uplink("end_system_0").up is True
+        # Anything sent over a dead link is deterministically lost and
+        # counted on both the link and the transport log.
+        assert transport.send_to_server("end_system_1", np.zeros(4), now=0.0) is None
+        assert transport.send_to_end_system("end_system_1", np.zeros(4), now=0.0) is None
+        assert transport.send_between_servers("server_0", "server_1",
+                                              np.zeros(4), now=0.0) is None
+        assert transport.log.uplink_dropped == 1
+        assert transport.log.downlink_dropped == 1
+        assert transport.log.sync_dropped == 1
+        assert topology.uplink("end_system_1").messages_dropped == 1
+        # Recovery restores every incident link.
+        topology.set_node_up("server_1", True)
+        assert topology.uplink("end_system_1").up is True
+        assert transport.send_to_server("end_system_1", np.zeros(4), now=0.0) is not None
+
+    def test_reroute_end_system_moves_access_links(self):
+        topology = self.make_multi_hub()
+        uplink = topology.uplink("end_system_1")
+        downlink = topology.downlink("end_system_1")
+        assert topology.hub_of("end_system_1") == "server_1"
+        topology.reroute_end_system("end_system_1", "server_0")
+        assert topology.hub_of("end_system_1") == "server_0"
+        # Same physical access links, new termination point.
+        assert topology.uplink("end_system_1") is uplink
+        assert topology.downlink("end_system_1") is downlink
+        # Rerouting to the current hub is a no-op; bad names are rejected.
+        topology.reroute_end_system("end_system_1", "server_0")
+        with pytest.raises(KeyError):
+            topology.reroute_end_system("server_0", "server_1")
+        with pytest.raises(KeyError):
+            topology.reroute_end_system("end_system_1", "end_system_0")
+
+    def test_reroute_respects_target_health(self):
+        topology = self.make_multi_hub()
+        topology.set_node_up("server_0", False)
+        topology.reroute_end_system("end_system_1", "server_0")
+        assert topology.uplink("end_system_1").up is False
+        topology.set_node_up("server_0", True)
+        assert topology.uplink("end_system_1").up is True

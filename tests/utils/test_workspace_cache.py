@@ -8,7 +8,6 @@ and `clear()` under interleaved `get`s.
 """
 
 import numpy as np
-import pytest
 
 from repro.utils.perf import PerfCounters, WorkspaceCache, counters, track
 
