@@ -1,0 +1,88 @@
+"""Durable-checkpoint write overhead (PR 6 tentpole).
+
+Every periodic checkpoint event pays capture (weights + optimizer
+moments + RNG streams copied out of the live shard) plus the store's
+atomic temp-then-rename write.  These benchmarks time that pipeline on
+the laptop-scale shard so ``BENCH_substrate.json`` tracks the cost a
+training run absorbs per checkpoint — the denominator of every
+"RPO vs. overhead" trade-off the failover sweep reports.
+
+Run with::
+
+    pytest benchmarks/test_bench_state.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ServerShard
+from repro.core.models import tiny_cnn_architecture
+from repro.core.server import CentralServer
+from repro.core.split import SplitSpec
+from repro.nn import default_dtype
+from repro.state import FileCheckpointStore, MemoryCheckpointStore, ShardCheckpoint
+
+
+@pytest.fixture(scope="module")
+def bench_shard():
+    """One laptop-scale shard with warm optimizer moment buffers."""
+    with default_dtype(np.float32):
+        architecture = tiny_cnn_architecture(image_size=16, num_blocks=3,
+                                             base_filters=8, dense_units=64)
+        spec = SplitSpec(architecture, client_blocks=1)
+        shard = ServerShard(0, CentralServer(spec, seed=0), "server_0")
+    rng = np.random.default_rng(3)
+    optimizer = shard.server.optimizer
+    for _ in range(2):  # populate every slot buffer
+        for parameter in optimizer.parameters:
+            parameter.grad = rng.normal(size=parameter.data.shape).astype(
+                parameter.data.dtype)
+        optimizer.step()
+    return shard
+
+
+@pytest.mark.benchmark(group="state")
+def test_shard_checkpoint_file_save(benchmark, bench_shard, tmp_path):
+    """Capture + durable (atomic npz) write — the per-event checkpoint cost."""
+    store = FileCheckpointStore(tmp_path, keep=2)
+
+    def save():
+        return store.save_shard(
+            ShardCheckpoint.capture(bench_shard, sim_time=1.0))
+
+    version = benchmark.pedantic(save, iterations=1, rounds=10, warmup_rounds=1)
+    assert store.latest_shard(0) is not None
+    benchmark.extra_info["version"] = version
+    benchmark.extra_info["bytes_per_checkpoint"] = int(
+        store.bytes_written / store.checkpoints_written)
+
+
+@pytest.mark.benchmark(group="state")
+def test_shard_checkpoint_memory_save(benchmark, bench_shard):
+    """Capture + in-memory store write — isolates the serialization cost
+    (payload flattening, CRC) from the filesystem underneath."""
+    store = MemoryCheckpointStore(keep=2)
+
+    def save():
+        return store.save_shard(
+            ShardCheckpoint.capture(bench_shard, sim_time=1.0))
+
+    # Sub-millisecond op: average several iterations per round so the
+    # regression gate sees a stable mean on a noisy single-core box.
+    benchmark.pedantic(save, iterations=10, rounds=10, warmup_rounds=1)
+    assert store.latest_shard(0) is not None
+
+
+@pytest.mark.benchmark(group="state")
+def test_shard_checkpoint_file_load(benchmark, bench_shard, tmp_path):
+    """Recovery-path read: newest intact checkpoint off disk + restore."""
+    store = FileCheckpointStore(tmp_path, keep=2)
+    store.save_shard(ShardCheckpoint.capture(bench_shard, sim_time=1.0))
+
+    def load():
+        checkpoint = store.latest_shard(0)
+        checkpoint.restore(bench_shard)
+        return checkpoint
+
+    loaded = benchmark.pedantic(load, iterations=1, rounds=10, warmup_rounds=1)
+    assert loaded.sim_time == 1.0

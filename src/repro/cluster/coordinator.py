@@ -101,6 +101,19 @@ class ClusterCoordinator:
         #: shard reinstalls when it comes back from a crash.  Updated by
         #: every :meth:`sync_average` install; ``None`` until a sync fires.
         self.last_sync_snapshot: Optional[Dict[str, np.ndarray]] = None
+        #: Simulated time :attr:`last_sync_snapshot` was installed (set by
+        #: the engine, which owns the clock); ``None`` until a sync fires.
+        #: Recovery compares it against checkpoint timestamps to pick the
+        #: newest restore point.
+        self.last_sync_time_s: Optional[float] = None
+        #: Deterministic time-zero weights: every shard is built from the
+        #: same server seed, so one copy captures them all.  This is the
+        #: recovery point of last resort — a shard that crashes before
+        #: any sync or checkpoint exists restarts from here instead of
+        #: resuming from whatever diverged state the dead replica held.
+        self.initial_snapshot: Dict[str, np.ndarray] = (
+            self.shards[0].weights_snapshot()
+        )
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -84,6 +84,17 @@ class FailureModel:
     def advance(self, shard_id: int) -> None:
         raise NotImplementedError
 
+    # A run checkpoint (repro.state) captures the failure model's live
+    # position so a coordinator restart replays the *same* timeline from
+    # where the crashed run left off — identical draws, identical churn.
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of the model's consumed-timeline position."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        raise NotImplementedError
+
 
 class ScheduledFailures(FailureModel):
     """Scripted crashes: ``[(time_s, shard_id[, downtime_s]), ...]``.
@@ -149,6 +160,24 @@ class ScheduledFailures(FailureModel):
             raise LookupError(f"shard {shard_id} has no pending transition")
         timeline.popleft()
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "timelines": {
+                str(shard_id): [[t.time, t.kind] for t in timeline]
+                for shard_id, timeline in self._timelines.items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._timelines = {
+            int(shard_id): deque(
+                ShardTransition(float(time_s), int(shard_id), str(kind))
+                for time_s, kind in timeline
+            )
+            for shard_id, timeline in state["timelines"].items()
+        }
+
 
 class StochasticFailures(FailureModel):
     """Exponential MTBF/MTTR churn with one seeded stream per shard.
@@ -198,6 +227,26 @@ class StochasticFailures(FailureModel):
             delay = self._rng(shard_id).exponential(self.mtbf_s)
             kind = "crash"
         self._next[shard_id] = ShardTransition(current.time + delay, shard_id, kind)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "rngs": {str(shard_id): rng.bit_generator.state
+                     for shard_id, rng in self._rngs.items()},
+            "next": {str(shard_id): [t.time, t.kind]
+                     for shard_id, t in self._next.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._rngs = {}
+        for shard_id, rng_state in state["rngs"].items():
+            rng = np.random.default_rng()
+            rng.bit_generator.state = rng_state
+            self._rngs[int(shard_id)] = rng
+        self._next = {
+            int(shard_id): ShardTransition(float(time_s), int(shard_id), str(kind))
+            for shard_id, (time_s, kind) in state["next"].items()
+        }
 
 
 class FailoverPolicy:

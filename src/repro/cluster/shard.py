@@ -54,6 +54,23 @@ class ServerShard:
         self.down_since: Optional[float] = None
         #: Total simulated seconds spent down across completed outages.
         self.downtime_s = 0.0
+        #: Recovery-point bookkeeping (the RPO metric, ISSUE 6): the
+        #: simulated time and processed-sample count of the freshest
+        #: durable state this shard could be restored from — its initial
+        #: weights at construction, refreshed by every sync install and
+        #: every checkpoint capture.
+        self.recovery_point_time_s = 0.0
+        self.recovery_point_samples = 0
+        self.recovery_point_kind = "initial"
+        #: Accumulated lost work across this shard's recoveries: the gap
+        #: between each crash and the recovery point it was restored from.
+        self.rpo_lost_s = 0.0
+        self.rpo_lost_samples = 0
+        self.recoveries_from_checkpoint = 0
+        self.recoveries_from_sync = 0
+        self.recoveries_from_initial = 0
+        #: Checkpoints captured from this shard (engine cadence).
+        self.checkpoints_taken = 0
 
     # ------------------------------------------------------------------ #
     # Health (failure injection)
@@ -75,6 +92,62 @@ class ServerShard:
         if self.down_since is not None:
             self.downtime_s += max(0.0, float(now) - self.down_since)
         self.down_since = None
+
+    # ------------------------------------------------------------------ #
+    # Recovery-point accounting (RPO metric)
+    # ------------------------------------------------------------------ #
+    def note_recovery_point(self, now: float, kind: str) -> None:
+        """Record that a durable restore point for this shard exists at ``now``.
+
+        Called when a checkpoint of this shard is captured and when a
+        sync snapshot is installed — from that moment a crash loses only
+        the work done *after* ``now``.
+        """
+        self.recovery_point_time_s = float(now)
+        self.recovery_point_samples = self.samples_processed
+        self.recovery_point_kind = kind
+
+    def record_recovery(self, crash_time: float, samples_at_crash: int,
+                        point_time: float, point_samples: int, kind: str) -> None:
+        """Account one recovery's lost work against the chosen restore point.
+
+        ``kind`` names the restore source (``"checkpoint"``, ``"sync"``
+        or ``"initial"``); the seconds/samples gaps are clamped at zero
+        because a sync can postdate the crash (the snapshot is *newer*
+        than anything the dead replica held — nothing of its own work is
+        recovered, but the gap measured against its crash state would go
+        negative).
+        """
+        self.rpo_lost_s += max(0.0, float(crash_time) - float(point_time))
+        self.rpo_lost_samples += max(0, int(samples_at_crash) - int(point_samples))
+        counter = f"recoveries_from_{kind}"
+        setattr(self, counter, getattr(self, counter) + 1)
+
+    def rpo_state(self) -> Dict[str, object]:
+        """Recovery-point bookkeeping as a plain dict (checkpointed)."""
+        return {
+            "recovery_point_time_s": self.recovery_point_time_s,
+            "recovery_point_samples": self.recovery_point_samples,
+            "recovery_point_kind": self.recovery_point_kind,
+            "rpo_lost_s": self.rpo_lost_s,
+            "rpo_lost_samples": self.rpo_lost_samples,
+            "recoveries_from_checkpoint": self.recoveries_from_checkpoint,
+            "recoveries_from_sync": self.recoveries_from_sync,
+            "recoveries_from_initial": self.recoveries_from_initial,
+            "checkpoints_taken": self.checkpoints_taken,
+        }
+
+    def load_rpo_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`rpo_state` output (whole-run restore path)."""
+        self.recovery_point_time_s = float(state["recovery_point_time_s"])
+        self.recovery_point_samples = int(state["recovery_point_samples"])
+        self.recovery_point_kind = str(state["recovery_point_kind"])
+        self.rpo_lost_s = float(state["rpo_lost_s"])
+        self.rpo_lost_samples = int(state["rpo_lost_samples"])
+        self.recoveries_from_checkpoint = int(state["recoveries_from_checkpoint"])
+        self.recoveries_from_sync = int(state["recoveries_from_sync"])
+        self.recoveries_from_initial = int(state["recoveries_from_initial"])
+        self.checkpoints_taken = int(state["checkpoints_taken"])
 
     # ------------------------------------------------------------------ #
     # Queue interface (delegates to the wrapped server)
@@ -176,6 +249,12 @@ class ServerShard:
             "crashes": self.crashes,
             "recoveries": self.recoveries,
             "downtime_s": self.downtime_s,
+            "rpo_lost_s": self.rpo_lost_s,
+            "rpo_lost_samples": self.rpo_lost_samples,
+            "recoveries_from_checkpoint": self.recoveries_from_checkpoint,
+            "recoveries_from_sync": self.recoveries_from_sync,
+            "recoveries_from_initial": self.recoveries_from_initial,
+            "checkpoints_taken": self.checkpoints_taken,
         }
 
     def __repr__(self) -> str:

@@ -114,6 +114,31 @@ class TrainingConfig:
     failover_delay_s:
         Simulated detection-plus-switchover delay between a crash and
         the reassignment of its clients.
+    checkpoint_every_s:
+        Durable-checkpoint cadence in simulated seconds.  ``None`` (the
+        default) disables checkpointing entirely — the engine schedules
+        no checkpoint events and the run is byte-for-byte identical to a
+        checkpoint-free build.  With a positive value (and a checkpoint
+        store installed) every shard's full state — weights, optimizer
+        moments, RNG streams, counters and the drop-accounting ledger —
+        is captured on that cadence, crash recovery prefers the newest
+        intact checkpoint over the last sync snapshot, and the trainer
+        writes a run-level checkpoint at every epoch boundary from which
+        a coordinator restart resumes replay-exact.
+    checkpoint_mode:
+        When the per-shard cadence fires: ``"interval"`` (the default)
+        schedules dedicated simulator events every ``checkpoint_every_s``
+        seconds; ``"round"`` captures opportunistically at round barriers
+        (synchronous mode) or step dispatches (asynchronous mode) once at
+        least ``checkpoint_every_s`` simulated seconds have passed since
+        the shard's previous capture — no extra events, checkpoints ride
+        existing ones.
+    checkpoint_dir:
+        Directory for a :class:`~repro.state.FileCheckpointStore` the
+        trainer builds when no store is passed explicitly.  ``None``
+        (the default) with ``checkpoint_every_s`` set falls back to an
+        in-memory store (durable against simulated crashes, not process
+        death).
     max_in_flight:
         Asynchronous mode only: how many batches an end-system may have
         outstanding (sent but not yet acknowledged with a gradient).
@@ -151,6 +176,9 @@ class TrainingConfig:
     failover_policy: str = "rebalance"
     failover_assigner: Optional[str] = None
     failover_delay_s: float = 0.0
+    checkpoint_every_s: Optional[float] = None
+    checkpoint_mode: str = "interval"
+    checkpoint_dir: Optional[str] = None
     max_in_flight: int = 1
     server_step_time_s: float = 0.0
     seed: int = 0
@@ -227,6 +255,13 @@ class TrainingConfig:
             raise ValueError("failure_mttr_s must be positive")
         if self.failover_delay_s < 0:
             raise ValueError("failover_delay_s must be non-negative")
+        if self.checkpoint_every_s is not None and self.checkpoint_every_s <= 0:
+            raise ValueError("checkpoint_every_s must be positive (or None)")
+        if self.checkpoint_mode not in {"interval", "round"}:
+            raise ValueError(
+                f"checkpoint_mode must be 'interval' or 'round', "
+                f"got {self.checkpoint_mode!r}"
+            )
         if self.failure_schedule:
             # An out-of-range shard id would silently never fire (the
             # engine only peeks the timelines of existing shards), so the

@@ -66,11 +66,24 @@ generation guard.  One ``failover_delay_s`` later the configured
 :class:`~repro.cluster.failover.FailoverPolicy` reassigns the dead
 shard's clients to the healthy survivors (their uplinks are rerouted in
 the topology and they rejoin the survivors' round chains / dispatch
-loops).  A recovery reinstalls the coordinator's last sync snapshot,
-fails the original clients back (policy permitting), and restarts the
-shard's chain; ``"average"`` rendezvous and ``"staleness"`` gossip
-always skip unhealthy shards, so a dead hub can neither hang a barrier
-nor absorb a merge.
+loops).  A recovery restores the freshest durable state available — the
+newest intact checkpoint from the :class:`~repro.state.CheckpointStore`
+when checkpointing is on, else the coordinator's last sync snapshot,
+else the cluster's initial weights — accounts the lost work into the
+shard's RPO counters, fails the original clients back (policy
+permitting), and restarts the shard's chain; ``"average"`` rendezvous
+and ``"staleness"`` gossip always skip unhealthy shards, so a dead hub
+can neither hang a barrier nor absorb a merge.
+
+Durable checkpoints
+-------------------
+With a :class:`~repro.state.CheckpointStore` installed and a
+``checkpoint_every_s`` cadence configured, per-shard checkpoint captures
+become simulator events as well: ``"interval"`` mode schedules a
+dedicated periodic event per shard, ``"round"`` mode captures
+opportunistically at round barriers / step dispatches once the cadence
+has elapsed.  Captures are pure observers of the training state, and
+with the feature off the engine schedules no checkpoint events at all.
 """
 
 from __future__ import annotations
@@ -87,6 +100,7 @@ from ..cluster.shard import ServerShard
 from ..nn.metrics import MetricTracker
 from ..simnet.events import Simulator
 from ..simnet.transport import Transport
+from ..state import CheckpointStore, ShardCheckpoint
 from ..utils.logging import get_logger
 from .config import TrainingConfig
 from .end_system import EndSystem
@@ -98,6 +112,7 @@ __all__ = [
     "EngineStats",
     "PRIORITY_ARRIVAL",
     "PRIORITY_LANDING",
+    "PRIORITY_CHECKPOINT",
     "PRIORITY_FAILURE",
     "PRIORITY_DISPATCH",
 ]
@@ -109,9 +124,12 @@ logger = get_logger("core.engine")
 #: every message that has arrived by its start time.  Failure transitions
 #: sit between landings and dispatches: a crash at time ``t`` still lets
 #: ``t``-stamped gradients land, but kills the step that would have
-#: started at ``t``.
+#: started at ``t``.  Checkpoints sit between landings and failures: a
+#: capture at ``t`` sees every ``t``-stamped landing, and a crash at the
+#: same instant finds the checkpoint already durable.
 PRIORITY_ARRIVAL = 0
 PRIORITY_LANDING = 1
+PRIORITY_CHECKPOINT = 2
 PRIORITY_FAILURE = 3
 PRIORITY_DISPATCH = 5
 
@@ -142,6 +160,7 @@ class EngineStats:
                                 #: (queued/arena contents at crash time plus
                                 #: uplinks that arrived at a dead hub) — every
                                 #: one notifies its client via ``notify_drop``
+    checkpoints_written: int = 0  #: per-shard checkpoints captured to the store
 
     @property
     def mean_nack_delay_s(self) -> float:
@@ -168,6 +187,7 @@ class EngineStats:
             "shard_recoveries": self.shard_recoveries,
             "clients_reassigned": self.clients_reassigned,
             "failover_dropped": self.failover_dropped,
+            "checkpoints_written": self.checkpoints_written,
         }
 
 
@@ -176,7 +196,7 @@ class _ShardRuntime:
 
     __slots__ = ("shard", "in_transit", "deferred", "waiting", "accepted",
                  "next_free", "dispatch_scheduled", "clock", "active",
-                 "generation", "round_index", "chain_idle")
+                 "generation", "round_index", "chain_idle", "last_checkpoint_s")
 
     def __init__(self, shard: ServerShard) -> None:
         self.shard = shard
@@ -208,6 +228,10 @@ class _ShardRuntime:
         #: data, or down at epoch start) — the restart logic's idempotence
         #: latch.
         self.chain_idle = False
+        #: Simulated time of this shard's last checkpoint capture
+        #: (``checkpoint_mode="round"`` cadence; spans epochs like the
+        #: round clock does).
+        self.last_checkpoint_s = 0.0
 
 
 class TrainingEngine:
@@ -242,6 +266,14 @@ class TrainingEngine:
         The :class:`~repro.cluster.failover.FailoverPolicy` applied when
         a shard crashes (reassign its clients to survivors, or park them
         until recovery).  Only consulted when a failure model is set.
+    checkpoint_store:
+        Optional :class:`~repro.state.CheckpointStore` the engine writes
+        per-shard checkpoints to on the ``config.checkpoint_every_s``
+        cadence, and reads from at crash recovery (the newest intact
+        checkpoint is preferred over the last sync snapshot).  ``None``
+        — or a ``None`` cadence — disables checkpointing entirely: no
+        events are scheduled and no state is touched, so the run is
+        byte-for-byte identical to a checkpoint-free build.
     """
 
     def __init__(
@@ -254,6 +286,7 @@ class TrainingEngine:
         server: Optional[CentralServer] = None,
         failure_model: Optional[FailureModel] = None,
         failover: Optional[FailoverPolicy] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ) -> None:
         self.end_systems = list(end_systems)
         if cluster is None:
@@ -286,6 +319,7 @@ class TrainingEngine:
         self._awaiting_nack: Dict[int, Tuple[EndSystem, int]] = {}
         self.failure_model = failure_model
         self.failover = failover
+        self.checkpoint_store = checkpoint_store
         # Deferred sends of clients whose shard is down (async mode):
         # system id -> number of sends to re-issue once the client is
         # failed over or its shard recovers.
@@ -481,6 +515,90 @@ class TrainingEngine:
         return sum(1 for runtime in self._runtimes if runtime.shard.healthy)
 
     # ------------------------------------------------------------------ #
+    # Durable checkpoints (repro.state)
+    # ------------------------------------------------------------------ #
+    def _checkpoint_enabled(self) -> bool:
+        return (
+            self.checkpoint_store is not None
+            and self.config.checkpoint_every_s is not None
+        )
+
+    def _capture_checkpoint(self, sim: Simulator, runtime: _ShardRuntime) -> None:
+        """Snapshot one shard into the store and refresh its recovery point."""
+        shard = runtime.shard
+        checkpoint = ShardCheckpoint.capture(
+            shard, sim_time=sim.now, round_index=runtime.round_index,
+            generation=runtime.generation,
+        )
+        self.checkpoint_store.save_shard(checkpoint)
+        runtime.last_checkpoint_s = sim.now
+        shard.checkpoints_taken += 1
+        shard.note_recovery_point(sim.now, "checkpoint")
+        self.stats.checkpoints_written += 1
+
+    def _schedule_checkpoint_events(self, sim: Simulator) -> None:
+        """Start each shard's periodic capture chain (``"interval"`` mode).
+
+        Called once per epoch run, next to the failure-event scheduling:
+        checkpoint events are pure observers (they never touch the round
+        clocks or the dispatch state), fire between landings and failure
+        transitions (:data:`PRIORITY_CHECKPOINT`), skip a crashed shard
+        without breaking the cadence, and stop rescheduling once the
+        epoch's real work is done so they can never keep the simulator
+        alive on their own.
+        """
+        if not self._checkpoint_enabled() or self.config.checkpoint_mode != "interval":
+            return
+        every = self.config.checkpoint_every_s
+        # Each epoch's simulator starts at 0 but the run's clock is
+        # absolute and spans epochs; anchor the cadence on the later of
+        # the two so captures never time-travel backwards.
+        for runtime in self._runtimes:
+            base = max(sim.now, self.clock, runtime.last_checkpoint_s)
+            self._schedule_next_checkpoint(sim, runtime, base + every)
+
+    def _schedule_next_checkpoint(self, sim: Simulator, runtime: _ShardRuntime,
+                                  at_time: float) -> None:
+        def fire(fire_sim: Simulator, rt=runtime) -> None:
+            if not self._epoch_hooks["live"]():
+                return  # epoch is done: let the chain die
+            if rt.shard.healthy:
+                self._capture_checkpoint(fire_sim, rt)
+            self._schedule_next_checkpoint(
+                fire_sim, rt, fire_sim.now + self.config.checkpoint_every_s
+            )
+
+        sim.schedule(max(at_time, sim.now), fire,
+                     priority=PRIORITY_CHECKPOINT, label="checkpoint")
+
+    def _maybe_round_checkpoint(self, sim: Simulator, runtime: _ShardRuntime) -> None:
+        """Opportunistic capture riding an existing event (``"round"`` mode)."""
+        if not self._checkpoint_enabled() or self.config.checkpoint_mode != "round":
+            return
+        if sim.now - runtime.last_checkpoint_s >= self.config.checkpoint_every_s:
+            self._capture_checkpoint(sim, runtime)
+
+    @staticmethod
+    def _reset_optimizer(shard: ServerShard) -> None:
+        """Deterministically clear a recovered shard's optimizer moments.
+
+        The snapshot paths that carry no optimizer state (sync snapshot,
+        initial weights) model a process restart: the dead replica's
+        moment buffers did not survive, so the restored optimizer starts
+        from cleared slots — the same state a freshly built optimizer
+        holds — instead of resurrecting pre-crash moments that no longer
+        match the installed weights.
+        """
+        optimizer = shard.server.optimizer
+        state = optimizer.state_dict()
+        state["step_count"] = 0
+        state["slots"] = {
+            name: [None] * len(buffers)
+            for name, buffers in state["slots"].items()
+        }
+        optimizer.load_state_dict(state)
+
+    # ------------------------------------------------------------------ #
     # Failure injection: crash / recovery / failover
     # ------------------------------------------------------------------ #
     def _schedule_failure_events(self, sim: Simulator) -> None:
@@ -617,13 +735,32 @@ class TrainingEngine:
     def _recover_shard(self, sim: Simulator, runtime: _ShardRuntime) -> None:
         """Apply a shard recovery: restore state, fail clients back, restart.
 
-        The shard reinstalls the coordinator's last synchronization
-        snapshot (when one exists) so it rejoins near the cluster
-        consensus instead of resurrecting its pre-crash weights; from
-        there the regular sync path — the next ``"average"`` rendezvous
-        or the ``"staleness"`` gossip merges — closes the remaining gap.
+        The restore source is the freshest durable state available, in
+        preference order:
+
+        1. the **newest intact checkpoint** from the store (when
+           checkpointing is on and the checkpoint is at least as fresh
+           as the last sync snapshot) — weights *and* optimizer moments
+           *and* module RNG streams come back exactly;
+        2. the coordinator's **last sync snapshot** — weights only, so
+           the optimizer restarts with cleared moments (a crash destroys
+           them) and the shard rejoins near the cluster consensus;
+        3. the cluster's **initial weights** — the deterministic point
+           of last resort when the shard crashed before any sync or
+           checkpoint existed (a real restart reloads the seed model; it
+           cannot resurrect the dead process's weights).
+
+        Either way the recovery's lost work — the seconds and samples
+        between the chosen restore point and the crash — is accounted
+        into the shard's RPO counters.
         """
         shard = runtime.shard
+        # RPO accounting reads the crash state before mark_up clears it.
+        crash_time = shard.down_since if shard.down_since is not None else sim.now
+        samples_at_crash = shard.samples_processed
+        # install_weights (paths 2 and 3) resets samples_since_sync, so
+        # derive "samples already durable at the last sync" first.
+        samples_at_last_sync = shard.samples_processed - shard.samples_since_sync
         shard.mark_up(sim.now)
         self.stats.shard_recoveries += 1
         runtime.generation += 1
@@ -637,14 +774,33 @@ class TrainingEngine:
         self.transport.topology.set_node_up(shard.node_name, True)
         logger.info("shard %d (%s) recovered at t=%.4fs", shard.shard_id,
                     shard.node_name, sim.now)
+        checkpoint = None
+        if self._checkpoint_enabled():
+            checkpoint = self.checkpoint_store.latest_shard(shard.shard_id)
         snapshot = self.cluster.last_sync_snapshot
-        if snapshot is not None:
+        sync_time = self.cluster.last_sync_time_s or 0.0
+        if checkpoint is not None and (snapshot is None
+                                       or checkpoint.sim_time >= sync_time):
+            checkpoint.restore(shard)
+            shard.record_recovery(crash_time, samples_at_crash,
+                                  checkpoint.sim_time,
+                                  checkpoint.samples_processed, "checkpoint")
+        elif snapshot is not None:
             shard.install_weights(snapshot)
+            self._reset_optimizer(shard)
+            shard.record_recovery(crash_time, samples_at_crash,
+                                  sync_time, samples_at_last_sync, "sync")
         else:
-            # No sync has fired yet: the shard resumes with its pre-crash
-            # weights but its per-sync counters restart from zero.
+            # Nothing durable exists yet: deterministically reload the
+            # cluster's initial weights (every shard was built from the
+            # same server seed) with cleared optimizer state and per-sync
+            # counters — exactly the state a freshly provisioned replica
+            # would boot with.
+            shard.server.load_state_dict(self.cluster.initial_snapshot)
+            self._reset_optimizer(shard)
             shard.samples_since_sync = 0
             shard.steps_since_sync = 0
+            shard.record_recovery(crash_time, samples_at_crash, 0.0, 0, "initial")
         if self.failover is not None and self.failover.failback:
             self._apply_reassignment(
                 sim,
@@ -845,6 +1001,9 @@ class TrainingEngine:
 
         def round_done(sim: Simulator, runtime: _ShardRuntime,
                        round_index: int) -> None:
+            # "round" checkpoint cadence: the barrier just drained the
+            # queue, so the shard is quiescent — capture rides this event.
+            self._maybe_round_checkpoint(sim, runtime)
             # A sync needs at least two healthy shards — with the rest of
             # the cluster down there is nobody to exchange weights with,
             # so the chain continues straight into its next round.
@@ -946,6 +1105,14 @@ class TrainingEngine:
                     None if complete else delivered, snapshots=snapshots
                 )
                 self.stats.weight_syncs += 1
+                # The installed average is durable cluster state: a crash
+                # after this instant can be recovered from it, so it is
+                # every participant's freshest recovery point (unless a
+                # newer checkpoint supersedes it).
+                self.cluster.last_sync_time_s = sim.now
+                for runtime in self._runtimes:
+                    if runtime.shard.healthy:
+                        runtime.shard.note_recovery_point(sim.now, "sync")
                 for runtime in self._runtimes:
                     ticket = released.get(runtime.shard.shard_id)
                     if ticket is None or not runtime.shard.healthy:
@@ -979,6 +1146,7 @@ class TrainingEngine:
                 if runtime.shard.healthy:
                     schedule_round_start(runtime.clock, runtime, 0)
             self._schedule_failure_events(sim)
+            self._schedule_checkpoint_events(sim)
             sim.run()
         finally:
             # Always drop the epoch's closures: an exception escaping the
@@ -1164,6 +1332,10 @@ class TrainingEngine:
                 self.stats.weight_syncs += 1
                 self._broadcast_weights(sim, runtime, finish_time,
                                         merge_on_landing=True)
+            # "round" checkpoint cadence rides the dispatch event: the
+            # step's state is final and the queue slots it drained are
+            # accounted.
+            self._maybe_round_checkpoint(sim, runtime)
             # The shard may start its next step once it is free and this
             # step's gradients have all landed.
             runtime.next_free = next_dispatch_at
@@ -1252,6 +1424,7 @@ class TrainingEngine:
                 for _ in range(self.config.max_in_flight):
                     try_send(end_system, self.clock)
             self._schedule_failure_events(sim)
+            self._schedule_checkpoint_events(sim)
             sim.run()
         finally:
             self._epoch_hooks = self._inert_hooks()

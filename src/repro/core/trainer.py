@@ -79,6 +79,7 @@ from __future__ import annotations
 
 import contextlib
 import time
+from dataclasses import fields as dataclass_fields
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -96,13 +97,22 @@ from ..cluster.shard import ServerShard
 from ..data.datasets import Dataset
 from ..data.loader import DataLoader
 from ..data.transforms import Transform
+from ..nn.serialization import pack_rng_state, restore_rng_state
 from ..simnet.topology import GeoTopology, multi_hub_star_topology, star_topology
 from ..simnet.transport import Transport
+from ..state import (
+    CheckpointStore,
+    ClientCheckpoint,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    RunCheckpoint,
+    ShardCheckpoint,
+)
 from ..utils.logging import get_logger
 from ..utils.rng import SeedSequence
 from .config import TrainingConfig
 from .end_system import EndSystem
-from .engine import TrainingEngine
+from .engine import EngineStats, TrainingEngine
 from .history import EpochRecord, TrainingHistory
 from .scheduling import get_policy
 from .server import CentralServer
@@ -111,6 +121,14 @@ from .split import SplitSpec
 __all__ = ["SpatioTemporalTrainer"]
 
 logger = get_logger("core.trainer")
+
+#: TrafficLog counter fields a run checkpoint persists verbatim.
+_TRAFFIC_COUNTERS = (
+    "uplink_messages", "downlink_messages", "uplink_bytes", "downlink_bytes",
+    "nack_messages", "nack_bytes", "sync_messages", "sync_bytes",
+    "dropped_messages", "uplink_dropped", "downlink_dropped", "nack_dropped",
+    "sync_dropped",
+)
 
 
 class SpatioTemporalTrainer:
@@ -132,6 +150,12 @@ class SpatioTemporalTrainer:
     eval_transform:
         Optional transform applied to evaluation batches (normalization
         only; defaults to ``train_transform`` if not given).
+    checkpoint_store:
+        Optional durable store for periodic shard checkpoints and
+        epoch-boundary run checkpoints (see :mod:`repro.state`).  When
+        omitted but ``config.checkpoint_every_s`` is set, a store is
+        built automatically: file-backed if ``config.checkpoint_dir``
+        names a directory, in-memory otherwise.
     """
 
     def __init__(
@@ -142,6 +166,7 @@ class SpatioTemporalTrainer:
         topology: Optional[GeoTopology] = None,
         train_transform: Optional[Transform] = None,
         eval_transform: Optional[Transform] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ) -> None:
         if not client_datasets:
             raise ValueError("need at least one end-system dataset")
@@ -249,6 +274,12 @@ class SpatioTemporalTrainer:
         #: (back-compat alias used throughout the single-server tests).
         self.server = self.cluster.shards[0].server
         failure_model = self._build_failure_model()
+        if checkpoint_store is None and self.config.checkpoint_every_s is not None:
+            if self.config.checkpoint_dir is not None:
+                checkpoint_store = FileCheckpointStore(self.config.checkpoint_dir)
+            else:
+                checkpoint_store = MemoryCheckpointStore()
+        self.checkpoint_store = checkpoint_store
         self.engine = TrainingEngine(
             end_systems=self.end_systems,
             transport=self.transport,
@@ -264,8 +295,12 @@ class SpatioTemporalTrainer:
                 if failure_model is not None
                 else None
             ),
+            checkpoint_store=self.checkpoint_store,
         )
         self._clock = 0.0
+        #: First epoch index :meth:`train` will run — advanced past the
+        #: completed epochs by :meth:`restore_run_checkpoint`.
+        self._start_epoch = 0
 
     def _build_failure_model(self) -> Optional[FailureModel]:
         """Instantiate the configured failure-injection model (or ``None``).
@@ -338,6 +373,28 @@ class SpatioTemporalTrainer:
                 )
                 for shard in self.cluster.shards
             )
+            # Recovery-point metric: how much simulated time / how many
+            # processed samples each crash rolled back to its restore point.
+            shards = self.cluster.shards
+            stats["rpo_lost_s"] = sum(shard.rpo_lost_s for shard in shards)
+            stats["rpo_lost_samples"] = sum(shard.rpo_lost_samples for shard in shards)
+            recoveries = engine_stats.shard_recoveries
+            stats["mean_rpo_s_per_recovery"] = (
+                stats["rpo_lost_s"] / recoveries if recoveries else 0.0
+            )
+            stats["recoveries_from_checkpoint"] = sum(
+                shard.recoveries_from_checkpoint for shard in shards
+            )
+            stats["recoveries_from_sync"] = sum(
+                shard.recoveries_from_sync for shard in shards
+            )
+            stats["recoveries_from_initial"] = sum(
+                shard.recoveries_from_initial for shard in shards
+            )
+        if self.checkpoint_store is not None:
+            stats["checkpoints_written"] = self.engine.stats.checkpoints_written
+            stats["checkpoint_bytes"] = self.checkpoint_store.bytes_written
+            stats["checkpoint_write_wall_s"] = self.checkpoint_store.write_wall_s
         return stats
 
     def _backend_context(self):
@@ -374,7 +431,7 @@ class SpatioTemporalTrainer:
         epochs = epochs if epochs is not None else self.config.epochs
         history = TrainingHistory(config=self.config.to_dict())
         last_evaluation: Optional[Dict[str, object]] = None
-        for epoch in range(epochs):
+        for epoch in range(self._start_epoch, epochs):
             start = time.perf_counter()
             epoch_start_clock = self.engine.clock
             iterators = self._epoch_iterators(epoch)
@@ -403,6 +460,7 @@ class SpatioTemporalTrainer:
                 record.test_loss = last_evaluation["loss"]
                 record.test_accuracy = last_evaluation["accuracy"]
             history.append(record)
+            self._write_run_checkpoint(epoch + 1)
             logger.info(
                 "epoch %d: train_acc=%.4f train_loss=%.4f test_acc=%s",
                 epoch, record.train_accuracy, record.train_loss,
@@ -516,6 +574,227 @@ class SpatioTemporalTrainer:
         history.traffic = self.transport.log.summary()
         history.queue_stats = self._queue_stats()
         return history
+
+    # ------------------------------------------------------------------ #
+    # Durable run checkpoints (coordinator restart)
+    # ------------------------------------------------------------------ #
+    def _link_items(self) -> List[Tuple[str, object]]:
+        """Every live link under a stable key for checkpoint round-trips.
+
+        Keys are ``up::<node>`` / ``down::<node>`` for the per-client
+        star spokes (the downlink entry only exists when it is a
+        dedicated object) and ``sync::<src>::<dst>`` per directional
+        inter-server edge.
+        """
+        items: List[Tuple[str, object]] = []
+        for node in self.topology.end_systems:
+            uplink = self.topology.uplink(node)
+            items.append((f"up::{node}", uplink))
+            downlink = self.topology.downlink(node)
+            if downlink is not uplink:
+                items.append((f"down::{node}", downlink))
+        servers = self.topology.servers
+        for i, src in enumerate(servers):
+            for dst in servers[i + 1:]:
+                if not self.topology.graph.has_edge(src, dst):
+                    continue
+                forward = self.topology.inter_server_link(src, dst)
+                items.append((f"sync::{src}::{dst}", forward))
+                backward = self.topology.inter_server_link(dst, src)
+                if backward is not forward:
+                    items.append((f"sync::{dst}::{src}", backward))
+        return items
+
+    def _write_run_checkpoint(self, completed_epochs: int) -> None:
+        if self.checkpoint_store is None or not self.engine._checkpoint_enabled():
+            return
+        self.checkpoint_store.save_run(self._capture_run_checkpoint(completed_epochs))
+
+    def _capture_run_checkpoint(self, completed_epochs: int) -> RunCheckpoint:
+        """Snapshot the entire deployment at an epoch boundary.
+
+        Epoch boundaries are quiescent — no in-flight messages, drained
+        queues, no pending NACKs — so the capture needs no transit
+        state, only weights, optimizer slots, counters and every live
+        RNG stream position.
+        """
+        engine = self.engine
+        log = self.transport.log
+        traffic: Dict[str, object] = {
+            name: getattr(log, name) for name in _TRAFFIC_COUNTERS
+        }
+        traffic["transit_times"] = list(log.transit_times)
+        link_states = {
+            key: {
+                "rng": pack_rng_state(link._rng),
+                "messages_sent": link.messages_sent,
+                "messages_dropped": link.messages_dropped,
+                "bytes_sent": link.bytes_sent,
+            }
+            for key, link in self._link_items()
+        }
+        node_health = {
+            name: self.topology.is_up(name)
+            for name in list(self.topology.end_systems) + list(self.topology.servers)
+        }
+        failure_model = engine.failure_model
+        return RunCheckpoint(
+            epoch=int(completed_epochs),
+            engine_clock=float(engine.clock),
+            config=self.config.to_dict(),
+            engine_stats=engine.stats.as_dict(),
+            shards=[
+                ShardCheckpoint.capture(
+                    runtime.shard,
+                    sim_time=engine.clock,
+                    round_index=runtime.round_index,
+                    generation=runtime.generation,
+                )
+                for runtime in engine._runtimes
+            ],
+            clients=[ClientCheckpoint.capture(es) for es in self.end_systems],
+            assignment=dict(self.cluster.assignment),
+            original_assignment=dict(self.cluster.original_assignment),
+            last_sync_snapshot=self.cluster.last_sync_snapshot,
+            last_sync_time_s=self.cluster.last_sync_time_s,
+            syncs_completed=self.cluster.syncs_completed,
+            node_health=node_health,
+            traffic=traffic,
+            link_states=link_states,
+            failure_state=(
+                None if failure_model is None else failure_model.state_dict()
+            ),
+        )
+
+    def _restore_engine_stats(self, state: Dict[str, object]) -> None:
+        stats = self.engine.stats
+        for field_info in dataclass_fields(EngineStats):
+            if field_info.name == "nack_delay_total_s":
+                continue
+            if field_info.name in state:
+                setattr(stats, field_info.name, state[field_info.name])
+        # ``as_dict`` only exposes the mean; rebuild the accumulator so the
+        # resumed run keeps averaging over the full nack population.
+        stats.nack_delay_total_s = (
+            float(state.get("mean_nack_delay_s", 0.0)) * stats.nacks_sent
+        )
+
+    def restore_run_checkpoint(self, run: RunCheckpoint) -> None:
+        """Rebuild this trainer's runtime state from a run checkpoint.
+
+        The trainer must have been constructed with the *same* config and
+        topology shape the checkpoint was captured under (that is what
+        :meth:`resume_from_store` guarantees); this method then restores
+        shard and client snapshots, the client→shard assignment (replaying
+        failover moves through the topology), node health, link RNG
+        streams and counters, traffic/engine statistics, coordinator sync
+        state, and the failure model's timeline so the resumed run is
+        replay-exact from the next epoch onward.
+        """
+        engine = self.engine
+        if len(run.shards) != self.cluster.num_shards:
+            raise ValueError(
+                f"checkpoint has {len(run.shards)} shards but this deployment "
+                f"has {self.cluster.num_shards}"
+            )
+        if len(run.clients) != len(self.end_systems):
+            raise ValueError(
+                f"checkpoint has {len(run.clients)} clients but this deployment "
+                f"has {len(self.end_systems)}"
+            )
+        if run.original_assignment != self.cluster.original_assignment:
+            raise ValueError(
+                "checkpoint was captured under a different initial client "
+                "assignment; rebuild the trainer with the same config/topology"
+            )
+        for checkpoint, runtime in zip(run.shards, engine._runtimes):
+            checkpoint.restore(runtime.shard, include_counters=True)
+            runtime.round_index = checkpoint.round_index
+            runtime.generation = checkpoint.generation
+            runtime.last_checkpoint_s = float(run.engine_clock)
+        for checkpoint, end_system in zip(run.clients, self.end_systems):
+            checkpoint.restore(end_system)
+        # Replay failover moves so topology routing and coordinator
+        # bookkeeping match the checkpoint (hooks are inert between runs).
+        moves = {
+            system_id: shard_id
+            for system_id, shard_id in run.assignment.items()
+            if self.cluster.assignment.get(system_id) != shard_id
+        }
+        if moves:
+            engine._apply_reassignment(None, moves)
+        # Engine statistics restore *after* the replayed moves so the
+        # checkpointed counters win over the replay's side effects.
+        self._restore_engine_stats(run.engine_stats)
+        engine.clock = float(run.engine_clock)
+        self._clock = engine.clock
+        for name in _TRAFFIC_COUNTERS:
+            setattr(self.transport.log, name, int(run.traffic[name]))
+        self.transport.log.transit_times = [
+            float(value) for value in run.traffic["transit_times"]
+        ]
+        for name, up in run.node_health.items():
+            self.topology.set_node_up(name, bool(up))
+        links = dict(self._link_items())
+        for key, state in run.link_states.items():
+            link = links.get(key)
+            if link is None:
+                raise ValueError(f"checkpoint references unknown link {key!r}")
+            link.messages_sent = int(state["messages_sent"])
+            link.messages_dropped = int(state["messages_dropped"])
+            link.bytes_sent = int(state["bytes_sent"])
+            restore_rng_state(link._rng, np.asarray(state["rng"], dtype=np.uint8))
+        self.cluster.last_sync_snapshot = (
+            None
+            if run.last_sync_snapshot is None
+            else {
+                name: np.array(value, copy=True)
+                for name, value in run.last_sync_snapshot.items()
+            }
+        )
+        self.cluster.last_sync_time_s = (
+            None if run.last_sync_time_s is None else float(run.last_sync_time_s)
+        )
+        self.cluster.syncs_completed = int(run.syncs_completed)
+        if run.failure_state is not None and engine.failure_model is not None:
+            engine.failure_model.load_state_dict(run.failure_state)
+        self._start_epoch = int(run.epoch)
+
+    @classmethod
+    def resume_from_store(
+        cls,
+        store: CheckpointStore,
+        split_spec: SplitSpec,
+        client_datasets: Sequence[Dataset],
+        *,
+        topology: Optional[GeoTopology] = None,
+        train_transform: Optional[Transform] = None,
+        eval_transform: Optional[Transform] = None,
+    ) -> "SpatioTemporalTrainer":
+        """Rebuild a trainer from the newest intact run checkpoint.
+
+        This is the coordinator-restart path: everything mutable comes
+        from the store (the config rides inside the checkpoint), while
+        the immutable inputs — architecture and datasets — are passed in
+        by the caller.  Calling :meth:`train` on the result resumes at
+        the first incomplete epoch and is replay-exact against an
+        uninterrupted run.
+        """
+        run = store.latest_run()
+        if run is None:
+            raise ValueError("checkpoint store holds no intact run checkpoint")
+        config = TrainingConfig(**run.config)
+        trainer = cls(
+            split_spec,
+            client_datasets,
+            config=config,
+            topology=topology,
+            train_transform=train_transform,
+            eval_transform=eval_transform,
+            checkpoint_store=store,
+        )
+        trainer.restore_run_checkpoint(run)
+        return trainer
 
     # ------------------------------------------------------------------ #
     # Convenience

@@ -81,8 +81,9 @@ REGISTRY: Dict[str, ExperimentEntry] = {
     "server_failover": ExperimentEntry(
         name="server_failover",
         paper_artifact="Dependability claim (Sec. I) — failover extension",
-        description="Shard failover under churn: MTBF x failover policy x sync mode "
-                    "on a sharded heterogeneous star.",
+        description="Shard failover under churn: MTBF x checkpoint interval x "
+                    "failover policy x sync mode on a sharded heterogeneous "
+                    "star, reporting achieved RPO vs. checkpoint overhead.",
         runner=run_server_failover,
     ),
     "compression": ExperimentEntry(

@@ -31,7 +31,18 @@ __all__ = [
 
 
 class Optimizer:
-    """Base class: holds parameters and a learning rate, applies updates."""
+    """Base class: holds parameters and a learning rate, applies updates.
+
+    Subclasses that keep per-parameter moment buffers declare them in
+    ``_slots``: each entry ``name`` maps to an attribute ``_{name}``
+    holding a ``List[Optional[np.ndarray]]`` aligned with
+    :attr:`parameters` (``None`` until the first step touches that
+    parameter).  :meth:`state_dict`/:meth:`load_state_dict` round-trip
+    those buffers generically, so a restored optimizer resumes the exact
+    update trajectory of the one that was checkpointed.
+    """
+
+    _slots: Sequence[str] = ()
 
     def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
         self.parameters: List[Parameter] = list(parameters)
@@ -64,17 +75,72 @@ class Optimizer:
         return self._step_count
 
     def state_dict(self) -> Dict[str, object]:
-        """Return optimizer hyper-state (learning rate and step count)."""
-        return {"lr": self.lr, "step_count": self._step_count}
+        """Full optimizer state: hyper-state plus per-parameter slot buffers.
 
-    def load_state_dict(self, state: Dict[str, object]) -> None:
-        """Restore hyper-state produced by :meth:`state_dict`."""
+        The returned arrays are **copies** — the dictionary is a true
+        snapshot, decoupled from the in-place moment updates later steps
+        perform.  Slots a step has not touched yet stay ``None``.
+        """
+        slots: Dict[str, List[Optional[np.ndarray]]] = {}
+        for name in self._slots:
+            buffers: List[Optional[np.ndarray]] = getattr(self, f"_{name}")
+            slots[name] = [None if b is None else b.copy() for b in buffers]
+        return {"lr": self.lr, "step_count": self._step_count, "slots": slots}
+
+    def load_state_dict(self, state: Dict[str, object], strict: bool = True) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        With ``strict=True`` the state's slot names and per-slot lengths
+        must match this optimizer exactly; with ``strict=False`` unknown
+        slots are ignored and missing ones keep their current buffers.  A
+        legacy hyper-only dictionary (no ``"slots"`` key) restores the
+        learning rate and step count and leaves the buffers untouched.
+        Restored arrays are cast to each live parameter's dtype and
+        copied into fresh buffers, so a float64-policy checkpoint loads
+        cleanly into a float32-policy run (and vice versa) and the
+        in-place update discipline never aliases checkpoint memory.
+        """
         self.lr = float(state["lr"])
         self._step_count = int(state["step_count"])
+        slots = state.get("slots")
+        if slots is None:
+            return
+        known = set(self._slots)
+        unexpected = set(slots) - known
+        missing = known - set(slots)
+        if strict and (unexpected or missing):
+            raise ValueError(
+                f"optimizer state mismatch: unexpected slots {sorted(unexpected)}, "
+                f"missing slots {sorted(missing)}"
+            )
+        for name in self._slots:
+            if name not in slots:
+                continue
+            entries = slots[name]
+            if len(entries) != len(self.parameters):
+                raise ValueError(
+                    f"slot {name!r} carries {len(entries)} buffers for "
+                    f"{len(self.parameters)} parameters"
+                )
+            buffers: List[Optional[np.ndarray]] = getattr(self, f"_{name}")
+            for index, entry in enumerate(entries):
+                if entry is None:
+                    buffers[index] = None
+                    continue
+                target = self.parameters[index].data
+                value = np.asarray(entry)
+                if value.shape != target.shape:
+                    raise ValueError(
+                        f"slot {name!r}[{index}] has shape {value.shape}, "
+                        f"parameter has shape {target.shape}"
+                    )
+                buffers[index] = value.astype(target.dtype, copy=True)
 
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
+
+    _slots = ("velocity",)
 
     def __init__(
         self,
@@ -120,6 +186,8 @@ class SGD(Optimizer):
 
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba, 2015)."""
+
+    _slots = ("m", "v")
 
     def __init__(
         self,
@@ -194,6 +262,8 @@ class AdamW(Adam):
 
 class RMSProp(Optimizer):
     """RMSProp with exponentially decaying squared-gradient average."""
+
+    _slots = ("square_avg",)
 
     def __init__(
         self,

@@ -15,13 +15,27 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from .layers.base import Module
+from .optim import Optimizer
 
-__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_module", "parameter_summary"]
+__all__ = [
+    "save_state_dict",
+    "load_state_dict",
+    "save_module",
+    "load_module",
+    "parameter_summary",
+    "flatten_optimizer_state",
+    "unflatten_optimizer_state",
+    "save_optimizer",
+    "load_optimizer",
+    "pack_rng_state",
+    "unpack_rng_state",
+    "restore_rng_state",
+]
 
 PathLike = Union[str, Path]
 
@@ -39,7 +53,14 @@ def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> Path:
     keys = list(state.keys())
     arrays = {f"array_{index}": np.asarray(value) for index, value in enumerate(state.values())}
     manifest = json.dumps(keys)
-    np.savez_compressed(path, **arrays, **{_MANIFEST_KEY: np.frombuffer(manifest.encode(), dtype=np.uint8)})
+    # Write through an open handle so numpy honors the exact path — a bare
+    # path argument gets ``.npz`` appended unless it already ends with it,
+    # which would break temp-then-rename writers using ``*.tmp`` names.
+    with open(path, "wb") as handle:
+        np.savez_compressed(
+            handle, **arrays,
+            **{_MANIFEST_KEY: np.frombuffer(manifest.encode(), dtype=np.uint8)},
+        )
     return path
 
 
@@ -63,6 +84,100 @@ def load_module(module: Module, path: PathLike, strict: bool = True) -> Module:
     """Restore a module in place from a checkpoint written by :func:`save_module`."""
     module.load_state_dict(load_state_dict(path), strict=strict)
     return module
+
+
+# --------------------------------------------------------------------------- #
+# Optimizer state and RNG streams through the same npz path
+# --------------------------------------------------------------------------- #
+# An optimizer state dict is nested ({"lr", "step_count", "slots": {name:
+# [array-or-None, ...]}}) and a NumPy Generator's position is a JSON-able
+# dict of (arbitrarily large) integers; neither fits the flat
+# str->ndarray shape save_state_dict expects.  The flatteners below map
+# both onto flat keys — slot buffers as "slot::{name}::{index}" arrays,
+# everything non-array as a JSON blob stored the same way the manifest
+# is (uint8 bytes) — so checkpoints reuse one archive format end to end.
+
+_OPTIMIZER_META_KEY = "__optimizer__"
+
+
+def _json_to_array(value: object) -> np.ndarray:
+    return np.frombuffer(json.dumps(value).encode(), dtype=np.uint8)
+
+
+def _array_to_json(array: np.ndarray) -> object:
+    return json.loads(np.asarray(array, dtype=np.uint8).tobytes().decode())
+
+
+def flatten_optimizer_state(state: Dict[str, object]) -> Dict[str, np.ndarray]:
+    """Map a nested optimizer state dict onto flat ``str -> ndarray`` keys.
+
+    ``None`` slot entries are simply absent from the flat view; the JSON
+    meta blob records each slot's length so :func:`unflatten_optimizer_state`
+    can put the holes back.
+    """
+    slots: Dict[str, list] = state.get("slots", {}) or {}
+    meta = {
+        "lr": float(state["lr"]),
+        "step_count": int(state["step_count"]),
+        "slot_lengths": {name: len(entries) for name, entries in slots.items()},
+    }
+    flat: Dict[str, np.ndarray] = {_OPTIMIZER_META_KEY: _json_to_array(meta)}
+    for name, entries in slots.items():
+        for index, entry in enumerate(entries):
+            if entry is not None:
+                flat[f"slot::{name}::{index}"] = np.asarray(entry)
+    return flat
+
+
+def unflatten_optimizer_state(flat: Dict[str, np.ndarray]) -> Dict[str, object]:
+    """Inverse of :func:`flatten_optimizer_state`."""
+    meta = _array_to_json(flat[_OPTIMIZER_META_KEY])
+    slots: Dict[str, list] = {}
+    for name, length in meta["slot_lengths"].items():
+        slots[name] = [flat.get(f"slot::{name}::{index}") for index in range(length)]
+    return {"lr": meta["lr"], "step_count": meta["step_count"], "slots": slots}
+
+
+def save_optimizer(optimizer: Union[Optimizer, Dict[str, object]], path: PathLike) -> Path:
+    """Checkpoint an optimizer (or a state dict it produced) as an npz archive."""
+    state = optimizer.state_dict() if isinstance(optimizer, Optimizer) else optimizer
+    return save_state_dict(flatten_optimizer_state(state), path)
+
+
+def load_optimizer(optimizer: Optimizer, path: PathLike, strict: bool = True) -> Optimizer:
+    """Restore an optimizer in place from :func:`save_optimizer` output.
+
+    Dtype handling matches module checkpoints: the optimizer's
+    ``load_state_dict`` casts every restored slot buffer to its live
+    parameter's dtype, so cross-precision restores work both ways.
+    """
+    state = unflatten_optimizer_state(load_state_dict(path))
+    optimizer.load_state_dict(state, strict=strict)
+    return optimizer
+
+
+def pack_rng_state(rng: Union[np.random.Generator, Dict[str, object]]) -> np.ndarray:
+    """Capture a NumPy generator's exact stream position as a uint8 array.
+
+    The bit-generator state is a JSON-able dict (PCG64 carries 128-bit
+    integers, which Python's JSON handles natively), stored as bytes the
+    same way the archive manifest is — so RNG streams ride the npz path
+    alongside weights.
+    """
+    state = rng.bit_generator.state if isinstance(rng, np.random.Generator) else rng
+    return _json_to_array(state)
+
+
+def unpack_rng_state(array: np.ndarray) -> Dict[str, object]:
+    """Decode :func:`pack_rng_state` output back into a bit-generator state dict."""
+    return _array_to_json(array)
+
+
+def restore_rng_state(rng: np.random.Generator, packed: Optional[np.ndarray]) -> np.random.Generator:
+    """Rewind ``rng`` to a captured stream position (no-op on ``None``)."""
+    if packed is not None:
+        rng.bit_generator.state = unpack_rng_state(packed)
+    return rng
 
 
 def parameter_summary(module: Module) -> str:

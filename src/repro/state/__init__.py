@@ -1,0 +1,40 @@
+"""Durable training state: checkpoint formats and checkpoint stores.
+
+The durability subsystem ISSUE 6 adds on top of the fault-tolerant
+cluster: :class:`ShardCheckpoint`/:class:`ClientCheckpoint`/
+:class:`RunCheckpoint` are the snapshot formats (weights, full optimizer
+state, RNG stream positions, counters and the drop-accounting ledger),
+and :class:`CheckpointStore` is the persistence API with an in-memory
+reference backend and a crash-consistent file backend (atomic
+temp-then-rename writes, versioned manifest, checksum verification with
+fallback to the previous intact checkpoint).
+
+The :class:`~repro.core.engine.TrainingEngine` writes per-shard
+checkpoints on a configurable cadence and prefers the newest intact one
+at crash recovery; the trainer writes a :class:`RunCheckpoint` at every
+epoch boundary, from which a coordinator restart resumes replay-exact.
+"""
+
+from .checkpoint import (
+    ClientCheckpoint,
+    RunCheckpoint,
+    ShardCheckpoint,
+    module_rng_states,
+    queue_counter_state,
+    restore_module_rng_states,
+    restore_queue_counters,
+)
+from .store import CheckpointStore, FileCheckpointStore, MemoryCheckpointStore
+
+__all__ = [
+    "ShardCheckpoint",
+    "ClientCheckpoint",
+    "RunCheckpoint",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "FileCheckpointStore",
+    "queue_counter_state",
+    "restore_queue_counters",
+    "module_rng_states",
+    "restore_module_rng_states",
+]

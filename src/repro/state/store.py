@@ -1,0 +1,326 @@
+"""Checkpoint stores: the durability layer under the snapshot formats.
+
+Two backends share one record-oriented API.  A record is
+``(kind, scope, version, sim_time, arrays, meta)`` — ``kind`` is
+``"shard"`` or ``"run"``, ``scope`` identifies the object (``"shard-0"``,
+``"run"``), ``version`` is a store-wide monotone counter, ``arrays`` is
+the flat npz payload and ``meta`` a JSON-able dict.
+
+:class:`MemoryCheckpointStore` is the in-process reference: deep copies
+in, deep copies out, nothing shared with the live objects.
+
+:class:`FileCheckpointStore` is the durable backend.  Every write is
+crash-consistent:
+
+1. the payload is written to a ``*.tmp`` file in the store directory,
+2. the temp file is atomically renamed onto its final name
+   (``os.replace``), and only then
+3. the versioned ``manifest.json`` — also written temp-then-rename — is
+   updated to reference the new file together with its CRC-32 checksum.
+
+A crash at any point leaves either the old manifest (the new payload is
+an unreferenced orphan) or the new one (the payload rename already
+happened), never a manifest pointing at a half-written file.  Loads walk
+the manifest newest-first and verify each candidate's checksum, falling
+back to the previous intact checkpoint when the newest is truncated or
+corrupted; stale ``*.tmp`` droppings are ignored by loads and swept by
+the next save.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import logging
+import os
+import time
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn.serialization import load_state_dict, save_state_dict
+from .checkpoint import RunCheckpoint, ShardCheckpoint
+
+__all__ = ["CheckpointStore", "MemoryCheckpointStore", "FileCheckpointStore"]
+
+logger = logging.getLogger(__name__)
+
+_RUN_SCOPE = "run"
+
+
+class CheckpointStore:
+    """Abstract store API plus the typed convenience layer.
+
+    Subclasses implement the record-level primitives
+    (:meth:`_write_record`, :meth:`_read_latest`, :meth:`versions`); the
+    typed helpers (``save_shard``/``latest_shard``/``save_run``/
+    ``latest_run``) and the write-overhead accounting the experiments
+    report live here so every backend measures identically.
+    """
+
+    def __init__(self) -> None:
+        #: Write-overhead accounting (surfaced by history ``queue_stats``
+        #: and the ``server_failover`` RPO-vs-overhead sweep).
+        self.checkpoints_written = 0
+        self.bytes_written = 0
+        self.write_wall_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Record-level primitives (backend-specific)
+    # ------------------------------------------------------------------ #
+    def _write_record(self, kind: str, scope: str, sim_time: float,
+                      arrays: Dict[str, np.ndarray],
+                      meta: Dict[str, object]) -> Tuple[int, int]:
+        """Persist one record; return ``(version, payload_bytes)``."""
+        raise NotImplementedError
+
+    def _read_latest(self, kind: str, scope: str
+                     ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, object]]]:
+        """Newest intact record for ``(kind, scope)``, or ``None``."""
+        raise NotImplementedError
+
+    def versions(self, kind: Optional[str] = None,
+                 scope: Optional[str] = None) -> List[Dict[str, object]]:
+        """Metadata of stored records (oldest first), optionally filtered."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared save path (timing + accounting)
+    # ------------------------------------------------------------------ #
+    def save(self, kind: str, scope: str, sim_time: float,
+             arrays: Dict[str, np.ndarray], meta: Dict[str, object]) -> int:
+        """Persist a record and account the write cost; returns its version."""
+        started = time.perf_counter()
+        version, payload_bytes = self._write_record(kind, scope, sim_time,
+                                                    arrays, meta)
+        self.write_wall_s += time.perf_counter() - started
+        self.checkpoints_written += 1
+        self.bytes_written += payload_bytes
+        return version
+
+    # ------------------------------------------------------------------ #
+    # Typed convenience layer
+    # ------------------------------------------------------------------ #
+    def save_shard(self, checkpoint: ShardCheckpoint) -> int:
+        arrays, meta = checkpoint.to_payload()
+        return self.save("shard", f"shard-{checkpoint.shard_id}",
+                         checkpoint.sim_time, arrays, meta)
+
+    def latest_shard(self, shard_id: int) -> Optional[ShardCheckpoint]:
+        record = self._read_latest("shard", f"shard-{shard_id}")
+        if record is None:
+            return None
+        arrays, meta = record
+        return ShardCheckpoint.from_payload(arrays, meta)
+
+    def save_run(self, checkpoint: RunCheckpoint) -> int:
+        arrays, meta = checkpoint.to_payload()
+        return self.save("run", _RUN_SCOPE, checkpoint.engine_clock, arrays, meta)
+
+    def latest_run(self) -> Optional[RunCheckpoint]:
+        record = self._read_latest("run", _RUN_SCOPE)
+        if record is None:
+            return None
+        arrays, meta = record
+        return RunCheckpoint.from_payload(arrays, meta)
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-memory reference backend: deep copies, no shared buffers."""
+
+    def __init__(self, keep: Optional[int] = None) -> None:
+        super().__init__()
+        if keep is not None and keep <= 0:
+            raise ValueError(f"keep must be positive (or None), got {keep}")
+        self.keep = keep
+        self._records: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+        self._next_version = 1
+
+    def _write_record(self, kind, scope, sim_time, arrays, meta):
+        version = self._next_version
+        self._next_version += 1
+        stored_arrays = {key: np.array(value, copy=True)
+                         for key, value in arrays.items()}
+        payload_bytes = sum(value.nbytes for value in stored_arrays.values())
+        records = self._records.setdefault((kind, scope), [])
+        records.append({
+            "version": version,
+            "kind": kind,
+            "scope": scope,
+            "sim_time": float(sim_time),
+            "arrays": stored_arrays,
+            "meta": copy.deepcopy(meta),
+        })
+        if self.keep is not None and len(records) > self.keep:
+            del records[: len(records) - self.keep]
+        return version, payload_bytes
+
+    def _read_latest(self, kind, scope):
+        records = self._records.get((kind, scope))
+        if not records:
+            return None
+        record = records[-1]
+        arrays = {key: np.array(value, copy=True)
+                  for key, value in record["arrays"].items()}
+        return arrays, copy.deepcopy(record["meta"])
+
+    def versions(self, kind=None, scope=None):
+        rows = []
+        for records in self._records.values():
+            for record in records:
+                if kind is not None and record["kind"] != kind:
+                    continue
+                if scope is not None and record["scope"] != scope:
+                    continue
+                rows.append({key: record[key]
+                             for key in ("version", "kind", "scope", "sim_time")})
+        return sorted(rows, key=lambda row: row["version"])
+
+
+class FileCheckpointStore(CheckpointStore):
+    """Durable npz-per-record backend with a versioned JSON manifest."""
+
+    MANIFEST_NAME = "manifest.json"
+    FORMAT = 1
+
+    def __init__(self, directory: Union[str, Path],
+                 keep: Optional[int] = None) -> None:
+        super().__init__()
+        if keep is not None and keep <= 0:
+            raise ValueError(f"keep must be positive (or None), got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self._manifest = self._load_manifest()
+
+    # ------------------------------------------------------------------ #
+    # Manifest handling
+    # ------------------------------------------------------------------ #
+    @property
+    def _manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST_NAME
+
+    def _load_manifest(self) -> Dict[str, object]:
+        empty = {"format": self.FORMAT, "next_version": 1, "records": []}
+        path = self._manifest_path
+        if not path.exists():
+            return empty
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            logger.warning("unreadable checkpoint manifest at %s; starting fresh", path)
+            return empty
+        if manifest.get("format") != self.FORMAT:
+            raise ValueError(
+                f"checkpoint store at {self.directory} uses format "
+                f"{manifest.get('format')!r}, expected {self.FORMAT}"
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=2))
+        os.replace(tmp, self._manifest_path)
+
+    # ------------------------------------------------------------------ #
+    # Record primitives
+    # ------------------------------------------------------------------ #
+    def _write_record(self, kind, scope, sim_time, arrays, meta):
+        self._sweep_stale_temps()
+        version = int(self._manifest["next_version"])
+        self._manifest["next_version"] = version + 1
+        file_name = f"ckpt_{version:06d}_{kind}_{scope}.npz"
+        final_path = self.directory / file_name
+        temp_path = self.directory / (file_name + ".tmp")
+        save_state_dict(arrays, temp_path)
+        payload = temp_path.read_bytes()
+        checksum = zlib.crc32(payload) & 0xFFFFFFFF
+        # Payload first, manifest second: a crash in between leaves an
+        # orphan file the manifest never references — not a manifest
+        # entry pointing at garbage.
+        os.replace(temp_path, final_path)
+        self._manifest["records"].append({
+            "version": version,
+            "kind": kind,
+            "scope": scope,
+            "sim_time": float(sim_time),
+            "file": file_name,
+            "checksum": checksum,
+            "meta": meta,
+        })
+        self._prune(kind, scope)
+        self._write_manifest()
+        return version, len(payload)
+
+    def _read_latest(self, kind, scope):
+        candidates = [record for record in self._manifest["records"]
+                      if record["kind"] == kind and record["scope"] == scope]
+        for record in sorted(candidates, key=lambda r: r["version"], reverse=True):
+            path = self.directory / record["file"]
+            if not self._intact(path, record["checksum"]):
+                logger.warning(
+                    "checkpoint %s (version %s) is missing or corrupted; "
+                    "falling back to the previous intact checkpoint",
+                    path, record["version"],
+                )
+                continue
+            try:
+                arrays = load_state_dict(path)
+            except Exception:  # pragma: no cover - checksum already vetted
+                logger.warning("checkpoint %s failed to parse; falling back", path)
+                continue
+            return arrays, copy.deepcopy(record["meta"])
+        return None
+
+    def versions(self, kind=None, scope=None):
+        rows = []
+        for record in self._manifest["records"]:
+            if kind is not None and record["kind"] != kind:
+                continue
+            if scope is not None and record["scope"] != scope:
+                continue
+            rows.append({key: record[key]
+                         for key in ("version", "kind", "scope", "sim_time", "file")})
+        return sorted(rows, key=lambda row: row["version"])
+
+    # ------------------------------------------------------------------ #
+    # Durability helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _intact(path: Path, checksum: int) -> bool:
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return False
+        return (zlib.crc32(payload) & 0xFFFFFFFF) == int(checksum)
+
+    def _sweep_stale_temps(self) -> None:
+        """Remove ``*.tmp`` droppings a killed writer left behind."""
+        for stale in self.directory.glob("*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def _prune(self, kind: str, scope: str) -> None:
+        """Enforce the per-scope retention bound (``keep`` newest records)."""
+        if self.keep is None:
+            return
+        matching = [record for record in self._manifest["records"]
+                    if record["kind"] == kind and record["scope"] == scope]
+        excess = len(matching) - self.keep
+        if excess <= 0:
+            return
+        doomed = sorted(matching, key=lambda r: r["version"])[:excess]
+        doomed_versions = {record["version"] for record in doomed}
+        for record in doomed:
+            try:
+                (self.directory / record["file"]).unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        self._manifest["records"] = [
+            record for record in self._manifest["records"]
+            if record["version"] not in doomed_versions
+        ]

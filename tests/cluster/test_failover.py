@@ -225,6 +225,41 @@ class TestInertWhenNotFiring:
                                                         rel=1e-9)
 
 
+class TestCheckpointObserverInert:
+    """Periodic checkpoint captures are pure observers: with no crash to
+    recover from, a checkpointing run matches the feature-off run to 1e-9
+    (reading RNG stream positions must not advance them)."""
+
+    @pytest.mark.parametrize("overrides", [
+        dict(mode="synchronous", server_sync_mode="average"),
+        dict(mode="asynchronous", server_sync_mode="staleness",
+             server_step_time_s=0.002),
+    ], ids=["synchronous", "asynchronous"])
+    def test_checkpointing_on_matches_off(self, tiny_split_spec, tiny_parts4,
+                                          normalize, overrides):
+        common = dict(num_servers=2, server_sync_every=1, **overrides)
+        baseline = make_trainer(tiny_split_spec, tiny_parts4, normalize, **common)
+        observed = make_trainer(tiny_split_spec, tiny_parts4, normalize,
+                                checkpoint_every_s=0.002, **common)
+        base_history = baseline.train(epochs=2)
+        observed_history = observed.train(epochs=2)
+        assert observed.engine.stats.checkpoints_written > 0
+        for (base_loss, base_acc), (loss, acc) in zip(curves(base_history),
+                                                      curves(observed_history)):
+            assert loss == pytest.approx(base_loss, rel=1e-9)
+            assert acc == pytest.approx(base_acc, rel=1e-9)
+        assert observed.simulated_time == pytest.approx(baseline.simulated_time,
+                                                        rel=1e-9)
+        base_state = baseline.state_dict()
+        observed_state = observed.state_dict()
+        for segment, params in base_state.items():
+            for name, value in params.items():
+                np.testing.assert_allclose(
+                    observed_state[segment][name], value, rtol=1e-9, atol=1e-12,
+                    err_msg=f"{segment}/{name} diverged",
+                )
+
+
 class TestScriptedCrashSynchronous:
     """Mid-epoch crash, synchronous training, both sync modes."""
 
@@ -555,6 +590,144 @@ class TestRecoveryRestore:
         assert cluster.original_assignment[1] == 1
         with pytest.raises(ValueError, match="reassign"):
             cluster.reassign(1, 5)
+
+
+class TestRecoveryRestorePreference:
+    """The recovery source ladder: newest intact checkpoint, else the last
+    sync snapshot, else the initial weights — with RPO accounted per hop."""
+
+    def test_crash_before_first_sync_reinstalls_initial_weights(
+            self, tiny_split_spec, tiny_parts4, normalize):
+        """Satellite pin: recovery with no sync snapshot (and no store)
+        must deterministically reinstall the shard's initial weights."""
+        from repro.simnet.events import Simulator
+
+        def build():
+            return make_trainer(
+                tiny_split_spec, tiny_parts4, normalize,
+                num_servers=2, server_sync_every=1000,
+                server_sync_mode="average",
+                failure_schedule=[(1e6, 0, 1.0)],  # inert: crash injected below
+                failover_policy="standby",
+            )
+
+        trainer = build()
+        initial = {name: value.copy()
+                   for name, value in trainer.cluster.initial_snapshot.items()}
+        trainer.train(epochs=1)
+        assert trainer.cluster.last_sync_snapshot is None
+        shard = trainer.cluster.shards[0]
+        trained = shard.server.state_dict()
+        assert any(not np.array_equal(trained[name], initial[name])
+                   for name in initial)  # the epoch actually moved the weights
+        samples_at_crash = shard.samples_processed
+
+        sim = Simulator()
+        engine = trainer.engine
+        engine._crash_shard(sim, engine._runtimes[0])
+        engine._recover_shard(sim, engine._runtimes[0])
+
+        recovered = shard.server.state_dict()
+        for name, value in initial.items():
+            np.testing.assert_array_equal(recovered[name], value,
+                                          err_msg=f"{name} not reset")
+        # A restart destroys the optimizer's moments and per-sync counters.
+        optimizer = shard.server.optimizer
+        assert optimizer.step_count == 0
+        assert all(buffer is None
+                   for buffers in optimizer.state_dict()["slots"].values()
+                   for buffer in buffers)
+        assert shard.samples_since_sync == 0
+        assert shard.steps_since_sync == 0
+        assert shard.recoveries_from_initial == 1
+        assert shard.rpo_lost_samples == samples_at_crash  # everything lost
+        # Deterministic: an identically-seeded twin starts from the exact
+        # same initial snapshot the recovery reinstalls.
+        twin = build()
+        for name, value in twin.cluster.initial_snapshot.items():
+            np.testing.assert_array_equal(initial[name], value)
+
+    def test_crash_before_first_sync_end_to_end(self, tiny_split_spec,
+                                                tiny_parts4, normalize):
+        trainer = make_trainer(
+            tiny_split_spec, tiny_parts4, normalize,
+            num_servers=2, server_sync_every=1000, server_sync_mode="average",
+            failure_schedule=[(0.01, 0, 0.02)], failover_policy="standby",
+        )
+        history = trainer.train(epochs=2)
+        assert trainer.engine.stats.shard_recoveries == 1
+        shard = trainer.cluster.shards[0]
+        assert shard.recoveries_from_initial == 1
+        assert shard.rpo_lost_samples > 0
+        assert len(history.records) == 2
+        assert_no_leaks(trainer)
+        assert_failover_accounting(trainer)
+
+    def test_recovery_prefers_newest_checkpoint(self, tiny_split_spec,
+                                                tiny_parts4, normalize):
+        # No sync ever fires, so the durable checkpoint is the freshest
+        # restore point — without it this crash would fall all the way
+        # back to the initial weights.
+        trainer = make_trainer(
+            tiny_split_spec, tiny_parts4, normalize,
+            num_servers=2, server_sync_every=1000, server_sync_mode="average",
+            checkpoint_every_s=0.002,
+            failure_schedule=[(0.03, 1, 0.02)], failover_policy="standby",
+        )
+        history = trainer.train(epochs=2)
+        shard = trainer.cluster.shards[1]
+        assert trainer.engine.stats.shard_recoveries == 1
+        assert shard.recoveries_from_checkpoint == 1
+        assert shard.recoveries_from_sync == 0
+        assert shard.recoveries_from_initial == 0
+        assert shard.checkpoints_taken > 0
+        # RPO against a 2 ms cadence is far tighter than the crash time.
+        assert 0.0 <= shard.rpo_lost_s < 0.03
+        stats = shard.stats()
+        for key in ("rpo_lost_s", "rpo_lost_samples",
+                    "recoveries_from_checkpoint", "recoveries_from_sync",
+                    "recoveries_from_initial", "checkpoints_taken"):
+            assert key in stats
+        queue_stats = history.queue_stats
+        assert queue_stats["recoveries_from_checkpoint"] == 1
+        assert queue_stats["rpo_lost_s"] == pytest.approx(shard.rpo_lost_s)
+        assert queue_stats["mean_rpo_s_per_recovery"] == \
+            pytest.approx(shard.rpo_lost_s)
+        assert queue_stats["checkpoints_written"] > 0
+        assert_no_leaks(trainer)
+        assert_failover_accounting(trainer)
+
+    def test_sync_snapshot_used_when_no_store(self, tiny_split_spec,
+                                              tiny_parts4, normalize):
+        trainer = make_trainer(
+            tiny_split_spec, tiny_parts4, normalize,
+            num_servers=2, server_sync_every=1, server_sync_mode="average",
+            failure_schedule=[(0.03, 1, 0.02)], failover_policy="standby",
+        )
+        history = trainer.train(epochs=2)
+        shard = trainer.cluster.shards[1]
+        assert trainer.engine.stats.shard_recoveries == 1
+        assert shard.recoveries_from_sync == 1
+        assert shard.recoveries_from_checkpoint == 0
+        assert history.queue_stats["recoveries_from_sync"] == 1
+
+    def test_sync_snapshot_wins_when_fresher_than_checkpoint(
+            self, tiny_split_spec, tiny_parts4, normalize):
+        # Per-round averaging keeps syncing among the survivors while the
+        # shard is down, so by recovery time the sync snapshot postdates
+        # the dead shard's newest checkpoint — freshest state wins.
+        trainer = make_trainer(
+            tiny_split_spec, tiny_parts4, normalize,
+            num_servers=2, server_sync_every=1, server_sync_mode="average",
+            checkpoint_every_s=0.002,
+            failure_schedule=[(0.03, 1, 0.02)], failover_policy="standby",
+        )
+        trainer.train(epochs=2)
+        shard = trainer.cluster.shards[1]
+        assert trainer.engine.stats.shard_recoveries == 1
+        assert shard.checkpoints_taken > 0
+        assert shard.recoveries_from_sync == 1
+        assert shard.recoveries_from_checkpoint == 0
 
 
 class TestStochasticChurnEndToEnd:

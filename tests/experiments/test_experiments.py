@@ -244,12 +244,17 @@ class TestServerFailover:
             workload=workload,
             mtbf_values_s=(None, 0.02),
             mttr_s=0.01,
+            checkpoint_every_values_s=(None,),
             failover_policies=("rebalance", "standby"),
             sync_modes=("average",),
             near_latency_s=0.002, far_latency_s=0.03,
         )
         # Control (policy-independent) + one row per policy under churn.
         assert len(result.rows) == 3
+        # Checkpointing off: no writes, no overhead, every column present.
+        assert result.column("ckpt_s") == ["off"] * 3
+        assert result.column("ckpts") == [0] * 3
+        assert result.column("ckpt_wall_ms") == [0.0] * 3
         crashes = result.column("crashes")
         assert crashes[0] == 0, "the failure-free control must see no crashes"
         assert all(count > 0 for count in crashes[1:])
@@ -265,13 +270,49 @@ class TestServerFailover:
         for accuracy in result.column("train_accuracy_pct"):
             assert 0.0 <= accuracy <= 100.0
 
+    def test_checkpoint_axis_bounds_rpo(self):
+        """The tentpole claim in one sweep: durable checkpoints shift
+        recoveries off the initial-weights fallback and shrink the lost
+        work per crash.  ``server_sync_every`` is huge so the sync
+        snapshot never exists — without a store, every recovery rewinds
+        to the initial weights and the RPO is the whole run so far."""
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=8, epochs=1,
+                                       batch_size=16)
+        result = run_server_failover(
+            workload=workload,
+            mtbf_values_s=(0.02,),
+            mttr_s=0.01,
+            checkpoint_every_values_s=(None, 0.002),
+            failover_policies=("standby",),
+            sync_modes=("average",),
+            server_sync_every=1000,
+            near_latency_s=0.002, far_latency_s=0.03,
+        )
+        assert len(result.rows) == 2
+        by_ckpt = {row[result.headers.index("ckpt_s")]: row for row in result.rows}
+        assert set(by_ckpt) == {"off", 0.002}
+        crashes = result.column("crashes")
+        assert crashes[0] == crashes[1] > 0  # same seeded churn on both rows
+        index = {name: result.headers.index(name) for name in result.headers}
+        off, on = by_ckpt["off"], by_ckpt[0.002]
+        # Off: no store, no sync snapshot -> initial-weights recoveries only.
+        assert off[index["ckpts"]] == 0
+        assert off[index["recovered_from"]].endswith(str(off[index["recoveries"]]))
+        # On: checkpoints get written and recovery prefers them.
+        assert on[index["ckpts"]] > 0
+        assert on[index["ckpt_wall_ms"]] > 0.0
+        assert int(on[index["recovered_from"]].split("/")[0]) > 0
+        # The point of the feature: less work lost per crash.
+        assert on[index["rpo_lost_s"]] < off[index["rpo_lost_s"]]
+        assert on[index["rpo_samples"]] <= off[index["rpo_samples"]]
+
     def test_registry_dispatch(self):
         workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=4, epochs=1,
                                        batch_size=16)
         result = run_experiment(
             "server_failover", workload=workload,
             mtbf_values_s=(0.05,), failover_policies=("rebalance",),
-            sync_modes=("staleness",),
+            sync_modes=("staleness",), checkpoint_every_values_s=(None,),
         )
         assert len(result.rows) == 1
         assert result.column("sync_mode") == ["staleness"]

@@ -1,0 +1,13 @@
+"""Fixtures for the durability (checkpoint/restart) test suite."""
+
+import pytest
+
+from repro.data.partition import IIDPartitioner
+
+
+@pytest.fixture(scope="session")
+def tiny_parts4(tiny_splits):
+    """The tiny training set partitioned IID across 4 end-systems — two
+    clients per shard in the 2-server restart drills."""
+    train, _ = tiny_splits
+    return IIDPartitioner(4, seed=5).partition(train)

@@ -1,0 +1,210 @@
+"""Snapshot-format tests: capture/restore exactness and payload round-trips.
+
+A :class:`ShardCheckpoint` must reinstall *everything* a recovering shard
+needs to resume the exact update trajectory — weights, optimizer moment
+buffers, module RNG streams, per-sync counters — and the flat payload
+conversion through a persistent store must be lossless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.shard import ServerShard
+from repro.core.server import CentralServer
+from repro.state import (
+    ClientCheckpoint,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    ShardCheckpoint,
+)
+from repro.state.checkpoint import queue_counter_state, restore_queue_counters
+
+
+def make_shard(spec, shard_id=0, seed=0):
+    return ServerShard(shard_id, CentralServer(spec, seed=seed),
+                       f"server_{shard_id}")
+
+
+def take_steps(shard, steps=3, seed=7):
+    """Apply synthetic gradient steps so optimizer moments are non-trivial."""
+    rng = np.random.default_rng(seed)
+    optimizer = shard.server.optimizer
+    for _ in range(steps):
+        for parameter in optimizer.parameters:
+            parameter.grad = rng.normal(size=parameter.data.shape)
+        optimizer.step()
+
+
+def weights_of(shard):
+    return {name: value.copy()
+            for name, value in shard.server.state_dict().items()}
+
+
+def assert_same_weights(a, b):
+    assert a.keys() == b.keys()
+    for name in a:
+        np.testing.assert_array_equal(a[name], b[name])
+
+
+def assert_same_optimizer_state(a, b):
+    assert a["lr"] == b["lr"]
+    assert a["step_count"] == b["step_count"]
+    assert a["slots"].keys() == b["slots"].keys()
+    for name in a["slots"]:
+        for left, right in zip(a["slots"][name], b["slots"][name]):
+            if left is None or right is None:
+                assert left is None and right is None
+            else:
+                np.testing.assert_array_equal(left, right)
+
+
+class TestShardCheckpoint:
+    def test_restore_resumes_exact_trajectory(self, tiny_split_spec):
+        """The acid test: checkpoint, diverge, restore, re-run — the
+        restored shard must land on byte-identical weights and moments."""
+        shard = make_shard(tiny_split_spec)
+        take_steps(shard, steps=3, seed=7)
+        checkpoint = ShardCheckpoint.capture(shard, sim_time=1.0)
+
+        take_steps(shard, steps=4, seed=11)  # the "reference" continuation
+        reference_weights = weights_of(shard)
+        reference_optimizer = shard.server.optimizer.state_dict()
+
+        take_steps(shard, steps=2, seed=99)  # diverge further ...
+        checkpoint.restore(shard)            # ... then rewind
+        take_steps(shard, steps=4, seed=11)  # replay the continuation
+
+        assert_same_weights(weights_of(shard), reference_weights)
+        assert_same_optimizer_state(shard.server.optimizer.state_dict(),
+                                    reference_optimizer)
+
+    def test_capture_is_a_snapshot_not_a_view(self, tiny_split_spec):
+        shard = make_shard(tiny_split_spec)
+        take_steps(shard, steps=2)
+        checkpoint = ShardCheckpoint.capture(shard, sim_time=0.5)
+        frozen = {name: value.copy() for name, value in checkpoint.weights.items()}
+        take_steps(shard, steps=3)  # keep training after the capture
+        assert_same_weights(checkpoint.weights, frozen)
+
+    def test_default_restore_keeps_monotone_counters(self, tiny_split_spec):
+        shard = make_shard(tiny_split_spec)
+        shard.samples_since_sync = 5
+        shard.steps_since_sync = 2
+        checkpoint = ShardCheckpoint.capture(shard, sim_time=0.0)
+        shard.samples_since_sync = 9
+        shard.server.samples_processed = 40
+        shard.crashes = 3
+        checkpoint.restore(shard)  # failover path: training state only
+        assert shard.samples_since_sync == 5
+        assert shard.steps_since_sync == 2
+        assert shard.samples_processed == 40  # work that happened, happened
+        assert shard.crashes == 3
+
+    def test_include_counters_restores_ledger_and_health(self, tiny_split_spec):
+        shard = make_shard(tiny_split_spec)
+        shard.server.samples_processed = 24
+        shard.server.batches_processed = 3
+        shard.syncs_applied = 2
+        shard.crashes = 1
+        shard.recoveries = 1
+        shard.downtime_s = 0.25
+        shard.note_recovery_point(0.8, "checkpoint")
+        checkpoint = ShardCheckpoint.capture(shard, sim_time=1.0)
+
+        other = make_shard(tiny_split_spec, seed=1)
+        checkpoint.restore(other, include_counters=True)
+        assert other.samples_processed == 24
+        assert other.batches_processed == 3
+        assert other.syncs_applied == 2
+        assert other.crashes == 1
+        assert other.recoveries == 1
+        assert other.downtime_s == 0.25
+        assert other.recovery_point_time_s == 0.8
+        assert other.recovery_point_kind == "checkpoint"
+        assert_same_weights(weights_of(other), weights_of(shard))
+
+    @pytest.mark.parametrize("backend", ["memory", "file"])
+    def test_store_round_trip_is_lossless(self, tiny_split_spec, tmp_path, backend):
+        shard = make_shard(tiny_split_spec)
+        take_steps(shard, steps=3)
+        shard.samples_since_sync = 7
+        shard.note_recovery_point(0.4, "sync")
+        checkpoint = ShardCheckpoint.capture(shard, sim_time=1.25,
+                                             round_index=4, generation=2)
+        store = (MemoryCheckpointStore() if backend == "memory"
+                 else FileCheckpointStore(tmp_path))
+        store.save_shard(checkpoint)
+        if backend == "file":
+            store = FileCheckpointStore(tmp_path)  # cold reopen
+        loaded = store.latest_shard(shard.shard_id)
+        assert loaded is not None
+        assert loaded.shard_id == checkpoint.shard_id
+        assert loaded.sim_time == 1.25
+        assert loaded.round_index == 4
+        assert loaded.generation == 2
+        assert loaded.samples_since_sync == 7
+        assert loaded.rpo["recovery_point_kind"] == "sync"
+        assert_same_weights(loaded.weights, checkpoint.weights)
+        assert_same_optimizer_state(loaded.optimizer_state,
+                                    checkpoint.optimizer_state)
+        # And a restore from the persisted copy lands on the same state.
+        other = make_shard(tiny_split_spec, seed=3)
+        loaded.restore(other, include_counters=True)
+        assert_same_weights(weights_of(other), checkpoint.weights)
+
+    def test_latest_shard_of_empty_store_is_none(self, tmp_path):
+        assert FileCheckpointStore(tmp_path).latest_shard(0) is None
+        assert MemoryCheckpointStore().latest_shard(0) is None
+
+
+class TestQueueLedger:
+    def test_ledger_round_trip(self, tiny_split_spec):
+        shard = make_shard(tiny_split_spec)
+        queue = shard.queue
+        queue._dropped = 4
+        queue._waiting_times = [0.1, 0.2]
+        queue._processed_per_system[3] = 8
+        state = queue_counter_state(queue)
+
+        other = make_shard(tiny_split_spec, seed=1)
+        restore_queue_counters(other.queue, state)
+        assert other.queue.dropped == 4
+        assert other.queue._waiting_times == [0.1, 0.2]
+        assert other.queue.processed_per_system() == {3: 8}
+
+    def test_ledger_int_keys_survive_json(self, tiny_split_spec, tmp_path):
+        """The file store serializes meta as JSON, which stringifies int
+        dict keys; ``from_payload`` must normalize them back."""
+        shard = make_shard(tiny_split_spec)
+        shard.queue._processed_per_system[5] = 12
+        checkpoint = ShardCheckpoint.capture(shard, sim_time=0.0)
+        store = FileCheckpointStore(tmp_path)
+        store.save_shard(checkpoint)
+        loaded = FileCheckpointStore(tmp_path).latest_shard(0)
+        assert loaded.ledger["processed_per_system"] == {5: 12}
+
+
+class TestClientCheckpoint:
+    def make_end_system(self, spec, seed=0):
+        from repro.core.end_system import EndSystem
+        from repro.data.datasets import SyntheticCIFAR10
+        from repro.data.loader import DataLoader
+        dataset = SyntheticCIFAR10(num_samples=16, image_size=8, seed=3)
+        loader = DataLoader(dataset, batch_size=8, seed=1)
+        return EndSystem(system_id=0, loader=loader, split_spec=spec, seed=seed)
+
+    def test_round_trip_through_run_payload_shape(self, tiny_split_spec):
+        end_system = self.make_end_system(tiny_split_spec)
+        end_system.samples_seen = 24
+        end_system.updates_applied = 3
+        end_system.drops_notified = 1
+        checkpoint = ClientCheckpoint.capture(end_system)
+        arrays, meta = checkpoint.to_payload()
+        loaded = ClientCheckpoint.from_payload(arrays, meta)
+
+        other = self.make_end_system(tiny_split_spec, seed=9)
+        loaded.restore(other)
+        assert other.samples_seen == 24
+        assert other.updates_applied == 3
+        assert other.drops_notified == 1
+        assert_same_weights(other.state_dict(), end_system.state_dict())

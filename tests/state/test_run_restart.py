@@ -1,0 +1,196 @@
+"""Coordinator restart: resume from the store alone, replay-exact.
+
+The drill in every test: run a trainer with checkpointing enabled for the
+first K epochs, throw it away (the "coordinator crash"), rebuild a fresh
+trainer from nothing but the checkpoint store plus the immutable inputs
+(architecture + datasets), finish the run, and compare against a twin
+that ran uninterrupted — weights pinned at 1e-9, the simulated clock and
+history records exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.state import FileCheckpointStore, MemoryCheckpointStore
+
+
+def make_trainer(spec, parts, normalize, **overrides):
+    config = TrainingConfig.fast_debug(**overrides)
+    return SpatioTemporalTrainer(spec, parts, config, train_transform=normalize)
+
+
+def assert_same_deployment(reference, resumed, atol=1e-9):
+    ref_state = reference.state_dict()
+    res_state = resumed.state_dict()
+    assert ref_state.keys() == res_state.keys()
+    for key in ref_state:
+        for name in ref_state[key]:
+            np.testing.assert_allclose(
+                res_state[key][name], ref_state[key][name],
+                rtol=0, atol=atol, err_msg=f"{key}/{name}",
+            )
+    assert resumed.engine.clock == pytest.approx(reference.engine.clock, abs=atol)
+
+
+def run_interrupted(spec, parts, normalize, store_dir, *, crash_after, epochs,
+                    **overrides):
+    """Train ``crash_after`` epochs, discard the trainer, resume and finish."""
+    trainer = make_trainer(spec, parts, normalize,
+                           checkpoint_dir=str(store_dir), **overrides)
+    trainer.train(epochs=crash_after)
+    del trainer  # the coordinator process dies here
+    store = FileCheckpointStore(store_dir)
+    resumed = SpatioTemporalTrainer.resume_from_store(
+        store, spec, parts, train_transform=normalize)
+    assert resumed._start_epoch == crash_after
+    history = resumed.train(epochs=epochs)
+    return resumed, history
+
+
+COMMON = dict(epochs=3, num_servers=2, server_sync_every=2,
+              checkpoint_every_s=0.005)
+
+
+class TestReplayExactRestart:
+    def test_synchronous(self, tiny_split_spec, tiny_parts4, normalize, tmp_path):
+        overrides = dict(COMMON, mode="synchronous")
+        reference = make_trainer(tiny_split_spec, tiny_parts4, normalize, **overrides)
+        ref_history = reference.train()
+        resumed, history = run_interrupted(
+            tiny_split_spec, tiny_parts4, normalize, tmp_path,
+            crash_after=2, **overrides)
+        assert_same_deployment(reference, resumed)
+        assert history.records[-1].epoch == 2
+        assert history.records[-1].train_loss == pytest.approx(
+            ref_history.records[-1].train_loss, abs=1e-9)
+
+    def test_asynchronous(self, tiny_split_spec, tiny_parts4, normalize, tmp_path):
+        overrides = dict(COMMON, mode="asynchronous",
+                         server_sync_mode="staleness")
+        reference = make_trainer(tiny_split_spec, tiny_parts4, normalize, **overrides)
+        ref_history = reference.train()
+        resumed, history = run_interrupted(
+            tiny_split_spec, tiny_parts4, normalize, tmp_path,
+            crash_after=2, **overrides)
+        assert_same_deployment(reference, resumed)
+        assert history.records[-1].train_loss == pytest.approx(
+            ref_history.records[-1].train_loss, abs=1e-9)
+
+    def test_with_scripted_failures(self, tiny_split_spec, tiny_parts4,
+                                    normalize, tmp_path):
+        """Shard crash/recovery before the coordinator restart: assignment
+        replay, failure-model progress and RPO bookkeeping all round-trip."""
+        overrides = dict(COMMON, mode="synchronous",
+                         failure_schedule=[(0.01, 0, 0.02)],
+                         failover_policy="rebalance")
+        reference = make_trainer(tiny_split_spec, tiny_parts4, normalize, **overrides)
+        reference.train()
+        resumed, history = run_interrupted(
+            tiny_split_spec, tiny_parts4, normalize, tmp_path,
+            crash_after=2, **overrides)
+        assert_same_deployment(reference, resumed)
+        assert history.queue_stats["shard_crashes"] == \
+            reference.engine.stats.shard_crashes
+        assert history.queue_stats["shard_recoveries"] == \
+            reference.engine.stats.shard_recoveries
+
+    def test_with_stochastic_churn(self, tiny_split_spec, tiny_parts4,
+                                   normalize, tmp_path):
+        """Churn draws ride per-shard RNG streams; restoring their packed
+        state must reproduce the reference run's exact crash pattern."""
+        overrides = dict(COMMON, mode="synchronous",
+                         failure_mtbf_s=0.02, failure_mttr_s=0.01,
+                         failover_policy="rebalance")
+        reference = make_trainer(tiny_split_spec, tiny_parts4, normalize, **overrides)
+        reference.train()
+        assert reference.engine.stats.shard_crashes > 0  # churn actually fires
+        resumed, history = run_interrupted(
+            tiny_split_spec, tiny_parts4, normalize, tmp_path,
+            crash_after=2, **overrides)
+        assert_same_deployment(reference, resumed)
+        assert history.queue_stats["shard_crashes"] == \
+            reference.engine.stats.shard_crashes
+
+    def test_resume_restores_traffic_and_engine_stats(
+            self, tiny_split_spec, tiny_parts4, normalize, tmp_path):
+        overrides = dict(COMMON, mode="synchronous")
+        reference = make_trainer(tiny_split_spec, tiny_parts4, normalize, **overrides)
+        ref_history = reference.train()
+        resumed, history = run_interrupted(
+            tiny_split_spec, tiny_parts4, normalize, tmp_path,
+            crash_after=2, **overrides)
+        ref_traffic = dict(ref_history.traffic)
+        res_traffic = dict(history.traffic)
+        for key in ("uplink_messages", "downlink_messages", "uplink_megabytes",
+                    "downlink_megabytes", "sync_messages", "mean_transit_time_s"):
+            assert res_traffic[key] == ref_traffic[key], key
+        assert history.queue_stats["engine_events"] == \
+            ref_history.queue_stats["engine_events"]
+        assert history.queue_stats["processed_per_system"] == \
+            ref_history.queue_stats["processed_per_system"]
+
+
+class TestResumeGuards:
+    def test_empty_store_rejected(self, tiny_split_spec, tiny_parts4,
+                                  normalize, tmp_path):
+        with pytest.raises(ValueError, match="no intact run checkpoint"):
+            SpatioTemporalTrainer.resume_from_store(
+                FileCheckpointStore(tmp_path), tiny_split_spec, tiny_parts4,
+                train_transform=normalize)
+
+    def test_shard_count_mismatch_rejected(self, tiny_split_spec, tiny_parts4,
+                                           normalize, tmp_path):
+        trainer = make_trainer(tiny_split_spec, tiny_parts4, normalize,
+                               checkpoint_dir=str(tmp_path),
+                               **dict(COMMON, mode="synchronous"))
+        trainer.train(epochs=1)
+        run = FileCheckpointStore(tmp_path).latest_run()
+        other = make_trainer(tiny_split_spec, tiny_parts4, normalize,
+                             epochs=3, num_servers=1)
+        with pytest.raises(ValueError, match="shards"):
+            other.restore_run_checkpoint(run)
+
+    def test_client_count_mismatch_rejected(self, tiny_split_spec, tiny_parts4,
+                                            tiny_parts, normalize, tmp_path):
+        trainer = make_trainer(tiny_split_spec, tiny_parts4, normalize,
+                               checkpoint_dir=str(tmp_path),
+                               **dict(COMMON, mode="synchronous"))
+        trainer.train(epochs=1)
+        run = FileCheckpointStore(tmp_path).latest_run()
+        other = make_trainer(tiny_split_spec, tiny_parts, normalize,
+                             epochs=3, num_servers=2, server_sync_every=2)
+        with pytest.raises(ValueError, match="clients"):
+            other.restore_run_checkpoint(run)
+
+
+class TestStoreAutoBuild:
+    def test_memory_store_when_no_dir(self, tiny_split_spec, tiny_parts4,
+                                      normalize):
+        trainer = make_trainer(tiny_split_spec, tiny_parts4, normalize,
+                               epochs=1, num_servers=2, server_sync_every=2,
+                               checkpoint_every_s=0.005)
+        assert isinstance(trainer.checkpoint_store, MemoryCheckpointStore)
+        trainer.train()
+        assert trainer.checkpoint_store.checkpoints_written > 0
+
+    def test_no_store_when_feature_off(self, tiny_split_spec, tiny_parts4,
+                                       normalize):
+        trainer = make_trainer(tiny_split_spec, tiny_parts4, normalize,
+                               epochs=1, num_servers=2, server_sync_every=2)
+        assert trainer.checkpoint_store is None
+        history = trainer.train()
+        assert "checkpoints_written" not in history.queue_stats
+
+    def test_overhead_accounting_surfaces(self, tiny_split_spec, tiny_parts4,
+                                          normalize, tmp_path):
+        trainer = make_trainer(tiny_split_spec, tiny_parts4, normalize,
+                               epochs=1, num_servers=2, server_sync_every=2,
+                               checkpoint_every_s=0.005,
+                               checkpoint_dir=str(tmp_path))
+        history = trainer.train()
+        stats = history.queue_stats
+        assert stats["checkpoints_written"] > 0
+        assert stats["checkpoint_bytes"] > 0
+        assert stats["checkpoint_write_wall_s"] > 0.0

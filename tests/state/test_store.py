@@ -1,0 +1,271 @@
+"""Durability tests for the checkpoint stores.
+
+The property pinned throughout: **a store always loads the newest intact
+checkpoint**.  Writers may die at any instant — mid-payload, between the
+payload rename and the manifest write, leaving truncated temp droppings —
+and a reader opening the directory afterwards must still get a
+checksum-verified, fully parsed record (the previous one if the newest
+write never completed).
+"""
+
+import json
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.state import FileCheckpointStore, MemoryCheckpointStore
+
+
+def record(value: float):
+    """A tiny payload whose content encodes its version."""
+    arrays = {"weights": np.full((4, 3), value), "bias": np.arange(3.0) + value}
+    meta = {"value": value, "note": f"record-{value}"}
+    return arrays, meta
+
+
+def write(store, value: float, kind="shard", scope="shard-0"):
+    arrays, meta = record(value)
+    return store.save(kind, scope, sim_time=value, arrays=arrays, meta=meta)
+
+
+def assert_loads(store, value: float, kind="shard", scope="shard-0"):
+    loaded = store._read_latest(kind, scope)
+    assert loaded is not None
+    arrays, meta = loaded
+    np.testing.assert_array_equal(arrays["weights"], np.full((4, 3), value))
+    np.testing.assert_array_equal(arrays["bias"], np.arange(3.0) + value)
+    assert meta["value"] == value
+
+
+@pytest.mark.parametrize("backend", ["memory", "file"])
+def test_latest_wins(backend, tmp_path):
+    store = MemoryCheckpointStore() if backend == "memory" else FileCheckpointStore(tmp_path)
+    v1 = write(store, 1.0)
+    v2 = write(store, 2.0)
+    assert v2 > v1
+    assert_loads(store, 2.0)
+    assert store.checkpoints_written == 2
+    assert store.bytes_written > 0
+    assert store.write_wall_s >= 0.0
+
+
+def test_scopes_are_independent(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0, scope="shard-0")
+    write(store, 2.0, scope="shard-1")
+    assert_loads(store, 1.0, scope="shard-0")
+    assert_loads(store, 2.0, scope="shard-1")
+    assert store._read_latest("shard", "shard-9") is None
+    assert store._read_latest("run", "run") is None
+
+
+def test_versions_listing(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0, scope="shard-0")
+    write(store, 2.0, scope="shard-1")
+    write(store, 3.0, scope="shard-0")
+    rows = store.versions(kind="shard", scope="shard-0")
+    assert [row["sim_time"] for row in rows] == [1.0, 3.0]
+    assert [row["version"] for row in rows] == sorted(row["version"] for row in rows)
+
+
+def test_reopen_persists(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    write(store, 2.0)
+    reopened = FileCheckpointStore(tmp_path)
+    assert_loads(reopened, 2.0)
+
+
+def test_keep_prunes_old_records(tmp_path):
+    store = FileCheckpointStore(tmp_path, keep=2)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        write(store, value)
+    rows = store.versions(kind="shard", scope="shard-0")
+    assert [row["sim_time"] for row in rows] == [3.0, 4.0]
+    # Pruned payload files are actually gone from disk.
+    npz_files = sorted(path.name for path in tmp_path.glob("*.npz"))
+    assert len(npz_files) == 2
+    assert_loads(store, 4.0)
+
+
+def test_memory_keep_prunes(tmp_path):
+    store = MemoryCheckpointStore(keep=1)
+    write(store, 1.0)
+    write(store, 2.0)
+    assert len(store.versions()) == 1
+    assert_loads(store, 2.0)
+
+
+def test_memory_store_copies_buffers():
+    store = MemoryCheckpointStore()
+    arrays, meta = record(1.0)
+    store.save("shard", "shard-0", 1.0, arrays, meta)
+    arrays["weights"][:] = 99.0  # mutate the caller's buffer after saving
+    loaded, _ = store._read_latest("shard", "shard-0")
+    np.testing.assert_array_equal(loaded["weights"], np.full((4, 3), 1.0))
+    loaded["weights"][:] = -1.0  # and the loaded copy is private too
+    assert_loads(store, 1.0)
+
+
+def test_invalid_keep_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        MemoryCheckpointStore(keep=0)
+    with pytest.raises(ValueError):
+        FileCheckpointStore(tmp_path, keep=-1)
+
+
+# --------------------------------------------------------------------------- #
+# Corruption fallback
+# --------------------------------------------------------------------------- #
+def newest_file(store) -> Path:
+    rows = store.versions()
+    return store.directory / rows[-1]["file"]
+
+
+def test_corrupted_newest_falls_back(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    write(store, 2.0)
+    path = newest_file(store)
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF  # flip one byte mid-archive
+    path.write_bytes(bytes(payload))
+    assert_loads(FileCheckpointStore(tmp_path), 1.0)
+
+
+def test_truncated_newest_falls_back(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    write(store, 2.0)
+    path = newest_file(store)
+    path.write_bytes(path.read_bytes()[: 10])
+    assert_loads(FileCheckpointStore(tmp_path), 1.0)
+
+
+def test_missing_newest_falls_back(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    write(store, 2.0)
+    newest_file(store).unlink()
+    assert_loads(FileCheckpointStore(tmp_path), 1.0)
+
+
+def test_all_corrupted_returns_none(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    for row in store.versions():
+        (tmp_path / row["file"]).write_bytes(b"garbage")
+    assert FileCheckpointStore(tmp_path)._read_latest("shard", "shard-0") is None
+
+
+def test_unreadable_manifest_starts_fresh(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    (tmp_path / FileCheckpointStore.MANIFEST_NAME).write_text("{not json")
+    fresh = FileCheckpointStore(tmp_path)
+    assert fresh._read_latest("shard", "shard-0") is None
+    write(fresh, 2.0)
+    assert_loads(fresh, 2.0)
+
+
+def test_foreign_format_rejected(tmp_path):
+    manifest = {"format": 99, "next_version": 1, "records": []}
+    (tmp_path / FileCheckpointStore.MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ValueError, match="format"):
+        FileCheckpointStore(tmp_path)
+
+
+# --------------------------------------------------------------------------- #
+# Mid-write kill (property-style)
+# --------------------------------------------------------------------------- #
+class KilledMidWrite(RuntimeError):
+    pass
+
+
+class DyingStore(FileCheckpointStore):
+    """A store whose writer process 'dies' after ``die_after`` bytes of the
+    payload temp file have been written (plus optionally right before the
+    manifest update), leaving whatever the filesystem had at that instant."""
+
+    def __init__(self, directory, die_after=None, die_before_manifest=False):
+        super().__init__(directory)
+        self.die_after = die_after
+        self.die_before_manifest = die_before_manifest
+
+    def _write_record(self, kind, scope, sim_time, arrays, meta):
+        if self.die_after is None and not self.die_before_manifest:
+            return super()._write_record(kind, scope, sim_time, arrays, meta)
+        # Simulate the real write sequence, dying at the configured point.
+        intact = FileCheckpointStore(self.directory)
+        version = int(intact._manifest["next_version"])
+        file_name = f"ckpt_{version:06d}_{kind}_{scope}.npz"
+        temp_path = self.directory / (file_name + ".tmp")
+        from repro.nn.serialization import save_state_dict
+        save_state_dict(arrays, temp_path)
+        full = temp_path.read_bytes()
+        if self.die_after is not None:
+            cut = min(self.die_after, len(full))
+            temp_path.write_bytes(full[:cut])  # truncated temp dropping
+            raise KilledMidWrite("died while writing the payload temp file")
+        # Payload fully written and renamed; die before the manifest update.
+        import os
+        os.replace(temp_path, self.directory / file_name)
+        raise KilledMidWrite("died before updating the manifest")
+
+
+@pytest.mark.parametrize("die_after", [0, 1, 17, 100, 10_000])
+def test_killed_while_writing_temp_always_falls_back(tmp_path, die_after):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    dying = DyingStore(tmp_path, die_after=die_after)
+    with pytest.raises(KilledMidWrite):
+        write(dying, 2.0)
+    # The survivor sees the last intact record, with the stale temp ignored.
+    survivor = FileCheckpointStore(tmp_path)
+    assert_loads(survivor, 1.0)
+    # The next successful save sweeps the dropping and supersedes normally.
+    write(survivor, 3.0)
+    assert list(tmp_path.glob("*.tmp")) == []
+    assert_loads(FileCheckpointStore(tmp_path), 3.0)
+
+
+def test_killed_between_rename_and_manifest(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    dying = DyingStore(tmp_path, die_before_manifest=True)
+    with pytest.raises(KilledMidWrite):
+        write(dying, 2.0)
+    # The orphan payload is never referenced: loads return the old record.
+    assert_loads(FileCheckpointStore(tmp_path), 1.0)
+
+
+def test_random_kill_offsets_property(tmp_path):
+    """Many random kill points, one invariant: loads always succeed and
+    always return the newest *completed* value."""
+    rng = np.random.default_rng(42)
+    store = FileCheckpointStore(tmp_path)
+    committed = 0.0
+    write(store, committed)
+    reference_size = len(newest_file(store).read_bytes())
+    for trial in range(12):
+        value = float(trial + 1)
+        if rng.random() < 0.5:
+            cut = int(rng.integers(0, reference_size + 1))
+            with pytest.raises(KilledMidWrite):
+                write(DyingStore(tmp_path, die_after=cut), value)
+        else:
+            write(FileCheckpointStore(tmp_path), value)
+            committed = value
+        assert_loads(FileCheckpointStore(tmp_path), committed)
+
+
+def test_checksums_recorded_in_manifest(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    write(store, 1.0)
+    manifest = json.loads((tmp_path / FileCheckpointStore.MANIFEST_NAME).read_text())
+    entry = manifest["records"][-1]
+    payload = (tmp_path / entry["file"]).read_bytes()
+    assert entry["checksum"] == (zlib.crc32(payload) & 0xFFFFFFFF)
