@@ -1,0 +1,95 @@
+"""CLI: ``python -m repro.analysis [--format text|json] [paths]``.
+
+Exit status: 0 when every finding is suppressed (with a reason), 1 when
+unsuppressed findings remain — so the CI job is just this command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import LintEngine
+from .findings import Finding, findings_to_json
+from .rules import DEFAULT_RULES, Rule, make_default_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: machine-check the project's invariants "
+                    "(dtype policy, determinism, drop accounting, "
+                    "generation guards, backend routing).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="RL001,RL003",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    rules = make_default_rules()
+    if spec is None:
+        return rules
+    wanted = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+    engine = LintEngine(rules=_select_rules(options.rules))
+    findings: List[Finding] = []
+    for report in engine.analyze_paths(options.paths):
+        findings.extend(report.findings)
+    findings.sort()
+    unsuppressed = [finding for finding in findings if not finding.suppressed]
+    if options.format == "json":
+        print(json.dumps(findings_to_json(findings), indent=2, sort_keys=True))
+    else:
+        shown = findings if options.show_suppressed else unsuppressed
+        for finding in shown:
+            print(finding.render())
+        suppressed = len(findings) - len(unsuppressed)
+        print(
+            f"repro-lint: {len(unsuppressed)} finding(s)"
+            + (f", {suppressed} suppressed" if suppressed else "")
+            + f" across {len(set(f.path for f in findings)) if findings else 0} file(s)"
+        )
+    return 1 if unsuppressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

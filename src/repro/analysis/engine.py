@@ -1,0 +1,148 @@
+"""File walking, AST dispatch and suppression application."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+from .rules import KNOWN_RULE_IDS, Rule, RuleContext, make_default_rules, module_relpath
+from .suppressions import collect_suppressions, match_suppression
+
+__all__ = ["FileReport", "LintEngine", "analyze_paths", "analyze_source"]
+
+
+@dataclass
+class FileReport:
+    """Everything the engine learned about one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    #: Set when the file could not be parsed (reported as an RL999 finding
+    #: too, so broken files fail the gate instead of passing silently).
+    parse_error: Optional[str] = None
+
+
+class LintEngine:
+    """Runs a rule set over files, sources or whole directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None \
+            else list(make_default_rules())
+
+    # ------------------------------------------------------------------ #
+    def analyze_source(self, source: str, path: str) -> FileReport:
+        """Lint one in-memory source blob reported under ``path``.
+
+        ``path`` drives rule scoping (via its position relative to the
+        ``repro`` package root), which is what lets the fixture tests
+        exercise module-scoped rules on synthetic snippets.
+        """
+        report = FileReport(path=path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            report.parse_error = str(error)
+            report.findings.append(Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule_id="RL999",
+                message=f"file does not parse: {error.msg}",
+                fix_hint="fix the syntax error; unparseable files cannot be "
+                         "checked and fail the gate",
+            ))
+            return report
+        context = RuleContext(
+            path=path,
+            modpath=module_relpath(path),
+            source=source,
+            tree=tree,
+        )
+        raw: List[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(context):
+                raw.extend(rule.check(context))
+        by_line, hygiene = collect_suppressions(source, path, KNOWN_RULE_IDS)
+        for finding in raw:
+            suppression = match_suppression(finding, by_line)
+            if suppression is not None:
+                finding.suppressed = True
+                finding.suppress_reason = suppression.reason
+                suppression.used = True
+        report.findings.extend(raw)
+        report.findings.extend(hygiene)
+        # An unused suppression is dead weight that hides future drift:
+        # the rule it silences no longer fires there.  Surface it so the
+        # comment gets pruned (same hygiene id as malformed suppressions).
+        for suppression in by_line.values():
+            if not suppression.used:
+                report.findings.append(Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    rule_id="RL900",
+                    message="unused repro-lint suppression (nothing to "
+                            f"suppress for {', '.join(suppression.rule_ids)} here)",
+                    fix_hint="delete the stale suppression comment",
+                ))
+        report.findings.sort()
+        return report
+
+    def analyze_file(self, path: str) -> FileReport:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as error:
+            report = FileReport(path=path, parse_error=str(error))
+            report.findings.append(Finding(
+                path=path, line=1, col=0, rule_id="RL999",
+                message=f"file could not be read: {error}",
+            ))
+            return report
+        return self.analyze_source(source, path)
+
+    def analyze_paths(self, paths: Iterable[str]) -> List[FileReport]:
+        reports = []
+        for path in iter_python_files(paths):
+            reports.append(self.analyze_file(path))
+        return reports
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames
+                    if name != "__pycache__" and not name.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        collected.append(os.path.join(dirpath, filename))
+        else:
+            collected.append(path)
+    return collected
+
+
+# --------------------------------------------------------------------------- #
+# Module-level conveniences (the pytest gate and CLI both use these)
+# --------------------------------------------------------------------------- #
+def analyze_paths(paths: Iterable[str],
+                  rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """All findings (suppressed included) for ``paths``."""
+    engine = LintEngine(rules=rules)
+    findings: List[Finding] = []
+    for report in engine.analyze_paths(paths):
+        findings.extend(report.findings)
+    return sorted(findings)
+
+
+def analyze_source(source: str, path: str,
+                   rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """All findings for one in-memory source blob."""
+    return LintEngine(rules=rules).analyze_source(source, path).findings

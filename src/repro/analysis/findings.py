@@ -1,0 +1,76 @@
+"""Structured lint findings and their JSON wire format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Finding", "JSON_SCHEMA_VERSION", "findings_to_json"]
+
+#: Bumped whenever the JSON output shape changes; consumers (the CI job,
+#: editor integrations) should check it before parsing.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Findings sort by ``(path, line, col, rule_id)`` so reports are stable
+    across runs and dict-ordering changes.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str = field(compare=False)
+    #: Short actionable remediation ("pass dtype=...", "route through ...").
+    fix_hint: str = field(compare=False, default="")
+    #: True once an inline reasoned suppression comment matched this line.
+    suppressed: bool = field(compare=False, default=False)
+    #: The reason string carried by the matching suppression, if any.
+    suppress_reason: Optional[str] = field(compare=False, default=None)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """One-line human-readable report row."""
+        text = f"{self.location()}: {self.rule_id}: {self.message}"
+        if self.fix_hint:
+            text += f" [hint: {self.fix_hint}]"
+        if self.suppressed:
+            text += f" (suppressed: {self.suppress_reason})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+        }
+
+
+def findings_to_json(findings: List[Finding]) -> Dict[str, Any]:
+    """The full machine-readable report (``--format json``)."""
+    ordered = sorted(findings)
+    unsuppressed = [finding for finding in ordered if not finding.suppressed]
+    by_rule: Dict[str, int] = {}
+    for finding in unsuppressed:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "findings": [finding.to_dict() for finding in ordered],
+        "summary": {
+            "total": len(ordered),
+            "unsuppressed": len(unsuppressed),
+            "suppressed": len(ordered) - len(unsuppressed),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }

@@ -1,0 +1,46 @@
+"""Rule registry: the invariants repro-lint enforces."""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple, Type
+
+from .base import Rule, RuleContext, module_relpath
+from .dtype_policy import DtypePolicyRule
+from .determinism import DeterminismRule
+from .drop_accounting import DropAccountingRule
+from .generation_guard import GenerationGuardRule
+from .backend_bypass import BackendBypassRule
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "module_relpath",
+    "DEFAULT_RULES",
+    "KNOWN_RULE_IDS",
+    "make_default_rules",
+    "DtypePolicyRule",
+    "DeterminismRule",
+    "DropAccountingRule",
+    "GenerationGuardRule",
+    "BackendBypassRule",
+]
+
+#: Rule classes in report order.
+DEFAULT_RULES: Tuple[Type[Any], ...] = (
+    DtypePolicyRule,
+    DeterminismRule,
+    DropAccountingRule,
+    GenerationGuardRule,
+    BackendBypassRule,
+)
+
+#: Every id a suppression may legitimately name (RL900 is the
+#: suppression-hygiene pseudo-rule and cannot itself be suppressed).
+KNOWN_RULE_IDS: Tuple[str, ...] = tuple(
+    rule.rule_id for rule in DEFAULT_RULES
+)
+
+
+def make_default_rules() -> List[Rule]:
+    """Fresh default-configured instances of every rule."""
+    return [rule() for rule in DEFAULT_RULES]

@@ -1,0 +1,117 @@
+"""Rule protocol and the AST helpers shared by the concrete rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Protocol, Set, Tuple
+
+from ..findings import Finding
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "module_relpath",
+    "dotted_name",
+    "referenced_identifiers",
+    "iter_function_defs",
+]
+
+
+def module_relpath(path: str) -> Optional[str]:
+    """Path of ``path`` relative to its ``repro`` package root, if any.
+
+    ``src/repro/core/engine.py`` → ``core/engine.py``; returns ``None``
+    for files outside a ``repro`` package (scripts, tests), which keeps
+    the module-scoped rules from firing on code that does not share the
+    package's invariants.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            rel = "/".join(parts[index + 1:])
+            return rel or None
+    return None
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may need about the file under analysis."""
+
+    path: str                      #: path as reported in findings
+    modpath: Optional[str]         #: path relative to the repro package root
+    source: str
+    tree: ast.Module
+
+    def in_module(self, names: Tuple[str, ...] = (),
+                  prefixes: Tuple[str, ...] = ()) -> bool:
+        """True when the file is one of ``names`` or under ``prefixes``."""
+        if self.modpath is None:
+            return False
+        return self.modpath in names or self.modpath.startswith(prefixes)
+
+
+class Rule(Protocol):
+    """One machine-checked invariant.
+
+    ``check`` is only called when ``applies_to`` accepted the file, so a
+    rule never needs to re-test its scope per node.
+    """
+
+    rule_id: str
+    name: str
+    description: str
+
+    def applies_to(self, context: RuleContext) -> bool:
+        ...
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        ...
+
+
+# --------------------------------------------------------------------------- #
+# Shared AST helpers
+# --------------------------------------------------------------------------- #
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def referenced_identifiers(node: ast.AST) -> Set[str]:
+    """Every Name id, Attribute attr and argument name under ``node``.
+
+    Lambda/def parameter *defaults* are included (the engine's
+    ``lambda s, rt=runtime, gen=generation: ...`` binding idiom makes the
+    captured state visible there), so guard detection sees both the
+    closure variables and the bound defaults.
+    """
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+        elif isinstance(child, ast.arg):
+            names.add(child.arg)
+    return names
+
+
+def iter_function_defs(tree: ast.Module) -> Dict[str, List[ast.AST]]:
+    """Every (async) function/lambda-free def in the module, keyed by name.
+
+    Nested defs are included: the engine's event chains define their
+    callbacks inside the epoch driver, and RL004's call-through
+    resolution needs to see them.
+    """
+    defs: Dict[str, List[ast.AST]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, []).append(node)
+    return defs

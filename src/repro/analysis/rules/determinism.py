@@ -1,0 +1,108 @@
+"""RL002 — all randomness and time flow through seeded/simulated sources.
+
+Replay-exact recovery (``repro.state``) and the 1e-9 equivalence pins
+only hold if a run is a pure function of its seed: wall-clock reads and
+process-global RNG state are the two ways that breaks.  Every stochastic
+component must draw from a ``numpy.random.Generator`` handed to it via
+:mod:`repro.utils.rng`, and simulated components must take time from the
+simulator clock, never the host's.
+
+``time.perf_counter``/``process_time`` stay allowed: they measure the
+*host* for benchmarking and never feed simulation state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..findings import Finding
+from .base import RuleContext, dotted_name
+
+__all__ = ["DeterminismRule"]
+
+#: Dotted-call suffixes that read the wall clock.
+_WALL_CLOCK = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Legacy global-state numpy.random functions (np.random.<fn>); the
+#: Generator API (default_rng / SeedSequence / spawn) is the allowed path.
+_NP_LEGACY = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "normal", "uniform",
+    "standard_normal", "binomial", "poisson", "beta", "gamma", "exponential",
+    "geometric", "lognormal", "multinomial", "get_state", "set_state",
+    "RandomState",
+}
+
+#: Stdlib ``random`` module functions (all share hidden global state).
+_STDLIB_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "seed", "getrandbits",
+    "betavariate", "expovariate", "triangular", "vonmisesvariate",
+}
+
+
+class DeterminismRule:
+    rule_id = "RL002"
+    name = "determinism"
+    description = (
+        "Simulation code must not read the wall clock or legacy global "
+        "RNGs; randomness flows through repro.utils.rng seeded Generators "
+        "and time through the simulator clock."
+    )
+
+    def applies_to(self, context: RuleContext) -> bool:
+        if context.modpath is None:
+            return False
+        return not context.modpath.startswith("analysis/")
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = dotted_name(node.func)
+            if called is None:
+                continue
+            finding = self._classify(called)
+            if finding is None:
+                continue
+            message, hint = finding
+            yield Finding(
+                path=context.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=message.format(called=called),
+                fix_hint=hint,
+            )
+
+    @staticmethod
+    def _classify(called: str) -> Optional[Tuple[str, str]]:
+        for suffix in _WALL_CLOCK:
+            if called == suffix or called.endswith("." + suffix):
+                return (
+                    "{called}() reads the wall clock inside simulation code",
+                    "take `now` from the Simulator clock (sim.now) or a "
+                    "parameter; perf_counter() is fine for benchmarking",
+                )
+        parts = called.split(".")
+        if len(parts) >= 3 and parts[-2] == "random" and parts[-3] in ("np", "numpy") \
+                and parts[-1] in _NP_LEGACY:
+            return (
+                "{called}() uses numpy's legacy global RNG state",
+                "draw from a seeded Generator via repro.utils.rng "
+                "(seeded_rng / SeedSequence.generator)",
+            )
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_RANDOM:
+            return (
+                "{called}() uses the stdlib global RNG",
+                "draw from a seeded numpy Generator via repro.utils.rng",
+            )
+        return None

@@ -1,0 +1,93 @@
+"""RL001 — every dtype-*defaulting* NumPy constructor names its dtype.
+
+The process-wide default is float32 (:mod:`repro.nn.dtype`) while NumPy's
+own default is float64, so ``np.zeros(shape)`` silently builds a
+float64 buffer that promotes everything it touches.  Requiring an
+explicit ``dtype=`` makes the intent auditable: float buffers say
+``get_default_dtype()`` (or a deliberate precision), index/bool buffers
+say so outright.
+
+Two constructor classes are checked:
+
+* **Allocating** constructors (``zeros``/``empty``/``ones``/``full``/
+  ``arange``) always default to float64 (or a value-derived dtype for
+  ``full``/``arange``) — they must always state a dtype.
+* **Converting** constructors (``array``/``asarray``) are flagged only
+  when fed a Python literal or comprehension: that is exactly where
+  NumPy falls back to float64 for float values.  ``np.asarray(existing)``
+  on an array-valued expression is a dtype-*preserving* pass-through —
+  forcing a dtype there would corrupt deliberate precision choices
+  (e.g. restoring a float64 checkpoint under a float32 policy), so it
+  stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..findings import Finding
+from .base import RuleContext, dotted_name
+
+__all__ = ["DtypePolicyRule"]
+
+#: Constructors that allocate fresh storage with a float64-leaning default.
+_ALLOCATING = ("zeros", "empty", "ones", "full", "arange")
+
+#: Converting constructors, checked only for literal/comprehension input.
+_CONVERTING = ("array", "asarray")
+
+_NUMPY_ALIASES = ("np", "numpy")
+
+#: First-argument node types whose dtype NumPy derives from Python
+#: objects (float → float64): literals and comprehensions.
+_LITERALISH = (ast.List, ast.Tuple, ast.Set, ast.Constant,
+               ast.ListComp, ast.GeneratorExp, ast.UnaryOp, ast.BinOp)
+
+
+class DtypePolicyRule:
+    rule_id = "RL001"
+    name = "dtype-policy"
+    description = (
+        "NumPy constructors under src/repro must pass an explicit dtype= "
+        "wherever NumPy would otherwise pick float64 (allocations, and "
+        "conversions of Python literals), so buffers follow the float32 "
+        "policy or a stated intent dtype."
+    )
+
+    def __init__(self, exclude_prefixes: Tuple[str, ...] = ("analysis/",)) -> None:
+        self.exclude_prefixes = exclude_prefixes
+
+    def applies_to(self, context: RuleContext) -> bool:
+        if context.modpath is None:
+            return False
+        return not context.modpath.startswith(self.exclude_prefixes)
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = dotted_name(node.func)
+            if called is None or "." not in called:
+                continue
+            alias, _, attr = called.partition(".")
+            if alias not in _NUMPY_ALIASES:
+                continue
+            if attr in _ALLOCATING:
+                kind = "allocates with NumPy's float64-leaning default"
+            elif attr in _CONVERTING and node.args \
+                    and isinstance(node.args[0], _LITERALISH):
+                kind = "converts a Python literal (floats become float64)"
+            else:
+                continue
+            if any(keyword.arg == "dtype" for keyword in node.keywords):
+                continue
+            yield Finding(
+                path=context.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=f"{called}() without an explicit dtype= {kind}",
+                fix_hint="pass dtype=get_default_dtype() for float buffers, "
+                         "or the intended integer/bool dtype",
+            )

@@ -1,0 +1,109 @@
+"""Inline suppression comments: ``# repro-lint: ignore[RULE] -- reason``.
+
+A suppression lives in a comment on the flagged line or on the line
+directly above it (for statements whose flagged line is already full).
+The bracket list names one or more rule ids (``ignore[RL001,RL003]``) or
+``*`` for every rule, and the reason after ``--`` is **mandatory**: a
+suppression is an auditable exception, and "because I said so" does not
+audit.  Reasonless or unknown-rule suppressions do not suppress anything
+and are reported by the RL900 suppression-hygiene pseudo-rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = ["Suppression", "collect_suppressions", "match_suppression"]
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]   #: ("*",) means every rule
+    reason: Optional[str]
+    used: bool = False
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rule_ids or rule_id in self.rule_ids
+
+
+def _parse_comment(line: int, text: str) -> Optional[Suppression]:
+    match = _PATTERN.search(text)
+    if match is None:
+        return None
+    rule_ids = tuple(
+        part.strip().upper() for part in match.group("rules").split(",") if part.strip()
+    )
+    reason = match.group("reason")
+    return Suppression(line=line, rule_ids=rule_ids, reason=reason)
+
+
+def collect_suppressions(source: str, path: str,
+                         known_rule_ids: Tuple[str, ...]) -> Tuple[
+                             Dict[int, Suppression], List[Finding]]:
+    """Parse every suppression comment in ``source``.
+
+    Returns ``(by_line, hygiene_findings)``: the suppressions keyed by
+    their physical line, plus RL900 findings for malformed ones
+    (missing reason, empty or unknown rule list).  Malformed
+    suppressions are *not* returned in ``by_line`` — they silence
+    nothing.
+    """
+    by_line: Dict[int, Suppression] = {}
+    hygiene: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return by_line, hygiene
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        line = token.start[0]
+        suppression = _parse_comment(line, token.string)
+        if suppression is None:
+            continue
+        problems = []
+        if not suppression.rule_ids:
+            problems.append("names no rule (use ignore[RL00x] or ignore[*])")
+        unknown = [
+            rule_id for rule_id in suppression.rule_ids
+            if rule_id != "*" and rule_id not in known_rule_ids
+        ]
+        if unknown:
+            problems.append(f"names unknown rule(s) {', '.join(unknown)}")
+        if not suppression.reason:
+            problems.append("carries no reason (append ' -- why this is safe')")
+        if problems:
+            hygiene.append(Finding(
+                path=path,
+                line=line,
+                col=token.start[1],
+                rule_id="RL900",
+                message="malformed repro-lint suppression: " + "; ".join(problems),
+                fix_hint="# repro-lint: ignore[RL00x] -- reason the invariant holds",
+            ))
+            continue
+        by_line[line] = suppression
+    return by_line, hygiene
+
+
+def match_suppression(finding: Finding,
+                      by_line: Dict[int, Suppression]) -> Optional[Suppression]:
+    """The suppression covering ``finding``, if any (same line, or one above)."""
+    for line in (finding.line, finding.line - 1):
+        suppression = by_line.get(line)
+        if suppression is not None and suppression.covers(finding.rule_id):
+            return suppression
+    return None

@@ -44,7 +44,7 @@ the trainer.  Backend traffic is recorded in
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Dict, Iterator, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -94,7 +94,7 @@ class Backend:
         """Apply the named elementwise map to ``operands``."""
         raise NotImplementedError
 
-    def reduce(self, op: str, operand: np.ndarray, axis=None,
+    def reduce(self, op: str, operand: np.ndarray, axis: Any = None,
                out: Optional[np.ndarray] = None, keepdims: bool = False) -> np.ndarray:
         """Apply the named reduction along ``axis``."""
         raise NotImplementedError
@@ -141,10 +141,18 @@ class NumpyBackend(Backend):
 
     name = "numpy"
 
-    def gemm(self, a, b, out=None, *, bias=None, activation=None):
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        *,
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+    ) -> np.ndarray:
         self._count_gemm(bias, activation)
-        out = np.matmul(a, b, out=out)
-        return self._epilogue(out, bias, activation)
+        result = np.matmul(a, b, out=out)
+        return self._epilogue(result, bias, activation)
 
     @staticmethod
     def _count_gemm(bias: Optional[np.ndarray], activation: Optional[str]) -> None:
@@ -165,7 +173,8 @@ class NumpyBackend(Backend):
             _UNARY[activation](out, out=out)
         return out
 
-    def elementwise(self, op, *operands, out=None):
+    def elementwise(self, op: str, *operands: np.ndarray,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
         if op in _UNARY:
             (x,) = operands
             return _UNARY[op](x, out=out)
@@ -175,7 +184,8 @@ class NumpyBackend(Backend):
         known = ", ".join(sorted(_UNARY) + sorted(_BINARY))
         raise KeyError(f"unknown elementwise op {op!r}; known ops: {known}")
 
-    def reduce(self, op, operand, axis=None, out=None, keepdims=False):
+    def reduce(self, op: str, operand: np.ndarray, axis: Any = None,
+               out: Optional[np.ndarray] = None, keepdims: bool = False) -> np.ndarray:
         try:
             fn = _REDUCTIONS[op]
         except KeyError:
@@ -209,7 +219,15 @@ class BlockedBackend(NumpyBackend):
             raise ValueError("block_rows must be positive")
         self.block_rows = int(block_rows)
 
-    def gemm(self, a, b, out=None, *, bias=None, activation=None):
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        *,
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+    ) -> np.ndarray:
         if a.ndim != 2 or b.ndim != 2 or a.shape[0] < 2 * self.block_rows:
             return super().gemm(a, b, out=out, bias=bias, activation=activation)
         self._count_gemm(bias, activation)
@@ -237,7 +255,7 @@ _BACKENDS: Dict[str, Callable[[], Backend]] = {
 _ACTIVE: Backend = BlockedBackend()
 
 
-def available_backends() -> list:
+def available_backends() -> List[str]:
     """Names accepted by :func:`set_backend`."""
     return sorted(_BACKENDS)
 

@@ -327,7 +327,8 @@ def leakage_report(
             # Dense activations have no spatial structure; render as a
             # square-ish image purely for the correlation metric.
             side = int(np.ceil(np.sqrt(layer_activations.shape[1])))
-            padded = np.zeros((layer_activations.shape[0], side * side))
+            padded = np.zeros((layer_activations.shape[0], side * side),
+                              dtype=layer_activations.dtype)
             padded[:, :layer_activations.shape[1]] = layer_activations
             rendered = padded.reshape(-1, side, side)
         correlation = (

@@ -198,7 +198,7 @@ class SyntheticImageDataset(ArrayDataset):
     def _generate(
         self, rng: np.random.Generator, num_samples: int, num_classes: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        labels = np.arange(num_samples) % num_classes
+        labels = np.arange(num_samples, dtype=np.int64) % num_classes
         rng.shuffle(labels)
         images = np.empty(
             (num_samples, self.channels, self.image_size, self.image_size), dtype=np.float64
@@ -269,7 +269,7 @@ def train_test_split(
         raise ValueError("test_fraction must be in (0, 1)")
     rng = np.random.default_rng(seed)
     _, labels = dataset.arrays()
-    indices = np.arange(len(dataset))
+    indices = np.arange(len(dataset), dtype=np.intp)
 
     if stratified:
         test_indices = []

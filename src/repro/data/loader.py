@@ -82,7 +82,7 @@ class DataLoader:
         self._epoch = int(epoch)
 
     def _epoch_order(self) -> np.ndarray:
-        indices = np.arange(len(self.dataset))
+        indices = np.arange(len(self.dataset), dtype=np.intp)
         if self.shuffle:
             rng = np.random.default_rng(
                 None if self.seed is None else self.seed + self._epoch

@@ -65,7 +65,7 @@ class IIDPartitioner(Partitioner):
     def partition_indices(self, dataset: Dataset) -> List[np.ndarray]:
         self._validate(dataset)
         rng = np.random.default_rng(self.seed)
-        indices = np.arange(len(dataset))
+        indices = np.arange(len(dataset), dtype=np.intp)
         rng.shuffle(indices)
         return [np.sort(part) for part in np.array_split(indices, self.num_parts)]
 
@@ -93,7 +93,9 @@ class DirichletPartitioner(Partitioner):
         for cls in classes:
             cls_indices = np.flatnonzero(labels == cls)
             rng.shuffle(cls_indices)
-            proportions = rng.dirichlet(np.full(self.num_parts, self.alpha))
+            proportions = rng.dirichlet(
+                np.full(self.num_parts, self.alpha, dtype=np.float64)
+            )
             # Convert proportions to split points over this class's samples.
             split_points = (np.cumsum(proportions)[:-1] * len(cls_indices)).astype(int)
             for part, chunk in enumerate(np.split(cls_indices, split_points)):
@@ -132,7 +134,7 @@ class LabelShardPartitioner(Partitioner):
                 f"{total_shards} shards requested but only {len(dataset)} samples available"
             )
         shards = np.array_split(order, total_shards)
-        shard_ids = np.arange(total_shards)
+        shard_ids = np.arange(total_shards, dtype=np.intp)
         rng.shuffle(shard_ids)
         parts = []
         for part in range(self.num_parts):
@@ -158,12 +160,14 @@ class QuantitySkewPartitioner(Partitioner):
     def partition_indices(self, dataset: Dataset) -> List[np.ndarray]:
         self._validate(dataset)
         rng = np.random.default_rng(self.seed)
-        indices = np.arange(len(dataset))
+        indices = np.arange(len(dataset), dtype=np.intp)
         rng.shuffle(indices)
         reserve = self.min_samples * self.num_parts
         if reserve > len(dataset):
             raise ValueError("min_samples * num_parts exceeds the dataset size")
-        proportions = rng.dirichlet(np.full(self.num_parts, self.beta))
+        proportions = rng.dirichlet(
+            np.full(self.num_parts, self.beta, dtype=np.float64)
+        )
         spare = len(dataset) - reserve
         sizes = self.min_samples + np.floor(proportions * spare).astype(int)
         # Distribute the rounding remainder to the first parts.

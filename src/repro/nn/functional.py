@@ -684,7 +684,7 @@ def one_hot(labels: np.ndarray, num_classes: int, dtype=None,
             (labels.shape[0], num_classes),
             dtype=dtype if dtype is not None else get_default_dtype(),
         )
-    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    encoded[np.arange(labels.shape[0], dtype=np.intp), labels] = 1.0
     return encoded
 
 
@@ -733,7 +733,7 @@ def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -
         )
     counters.add("cross_entropy_fused")
     requires = is_grad_enabled() and logits.requires_grad
-    rows = np.arange(num_samples)
+    rows = np.arange(num_samples, dtype=np.intp)
 
     shift = x.max(axis=1, keepdims=True)
     if requires:

@@ -8,6 +8,7 @@ import numpy as np
 
 from .. import functional as F
 from .. import init as initializers
+from ..dtype import get_default_dtype
 from ..tensor import Tensor
 from .base import Module, Parameter
 
@@ -70,7 +71,9 @@ class Conv2D(Module):
         weight_shape = (out_channels, in_channels, *self.kernel_size)
         self.weight = Parameter(weight_fn(weight_shape, rng), name="weight")
         if bias:
-            self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels), name="bias")
+            self.bias: Optional[Parameter] = Parameter(
+                np.zeros(out_channels, dtype=get_default_dtype()), name="bias"
+            )
         else:
             self.bias = None
 

@@ -8,6 +8,7 @@ import numpy as np
 
 from .. import functional as F
 from .. import init as initializers
+from ..dtype import get_default_dtype
 from ..tensor import Tensor
 from .base import Module, Parameter
 
@@ -53,7 +54,9 @@ class Dense(Module):
         weight_fn = initializers.get_initializer(weight_init)
         self.weight = Parameter(weight_fn((in_features, out_features), rng), name="weight")
         if bias:
-            self.bias: Optional[Parameter] = Parameter(np.zeros(out_features), name="bias")
+            self.bias: Optional[Parameter] = Parameter(
+                np.zeros(out_features, dtype=get_default_dtype()), name="bias"
+            )
         else:
             self.bias = None
 

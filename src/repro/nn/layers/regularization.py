@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..dtype import get_default_dtype
 from ..tensor import Tensor
 from .base import Module, Parameter
 
@@ -50,10 +51,10 @@ class _BatchNormBase(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_features), name="gamma")
-        self.beta = Parameter(np.zeros(num_features), name="beta")
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.gamma = Parameter(np.ones(num_features, dtype=get_default_dtype()), name="gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=get_default_dtype()), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=get_default_dtype()))
+        self.register_buffer("running_var", np.ones(num_features, dtype=get_default_dtype()))
 
     @property
     def running_mean(self) -> np.ndarray:

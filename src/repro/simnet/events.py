@@ -159,6 +159,7 @@ class Simulator:
 
     def reset(self) -> None:
         """Clear all pending events and reset the clock to zero."""
+        # repro-lint: ignore[RL003] -- simulator event heap, not a drop-accounted queue
         self._queue.clear()
         self._now = 0.0
         self._processed = 0

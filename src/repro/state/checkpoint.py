@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,7 +51,7 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 # Small capture/restore helpers shared by the snapshot formats
 # --------------------------------------------------------------------------- #
-def queue_counter_state(queue) -> Dict[str, object]:
+def queue_counter_state(queue: Any) -> Dict[str, Any]:
     """Capture a :class:`ParameterQueue`'s statistics and policy feedback.
 
     The queue itself is empty at every capture point the engine uses
@@ -61,7 +61,7 @@ def queue_counter_state(queue) -> Dict[str, object]:
     scheduling policies — the feedback the next selection depends on.
     """
     policy = queue.policy
-    policy_state: Dict[str, object] = {}
+    policy_state: Dict[str, Any] = {}
     if hasattr(policy, "_last_served"):  # RoundRobinPolicy
         policy_state["last_served"] = policy._last_served
     if hasattr(policy, "_processed_samples"):  # WeightedFairPolicy
@@ -77,7 +77,7 @@ def queue_counter_state(queue) -> Dict[str, object]:
     }
 
 
-def restore_queue_counters(queue, state: Dict[str, object]) -> None:
+def restore_queue_counters(queue: Any, state: Dict[str, Any]) -> None:
     """Reinstall counters captured by :func:`queue_counter_state`."""
     queue._dropped = int(state["dropped"])
     queue._waiting_times = [float(value) for value in state["waiting_times"]]
@@ -94,7 +94,7 @@ def restore_queue_counters(queue, state: Dict[str, object]) -> None:
             policy._processed_samples[int(system)] = int(count)
 
 
-def module_rng_states(module) -> Dict[str, np.ndarray]:
+def module_rng_states(module: Any) -> Dict[str, np.ndarray]:
     """Stream positions of any live generators inside a module tree.
 
     Walks the module graph in registration order and packs every
@@ -110,7 +110,7 @@ def module_rng_states(module) -> Dict[str, np.ndarray]:
     return states
 
 
-def restore_module_rng_states(module, states: Dict[str, np.ndarray]) -> None:
+def restore_module_rng_states(module: Any, states: Dict[str, np.ndarray]) -> None:
     """Rewind a module tree's generators captured by :func:`module_rng_states`."""
     for index, submodule in enumerate(module.modules()):
         packed = states.get(str(index))
@@ -137,7 +137,7 @@ class ShardCheckpoint:
     round_index: int
     generation: int
     weights: Dict[str, np.ndarray]
-    optimizer_state: Dict[str, object]
+    optimizer_state: Dict[str, Any]
     samples_since_sync: int
     steps_since_sync: int
     syncs_applied: int
@@ -146,13 +146,13 @@ class ShardCheckpoint:
     #: Drop-accounting ledger: the shard-side queue counters
     #: (:func:`queue_counter_state`) whose restore rejoins the
     #: cluster-wide drop invariant.
-    ledger: Dict[str, object] = field(default_factory=dict)
-    health: Dict[str, object] = field(default_factory=dict)
-    rpo: Dict[str, object] = field(default_factory=dict)
+    ledger: Dict[str, Any] = field(default_factory=dict)
+    health: Dict[str, Any] = field(default_factory=dict)
+    rpo: Dict[str, Any] = field(default_factory=dict)
     rng: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @classmethod
-    def capture(cls, shard, *, sim_time: float, round_index: int = -1,
+    def capture(cls, shard: Any, *, sim_time: float, round_index: int = -1,
                 generation: int = 0) -> "ShardCheckpoint":
         """Snapshot ``shard`` at simulated time ``sim_time`` (read-only)."""
         return cls(
@@ -179,7 +179,7 @@ class ShardCheckpoint:
             rng=module_rng_states(shard.server.model),
         )
 
-    def restore(self, shard, *, include_counters: bool = False) -> None:
+    def restore(self, shard: Any, *, include_counters: bool = False) -> None:
         """Reinstall this snapshot onto ``shard``.
 
         The default (failover recovery) restores the *training* state
@@ -214,7 +214,7 @@ class ShardCheckpoint:
     # ------------------------------------------------------------------ #
     # Flat payload for the persistent stores
     # ------------------------------------------------------------------ #
-    def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         """Flatten into ``(arrays, meta)`` for a store backend."""
         arrays: Dict[str, np.ndarray] = {}
         for name, value in self.weights.items():
@@ -242,7 +242,7 @@ class ShardCheckpoint:
 
     @classmethod
     def from_payload(cls, arrays: Dict[str, np.ndarray],
-                     meta: Dict[str, object]) -> "ShardCheckpoint":
+                     meta: Dict[str, Any]) -> "ShardCheckpoint":
         """Rebuild a snapshot from a store payload."""
         weights = {name: np.asarray(arrays[f"weights::{name}"])
                    for name in meta["weight_names"]}
@@ -291,7 +291,7 @@ class ClientCheckpoint:
 
     system_id: int
     weights: Dict[str, np.ndarray]
-    optimizer_state: Optional[Dict[str, object]]
+    optimizer_state: Optional[Dict[str, Any]]
     next_batch_id: int
     samples_seen: int
     updates_applied: int
@@ -299,7 +299,7 @@ class ClientCheckpoint:
     rng: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @classmethod
-    def capture(cls, end_system) -> "ClientCheckpoint":
+    def capture(cls, end_system: Any) -> "ClientCheckpoint":
         optimizer = end_system.optimizer
         return cls(
             system_id=end_system.system_id,
@@ -312,7 +312,7 @@ class ClientCheckpoint:
             rng=module_rng_states(end_system.model),
         )
 
-    def restore(self, end_system) -> None:
+    def restore(self, end_system: Any) -> None:
         end_system.load_state_dict(self.weights)
         if self.optimizer_state is not None and end_system.optimizer is not None:
             end_system.optimizer.load_state_dict(copy.deepcopy(self.optimizer_state))
@@ -322,7 +322,7 @@ class ClientCheckpoint:
         end_system.updates_applied = int(self.updates_applied)
         end_system.drops_notified = int(self.drops_notified)
 
-    def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         arrays: Dict[str, np.ndarray] = {}
         for name, value in self.weights.items():
             arrays[f"weights::{name}"] = np.asarray(value)
@@ -344,7 +344,7 @@ class ClientCheckpoint:
 
     @classmethod
     def from_payload(cls, arrays: Dict[str, np.ndarray],
-                     meta: Dict[str, object]) -> "ClientCheckpoint":
+                     meta: Dict[str, Any]) -> "ClientCheckpoint":
         weights = {name: np.asarray(arrays[f"weights::{name}"])
                    for name in meta["weight_names"]}
         optimizer_state = None
@@ -384,8 +384,8 @@ class RunCheckpoint:
 
     epoch: int
     engine_clock: float
-    config: Dict[str, object]
-    engine_stats: Dict[str, object]
+    config: Dict[str, Any]
+    engine_stats: Dict[str, Any]
     shards: List[ShardCheckpoint]
     clients: List[ClientCheckpoint]
     assignment: Dict[int, int]
@@ -394,12 +394,12 @@ class RunCheckpoint:
     last_sync_time_s: Optional[float]
     syncs_completed: int
     node_health: Dict[str, bool]
-    traffic: Dict[str, object]
-    link_states: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    traffic: Dict[str, Any]
+    link_states: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     rng_streams: Dict[str, np.ndarray] = field(default_factory=dict)
-    failure_state: Optional[Dict[str, object]] = None
+    failure_state: Optional[Dict[str, Any]] = None
 
-    def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         arrays: Dict[str, np.ndarray] = {}
         shard_metas = []
         for index, shard in enumerate(self.shards):
@@ -419,7 +419,7 @@ class RunCheckpoint:
         arrays["transit_times"] = np.asarray(
             self.traffic.get("transit_times", []), dtype=np.float64
         )
-        link_meta: Dict[str, Dict[str, object]] = {}
+        link_meta: Dict[str, Dict[str, Any]] = {}
         for key, state in self.link_states.items():
             arrays[f"link_rng::{key}"] = np.asarray(state["rng"], dtype=np.uint8)
             link_meta[key] = {
@@ -456,7 +456,7 @@ class RunCheckpoint:
 
     @classmethod
     def from_payload(cls, arrays: Dict[str, np.ndarray],
-                     meta: Dict[str, object]) -> "RunCheckpoint":
+                     meta: Dict[str, Any]) -> "RunCheckpoint":
         def sub_arrays(prefix: str) -> Dict[str, np.ndarray]:
             return {key[len(prefix):]: value for key, value in arrays.items()
                     if key.startswith(prefix)}
@@ -479,7 +479,7 @@ class RunCheckpoint:
         traffic["transit_times"] = [
             float(value) for value in np.asarray(arrays.get("transit_times", []))
         ]
-        link_states: Dict[str, Dict[str, object]] = {}
+        link_states: Dict[str, Dict[str, Any]] = {}
         for key, counters in meta["links"].items():
             state = dict(counters)
             state["rng"] = np.asarray(arrays[f"link_rng::{key}"], dtype=np.uint8)

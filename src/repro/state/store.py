@@ -36,7 +36,7 @@ import os
 import time
 import zlib
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -72,17 +72,17 @@ class CheckpointStore:
     # ------------------------------------------------------------------ #
     def _write_record(self, kind: str, scope: str, sim_time: float,
                       arrays: Dict[str, np.ndarray],
-                      meta: Dict[str, object]) -> Tuple[int, int]:
+                      meta: Dict[str, Any]) -> Tuple[int, int]:
         """Persist one record; return ``(version, payload_bytes)``."""
         raise NotImplementedError
 
     def _read_latest(self, kind: str, scope: str
-                     ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, object]]]:
+                     ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
         """Newest intact record for ``(kind, scope)``, or ``None``."""
         raise NotImplementedError
 
     def versions(self, kind: Optional[str] = None,
-                 scope: Optional[str] = None) -> List[Dict[str, object]]:
+                 scope: Optional[str] = None) -> List[Dict[str, Any]]:
         """Metadata of stored records (oldest first), optionally filtered."""
         raise NotImplementedError
 
@@ -90,7 +90,7 @@ class CheckpointStore:
     # Shared save path (timing + accounting)
     # ------------------------------------------------------------------ #
     def save(self, kind: str, scope: str, sim_time: float,
-             arrays: Dict[str, np.ndarray], meta: Dict[str, object]) -> int:
+             arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> int:
         """Persist a record and account the write cost; returns its version."""
         started = time.perf_counter()
         version, payload_bytes = self._write_record(kind, scope, sim_time,
@@ -135,10 +135,12 @@ class MemoryCheckpointStore(CheckpointStore):
         if keep is not None and keep <= 0:
             raise ValueError(f"keep must be positive (or None), got {keep}")
         self.keep = keep
-        self._records: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+        self._records: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
         self._next_version = 1
 
-    def _write_record(self, kind, scope, sim_time, arrays, meta):
+    def _write_record(self, kind: str, scope: str, sim_time: float,
+                      arrays: Dict[str, np.ndarray],
+                      meta: Dict[str, Any]) -> Tuple[int, int]:
         version = self._next_version
         self._next_version += 1
         stored_arrays = {key: np.array(value, copy=True)
@@ -157,7 +159,8 @@ class MemoryCheckpointStore(CheckpointStore):
             del records[: len(records) - self.keep]
         return version, payload_bytes
 
-    def _read_latest(self, kind, scope):
+    def _read_latest(self, kind: str, scope: str
+                     ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
         records = self._records.get((kind, scope))
         if not records:
             return None
@@ -166,8 +169,9 @@ class MemoryCheckpointStore(CheckpointStore):
                   for key, value in record["arrays"].items()}
         return arrays, copy.deepcopy(record["meta"])
 
-    def versions(self, kind=None, scope=None):
-        rows = []
+    def versions(self, kind: Optional[str] = None,
+                 scope: Optional[str] = None) -> List[Dict[str, Any]]:
+        rows: List[Dict[str, Any]] = []
         for records in self._records.values():
             for record in records:
                 if kind is not None and record["kind"] != kind:
@@ -202,8 +206,8 @@ class FileCheckpointStore(CheckpointStore):
     def _manifest_path(self) -> Path:
         return self.directory / self.MANIFEST_NAME
 
-    def _load_manifest(self) -> Dict[str, object]:
-        empty = {"format": self.FORMAT, "next_version": 1, "records": []}
+    def _load_manifest(self) -> Dict[str, Any]:
+        empty: Dict[str, Any] = {"format": self.FORMAT, "next_version": 1, "records": []}
         path = self._manifest_path
         if not path.exists():
             return empty
@@ -227,7 +231,9 @@ class FileCheckpointStore(CheckpointStore):
     # ------------------------------------------------------------------ #
     # Record primitives
     # ------------------------------------------------------------------ #
-    def _write_record(self, kind, scope, sim_time, arrays, meta):
+    def _write_record(self, kind: str, scope: str, sim_time: float,
+                      arrays: Dict[str, np.ndarray],
+                      meta: Dict[str, Any]) -> Tuple[int, int]:
         self._sweep_stale_temps()
         version = int(self._manifest["next_version"])
         self._manifest["next_version"] = version + 1
@@ -254,7 +260,8 @@ class FileCheckpointStore(CheckpointStore):
         self._write_manifest()
         return version, len(payload)
 
-    def _read_latest(self, kind, scope):
+    def _read_latest(self, kind: str, scope: str
+                     ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
         candidates = [record for record in self._manifest["records"]
                       if record["kind"] == kind and record["scope"] == scope]
         for record in sorted(candidates, key=lambda r: r["version"], reverse=True):
@@ -274,8 +281,9 @@ class FileCheckpointStore(CheckpointStore):
             return arrays, copy.deepcopy(record["meta"])
         return None
 
-    def versions(self, kind=None, scope=None):
-        rows = []
+    def versions(self, kind: Optional[str] = None,
+                 scope: Optional[str] = None) -> List[Dict[str, Any]]:
+        rows: List[Dict[str, Any]] = []
         for record in self._manifest["records"]:
             if kind is not None and record["kind"] != kind:
                 continue

@@ -38,7 +38,7 @@ recycled row.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -99,7 +99,7 @@ class ActivationArena:
     # ------------------------------------------------------------------ #
     # Staging (enqueue time)
     # ------------------------------------------------------------------ #
-    def stage(self, message) -> bool:
+    def stage(self, message: Any) -> bool:
         """Copy ``message``'s payload into the arena.
 
         Returns ``False`` (and counts a rejection) when the payload will
@@ -202,7 +202,8 @@ class ActivationArena:
         counters.add("arena_grows")
         return grown
 
-    def _compact(self, key: Tuple, bucket: _Bucket, live) -> None:
+    def _compact(self, key: Tuple, bucket: _Bucket,
+                 live: List[Tuple[int, int, int]]) -> None:
         cursor = 0
         for sequence, start, stop in live:
             length = stop - start
@@ -260,7 +261,7 @@ class ActivationArena:
             segments=[(start - low, stop - low) for start, stop in segments],
         )
 
-    def discard(self, message) -> None:
+    def discard(self, message: Any) -> None:
         """Forget one staged message (e.g. popped for per-message processing).
 
         The freed rows are only reclaimed once the whole bucket goes

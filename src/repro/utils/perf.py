@@ -25,7 +25,7 @@ the closure never reads its contents again.
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, Tuple
 
 import numpy as np
 
@@ -106,7 +106,7 @@ class WorkspaceCache:
         self._buffers: "Dict[Tuple, np.ndarray]" = {}
         self.max_bytes = int(max_bytes)
 
-    def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    def get(self, tag: str, shape: Tuple[int, ...], dtype: Any) -> np.ndarray:
         """Return a scratch array of ``shape``/``dtype`` for ``tag``.
 
         Contents are uninitialized (may hold data from a previous use).
@@ -153,6 +153,6 @@ class WorkspaceCache:
 workspaces = WorkspaceCache()
 
 
-def workspace(tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+def workspace(tag: str, shape: Tuple[int, ...], dtype: Any) -> np.ndarray:
     """Shorthand for ``workspaces.get(tag, shape, dtype)``."""
     return workspaces.get(tag, shape, dtype)

@@ -1,0 +1,123 @@
+"""JSON report schema and CLI behavior (exit codes, formats, filters)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    JSON_SCHEMA_VERSION,
+    analyze_source,
+    findings_to_json,
+)
+from repro.analysis.__main__ import main
+
+BAD_SOURCE = textwrap.dedent("""
+    import numpy as np
+    a = np.zeros(3)
+    b = np.ones(4)  # repro-lint: ignore[RL001] -- float64 on purpose for this probe
+""")
+
+#: Every key a finding object must carry, with its expected type(s).
+FINDING_SCHEMA = {
+    "path": str,
+    "line": int,
+    "col": int,
+    "rule_id": str,
+    "message": str,
+    "fix_hint": str,
+    "suppressed": bool,
+    "suppress_reason": (str, type(None)),
+}
+
+
+class TestJsonSchema:
+    @pytest.fixture()
+    def report(self):
+        findings = analyze_source(BAD_SOURCE, "src/repro/core/example.py")
+        return findings_to_json(findings)
+
+    def test_top_level_shape(self, report):
+        assert set(report) == {"schema_version", "findings", "summary"}
+        assert report["schema_version"] == JSON_SCHEMA_VERSION
+        assert isinstance(report["findings"], list)
+
+    def test_finding_objects_match_schema(self, report):
+        assert report["findings"], "fixture should produce findings"
+        for finding in report["findings"]:
+            assert set(finding) == set(FINDING_SCHEMA)
+            for key, expected in FINDING_SCHEMA.items():
+                assert isinstance(finding[key], expected), (key, finding[key])
+
+    def test_summary_counts_are_consistent(self, report):
+        summary = report["summary"]
+        assert summary["total"] == len(report["findings"])
+        assert summary["unsuppressed"] + summary["suppressed"] == summary["total"]
+        assert summary["unsuppressed"] == 1  # the np.zeros site
+        assert summary["suppressed"] == 1    # the reasoned np.ones site
+        assert summary["by_rule"] == {"RL001": 1}
+
+    def test_report_is_json_serializable_and_stable(self, report):
+        as_text = json.dumps(report, sort_keys=True)
+        assert json.loads(as_text) == report
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n")
+        assert main([str(target)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_text_report(self, tmp_path, capsys):
+        # The file must live under a repro/ package dir for scoping, so
+        # build one inside tmp_path.
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        target = package / "bad.py"
+        target.write_text("import numpy as np\nx = np.zeros(3)\n")
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+        assert "bad.py:2" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("import numpy as np\nx = np.zeros(3)\n")
+        assert main(["--format", "json", str(package)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == JSON_SCHEMA_VERSION
+        assert report["summary"]["unsuppressed"] == 1
+
+    def test_rules_filter(self, tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("import numpy as np\nx = np.zeros(3)\n")
+        # Filtering to a rule the snippet does not violate passes.
+        assert main(["--rules", "RL002", str(package)]) == 0
+        assert main(["--rules", "RL001", str(package)]) == 1
+
+    def test_unknown_rule_filter_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["--rules", "RL777"])
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+    def test_module_invocation_smoke(self, tmp_path):
+        """``python -m repro.analysis`` is exactly what CI runs."""
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(target)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
