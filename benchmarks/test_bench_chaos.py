@@ -1,0 +1,112 @@
+"""Reliability-layer and chaos-plane overhead benchmarks.
+
+The PR 8 chaos plane promises that a fault-free run with
+``reliable_delivery`` off takes the exact legacy code path — so the
+first benchmark is the control, the second prices what turning the
+reliability layer on costs when nothing ever fails (sequence numbers,
+ack bookkeeping, the receiver's seen-set), and the third measures a
+full chaos storm (link loss + corruption/duplication/reordering with
+retries and dedup absorbing it).  The off/on fault-free pair is the
+number to watch: it is pure protocol overhead.
+
+Run with::
+
+    pytest benchmarks/test_bench_chaos.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.models import tiny_cnn_architecture
+from repro.core.split import SplitSpec
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.data.datasets import SyntheticCIFAR10
+from repro.data.partition import IIDPartitioner
+from repro.simnet.topology import star_topology
+
+NUM_CLIENTS = 48
+
+WARMUP_ROUNDS = 1
+MEASURED_ROUNDS = 5
+
+
+def build_trainer(drop_probability=0.0, **overrides):
+    architecture = tiny_cnn_architecture(image_size=8, num_blocks=2, base_filters=4,
+                                         dense_units=16)
+    spec = SplitSpec(architecture, client_blocks=1)
+    dataset = SyntheticCIFAR10(num_samples=480, image_size=8, seed=0)
+    parts = IIDPartitioner(NUM_CLIENTS, seed=0).partition(dataset)
+    topology = star_topology(
+        NUM_CLIENTS, latencies_s=list(np.linspace(0.002, 0.06, NUM_CLIENTS)),
+        drop_probability=drop_probability, seed=0,
+    )
+    config = TrainingConfig(
+        epochs=1, batch_size=8, mode="asynchronous", max_in_flight=1,
+        server_step_time_s=0.002, seed=0, **overrides,
+    )
+    return SpatioTemporalTrainer(spec, parts, config, topology=topology)
+
+
+def run_epoch_benchmark(benchmark, **build_kwargs):
+    trainers = []
+
+    def setup():
+        trainers.append(build_trainer(**build_kwargs))
+        return (trainers[-1],), {}
+
+    def one_epoch(trainer):
+        history = trainer.train()
+        return history.final_train_accuracy
+
+    accuracy = benchmark.pedantic(one_epoch, setup=setup, iterations=1,
+                                  rounds=MEASURED_ROUNDS,
+                                  warmup_rounds=WARMUP_ROUNDS)
+    assert accuracy >= 0.0
+    return trainers[-1]
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_fault_free_reliability_off(benchmark):
+    """The control: legacy transport path, no chaos machinery at all."""
+    trainer = run_epoch_benchmark(benchmark)
+    assert trainer.fault_plan is None
+    assert trainer.message_chaos is None
+    assert trainer.engine.stats.retries == 0
+    benchmark.extra_info["engine_events"] = int(
+        trainer.engine.stats.events_processed)
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_fault_free_reliability_on(benchmark):
+    """Pure protocol overhead: acks, seen-sets, zero actual faults.
+
+    The ack timeout sits above the worst-case round trip so no spurious
+    retransmissions fire — any delta against the off row is bookkeeping.
+    """
+    trainer = run_epoch_benchmark(
+        benchmark, reliable_delivery=True, retry_timeout_s=0.5,
+        retry_max=3,
+    )
+    stats = trainer.engine.stats
+    assert stats.gave_up == 0
+    assert stats.deduped == 0
+    assert trainer.transport.log.retried_messages == 0
+    benchmark.extra_info["engine_events"] = int(stats.events_processed)
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_storm_with_reliability(benchmark):
+    """Loss + corruption + duplication + reordering, repaired by retries."""
+    trainer = run_epoch_benchmark(
+        benchmark, drop_probability=0.1, reliable_delivery=True,
+        retry_timeout_s=0.5, retry_max=3,
+        chaos_corrupt_probability=0.02, chaos_duplicate_probability=0.05,
+        chaos_reorder_probability=0.1,
+    )
+    log = trainer.transport.log
+    assert log.retried_messages > 0
+    benchmark.extra_info["retried_messages"] = int(log.retried_messages)
+    benchmark.extra_info["deduped"] = int(trainer.engine.stats.deduped)
+    benchmark.extra_info["engine_events"] = int(
+        trainer.engine.stats.events_processed)

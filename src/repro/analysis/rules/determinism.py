@@ -72,6 +72,8 @@ class DeterminismRule:
                 continue
             finding = self._classify(called)
             if finding is None:
+                finding = self._classify_unseeded(called, node)
+            if finding is None:
                 continue
             message, hint = finding
             yield Finding(
@@ -105,4 +107,39 @@ class DeterminismRule:
                 "{called}() uses the stdlib global RNG",
                 "draw from a seeded numpy Generator via repro.utils.rng",
             )
+        return None
+
+    @staticmethod
+    def _classify_unseeded(called: str,
+                           node: ast.Call) -> Optional[Tuple[str, str]]:
+        """Flag Generator construction that is not pinned to a seed.
+
+        ``default_rng()`` with no arguments (and ``Generator`` wrapping a
+        no-argument bit generator) seeds from OS entropy, so two runs of
+        the same config draw different streams — exactly the
+        non-reproducibility RL002 exists to keep out of the tree.
+        """
+        parts = called.split(".")
+        is_random_api = len(parts) == 1 or parts[-2] == "random"
+        if not is_random_api:
+            return None
+        if parts[-1] == "default_rng" and not node.args and not node.keywords:
+            return (
+                "{called}() without a seed draws from OS entropy",
+                "pass an explicit seed (derive one via repro.utils.rng "
+                "SeedSequence when a stream is needed)",
+            )
+        if parts[-1] == "Generator":
+            seedless_bitgen = (
+                bool(node.args)
+                and isinstance(node.args[0], ast.Call)
+                and not node.args[0].args
+                and not node.args[0].keywords
+            )
+            if not node.args or seedless_bitgen:
+                return (
+                    "{called}() built without a seeded bit generator",
+                    "construct the bit generator from an explicit seed "
+                    "(e.g. np.random.Generator(np.random.PCG64(seed)))",
+                )
         return None

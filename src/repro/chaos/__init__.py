@@ -1,0 +1,31 @@
+"""Seeded deterministic fault injection for the simulated deployment.
+
+``repro.chaos`` is the chaos plane the paper's lossy-network story needs
+beyond shard crashes (PR 5): link flaps and client churn, hub↔hub
+partitions, per-message corruption/duplication/reordering at the
+transport, and shard stragglers — every fault drawn from seeded streams
+so a chaos run is a pure function of its seed and two runs with the same
+seed produce byte-identical traffic logs.
+
+* :class:`FaultEvent` / :class:`FaultPlan` — one timed fault-phase
+  transition and the peek/advance timeline protocol (the same shape as
+  :class:`repro.cluster.failover.FailureModel`).
+* :class:`ScheduledFaults` — scripted timelines from
+  ``TrainingConfig.chaos_schedule`` entries.
+* :class:`StochasticFaults` — exponential MTBF/MTTR client flap/leave
+  churn with per-client seeded streams.
+* :class:`MessageChaos` — seeded per-message corruption, duplication and
+  reordering applied inside :class:`repro.simnet.transport.Transport`.
+"""
+
+from .message_chaos import MessageChaos
+from .plan import FaultEvent, FaultPlan, ScheduledFaults, StochasticFaults, build_fault_plan
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "ScheduledFaults",
+    "StochasticFaults",
+    "MessageChaos",
+    "build_fault_plan",
+]

@@ -1,0 +1,106 @@
+"""Seeded per-message chaos: corruption, duplication, reordering.
+
+Applied by :class:`repro.simnet.transport.Transport` to every message a
+link *delivered* (link-level loss already happened upstream), in a fixed
+draw order per direction stream so two runs with the same seed make
+identical decisions:
+
+1. **corrupt** — the payload is damaged in flight; the transport treats
+   it as a loss (the receiver would discard it on checksum) and records
+   it in the corrupted counters.
+2. **reorder** — the arrival time is inflated by a seeded uniform draw,
+   so later messages can overtake this one.
+3. **duplicate** — uplink activations only: a second copy is scheduled a
+   seeded delay behind the first; the receiving shard deduplicates it.
+
+NACKs are exempt: the control channel keeps its PR 2 lost-NACK fallback
+semantics so the drop ledger stays the reliability layer's job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..simnet.link import Message
+    from ..simnet.transport import TrafficLog
+
+__all__ = ["MessageChaos"]
+
+#: Metadata key carrying the duplicate copy's arrival time; the engine
+#: schedules one extra arrival event when it sees it.
+DUPLICATE_ARRIVAL_KEY = "chaos_duplicate_arrival"
+
+
+class MessageChaos:
+    """Per-message fault injection with one seeded stream per direction."""
+
+    #: Seed-stream spacing between the three direction streams.
+    _DIRECTION_OFFSET = {"up": 1, "down": 2, "sync": 3}
+
+    def __init__(
+        self,
+        corrupt_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        reorder_probability: float = 0.0,
+        reorder_delay_s: float = 0.005,
+        duplicate_delay_s: float = 0.002,
+        seed: int = 0,
+    ) -> None:
+        for label, probability in (("corrupt", corrupt_probability),
+                                   ("duplicate", duplicate_probability),
+                                   ("reorder", reorder_probability)):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"{label}_probability must be in [0, 1], got {probability}")
+        if reorder_delay_s < 0:
+            raise ValueError(f"reorder_delay_s must be non-negative, got {reorder_delay_s}")
+        if duplicate_delay_s < 0:
+            raise ValueError(f"duplicate_delay_s must be non-negative, got {duplicate_delay_s}")
+        self.corrupt_probability = float(corrupt_probability)
+        self.duplicate_probability = float(duplicate_probability)
+        self.reorder_probability = float(reorder_probability)
+        self.reorder_delay_s = float(reorder_delay_s)
+        self.duplicate_delay_s = float(duplicate_delay_s)
+        self.seed = int(seed)
+        self._rngs: Dict[str, np.random.Generator] = {
+            direction: np.random.default_rng(self.seed + offset)
+            for direction, offset in self._DIRECTION_OFFSET.items()
+        }
+
+    def apply(self, message: "Message", direction: str,
+              log: "TrafficLog") -> Optional["Message"]:
+        """Run one delivered message through the chaos draws.
+
+        Returns the (possibly delayed / duplicate-tagged) message, or
+        ``None`` when it was corrupted in flight.  ``direction`` is one
+        of ``"up"``, ``"down"``, ``"sync"``.
+        """
+        rng = self._rngs[direction]
+        if self.corrupt_probability > 0 and rng.random() < self.corrupt_probability:
+            log.note_corrupted(direction)
+            return None
+        if self.reorder_probability > 0 and rng.random() < self.reorder_probability:
+            message.arrival_time += rng.uniform(0.0, self.reorder_delay_s)
+            log.note_reordered()
+        if (
+            direction == "up"
+            and self.duplicate_probability > 0
+            and rng.random() < self.duplicate_probability
+        ):
+            message.metadata[DUPLICATE_ARRIVAL_KEY] = (
+                message.arrival_time + rng.uniform(0.0, self.duplicate_delay_s)
+            )
+            log.note_duplicated()
+        return message
+
+    # Run checkpoints capture the live stream positions so a restart
+    # replays the same corruption/duplication/reordering decisions.
+    def state_dict(self) -> Dict[str, object]:
+        return {direction: rng.bit_generator.state
+                for direction, rng in self._rngs.items()}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        for direction, rng_state in state.items():
+            self._rngs[str(direction)].bit_generator.state = rng_state

@@ -1,0 +1,345 @@
+"""Fault timelines: scripted and stochastic chaos plans.
+
+A fault plan is a single time-ordered stream of :class:`FaultEvent`
+transitions consumed by the engine with the same peek/advance protocol
+as :class:`repro.cluster.failover.FailureModel`: :meth:`FaultPlan.peek`
+returns the next pending event (``None`` when exhausted) and
+:meth:`FaultPlan.advance` consumes it once it has been applied.  Events
+that fire after the current epoch's horizon are not consumed, so a plan
+spans epochs, and :meth:`FaultPlan.state_dict` captures the live
+position for replay-exact run checkpoints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FaultEvent", "FaultPlan", "ScheduledFaults", "StochasticFaults",
+           "build_fault_plan"]
+
+#: Fault classes the engine knows how to apply.
+_KINDS = ("flap", "leave", "partition", "straggler", "move")
+
+#: At equal timestamps an outage *end* sorts before a new *begin* (the
+#: same back-to-back rule ScheduledFailures uses for crash/recover), and
+#: one-shot applications sit between the two.
+_PHASE_RANK = {"end": 0, "apply": 1, "begin": 2}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-phase transition, in absolute simulated time.
+
+    ``target`` is a client id for ``flap``/``leave``/``move``, and a
+    shard id for ``straggler``; ``peer`` names the second hub of a
+    ``partition`` (both hubs given as shard ids); ``value`` carries the
+    ``straggler`` service-time factor or the ``move`` destination shard.
+    """
+
+    time: float
+    kind: str
+    phase: str  # "begin", "end" or "apply" (one-shot)
+    target: int
+    peer: Optional[int] = None
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.time}")
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.phase not in _PHASE_RANK:
+            raise ValueError(f"phase must be 'begin', 'end' or 'apply', got {self.phase!r}")
+
+    @property
+    def sort_key(self) -> Tuple[float, int, str, int]:
+        return (self.time, _PHASE_RANK[self.phase], self.kind, self.target)
+
+
+class FaultPlan:
+    """Base peek/advance timeline of :class:`FaultEvent` transitions."""
+
+    name = "base"
+
+    def peek(self) -> Optional[FaultEvent]:
+        raise NotImplementedError
+
+    def advance(self) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of the plan's consumed-timeline position."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        raise NotImplementedError
+
+
+def _event_to_list(event: FaultEvent) -> List[object]:
+    return [event.time, event.kind, event.phase, event.target, event.peer, event.value]
+
+
+def _event_from_list(raw: Sequence[object]) -> FaultEvent:
+    time_s, kind, phase, target, peer, value = raw
+    return FaultEvent(
+        time=float(time_s),  # type: ignore[arg-type]
+        kind=str(kind),
+        phase=str(phase),
+        target=int(target),  # type: ignore[arg-type]
+        peer=None if peer is None else int(peer),  # type: ignore[arg-type]
+        value=None if value is None else float(value),  # type: ignore[arg-type]
+    )
+
+
+class ScheduledFaults(FaultPlan):
+    """Scripted chaos from ``TrainingConfig.chaos_schedule`` entries.
+
+    Entry forms (times and durations in simulated seconds)::
+
+        ("flap",      t, duration, client_id)
+        ("leave",     t, duration, client_id)
+        ("partition", t, duration, shard_a, shard_b)
+        ("straggler", t, duration, shard_id, factor)
+        ("move",      t, client_id, shard_id)
+
+    A ``duration`` of ``None`` leaves the fault in place for the rest of
+    the run.  Like :class:`~repro.cluster.failover.ScheduledFailures`,
+    overlapping outages of the same fault key are rejected outright —
+    they would silently end the longer outage at the shorter entry's
+    restore.
+    """
+
+    name = "scheduled"
+
+    def __init__(self, entries: Sequence[Sequence[object]]) -> None:
+        events: List[FaultEvent] = []
+        for entry in entries:
+            events.extend(self._expand(entry))
+        ordered = sorted(events, key=lambda e: e.sort_key)
+        self._validate_alternation(ordered)
+        self._events: Deque[FaultEvent] = deque(ordered)
+
+    @staticmethod
+    def _expand(entry: Sequence[object]) -> List[FaultEvent]:
+        kind = str(entry[0])
+        if kind == "move":
+            if len(entry) != 4:
+                raise ValueError(
+                    f"'move' entries are (kind, t, client_id, shard_id), got {entry!r}"
+                )
+            _, t, client, shard = entry
+            return [FaultEvent(float(t), "move", "apply", int(client),  # type: ignore[arg-type]
+                               value=float(shard))]  # type: ignore[arg-type]
+        if kind in ("flap", "leave"):
+            if len(entry) != 4:
+                raise ValueError(
+                    f"{kind!r} entries are (kind, t, duration, client_id), got {entry!r}"
+                )
+            _, t, duration, client = entry
+            target, peer, value = int(client), None, None  # type: ignore[arg-type]
+        elif kind == "partition":
+            if len(entry) != 5:
+                raise ValueError(
+                    f"'partition' entries are (kind, t, duration, shard_a, shard_b), "
+                    f"got {entry!r}"
+                )
+            _, t, duration, hub_a, hub_b = entry
+            low, high = sorted((int(hub_a), int(hub_b)))  # type: ignore[arg-type]
+            if low == high:
+                raise ValueError(f"partition needs two distinct hubs, got {entry!r}")
+            target, peer, value = low, high, None
+        elif kind == "straggler":
+            if len(entry) != 5:
+                raise ValueError(
+                    f"'straggler' entries are (kind, t, duration, shard_id, factor), "
+                    f"got {entry!r}"
+                )
+            _, t, duration, shard, factor = entry
+            if float(factor) < 1.0:  # type: ignore[arg-type]
+                raise ValueError(
+                    f"straggler factor must be >= 1 (it inflates service time), got {factor!r}"
+                )
+            target, peer, value = int(shard), None, float(factor)  # type: ignore[arg-type]
+        else:
+            raise ValueError(f"unknown chaos kind {kind!r}; known kinds: {_KINDS}")
+        begin = FaultEvent(float(t), kind, "begin", target, peer, value)  # type: ignore[arg-type]
+        if duration is None:
+            return [begin]
+        duration_s = float(duration)  # type: ignore[arg-type]
+        if duration_s <= 0:
+            raise ValueError(f"fault duration must be positive, got {duration!r}")
+        return [begin,
+                FaultEvent(begin.time + duration_s, kind, "end", target, peer, value)]
+
+    @staticmethod
+    def _validate_alternation(ordered: Sequence[FaultEvent]) -> None:
+        expected: Dict[Tuple[str, int, Optional[int]], str] = {}
+        for event in ordered:
+            if event.phase == "apply":
+                continue
+            key = (event.kind, event.target, event.peer)
+            if event.phase != expected.get(key, "begin"):
+                raise ValueError(
+                    f"overlapping scripted {event.kind!r} outages on target "
+                    f"{event.target}: unexpected {event.phase!r} at t={event.time} "
+                    "(each outage must end before the next one starts)"
+                )
+            expected[key] = "end" if event.phase == "begin" else "begin"
+
+    def peek(self) -> Optional[FaultEvent]:
+        return self._events[0] if self._events else None
+
+    def advance(self) -> None:
+        if not self._events:
+            raise LookupError("no pending fault event")
+        self._events.popleft()
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "events": [_event_to_list(e) for e in self._events],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._events = deque(_event_from_list(raw)
+                             for raw in state["events"])  # type: ignore[union-attr]
+
+
+class StochasticFaults(FaultPlan):
+    """Exponential MTBF/MTTR client flap/leave churn, one stream per key.
+
+    Every ``(kind, client)`` pair alternates healthy/faulted phases whose
+    lengths are exponential draws (mean ``mtbf_s`` while healthy,
+    ``mttr_s`` while faulted) from its own generator derived from the
+    seed — the churn timeline is reproducible and independent of how
+    often the engine peeks at it.
+    """
+
+    name = "stochastic"
+
+    #: Seed-stream spacing between clients and between fault kinds; a
+    #: distinct prime from the failover streams (7919) so chaos draws
+    #: never collide with shard-failure draws.
+    _CLIENT_STRIDE = 6151
+    _KIND_OFFSET = {"flap": 0, "leave": 1_000_003}
+
+    def __init__(
+        self,
+        num_clients: int,
+        seed: int = 0,
+        flap_mtbf_s: Optional[float] = None,
+        flap_mttr_s: float = 0.05,
+        leave_mtbf_s: Optional[float] = None,
+        leave_mttr_s: float = 0.5,
+    ) -> None:
+        if num_clients <= 0:
+            raise ValueError(f"num_clients must be positive, got {num_clients}")
+        for label, mtbf, mttr in (("flap", flap_mtbf_s, flap_mttr_s),
+                                  ("leave", leave_mtbf_s, leave_mttr_s)):
+            if mtbf is not None and mtbf <= 0:
+                raise ValueError(f"{label} mtbf_s must be positive (or None), got {mtbf}")
+            if mttr <= 0:
+                raise ValueError(f"{label} mttr_s must be positive, got {mttr}")
+        self.num_clients = int(num_clients)
+        self.seed = int(seed)
+        self._means: Dict[str, Tuple[float, float]] = {}
+        if flap_mtbf_s is not None:
+            self._means["flap"] = (float(flap_mtbf_s), float(flap_mttr_s))
+        if leave_mtbf_s is not None:
+            self._means["leave"] = (float(leave_mtbf_s), float(leave_mttr_s))
+        if not self._means:
+            raise ValueError("at least one of flap_mtbf_s / leave_mtbf_s must be set")
+        self._rngs: Dict[Tuple[str, int], np.random.Generator] = {}
+        self._next: Dict[Tuple[str, int], FaultEvent] = {}
+
+    def _rng(self, kind: str, client: int) -> np.random.Generator:
+        key = (kind, client)
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = np.random.default_rng(
+                self.seed + self._CLIENT_STRIDE * (client + 1) + self._KIND_OFFSET[kind]
+            )
+            self._rngs[key] = rng
+        return rng
+
+    def _ensure(self, kind: str, client: int) -> FaultEvent:
+        key = (kind, client)
+        event = self._next.get(key)
+        if event is None:
+            mtbf_s, _ = self._means[kind]
+            first = self._rng(kind, client).exponential(mtbf_s)
+            event = FaultEvent(first, kind, "begin", client)
+            self._next[key] = event
+        return event
+
+    def peek(self) -> Optional[FaultEvent]:
+        candidates = [self._ensure(kind, client)
+                      for kind in self._means
+                      for client in range(self.num_clients)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.sort_key)
+
+    def advance(self) -> None:
+        current = self.peek()
+        assert current is not None
+        key = (current.kind, current.target)
+        mtbf_s, mttr_s = self._means[current.kind]
+        rng = self._rng(current.kind, current.target)
+        if current.phase == "begin":
+            delay, phase = rng.exponential(mttr_s), "end"
+        else:
+            delay, phase = rng.exponential(mtbf_s), "begin"
+        self._next[key] = FaultEvent(current.time + delay, current.kind, phase,
+                                     current.target)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "rngs": {f"{kind}:{client}": rng.bit_generator.state
+                     for (kind, client), rng in self._rngs.items()},
+            "next": {f"{kind}:{client}": _event_to_list(event)
+                     for (kind, client), event in self._next.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._rngs = {}
+        for key, rng_state in state["rngs"].items():  # type: ignore[union-attr]
+            kind, _, client = key.partition(":")
+            # The seed is irrelevant here: the restored bit-generator
+            # state on the next line is the checkpointed stream position.
+            rng = np.random.default_rng()  # repro-lint: ignore[RL002] -- state restored below
+            rng.bit_generator.state = rng_state
+            self._rngs[(kind, int(client))] = rng
+        self._next = {}
+        for key, raw in state["next"].items():  # type: ignore[union-attr]
+            kind, _, client = key.partition(":")
+            self._next[(kind, int(client))] = _event_from_list(raw)
+
+
+def build_fault_plan(config: "object", num_clients: int) -> Optional[FaultPlan]:
+    """Construct the fault plan a :class:`TrainingConfig` describes.
+
+    Returns ``None`` when no timeline chaos is configured (per-message
+    chaos lives in :class:`~repro.chaos.MessageChaos`, not here).
+    """
+    schedule = getattr(config, "chaos_schedule", None)
+    if schedule:
+        return ScheduledFaults(schedule)
+    flap_mtbf = getattr(config, "chaos_flap_mtbf_s", None)
+    leave_mtbf = getattr(config, "chaos_leave_mtbf_s", None)
+    if flap_mtbf is None and leave_mtbf is None:
+        return None
+    return StochasticFaults(
+        num_clients=num_clients,
+        seed=int(getattr(config, "seed", 0)) + 393_241,
+        flap_mtbf_s=flap_mtbf,
+        flap_mttr_s=float(getattr(config, "chaos_flap_mttr_s", 0.05)),
+        leave_mtbf_s=leave_mtbf,
+        leave_mttr_s=float(getattr(config, "chaos_leave_mttr_s", 0.5)),
+    )

@@ -192,6 +192,7 @@ class ClusterCoordinator:
         self,
         delivered: Optional[Dict[int, Iterable[int]]] = None,
         snapshots: Optional[Sequence[Dict[str, np.ndarray]]] = None,
+        participants: Optional[Sequence[int]] = None,
     ) -> Optional[Dict[str, np.ndarray]]:
         """Barrier sync: install the sample-weighted average on every shard.
 
@@ -221,9 +222,21 @@ class ClusterCoordinator:
         rendezvous never hangs on (or is polluted by) a dead hub.  Every
         install also refreshes :attr:`last_sync_snapshot`, the recovery
         point a shard reinstalls when it comes back.
+
+        ``participants`` (shard ids) restricts the rendezvous further —
+        the quorum-degraded sync path passes only the shards that made
+        the barrier before the timeout, and stragglers neither
+        contribute nor install.  ``None`` means every healthy shard.
         """
-        participants = self.healthy_shards()
-        if not participants:
+        if participants is None:
+            participant_shards = self.healthy_shards()
+        else:
+            allowed = set(int(shard_id) for shard_id in participants)
+            participant_shards = [
+                shard for shard in self.healthy_shards()
+                if shard.shard_id in allowed
+            ]
+        if not participant_shards:
             return None
         snapshot_of: Dict[int, Dict[str, np.ndarray]]
         if snapshots is None:
@@ -239,26 +252,26 @@ class ClusterCoordinator:
                 shard.shard_id: snapshot
                 for shard, snapshot in zip(self.shards, snapshots)
             }
-        for shard in participants:
+        for shard in participant_shards:
             if shard.shard_id not in snapshot_of:
                 snapshot_of[shard.shard_id] = shard.weights_snapshot()
         raw_weights = {
-            shard.shard_id: float(shard.samples_since_sync) for shard in participants
+            shard.shard_id: float(shard.samples_since_sync) for shard in participant_shards
         }
-        participant_ids = {shard.shard_id for shard in participants}
+        participant_ids = {shard.shard_id for shard in participant_shards}
         if delivered is None:
             averaged = self._weighted_average(
-                [snapshot_of[shard.shard_id] for shard in participants],
-                [raw_weights[shard.shard_id] for shard in participants],
+                [snapshot_of[shard.shard_id] for shard in participant_shards],
+                [raw_weights[shard.shard_id] for shard in participant_shards],
             )
-            for shard in participants:
+            for shard in participant_shards:
                 shard.install_weights(averaged)
             self.syncs_completed += 1
             self.last_sync_snapshot = averaged
             return averaged
         best_recovery_point: Optional[Dict[str, np.ndarray]] = None
         best_weight = -1.0
-        for shard in participants:
+        for shard in participant_shards:
             sources = sorted(
                 (set(delivered.get(shard.shard_id, [])) & participant_ids)
                 | {shard.shard_id}

@@ -240,7 +240,9 @@ class StochasticFailures(FailureModel):
     def load_state_dict(self, state: Dict[str, object]) -> None:
         self._rngs = {}
         for shard_id, rng_state in state["rngs"].items():
-            rng = np.random.default_rng()
+            # The seed is irrelevant here: the restored bit-generator
+            # state on the next line is the checkpointed stream position.
+            rng = np.random.default_rng()  # repro-lint: ignore[RL002] -- state restored below
             rng.bit_generator.state = rng_state
             self._rngs[int(shard_id)] = rng
         self._next = {

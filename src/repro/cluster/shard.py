@@ -156,6 +156,19 @@ class ServerShard:
         """Admit an arriving activation message into this shard's queue."""
         return self.server.receive(message)
 
+    def admit(self, message: ActivationMessage) -> str:
+        """Idempotent admission: ``"ok"``, ``"full"`` or ``"dup"``.
+
+        Reliable delivery can land several copies of one logical message
+        (retransmissions, chaos duplication); the wrapped server rules on
+        each sequence number exactly once and deduplicates the rest.
+        """
+        return self.server.admit(message)
+
+    def has_seen(self, sequence: int) -> bool:
+        """Whether this shard's server already ruled on ``sequence``."""
+        return self.server.has_seen(sequence)
+
     def has_pending(self) -> bool:
         return self.server.has_pending()
 

@@ -139,6 +139,58 @@ class TrainingConfig:
         (the default) with ``checkpoint_every_s`` set falls back to an
         in-memory store (durable against simulated crashes, not process
         death).
+    reliable_delivery:
+        When ``True`` the transport becomes reliable: every activation
+        and gradient send is covered by an ack/timeout retry chain with
+        capped exponential backoff and seeded jitter, lost copies are
+        retransmitted (absorbed into ``retried`` traffic counters rather
+        than surfacing as drops), duplicate deliveries are idempotently
+        deduplicated at the receiving shard, and a sender that exhausts
+        ``retry_max`` retries gives up exactly once (``gave_up`` joins
+        the drop-accounting balance).  ``False`` (the default) keeps the
+        PR 7 fire-and-forget semantics bit-for-bit.
+    retry_timeout_s / retry_backoff / retry_max / retry_jitter /
+    retry_timeout_cap_s:
+        Reliable-delivery retransmission knobs: attempt ``k`` times out
+        after ``min(retry_timeout_cap_s, retry_timeout_s *
+        retry_backoff**k)`` seconds plus a seeded uniform jitter of up to
+        ``retry_jitter`` of that timeout; after ``retry_max`` retries the
+        sender gives up.  Only consulted when ``reliable_delivery`` is
+        on.
+    sync_quorum / sync_timeout_s:
+        Quorum-degraded ``"average"`` sync: when ``sync_timeout_s`` is
+        set, a rendezvous that has waited that long fires with only the
+        shards that showed up — provided they are at least
+        ``sync_quorum`` (a fraction) of the healthy unfinished shards
+        and at least two — instead of stalling on stragglers; below
+        quorum the waiters are released without a sync and regroup at
+        the next rendezvous.  ``sync_timeout_s=None`` (the default) is
+        the exact PR 7 all-or-nothing barrier.
+    chaos_schedule:
+        Scripted fault-injection timeline for the chaos plane
+        (:class:`repro.chaos.ScheduledFaults`).  Entries are tuples:
+        ``("flap", t, duration, client_id)`` /
+        ``("leave", t, duration, client_id)`` (client link outage /
+        churn), ``("partition", t, duration, hub_a, hub_b)`` (hub↔hub
+        partition), ``("straggler", t, duration, shard_id, factor)``
+        (multiplicative service-time inflation) and
+        ``("move", t, client_id, shard_id)`` (client mobility).
+        Mutually exclusive with the stochastic chaos knobs.
+    chaos_flap_mtbf_s / chaos_flap_mttr_s / chaos_leave_mtbf_s /
+    chaos_leave_mttr_s:
+        Stochastic client churn (:class:`repro.chaos.StochasticFaults`):
+        per-client exponential mean time between flaps/leaves and mean
+        outage durations.  ``None`` MTBF disables that fault class.
+    chaos_corrupt_probability / chaos_duplicate_probability /
+    chaos_reorder_probability:
+        Per-message chaos at the transport (seeded, deterministic):
+        probability that a delivered message is corrupted (counted and
+        lost), duplicated (uplink activations only; the extra copy is
+        deduplicated at the shard) or reordered (its arrival delayed by
+        a seeded draw up to ``chaos_reorder_delay_s``).
+    chaos_reorder_delay_s / chaos_duplicate_delay_s:
+        Maximum extra arrival delay for reordered messages and for the
+        duplicate copy of a duplicated message.
     max_in_flight:
         Asynchronous mode only: how many batches an end-system may have
         outstanding (sent but not yet acknowledged with a gradient).
@@ -179,6 +231,24 @@ class TrainingConfig:
     checkpoint_every_s: Optional[float] = None
     checkpoint_mode: str = "interval"
     checkpoint_dir: Optional[str] = None
+    reliable_delivery: bool = False
+    retry_timeout_s: float = 0.05
+    retry_backoff: float = 2.0
+    retry_max: int = 3
+    retry_jitter: float = 0.1
+    retry_timeout_cap_s: float = 1.0
+    sync_quorum: float = 1.0
+    sync_timeout_s: Optional[float] = None
+    chaos_schedule: Optional[List[Sequence[object]]] = None
+    chaos_flap_mtbf_s: Optional[float] = None
+    chaos_flap_mttr_s: float = 0.05
+    chaos_leave_mtbf_s: Optional[float] = None
+    chaos_leave_mttr_s: float = 0.5
+    chaos_corrupt_probability: float = 0.0
+    chaos_duplicate_probability: float = 0.0
+    chaos_reorder_probability: float = 0.0
+    chaos_reorder_delay_s: float = 0.005
+    chaos_duplicate_delay_s: float = 0.002
     max_in_flight: int = 1
     server_step_time_s: float = 0.0
     seed: int = 0
@@ -262,6 +332,65 @@ class TrainingConfig:
                 f"checkpoint_mode must be 'interval' or 'round', "
                 f"got {self.checkpoint_mode!r}"
             )
+        if self.retry_timeout_s <= 0:
+            raise ValueError("retry_timeout_s must be positive")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if self.retry_max < 0:
+            raise ValueError("retry_max must be non-negative")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        if self.retry_timeout_cap_s < self.retry_timeout_s:
+            raise ValueError("retry_timeout_cap_s must be >= retry_timeout_s")
+        if not 0.0 < self.sync_quorum <= 1.0:
+            raise ValueError("sync_quorum must be in (0, 1]")
+        if self.sync_timeout_s is not None and self.sync_timeout_s <= 0:
+            raise ValueError("sync_timeout_s must be positive (or None)")
+        for knob in (
+            "chaos_corrupt_probability",
+            "chaos_duplicate_probability",
+            "chaos_reorder_probability",
+        ):
+            probability = float(getattr(self, knob))
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"{knob} must be in [0, 1]")
+        if self.chaos_reorder_delay_s < 0:
+            raise ValueError("chaos_reorder_delay_s must be non-negative")
+        if self.chaos_duplicate_delay_s < 0:
+            raise ValueError("chaos_duplicate_delay_s must be non-negative")
+        stochastic_chaos = (
+            self.chaos_flap_mtbf_s is not None or self.chaos_leave_mtbf_s is not None
+        )
+        if self.chaos_schedule is not None and stochastic_chaos:
+            raise ValueError(
+                "chaos_schedule and the stochastic chaos MTBF knobs are "
+                "mutually exclusive: use a scripted timeline or stochastic "
+                "churn, not both"
+            )
+        if self.chaos_flap_mtbf_s is not None and self.chaos_flap_mtbf_s <= 0:
+            raise ValueError("chaos_flap_mtbf_s must be positive (or None)")
+        if self.chaos_flap_mttr_s <= 0:
+            raise ValueError("chaos_flap_mttr_s must be positive")
+        if self.chaos_leave_mtbf_s is not None and self.chaos_leave_mtbf_s <= 0:
+            raise ValueError("chaos_leave_mtbf_s must be positive (or None)")
+        if self.chaos_leave_mttr_s <= 0:
+            raise ValueError("chaos_leave_mttr_s must be positive")
+        if self.chaos_schedule:
+            # Malformed entries would otherwise surface as IndexErrors
+            # deep inside ScheduledFaults during trainer construction.
+            known_kinds = {"flap", "leave", "partition", "straggler", "move"}
+            for entry in self.chaos_schedule:
+                if len(entry) < 1 or str(entry[0]) not in known_kinds:
+                    kinds = ", ".join(sorted(known_kinds))
+                    raise ValueError(
+                        f"chaos_schedule entries must start with one of "
+                        f"{kinds}; got {entry!r}"
+                    )
+                if len(entry) < 2 or float(entry[1]) < 0:  # type: ignore[arg-type]
+                    raise ValueError(
+                        f"chaos_schedule entry {entry!r} needs a "
+                        "non-negative start time as its second element"
+                    )
         if self.failure_schedule:
             # An out-of-range shard id would silently never fire (the
             # engine only peeks the timelines of existing shards), so the
@@ -300,6 +429,25 @@ class TrainingConfig:
     def failures_enabled(self) -> bool:
         """True when either failure-injection mechanism is configured."""
         return bool(self.failure_schedule) or self.failure_mtbf_s is not None
+
+    @property
+    def chaos_enabled(self) -> bool:
+        """True when any chaos-plane fault injection is configured."""
+        return (
+            bool(self.chaos_schedule)
+            or self.chaos_flap_mtbf_s is not None
+            or self.chaos_leave_mtbf_s is not None
+            or self.message_chaos_enabled
+        )
+
+    @property
+    def message_chaos_enabled(self) -> bool:
+        """True when per-message corruption/duplication/reordering is on."""
+        return (
+            self.chaos_corrupt_probability > 0
+            or self.chaos_duplicate_probability > 0
+            or self.chaos_reorder_probability > 0
+        )
 
     @property
     def client_optimizer_kwargs(self) -> Dict[str, float]:

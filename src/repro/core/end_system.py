@@ -163,6 +163,15 @@ class EndSystem:
         self.optimizer.step()
         self.updates_applied += 1
 
+    def has_pending(self, batch_id: int) -> bool:
+        """Whether ``batch_id`` is still awaiting its server gradient.
+
+        Reliable delivery can land duplicate gradient copies; only the
+        first completes back-propagation — the engine guards the landing
+        with this check so later copies are silently dropped.
+        """
+        return batch_id in self._pending
+
     def discard_pending(self, batch_id: Optional[int] = None) -> int:
         """Drop pending activations (all of them when ``batch_id`` is ``None``).
 

@@ -94,6 +94,8 @@ from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..chaos.message_chaos import DUPLICATE_ARRIVAL_KEY
+from ..chaos.plan import FaultEvent, FaultPlan
 from ..cluster.coordinator import ClusterCoordinator
 from ..cluster.failover import FailoverPolicy, FailureModel, ShardTransition
 from ..cluster.shard import ServerShard
@@ -161,6 +163,16 @@ class EngineStats:
                                 #: uplinks that arrived at a dead hub) — every
                                 #: one notifies its client via ``notify_drop``
     checkpoints_written: int = 0  #: per-shard checkpoints captured to the store
+    retries: int = 0            #: reliable-delivery retransmissions shipped
+    gave_up: int = 0            #: transfers abandoned after every retry was
+                                #: physically lost (each notifies its client)
+    deduped: int = 0            #: duplicate copies absorbed by the idempotent
+                                #: receiver (retransmissions + chaos duplicates)
+    quorum_syncs: int = 0       #: degraded "average" barriers fired on a
+                                #: quorum after the sync timeout expired
+    sync_timeouts: int = 0      #: sync timeouts that released the parked
+                                #: shards without any sync (quorum not met)
+    chaos_events: int = 0       #: chaos-plane fault events applied
 
     @property
     def mean_nack_delay_s(self) -> float:
@@ -188,6 +200,12 @@ class EngineStats:
             "clients_reassigned": self.clients_reassigned,
             "failover_dropped": self.failover_dropped,
             "checkpoints_written": self.checkpoints_written,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "deduped": self.deduped,
+            "quorum_syncs": self.quorum_syncs,
+            "sync_timeouts": self.sync_timeouts,
+            "chaos_events": self.chaos_events,
         }
 
 
@@ -196,7 +214,8 @@ class _ShardRuntime:
 
     __slots__ = ("shard", "in_transit", "deferred", "waiting", "accepted",
                  "next_free", "dispatch_scheduled", "clock", "active",
-                 "generation", "round_index", "chain_idle", "last_checkpoint_s")
+                 "generation", "round_index", "chain_idle", "last_checkpoint_s",
+                 "service_factor")
 
     def __init__(self, shard: ServerShard) -> None:
         self.shard = shard
@@ -232,6 +251,11 @@ class _ShardRuntime:
         #: (``checkpoint_mode="round"`` cadence; spans epochs like the
         #: round clock does).
         self.last_checkpoint_s = 0.0
+        #: Chaos-plane straggler multiplier on the shard's service time
+        #: (``1.0`` = nominal speed; ``x * 1.0`` is exact in IEEE-754, so
+        #: an un-straggled shard's timing is bit-identical to a build
+        #: without the chaos plane).
+        self.service_factor = 1.0
 
 
 class TrainingEngine:
@@ -287,6 +311,7 @@ class TrainingEngine:
         failure_model: Optional[FailureModel] = None,
         failover: Optional[FailoverPolicy] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.end_systems = list(end_systems)
         if cluster is None:
@@ -320,6 +345,22 @@ class TrainingEngine:
         self.failure_model = failure_model
         self.failover = failover
         self.checkpoint_store = checkpoint_store
+        #: Chaos plane: scripted/stochastic network and client faults,
+        #: injected as simulator events exactly like shard failures.
+        self.fault_plan = fault_plan
+        #: Retry-timeout jitter stream (reliable delivery only): seeded
+        #: from the run seed so identical configs retry identically;
+        #: ``None`` with the feature off so no RNG state even exists.
+        self._retry_rng: Optional[np.random.Generator] = (
+            np.random.default_rng(config.seed + 15485863)
+            if config.reliable_delivery else None
+        )
+        #: Whether arriving uplink copies must be deduplicated: reliable
+        #: delivery retransmits, and chaos duplication clones — either
+        #: one can land several copies of a single logical message.
+        self._dedup_enabled = (
+            config.reliable_delivery or config.chaos_duplicate_probability > 0.0
+        )
         # Deferred sends of clients whose shard is down (async mode):
         # system id -> number of sends to re-issue once the client is
         # failed over or its shard recovers.
@@ -375,6 +416,105 @@ class TrainingEngine:
             return None
         message.arrival_time = network_message.arrival_time
         message.size_bytes = network_message.size_bytes
+        duplicate_arrival = network_message.metadata.get(DUPLICATE_ARRIVAL_KEY)
+        if duplicate_arrival is not None:
+            # Chaos duplication cloned the wire message: both copies land
+            # (the receiver deduplicates), and the barrier/arrival logic
+            # reads the full arrival list from the metadata.
+            message.metadata["wire_arrivals"] = sorted(
+                [network_message.arrival_time, float(duplicate_arrival)]
+            )
+        return message
+
+    def _ship_with_retries(self, ship, at_time: float):
+        """Resolve one reliable transfer's full retry chain eagerly.
+
+        ``ship(t)`` performs one physical send attempt at time ``t`` and
+        returns the wire message (or ``None`` when the network lost it).
+        Attempt ``k`` is acknowledged when its copy arrives within
+        ``min(cap, timeout * backoff**k)`` (plus seeded jitter) of being
+        sent; a missing ack triggers a retransmission at the deadline —
+        even when the earlier copy is merely *late* (a spurious timeout:
+        both copies stay in flight and the receiver deduplicates).  The
+        chain ends at the first in-deadline arrival or after
+        ``retry_max`` retransmissions.
+
+        Returns ``(deliveries, give_up_time)``: the wire messages that
+        physically made it, sorted by arrival (possibly several), and
+        the deadline at which the sender abandons the transfer when
+        ``deliveries`` is empty.  A transfer counts as *given up* only
+        when every attempt was physically lost — a copy that arrives
+        after its deadline still completes the transfer.
+        """
+        config = self.config
+        attempt_time = at_time
+        deliveries = []
+        give_up_time = at_time
+        for attempt in range(config.retry_max + 1):
+            wire = ship(attempt_time)
+            if attempt > 0:
+                self.stats.retries += 1
+            timeout = min(
+                config.retry_timeout_cap_s,
+                config.retry_timeout_s * config.retry_backoff ** attempt,
+            )
+            if config.retry_jitter > 0.0:
+                timeout *= 1.0 + float(
+                    self._retry_rng.uniform(0.0, config.retry_jitter)
+                )
+            deadline = attempt_time + timeout
+            if wire is not None:
+                deliveries.append(wire)
+                if wire.arrival_time <= deadline:
+                    break  # acked in time: the chain ends here
+                # Spurious timeout: the copy is still in flight but the
+                # ack deadline passed — retransmit anyway.
+            give_up_time = deadline
+            attempt_time = deadline
+        deliveries.sort(key=lambda wire: wire.arrival_time)
+        return deliveries, give_up_time
+
+    def _send_uplink_reliable(
+        self,
+        end_system: EndSystem,
+        images: np.ndarray,
+        labels: np.ndarray,
+        at_time: float,
+        round_index: int = 0,
+    ) -> ActivationMessage:
+        """Reliable-delivery uplink: forward once, retransmit until acked.
+
+        Retransmissions reship the *same* smashed activations (the client
+        segment ran exactly once — a retry is a network event, not a
+        recompute).  On delivery the message carries every copy's
+        arrival in ``metadata["wire_arrivals"]`` and is stamped with the
+        earliest; when every attempt was lost, ``metadata["gave_up_at"]``
+        holds the deadline at which the client abandons the batch.
+        """
+        message = end_system.forward_batch(
+            images, labels, round_index=round_index, created_at=at_time
+        )
+        node = self.system_to_node[end_system.system_id]
+        payload = {"activations": message.activations, "labels": message.labels}
+        deliveries, give_up_time = self._ship_with_retries(
+            lambda t: self.transport.send_to_server(
+                node, payload, now=t, reliable=True
+            ),
+            at_time,
+        )
+        if not deliveries:
+            message.metadata["gave_up_at"] = give_up_time
+            return message
+        arrivals: List[float] = []
+        for wire in deliveries:
+            arrivals.append(wire.arrival_time)
+            duplicate_arrival = wire.metadata.get(DUPLICATE_ARRIVAL_KEY)
+            if duplicate_arrival is not None:
+                arrivals.append(float(duplicate_arrival))
+        arrivals.sort()
+        message.arrival_time = arrivals[0]
+        message.size_bytes = deliveries[0].size_bytes
+        message.metadata["wire_arrivals"] = arrivals
         return message
 
     def _send_downlink(self, end_system: EndSystem, gradient_message: GradientMessage,
@@ -384,6 +524,27 @@ class TrainingEngine:
             gradient_message.gradient,
             now=at_time,
         )
+
+    def _send_downlink_reliable(
+        self, end_system: EndSystem, gradient_message: GradientMessage,
+        at_time: float,
+    ):
+        """Reliable-delivery downlink (``(deliveries, give_up_time)``)."""
+        node = self.system_to_node[end_system.system_id]
+        return self._ship_with_retries(
+            lambda t: self.transport.send_to_end_system(
+                node, gradient_message.gradient, now=t, reliable=True
+            ),
+            at_time,
+        )
+
+    @staticmethod
+    def _uplink_arrivals(message: ActivationMessage) -> List[float]:
+        """Every wire arrival of a delivered uplink message (sorted)."""
+        arrivals = message.metadata.get("wire_arrivals")
+        if arrivals is None:
+            return [message.arrival_time]
+        return list(arrivals)
 
     def _send_nack(self, sim: Simulator, message: ActivationMessage,
                    end_system: EndSystem, on_notified=None) -> None:
@@ -427,6 +588,15 @@ class TrainingEngine:
                on_notified=None, sent_generation: Optional[int] = None) -> bool:
         """Resolve an arrival: enqueue it, or shed it and NACK the client."""
         runtime.in_transit -= 1
+        if self._dedup_enabled and runtime.shard.has_seen(message.sequence):
+            # Duplicate copy (retransmission or chaos clone) of a
+            # sequence the shard already ruled on: absorb it silently.
+            # The charge/credit pair is net zero in the drop ledger and
+            # the original copy owns the batch's fate — no NACK, no
+            # client notification, whatever that fate was.
+            runtime.shard.queue.charge_drop()
+            self.stats.deduped += 1
+            return False
         stale = (
             sent_generation is not None
             and runtime.generation != sent_generation
@@ -439,12 +609,30 @@ class TrainingEngine:
             # notification path a queue drop uses; there is no server
             # context left to NACK from, so the client learns immediately
             # (the timeout abstraction again).
+            if message.metadata.get("reliability_resolved"):
+                # A sibling copy of this transfer already resolved the
+                # batch's fate at this dead/severed shard: later copies
+                # must neither notify again nor mint another send token.
+                return False
+            if self._dedup_enabled:
+                message.metadata["reliability_resolved"] = True
             self.stats.failover_dropped += 1
             end_system.notify_drop(message.batch_id)
             if on_notified is not None:
                 on_notified(sim)
             return False
-        if runtime.shard.receive(message):
+        if self._dedup_enabled:
+            # Idempotent admission: the shard remembers every sequence it
+            # rules on, so a copy landing later takes the dedup branch
+            # above — including copies of a *rejected* sequence, which
+            # must not trigger a second NACK.
+            outcome = runtime.shard.admit(message)
+            if outcome == "ok":
+                return True
+            if outcome == "dup":  # raced with the has_seen check above
+                self.stats.deduped += 1
+                return False
+        elif runtime.shard.receive(message):
             return True
         self.stats.queue_drops += 1
         self._send_nack(sim, message, end_system, on_notified=on_notified)
@@ -461,7 +649,8 @@ class TrainingEngine:
     def _broadcast_weights(self, sim: Simulator, source: _ShardRuntime,
                            at_time: float, merge_on_landing: bool,
                            delivered: Optional[Dict[int, set]] = None,
-                           snapshot_out: Optional[Dict[int, Dict]] = None) -> float:
+                           snapshot_out: Optional[Dict[int, Dict]] = None,
+                           among: Optional[set] = None) -> float:
         """Ship one shard's weight snapshot to every other shard.
 
         Returns the latest arrival time among the delivered snapshots
@@ -474,7 +663,9 @@ class TrainingEngine:
         snapshot genuinely never contributes to its destination.
         ``snapshot_out`` receives the shipped copy keyed by source shard
         id, so the barrier can average exactly what travelled the wire
-        without snapshotting a second time.
+        without snapshotting a second time.  ``among`` (shard ids)
+        restricts the destinations — a quorum-degraded barrier exchanges
+        weights among the present shards only.
         """
         snapshot = source.shard.weights_snapshot()
         if snapshot_out is not None:
@@ -482,6 +673,8 @@ class TrainingEngine:
         latest_arrival = at_time
         for destination in self._runtimes:
             if destination is source or not destination.shard.healthy:
+                continue
+            if among is not None and destination.shard.shard_id not in among:
                 continue
             sync_message = self.transport.send_between_servers(
                 source.shard.node_name, destination.shard.node_name,
@@ -813,6 +1006,79 @@ class TrainingEngine:
         self._epoch_hooks["on_shard_up"](sim, runtime)
 
     # ------------------------------------------------------------------ #
+    # Chaos plane: link flaps, partitions, churn, stragglers
+    # ------------------------------------------------------------------ #
+    def _schedule_chaos_events(self, sim: Simulator) -> None:
+        """Schedule the fault plan's next pending event.
+
+        Mirrors the failure-injection machinery: the plan's timeline is
+        in absolute simulated time and spans epochs, each applied event
+        re-schedules the next peek, and an event firing after the
+        epoch's real work is done stays pending (not advanced) so the
+        next epoch re-schedules it.
+        """
+        if self.fault_plan is None:
+            return
+        self._schedule_next_chaos(sim)
+
+    def _schedule_next_chaos(self, sim: Simulator) -> None:
+        event = self.fault_plan.peek()
+        if event is None:
+            return
+        sim.schedule(
+            max(event.time, sim.now),
+            lambda s, ev=event: self._on_chaos_event(s, ev),
+            priority=PRIORITY_FAILURE,
+            label=f"chaos-{event.kind}",
+        )
+
+    def _on_chaos_event(self, sim: Simulator, event: FaultEvent) -> None:
+        if not self._epoch_hooks["live"]():
+            return
+        self.fault_plan.advance()
+        self._apply_chaos_event(sim, event)
+        self._schedule_next_chaos(sim)
+
+    def _apply_chaos_event(self, sim: Simulator, event: FaultEvent) -> None:
+        """Apply one fault-plan event to the topology / cluster / runtime.
+
+        * ``flap``/``leave`` — the client's access link goes down at
+          ``begin`` and comes back at ``end``; in-flight and future
+          sends are lost on the wire and funnel through the ordinary
+          loss (or retry) paths, so no special stranding is needed.
+        * ``partition`` — the hub↔hub edge is administratively
+          partitioned (both directions) until the matching ``end``.
+        * ``straggler`` — the shard's service time is multiplied by
+          ``value`` until the matching ``end`` restores ``1.0``.
+        * ``move`` — client churn/mobility: the client is reassigned to
+          the target shard through the same machinery failover uses
+          (topology reroute + runtime migration + chain restart hooks).
+        """
+        self.stats.chaos_events += 1
+        topology = self.transport.topology
+        if event.kind in ("flap", "leave"):
+            node = self.system_to_node[int(event.target)]
+            topology.set_node_up(node, event.phase == "end")
+            logger.info("chaos: %s %s for %s at t=%.4fs", event.kind,
+                        event.phase, node, sim.now)
+        elif event.kind == "partition":
+            node_a = self._runtimes[int(event.target)].shard.node_name
+            node_b = self._runtimes[int(event.peer)].shard.node_name
+            topology.set_edge_partitioned(node_a, node_b,
+                                          event.phase == "begin")
+            logger.info("chaos: partition %s between %s and %s at t=%.4fs",
+                        event.phase, node_a, node_b, sim.now)
+        elif event.kind == "straggler":
+            runtime = self._runtimes[int(event.target)]
+            runtime.service_factor = (
+                float(event.value) if event.phase == "begin" else 1.0
+            )
+        elif event.kind == "move":
+            self._apply_reassignment(
+                sim, {int(event.target): int(event.value)}
+            )
+
+    # ------------------------------------------------------------------ #
     # Synchronous mode: rounds as barrier events
     # ------------------------------------------------------------------ #
     def run_synchronous_epoch(
@@ -900,6 +1166,7 @@ class TrainingEngine:
             )
             in_flight = 0
             last_arrival = runtime.clock
+            latest_give_up = runtime.clock
             for end_system in senders:
                 if end_system.system_id not in runtime.active:
                     continue
@@ -912,23 +1179,43 @@ class TrainingEngine:
                 except StopIteration:
                     runtime.active.discard(end_system.system_id)
                     continue
-                message = self._send_uplink(
-                    end_system, images, labels, runtime.clock, round_index=round_index
-                )
-                if message is None:
-                    # The link dropped the batch; the client forgets it and
-                    # ships its next batch when the following round starts.
-                    continue
-                runtime.in_transit += 1
+                if self.config.reliable_delivery:
+                    message = self._send_uplink_reliable(
+                        end_system, images, labels, runtime.clock,
+                        round_index=round_index,
+                    )
+                    gave_up_at = message.metadata.get("gave_up_at")
+                    if gave_up_at is not None:
+                        # Every retry was physically lost.  The client
+                        # learns at the give-up deadline and ships its
+                        # next batch when the following round starts —
+                        # the same cadence as the unreliable loss path.
+                        self.stats.gave_up += 1
+                        end_system.notify_drop(message.batch_id)
+                        latest_give_up = max(latest_give_up, gave_up_at)
+                        continue
+                else:
+                    message = self._send_uplink(
+                        end_system, images, labels, runtime.clock,
+                        round_index=round_index,
+                    )
+                    if message is None:
+                        # The link dropped the batch; the client forgets it
+                        # and ships its next batch when the following round
+                        # starts.
+                        continue
+                arrivals = self._uplink_arrivals(message)
+                runtime.in_transit += len(arrivals)
                 in_flight += 1
-                last_arrival = max(last_arrival, message.arrival_time)
-                sim.schedule(
-                    message.arrival_time,
-                    lambda s, m=message, e=end_system, r=runtime,
-                    g=runtime.generation: on_arrival(s, m, e, r, g),
-                    priority=PRIORITY_ARRIVAL,
-                    label="uplink-arrival",
-                )
+                last_arrival = max(last_arrival, arrivals[-1])
+                for arrival in arrivals:
+                    sim.schedule(
+                        arrival,
+                        lambda s, m=message, e=end_system, r=runtime,
+                        g=runtime.generation: on_arrival(s, m, e, r, g),
+                        priority=PRIORITY_ARRIVAL,
+                        label="uplink-arrival",
+                    )
             self.stats.rounds += 1
             if in_flight:
                 generation = runtime.generation
@@ -947,8 +1234,14 @@ class TrainingEngine:
                 )
             elif runtime.active:
                 # Every send this round was dropped in transit; retry
-                # immediately — the simulated clock does not advance.
-                schedule_round_start(sim.now, runtime, round_index + 1)
+                # immediately — the simulated clock does not advance
+                # (reliable delivery is the exception: abandoned retry
+                # chains occupied the sender until their give-up
+                # deadlines, so the round clock moves there instead of
+                # spinning at a frozen instant).
+                runtime.clock = max(runtime.clock, latest_give_up)
+                schedule_round_start(max(sim.now, runtime.clock), runtime,
+                                     round_index + 1)
             else:
                 finish_shard(sim, runtime)
 
@@ -965,6 +1258,42 @@ class TrainingEngine:
                 (message.arrival_time for message in arrived_messages),
                 default=runtime.clock,
             )
+            if runtime.service_factor != 1.0:
+                # Chaos straggler: the shard serves slower, so the drain
+                # completes late by the extra service time and every
+                # gradient of the round ships late with it.  The stall is
+                # a real simulated-time delay, so the drain is re-parked
+                # at the stalled instant — a rendezvous quorum timer must
+                # get the chance to fire before the straggler shows up.
+                latest_arrival += (
+                    self.config.server_step_time_s
+                    * (runtime.service_factor - 1.0)
+                )
+                if latest_arrival > sim.now:
+                    generation = runtime.generation
+
+                    def fire_drain(drain_sim: Simulator,
+                                   msgs=arrived_messages, t=latest_arrival,
+                                   r=round_index, rt=runtime,
+                                   gen=generation) -> None:
+                        # A crash during the stall flushed the queued
+                        # messages (with notifications) already; the
+                        # orphaned drain must not double-process them.
+                        if rt.generation != gen or not rt.shard.healthy:
+                            return
+                        drain_round(drain_sim, r, rt, msgs, t)
+
+                    sim.schedule(latest_arrival, fire_drain,
+                                 priority=PRIORITY_DISPATCH,
+                                 label="straggler-drain")
+                    return
+            drain_round(sim, round_index, runtime, arrived_messages,
+                        latest_arrival)
+
+        def drain_round(sim: Simulator, round_index: int,
+                        runtime: _ShardRuntime,
+                        arrived_messages: List[ActivationMessage],
+                        latest_arrival: float) -> None:
             gradient_arrivals = [latest_arrival]
             if self.config.server_batching:
                 # The concatenated step cannot start before the shard's
@@ -988,6 +1317,24 @@ class TrainingEngine:
                     count=activation_message.batch_size,
                 )
                 end_system = self._by_id[activation_message.end_system_id]
+                if self.config.reliable_delivery:
+                    deliveries, give_up_time = self._send_downlink_reliable(
+                        end_system, gradient_message, send_time
+                    )
+                    if not deliveries:
+                        # Every retry lost: the client abandons the batch
+                        # at the give-up deadline, which also holds its
+                        # next round back (the sender was busy retrying).
+                        self.stats.gave_up += 1
+                        end_system.notify_drop(gradient_message.batch_id)
+                        gradient_arrivals.append(give_up_time)
+                        continue
+                    # The earliest copy completes back-propagation; any
+                    # spurious-timeout duplicates change nothing (the
+                    # gradient is applied inline exactly once).
+                    gradient_arrivals.append(deliveries[0].arrival_time)
+                    end_system.apply_gradient(gradient_message)
+                    continue
                 downlink = self._send_downlink(end_system, gradient_message, send_time)
                 if downlink is None:
                     end_system.notify_drop(gradient_message.batch_id)
@@ -1010,8 +1357,14 @@ class TrainingEngine:
             if self._sync_due(round_index + 1) and self._healthy_count() > 1:
                 if self.cluster.sync_mode == "average":
                     # Park this shard at the rendezvous; the sync fires
-                    # once every still-running healthy shard has arrived.
+                    # once every still-running healthy shard has arrived
+                    # — or, with a sync timeout configured, when the
+                    # quorum timer the *first* parked shard started runs
+                    # out (degraded sync without the stragglers).
                     arrived[runtime.shard.shard_id] = round_index
+                    if (self.config.sync_timeout_s is not None
+                            and len(arrived) == 1):
+                        schedule_sync_timeout(sim)
                     maybe_fire_sync(sim)
                     return
                 # Staleness gossip: snapshots broadcast now, merges land
@@ -1042,6 +1395,73 @@ class TrainingEngine:
             runtime.clock = max(runtime.clock, sim.now)
             schedule_round_start(runtime.clock, runtime, runtime.round_index + 1)
 
+        # Quorum-degraded sync state: the epoch counter orphans a pending
+        # timeout once its rendezvous resolved (normally or degraded),
+        # and the event handle lets a normal resolution *cancel* the
+        # timeout outright so a retracted timer never stretches the
+        # simulated end time.
+        sync_state: Dict[str, object] = {"epoch": 0, "event": None}
+
+        def resolve_rendezvous(sim: Simulator) -> None:
+            sync_state["epoch"] += 1
+            event = sync_state["event"]
+            if event is not None:
+                sim.cancel(event)
+                sync_state["event"] = None
+
+        def schedule_sync_timeout(sim: Simulator) -> None:
+            epoch = sync_state["epoch"]
+
+            def fire_timeout(timeout_sim: Simulator) -> None:
+                if sync_state["epoch"] != epoch:
+                    return
+                sync_state["event"] = None
+                on_sync_timeout(timeout_sim)
+
+            sync_state["event"] = sim.schedule(
+                sim.now + self.config.sync_timeout_s, fire_timeout,
+                priority=PRIORITY_DISPATCH, label="sync-timeout",
+            )
+
+        def on_sync_timeout(sim: Simulator) -> None:
+            # The first shard has been parked at the rendezvous for a
+            # full sync timeout and stragglers are still out there.
+            # With a quorum of the healthy running shards present, fire
+            # a *degraded* sync among the present shards only; otherwise
+            # release everyone un-synced — either way nobody waits on
+            # the stragglers any longer.
+            if not arrived:
+                return
+            healthy_unfinished = sum(
+                1 for runtime in self._runtimes
+                if runtime.shard.healthy
+                and runtime.shard.shard_id not in finished
+            )
+            participant_runtimes = [
+                runtime for runtime in self._runtimes
+                if runtime.shard.healthy
+                and (runtime.shard.shard_id in arrived
+                     or runtime.shard.shard_id in finished)
+            ]
+            quorum_met = (
+                len(arrived) >= self.config.sync_quorum * healthy_unfinished
+                and len(participant_runtimes) >= 2
+            )
+            if quorum_met:
+                self.stats.quorum_syncs += 1
+                resolve_rendezvous(sim)
+                fire_sync(sim, participant_runtimes, restrict=True)
+                return
+            self.stats.sync_timeouts += 1
+            resolve_rendezvous(sim)
+            for runtime in self._runtimes:
+                round_index = arrived.get(runtime.shard.shard_id)
+                if round_index is None or not runtime.shard.healthy:
+                    continue
+                runtime.clock = max(runtime.clock, sim.now)
+                schedule_round_start(runtime.clock, runtime, round_index + 1)
+            arrived.clear()
+
         def maybe_fire_sync(sim: Simulator) -> None:
             if not arrived:
                 return
@@ -1055,14 +1475,23 @@ class TrainingEngine:
                 # a crashed shard can never arrive and must not hang the
                 # barrier (its rendezvous entry was dropped at crash time).
                 return
+            resolve_rendezvous(sim)
             # Full-averaging barrier: every healthy shard (finished ones
             # too — their weights still count) broadcasts its snapshot,
             # and the parked shards resume once the slowest transfer has
             # landed.
-            healthy_runtimes = [
-                runtime for runtime in self._runtimes if runtime.shard.healthy
-            ]
+            fire_sync(
+                sim,
+                [runtime for runtime in self._runtimes if runtime.shard.healthy],
+                restrict=False,
+            )
+
+        def fire_sync(sim: Simulator, healthy_runtimes: List[_ShardRuntime],
+                      restrict: bool) -> None:
             sync_start = max([sim.now] + [rt.clock for rt in healthy_runtimes])
+            participant_ids = {
+                runtime.shard.shard_id for runtime in healthy_runtimes
+            }
             sync_done = sync_start
             delivered: Dict[int, set] = {}
             snapshots: Dict[int, Dict] = {}
@@ -1072,7 +1501,9 @@ class TrainingEngine:
                     self._broadcast_weights(sim, runtime, sync_start,
                                             merge_on_landing=False,
                                             delivered=delivered,
-                                            snapshot_out=snapshots),
+                                            snapshot_out=snapshots,
+                                            among=participant_ids
+                                            if restrict else None),
                 )
             complete = all(
                 len(delivered.get(runtime.shard.shard_id, ()))
@@ -1100,9 +1531,13 @@ class TrainingEngine:
                 # diverge under loss exactly like a real deployment's.
                 # The coordinator skips shards that crashed since the
                 # broadcast; their rendezvous release below is skipped
-                # too (a recovery restarts the chain instead).
+                # too (a recovery restarts the chain instead).  A
+                # quorum-degraded barrier restricts the average (and the
+                # install) to the shards that made the rendezvous —
+                # stragglers neither contribute nor receive.
                 self.cluster.sync_average(
-                    None if complete else delivered, snapshots=snapshots
+                    None if complete else delivered, snapshots=snapshots,
+                    participants=sorted(participant_ids) if restrict else None,
                 )
                 self.stats.weight_syncs += 1
                 # The installed average is durable cluster state: a crash
@@ -1111,7 +1546,10 @@ class TrainingEngine:
                 # newer checkpoint supersedes it).
                 self.cluster.last_sync_time_s = sim.now
                 for runtime in self._runtimes:
-                    if runtime.shard.healthy:
+                    if runtime.shard.healthy and (
+                        not restrict
+                        or runtime.shard.shard_id in participant_ids
+                    ):
                         runtime.shard.note_recovery_point(sim.now, "sync")
                 for runtime in self._runtimes:
                     ticket = released.get(runtime.shard.shard_id)
@@ -1131,6 +1569,10 @@ class TrainingEngine:
             # The crashed shard cannot resume from a rendezvous it was
             # parked at — and the survivors must not wait for it.
             arrived.pop(runtime.shard.shard_id, None)
+            if not arrived:
+                # The rendezvous emptied out: retract its quorum timer so
+                # a later, unrelated park starts a fresh one.
+                resolve_rendezvous(sim)
             maybe_fire_sync(sim)
 
         self._epoch_hooks = {
@@ -1146,6 +1588,7 @@ class TrainingEngine:
                 if runtime.shard.healthy:
                     schedule_round_start(runtime.clock, runtime, 0)
             self._schedule_failure_events(sim)
+            self._schedule_chaos_events(sim)
             self._schedule_checkpoint_events(sim)
             sim.run()
         finally:
@@ -1184,6 +1627,15 @@ class TrainingEngine:
         sim = Simulator()
         exhausted: set = set()
         in_flight: Dict[int, Tuple[ActivationMessage, EndSystem]] = {}
+        # Reliable delivery: transfers whose every retry was physically
+        # lost, keyed by (system id, batch id) and resolved by a give-up
+        # event at the retry chain's final deadline (a budget stop drains
+        # them as plain cancellations instead — the losses were absorbed,
+        # so no drop notification is owed).
+        pending_giveups: Dict[Tuple[int, int], Tuple[EndSystem, int]] = {}
+        # Gradient transfers that already completed back-propagation —
+        # the landing guard that makes duplicate downlink copies inert.
+        landed: set = set()
         self._stranded = {}
         for runtime in self._runtimes:
             runtime.in_transit = 0
@@ -1215,21 +1667,49 @@ class TrainingEngine:
             except StopIteration:
                 exhausted.add(end_system.system_id)
                 return
-            message = self._send_uplink(end_system, images, labels, at_time)
-            if message is None:
-                # Dropped in transit; the lost batch is forgotten and the
-                # client immediately computes its next one.
-                try_send(end_system, at_time)
-                return
-            runtime.in_transit += 1
+            if self.config.reliable_delivery:
+                message = self._send_uplink_reliable(
+                    end_system, images, labels, at_time
+                )
+                gave_up_at = message.metadata.get("gave_up_at")
+                if gave_up_at is not None:
+                    # Every retry was physically lost: the client keeps
+                    # the batch pending until the give-up deadline, then
+                    # abandons it and computes its next one.
+                    key = (end_system.system_id, message.batch_id)
+                    pending_giveups[key] = (end_system, message.batch_id)
+
+                    def fire_give_up(give_up_sim: Simulator, k=key,
+                                     e=end_system, m=message) -> None:
+                        if pending_giveups.pop(k, None) is None:
+                            return  # already drained by a budget stop
+                        self.stats.gave_up += 1
+                        e.notify_drop(m.batch_id)
+                        try_send(e, give_up_sim.now)
+
+                    sim.schedule(gave_up_at, fire_give_up,
+                                 priority=PRIORITY_LANDING,
+                                 label="uplink-give-up")
+                    return
+                arrivals = self._uplink_arrivals(message)
+            else:
+                message = self._send_uplink(end_system, images, labels, at_time)
+                if message is None:
+                    # Dropped in transit; the lost batch is forgotten and
+                    # the client immediately computes its next one.
+                    try_send(end_system, at_time)
+                    return
+                arrivals = self._uplink_arrivals(message)
+            runtime.in_transit += len(arrivals)
             in_flight[message.sequence] = (message, end_system)
-            sim.schedule(
-                message.arrival_time,
-                lambda s, m=message, e=end_system, r=runtime,
-                g=runtime.generation: on_arrival(s, m, e, r, g),
-                priority=PRIORITY_ARRIVAL,
-                label="uplink-arrival",
-            )
+            for arrival in arrivals:
+                sim.schedule(
+                    arrival,
+                    lambda s, m=message, e=end_system, r=runtime,
+                    g=runtime.generation: on_arrival(s, m, e, r, g),
+                    priority=PRIORITY_ARRIVAL,
+                    label="uplink-arrival",
+                )
 
         def on_arrival(sim: Simulator, message: ActivationMessage,
                        end_system: EndSystem, runtime: _ShardRuntime,
@@ -1289,7 +1769,10 @@ class TrainingEngine:
             self.stats.server_steps += 1
             # The pops above freed queue slots; blocked senders go first.
             release_waiters(sim, runtime, start_time)
-            finish_time = start_time + self.config.server_step_time_s
+            finish_time = (
+                start_time
+                + self.config.server_step_time_s * runtime.service_factor
+            )
             self.clock = max(self.clock, finish_time)
             next_dispatch_at = finish_time
             for activation_message, gradient_message in results:
@@ -1298,6 +1781,48 @@ class TrainingEngine:
                     count=activation_message.batch_size,
                 )
                 end_system = self._by_id[activation_message.end_system_id]
+                if self.config.reliable_delivery:
+                    deliveries, give_up_time = self._send_downlink_reliable(
+                        end_system, gradient_message, finish_time
+                    )
+                    if not deliveries:
+                        # Every retry lost: the client abandons the batch
+                        # at the give-up deadline and moves on then.
+                        key = (end_system.system_id,
+                               gradient_message.batch_id)
+                        pending_giveups[key] = (end_system,
+                                                gradient_message.batch_id)
+
+                        def fire_give_up(give_up_sim: Simulator, k=key,
+                                         e=end_system,
+                                         g=gradient_message) -> None:
+                            if pending_giveups.pop(k, None) is None:
+                                return
+                            self.stats.gave_up += 1
+                            e.notify_drop(g.batch_id)
+                            try_send(e, give_up_sim.now)
+
+                        self.clock = max(self.clock, give_up_time)
+                        sim.schedule(give_up_time, fire_give_up,
+                                     priority=PRIORITY_LANDING,
+                                     label="downlink-give-up")
+                        continue
+                    # The earliest copy completes back-propagation; any
+                    # later duplicates are absorbed by the landing guard.
+                    # The shard's flow control waits only on that first
+                    # copy — a spurious duplicate must not throttle it.
+                    arrival = deliveries[0].arrival_time
+                    next_dispatch_at = max(next_dispatch_at, arrival)
+                    self.clock = max(self.clock, arrival)
+                    for wire in deliveries:
+                        sim.schedule(
+                            wire.arrival_time,
+                            lambda s, e=end_system,
+                            g=gradient_message: land(s, e, g),
+                            priority=PRIORITY_LANDING,
+                            label="gradient-landing",
+                        )
+                    continue
                 downlink = self._send_downlink(end_system, gradient_message, finish_time)
                 if downlink is None:
                     end_system.notify_drop(gradient_message.batch_id)
@@ -1344,6 +1869,14 @@ class TrainingEngine:
 
         def land(sim: Simulator, end_system: EndSystem,
                  gradient_message: GradientMessage) -> None:
+            if self.config.reliable_delivery:
+                # Only the first copy of a gradient completes the batch;
+                # spurious-timeout duplicates land and evaporate (and
+                # must not mint extra send tokens).
+                key = (end_system.system_id, gradient_message.batch_id)
+                if key in landed:
+                    return
+                landed.add(key)
             end_system.apply_gradient(gradient_message)
             # The client computes its next batch as soon as the gradient lands.
             try_send(end_system, sim.now)
@@ -1359,6 +1892,14 @@ class TrainingEngine:
                 end_system.discard_pending(message.batch_id)
                 self.stats.cancelled_at_stop += 1
             in_flight.clear()
+            # Pending reliable-delivery give-ups resolve as plain
+            # cancellations: their losses were absorbed into the retry
+            # ledger, so no drop notification is owed (and none may be
+            # issued, or the cross-layer balance would tilt).
+            for end_system, batch_id in pending_giveups.values():
+                end_system.discard_pending(batch_id)
+                self.stats.cancelled_at_stop += 1
+            pending_giveups.clear()
             # Queue-dropped batches whose NACK is still in flight resolve
             # as if the NACK had just landed (they were already counted
             # as queue drops, not cancellations).
@@ -1424,6 +1965,7 @@ class TrainingEngine:
                 for _ in range(self.config.max_in_flight):
                     try_send(end_system, self.clock)
             self._schedule_failure_events(sim)
+            self._schedule_chaos_events(sim)
             self._schedule_checkpoint_events(sim)
             sim.run()
         finally:

@@ -98,6 +98,25 @@ class TrainingHistory:
         """All epoch records as flat dictionaries."""
         return [record.as_dict() for record in self.records]
 
+    def reliability(self) -> Dict[str, float]:
+        """Fault-plane and reliable-delivery counters for the run.
+
+        Collects the chaos/retry statistics the trainer publishes into
+        ``queue_stats`` and ``traffic`` into one flat view.  Empty for
+        fault-free runs with reliability off, so downstream tables can
+        skip the columns entirely.
+        """
+        merged: Dict[str, float] = {}
+        for key in ("retries", "gave_up", "deduped", "quorum_syncs",
+                    "sync_timeouts", "chaos_events"):
+            if key in self.queue_stats:
+                merged[key] = self.queue_stats[key]
+        for key in ("retried_messages", "corrupted_messages",
+                    "duplicated_messages", "reordered_messages"):
+            if key in self.traffic:
+                merged[key] = float(self.traffic[key])
+        return merged
+
     def summary(self) -> Dict[str, object]:
         """Run-level summary combining accuracy, traffic and queue statistics."""
         return {
@@ -108,5 +127,6 @@ class TrainingHistory:
             "total_simulated_time_s": self.total_simulated_time,
             "traffic": dict(self.traffic),
             "queue": dict(self.queue_stats),
+            "reliability": self.reliability(),
             "per_system_accuracy": dict(self.per_system_accuracy),
         }

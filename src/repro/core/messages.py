@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
 
@@ -39,7 +39,9 @@ class ActivationMessage:
     arrival_time: float = 0.0
     size_bytes: int = 0
     sequence: int = field(default_factory=lambda: next(_ACTIVATION_COUNTER))
-    metadata: Dict[str, float] = field(default_factory=dict)
+    #: Engine-side annotations riding the message (reliable delivery
+    #: stamps the wire-arrival list and give-up/resolution flags here).
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.activations = np.asarray(self.activations)
@@ -79,7 +81,7 @@ class GradientMessage:
     created_at: float = 0.0
     arrival_time: float = 0.0
     size_bytes: int = 0
-    metadata: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.gradient = np.asarray(self.gradient)

@@ -280,6 +280,18 @@ class ParameterQueue:
         self._pending.append(message)
         return True
 
+    def charge_drop(self) -> None:
+        """Charge one rejected arrival to this queue's drop counter.
+
+        The admission path for a message refused *without* a push — a
+        duplicate delivery deduplicated at the shard boundary.  Keeping
+        the mutation here (an approved drop-accounting module) lets the
+        ledger's ``queue`` term see every refused arrival while the
+        paired ``deduped`` term cancels it — a duplicate is not new
+        work, so it must not surface as a net drop.
+        """
+        self._dropped += 1
+
     def pop(self, now: Optional[float] = None) -> ActivationMessage:
         """Dequeue the next message according to the scheduling policy."""
         if not self._pending:

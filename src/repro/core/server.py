@@ -125,6 +125,11 @@ class CentralServer:
         self.arena: Optional[ActivationArena] = ActivationArena() if use_arena else None
         self.batches_processed = 0
         self.samples_processed = 0
+        # Every activation sequence this server has ever ruled on
+        # (admitted *or* rejected) — the idempotent-receiver side of
+        # reliable delivery: a retransmitted or chaos-duplicated copy of
+        # a known sequence is deduplicated instead of re-admitted.
+        self._seen_sequences: set = set()
 
     # ------------------------------------------------------------------ #
     # Queue interface
@@ -143,6 +148,29 @@ class CentralServer:
         if admitted and self.arena is not None:
             self.arena.stage(message)
         return admitted
+
+    def admit(self, message: ActivationMessage) -> str:
+        """Idempotent admission: ``"ok"``, ``"full"`` or ``"dup"``.
+
+        A sequence the server has already ruled on (admitted, or
+        rejected by a full queue and NACKed) is a duplicate delivery —
+        a retransmitted copy after a spurious timeout, or a
+        chaos-duplicated uplink message.  The duplicate is charged to
+        the queue's drop counter (it *was* refused at the queue
+        boundary) and reported as ``"dup"`` so the engine can pair it
+        with a ``deduped`` credit: net zero in the drop ledger, no NACK,
+        no client notification — the original copy owns the batch's
+        fate.
+        """
+        if message.sequence in self._seen_sequences:
+            self.queue.charge_drop()
+            return "dup"
+        self._seen_sequences.add(message.sequence)
+        return "ok" if self.receive(message) else "full"
+
+    def has_seen(self, sequence: int) -> bool:
+        """Whether :meth:`admit` has already ruled on ``sequence``."""
+        return sequence in self._seen_sequences
 
     def has_pending(self) -> bool:
         """True when the queue holds unprocessed messages."""

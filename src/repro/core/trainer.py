@@ -85,6 +85,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..backend import use_backend
+from ..chaos import FaultPlan, MessageChaos, build_fault_plan
 from ..cluster.assigner import get_assigner
 from ..cluster.coordinator import ClusterCoordinator
 from ..cluster.failover import (
@@ -128,6 +129,9 @@ _TRAFFIC_COUNTERS = (
     "nack_messages", "nack_bytes", "sync_messages", "sync_bytes",
     "dropped_messages", "uplink_dropped", "downlink_dropped", "nack_dropped",
     "sync_dropped",
+    "retried_messages", "uplink_retried", "downlink_retried",
+    "corrupted_messages", "uplink_corrupted", "downlink_corrupted",
+    "sync_corrupted", "duplicated_messages", "reordered_messages",
 )
 
 
@@ -200,7 +204,21 @@ class SpatioTemporalTrainer:
                 f"topology has {len(hubs)} server hubs but config.num_servers="
                 f"{num_servers}"
             )
-        self.transport = Transport(self.topology)
+        #: Per-message chaos (corruption/duplication/reordering) rides
+        #: inside the transport; ``None`` when no message chaos is on.
+        self.message_chaos: Optional[MessageChaos] = None
+        if self.config.message_chaos_enabled:
+            self.message_chaos = MessageChaos(
+                corrupt_probability=self.config.chaos_corrupt_probability,
+                duplicate_probability=self.config.chaos_duplicate_probability,
+                reorder_probability=self.config.chaos_reorder_probability,
+                reorder_delay_s=self.config.chaos_reorder_delay_s,
+                duplicate_delay_s=self.config.chaos_duplicate_delay_s,
+                # Distinct prime offset so the chaos streams never collide
+                # with the link seeds or the failure/retry streams.
+                seed=self.config.seed + 524_287,
+            )
+        self.transport = Transport(self.topology, chaos=self.message_chaos)
         self.train_transform = train_transform
         self.eval_transform = eval_transform if eval_transform is not None else train_transform
 
@@ -274,6 +292,11 @@ class SpatioTemporalTrainer:
         #: (back-compat alias used throughout the single-server tests).
         self.server = self.cluster.shards[0].server
         failure_model = self._build_failure_model()
+        #: Timeline chaos plan (flaps, churn, partitions, stragglers,
+        #: moves) consumed by the engine; ``None`` without chaos knobs.
+        self.fault_plan: Optional[FaultPlan] = build_fault_plan(
+            self.config, self.num_end_systems
+        )
         if checkpoint_store is None and self.config.checkpoint_every_s is not None:
             if self.config.checkpoint_dir is not None:
                 checkpoint_store = FileCheckpointStore(self.config.checkpoint_dir)
@@ -296,6 +319,7 @@ class SpatioTemporalTrainer:
                 else None
             ),
             checkpoint_store=self.checkpoint_store,
+            fault_plan=self.fault_plan,
         )
         self._clock = 0.0
         #: First epoch index :meth:`train` will run — advanced past the
@@ -391,6 +415,22 @@ class SpatioTemporalTrainer:
             stats["recoveries_from_initial"] = sum(
                 shard.recoveries_from_initial for shard in shards
             )
+        if self.config.reliable_delivery:
+            engine_stats = self.engine.stats
+            stats["retries"] = engine_stats.retries
+            stats["gave_up"] = engine_stats.gave_up
+            stats["deduped"] = engine_stats.deduped
+            stats["quorum_syncs"] = engine_stats.quorum_syncs
+            stats["sync_timeouts"] = engine_stats.sync_timeouts
+        if self.config.chaos_enabled:
+            log = self.transport.log
+            stats["chaos_events"] = self.engine.stats.chaos_events
+            # Chaos duplication dedups at the receiver even without the
+            # reliability layer, so the counter surfaces in both blocks.
+            stats["deduped"] = self.engine.stats.deduped
+            stats["corrupted_messages"] = log.corrupted_messages
+            stats["duplicated_messages"] = log.duplicated_messages
+            stats["reordered_messages"] = log.reordered_messages
         if self.checkpoint_store is not None:
             stats["checkpoints_written"] = self.engine.stats.checkpoints_written
             stats["checkpoint_bytes"] = self.checkpoint_store.bytes_written
@@ -638,6 +678,9 @@ class SpatioTemporalTrainer:
             for name in list(self.topology.end_systems) + list(self.topology.servers)
         }
         failure_model = engine.failure_model
+        rng_streams: Dict[str, np.ndarray] = {}
+        if engine._retry_rng is not None:
+            rng_streams["retry"] = pack_rng_state(engine._retry_rng)
         return RunCheckpoint(
             epoch=int(completed_epochs),
             engine_clock=float(engine.clock),
@@ -661,8 +704,16 @@ class SpatioTemporalTrainer:
             node_health=node_health,
             traffic=traffic,
             link_states=link_states,
+            rng_streams=rng_streams,
             failure_state=(
                 None if failure_model is None else failure_model.state_dict()
+            ),
+            chaos_state=(
+                None if self.fault_plan is None else self.fault_plan.state_dict()
+            ),
+            message_chaos_state=(
+                None if self.message_chaos is None
+                else self.message_chaos.state_dict()
             ),
         )
 
@@ -758,6 +809,15 @@ class SpatioTemporalTrainer:
         self.cluster.syncs_completed = int(run.syncs_completed)
         if run.failure_state is not None and engine.failure_model is not None:
             engine.failure_model.load_state_dict(run.failure_state)
+        if run.chaos_state is not None and self.fault_plan is not None:
+            self.fault_plan.load_state_dict(run.chaos_state)
+        if run.message_chaos_state is not None and self.message_chaos is not None:
+            self.message_chaos.load_state_dict(run.message_chaos_state)
+        packed_retry = run.rng_streams.get("retry")
+        if packed_retry is not None and engine._retry_rng is not None:
+            restore_rng_state(
+                engine._retry_rng, np.asarray(packed_retry, dtype=np.uint8)
+            )
         self._start_epoch = int(run.epoch)
 
     @classmethod

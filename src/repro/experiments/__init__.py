@@ -2,6 +2,7 @@
 
 from .base import ExperimentResult, WorkloadSpec, build_workload
 from .baselines_comparison import run_baselines_comparison
+from .chaos_matrix import run_chaos_matrix
 from .clients_sweep import run_clients_sweep
 from .compression import run_compression
 from .figure4 import PAPER_FIGURE4, run_figure4
@@ -27,6 +28,7 @@ __all__ = [
     "run_staleness",
     "run_clients_sweep",
     "run_baselines_comparison",
+    "run_chaos_matrix",
     "run_compression",
     "run_queue_congestion",
     "run_server_failover",

@@ -1,0 +1,244 @@
+"""Chaos matrix: fault regimes x reliable delivery.
+
+The DSN paper claims a *dependable* split-learning platform, and the
+PR 5/6 cluster already survives shard crashes.  This experiment turns on
+the PR 8 chaos plane — deterministic, seeded injection of link loss,
+message corruption/duplication/reordering, link flaps, hub-to-hub
+partitions and stragglers — and asks the matching question for the
+*network* half of dependability: how much does the reliability layer
+(sequence-numbered transfers with ack/timeout/backoff retries,
+idempotent dedup, quorum-degraded sync) actually buy under each fault
+regime?
+
+The sweep is a matrix of fault regime x ``reliable_delivery``:
+
+* ``clean`` — fault-free control; the reliability-on row must match the
+  off row to the last gradient.  Loss-absorbing retries and give-ups
+  read zero here; with an ack timeout below the far clients' RTT the
+  sender still emits *spurious* retransmissions (the first copy was
+  merely late), which the idempotent receiver absorbs — the ``deduped``
+  column prices exactly that overhead;
+* ``lossy`` — plain i.i.d. link loss (the paper's lossy-network story);
+* ``chaos`` — link loss plus per-message corruption, duplication and
+  reordering at the transport;
+* ``churn`` — a scripted timeline of link flaps, a hub-to-hub partition
+  and a straggling shard, with quorum-degraded sync allowed to proceed
+  without the straggler.
+
+Reported per cell: transport losses, retransmissions, abandoned
+transfers (``gave_up``), duplicates absorbed, chaos counters, degraded
+vs. abandoned syncs, client drop notifications, final accuracy and
+simulated completion time.  Every cell also re-asserts the extended
+drop-accounting balance — the leak-freedom contract is part of the
+experiment, not just the test suite.
+
+Expected shape: under ``lossy``/``chaos`` the reliability layer converts
+transport drops into retries (fewer notifications, better accuracy, a
+little extra simulated time); under ``churn`` quorum sync keeps rounds
+moving while the partition holds.  Identical seeds mean the off/on pairs
+face byte-identical fault streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import TrainingConfig
+from ..core.split import SplitSpec
+from ..core.trainer import SpatioTemporalTrainer
+from ..simnet.topology import multi_hub_star_topology
+from ..utils.logging import get_logger
+from .base import ExperimentResult, WorkloadSpec, build_workload
+
+__all__ = ["run_chaos_matrix", "DEFAULT_REGIMES"]
+
+logger = get_logger("experiments.chaos_matrix")
+
+#: Fault regimes swept by default.  Each value is a dict of
+#: ``TrainingConfig`` overrides plus the pseudo-knob ``link_drop`` that
+#: parameterises the topology's physical loss probability.
+DEFAULT_REGIMES: Dict[str, Dict[str, object]] = {
+    "clean": {},
+    "lossy": {"link_drop": 0.15},
+    "chaos": {
+        "link_drop": 0.1,
+        "chaos_corrupt_probability": 0.05,
+        "chaos_duplicate_probability": 0.05,
+        "chaos_reorder_probability": 0.1,
+    },
+    "churn": {
+        "link_drop": 0.05,
+        "server_step_time_s": 0.004,
+        "sync_quorum": 0.5,
+        "sync_timeout_s": 0.05,
+        # The schedule is phrased in simulated seconds; the tiny
+        # workloads finish in well under a second, so the faults land
+        # mid-run.
+        "chaos_schedule": [
+            ("flap", 0.01, 0.02, 0),
+            ("partition", 0.03, 0.03, 0, 1),
+            ("straggler", 0.02, 0.05, 1, 4.0),
+            ("flap", 0.08, 0.01, 1),
+        ],
+    },
+}
+
+
+def _assert_drop_balance(trainer: SpatioTemporalTrainer, history) -> None:
+    """The extended leak-freedom balance, enforced per experiment cell."""
+    log = trainer.transport.log
+    stats = trainer.engine.stats
+    queue_dropped = sum(shard.queue.dropped for shard in trainer.cluster.shards)
+    notified = sum(es.drops_notified for es in trainer.end_systems)
+    balance = (
+        queue_dropped + log.dropped_messages - log.nack_dropped
+        - log.sync_dropped + stats.failover_dropped - stats.deduped
+        + stats.gave_up
+    )
+    if notified != balance:
+        raise AssertionError(
+            f"drop accounting out of balance: notified={notified} "
+            f"expected={balance} (queue={queue_dropped}, "
+            f"transport={log.dropped_messages}, nack={log.nack_dropped}, "
+            f"sync={log.sync_dropped}, failover={stats.failover_dropped}, "
+            f"deduped={stats.deduped}, gave_up={stats.gave_up})"
+        )
+    leaked = sum(es.pending_batches for es in trainer.end_systems)
+    if leaked:
+        raise AssertionError(f"{leaked} pending activations leaked")
+
+
+def run_chaos_matrix(
+    workload: Optional[WorkloadSpec] = None,
+    regimes: Optional[Dict[str, Dict[str, object]]] = None,
+    reliability_values: Sequence[bool] = (False, True),
+    num_servers: int = 2,
+    retry_timeout_s: float = 0.01,
+    retry_max: int = 3,
+    client_blocks: int = 1,
+    near_latency_s: float = 0.002,
+    far_latency_s: float = 0.05,
+    inter_server_latency_s: float = 0.005,
+) -> ExperimentResult:
+    """Sweep fault regime x reliable delivery on a sharded star.
+
+    Training runs synchronously with ``"average"`` sync so the quorum
+    path is admissible.  The same workload seed drives both halves of
+    each regime pair, so the reliability layer is evaluated against the
+    exact fault stream its control row suffered.
+    """
+    workload = workload if workload is not None else WorkloadSpec.laptop(
+        num_end_systems=16, num_samples=640, epochs=2, batch_size=16,
+    )
+    regimes = regimes if regimes is not None else DEFAULT_REGIMES
+    pieces = build_workload(workload)
+    spec = SplitSpec(pieces["architecture"], client_blocks=client_blocks)
+    latencies = list(np.linspace(near_latency_s, far_latency_s,
+                                 workload.num_end_systems))
+
+    result = ExperimentResult(
+        name="Chaos matrix — fault regimes x reliable delivery "
+             f"({workload.num_end_systems}-client star, {num_servers} shards)",
+        headers=[
+            "regime",
+            "reliable",
+            "dropped",
+            "retried",
+            "gave_up",
+            "deduped",
+            "corrupted",
+            "duplicated",
+            "reordered",
+            "chaos_events",
+            "quorum_syncs",
+            "sync_timeouts",
+            "notified",
+            "train_accuracy_pct",
+            "test_accuracy_pct",
+            "simulated_time_s",
+        ],
+        paper_reference={
+            "figure": "dependability claim (title/Sec. I) — lossy-network extension",
+            "claim": "training must survive an unreliable network, not just "
+                     "unreliable servers; retries, dedup and quorum sync are "
+                     "the transport-side half of the dependability story",
+        },
+        metadata={
+            "workload": workload.__dict__.copy(),
+            "regimes": {name: dict(overrides)
+                        for name, overrides in regimes.items()},
+            "reliability_values": [bool(v) for v in reliability_values],
+            "num_servers": num_servers,
+            "retry_timeout_s": retry_timeout_s,
+            "retry_max": retry_max,
+            "latency_range_s": [near_latency_s, far_latency_s],
+            "inter_server_latency_s": inter_server_latency_s,
+        },
+    )
+
+    for regime_name, overrides in regimes.items():
+        overrides = dict(overrides)
+        link_drop = float(overrides.pop("link_drop", 0.0))
+        for reliable in reliability_values:
+            topology = multi_hub_star_topology(
+                workload.num_end_systems,
+                num_servers,
+                assigner="latency_aware",
+                latencies_s=latencies,
+                drop_probability=link_drop,
+                inter_server_latency_s=inter_server_latency_s,
+                seed=workload.seed,
+            )
+            config = TrainingConfig(
+                epochs=workload.epochs,
+                batch_size=workload.batch_size,
+                num_servers=num_servers,
+                shard_assigner="latency_aware",
+                server_sync_every=1,
+                server_sync_mode="average",
+                reliable_delivery=bool(reliable),
+                retry_timeout_s=retry_timeout_s,
+                retry_max=retry_max,
+                seed=workload.seed,
+                **overrides,
+            )
+            trainer = SpatioTemporalTrainer(
+                spec, pieces["parts"], config, topology=topology,
+                train_transform=pieces["normalize"],
+            )
+            history = trainer.train(pieces["test"],
+                                    evaluate_every=workload.epochs)
+            _assert_drop_balance(trainer, history)
+            log = trainer.transport.log
+            stats = trainer.engine.stats
+            notified = sum(es.drops_notified for es in trainer.end_systems)
+            logger.info(
+                "chaos regime=%s reliable=%s dropped=%d retried=%d "
+                "gave_up=%d deduped=%d chaos_events=%d acc=%.4f "
+                "sim_time=%.3fs",
+                regime_name, reliable, log.dropped_messages,
+                log.retried_messages, stats.gave_up, stats.deduped,
+                stats.chaos_events, history.final_train_accuracy,
+                history.total_simulated_time,
+            )
+            result.add_row([
+                regime_name,
+                "on" if reliable else "off",
+                log.dropped_messages,
+                log.retried_messages,
+                stats.gave_up,
+                stats.deduped,
+                log.corrupted_messages,
+                log.duplicated_messages,
+                log.reordered_messages,
+                stats.chaos_events,
+                stats.quorum_syncs,
+                stats.sync_timeouts,
+                notified,
+                100.0 * history.final_train_accuracy,
+                100.0 * (history.final_test_accuracy or 0.0),
+                history.total_simulated_time,
+            ])
+    return result

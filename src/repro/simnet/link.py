@@ -101,6 +101,11 @@ class Link:
         self._rng = np.random.default_rng(seed)
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: Subset of ``messages_dropped`` lost to administrative outages
+        #: (node down / hub partition) rather than stochastic loss — the
+        #: chaos tests use it to attribute flap- and partition-induced
+        #: losses.
+        self.admin_dropped = 0
         self.bytes_sent = 0
 
     def transfer_time(self, size_bytes: int) -> float:
@@ -130,6 +135,7 @@ class Link:
             # consuming a drop draw, so the loss RNG stream stays aligned
             # with an identically-seeded run that never saw the outage.
             self.messages_dropped += 1
+            self.admin_dropped += 1
             return None
         if self.drop_probability and self._rng.random() < self.drop_probability:
             self.messages_dropped += 1
@@ -152,6 +158,7 @@ class Link:
             "direction": self.direction,
             "messages_sent": self.messages_sent,
             "messages_dropped": self.messages_dropped,
+            "admin_dropped": self.admin_dropped,
             "bytes_sent": self.bytes_sent,
             "drop_rate": self.messages_dropped / max(self.messages_sent, 1),
         }

@@ -149,8 +149,12 @@ class GeoTopology:
         return self.graph.nodes[name].get("up", True)
 
     def _refresh_edge_health(self, node_a: str, node_b: str) -> None:
-        status = self.is_up(node_a) and self.is_up(node_b)
         data = self.graph.edges[node_a, node_b]
+        status = (
+            self.is_up(node_a)
+            and self.is_up(node_b)
+            and not data.get("partitioned", False)
+        )
         data["link"].up = status
         downlink = data.get("downlink")
         if downlink is not None:
@@ -170,6 +174,31 @@ class GeoTopology:
         self.graph.nodes[name]["up"] = bool(up)
         for _, neighbor in self.graph.edges(name):
             self._refresh_edge_health(name, neighbor)
+
+    def set_edge_partitioned(self, node_a: str, node_b: str,
+                             partitioned: bool = True) -> None:
+        """Administratively partition (or heal) the edge between two nodes.
+
+        The chaos plane's hub↔hub partition: both directions of the edge
+        deterministically lose everything while partitioned, independent
+        of the endpoints' own health — and a node crash/recovery during
+        the partition cannot accidentally heal it, because
+        :meth:`_refresh_edge_health` folds the flag into every
+        recomputation.
+        """
+        try:
+            data = self.graph.edges[node_a, node_b]
+        except KeyError:
+            raise KeyError(f"no link between {node_a!r} and {node_b!r}") from None
+        data["partitioned"] = bool(partitioned)
+        self._refresh_edge_health(node_a, node_b)
+
+    def is_edge_partitioned(self, node_a: str, node_b: str) -> bool:
+        """Whether the edge between two nodes is administratively partitioned."""
+        try:
+            return bool(self.graph.edges[node_a, node_b].get("partitioned", False))
+        except KeyError:
+            raise KeyError(f"no link between {node_a!r} and {node_b!r}") from None
 
     def reroute_end_system(self, end_system: str, new_hub: str) -> None:
         """Reattach an end-system's access links to a different server hub.

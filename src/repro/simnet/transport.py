@@ -46,13 +46,41 @@ class TrafficLog:
     downlink_dropped: int = 0
     nack_dropped: int = 0
     sync_dropped: int = 0
+    retried_messages: int = 0
+    uplink_retried: int = 0
+    downlink_retried: int = 0
+    corrupted_messages: int = 0
+    uplink_corrupted: int = 0
+    downlink_corrupted: int = 0
+    sync_corrupted: int = 0
+    duplicated_messages: int = 0
+    reordered_messages: int = 0
     transit_times: List[float] = field(default_factory=list)
 
-    def record(self, message: Optional[Message], direction: str) -> None:
-        """Record one message (``None`` means it was dropped)."""
+    def record(self, message: Optional[Message], direction: str,
+               absorbed: bool = False) -> None:
+        """Record one message (``None`` means it was dropped).
+
+        ``absorbed=True`` marks a loss covered by the reliability
+        layer's retry chain: the sender will retransmit, so the loss
+        lands in the ``retried`` counters instead of surfacing as a
+        drop (only a chain that exhausts its retries ever reaches the
+        drop ledger, as a single ``gave_up``).
+        """
         if direction not in {"up", "down", "nack", "sync"}:
             raise ValueError(f"unknown traffic direction {direction!r}")
         if message is None:
+            if absorbed:
+                if direction not in {"up", "down"}:
+                    raise ValueError(
+                        f"only payload directions can absorb losses, got {direction!r}"
+                    )
+                self.retried_messages += 1
+                if direction == "up":
+                    self.uplink_retried += 1
+                else:
+                    self.downlink_retried += 1
+                return
             self.dropped_messages += 1
             if direction == "up":
                 self.uplink_dropped += 1
@@ -82,6 +110,30 @@ class TrafficLog:
         # statistics; control traffic would skew the latency headline.
         if direction in {"up", "down"}:
             self.transit_times.append(message.transit_time)
+
+    # ------------------------------------------------------------------ #
+    # Chaos-plane bookkeeping (repro.chaos.MessageChaos calls these; the
+    # loss itself still flows through record(None, ...) so corruption is
+    # visible both as a corruption and as a drop/absorbed-retry).
+    def note_corrupted(self, direction: str) -> None:
+        """Count one in-flight corruption on a payload direction."""
+        self.corrupted_messages += 1
+        if direction == "up":
+            self.uplink_corrupted += 1
+        elif direction == "down":
+            self.downlink_corrupted += 1
+        elif direction == "sync":
+            self.sync_corrupted += 1
+        else:
+            raise ValueError(f"unknown corruption direction {direction!r}")
+
+    def note_duplicated(self) -> None:
+        """Count one chaos-duplicated uplink message."""
+        self.duplicated_messages += 1
+
+    def note_reordered(self) -> None:
+        """Count one chaos-reordered (arrival-delayed) message."""
+        self.reordered_messages += 1
 
     @property
     def total_bytes(self) -> int:
@@ -113,16 +165,31 @@ class TrafficLog:
             "downlink_dropped": self.downlink_dropped,
             "nack_dropped": self.nack_dropped,
             "sync_dropped": self.sync_dropped,
+            "retried_messages": self.retried_messages,
+            "uplink_retried": self.uplink_retried,
+            "downlink_retried": self.downlink_retried,
+            "corrupted_messages": self.corrupted_messages,
+            "duplicated_messages": self.duplicated_messages,
+            "reordered_messages": self.reordered_messages,
             "mean_transit_time_s": self.mean_transit_time,
             "max_transit_time_s": self.max_transit_time,
         }
 
 
 class Transport:
-    """Moves payloads between end-systems and the server over a topology."""
+    """Moves payloads between end-systems and the server over a topology.
 
-    def __init__(self, topology: GeoTopology) -> None:
+    ``chaos`` (a :class:`repro.chaos.MessageChaos`) is applied to every
+    message a link delivered — corruption turns a delivery back into a
+    loss, reordering delays its arrival, duplication tags an uplink
+    message with a second arrival time for the engine to schedule.
+    ``None`` (the default) leaves every send exactly as the link stamped
+    it.
+    """
+
+    def __init__(self, topology: GeoTopology, chaos: Optional[Any] = None) -> None:
         self.topology = topology
+        self.chaos = chaos
         self.log = TrafficLog()
         self._clock = 0.0
 
@@ -132,34 +199,47 @@ class Transport:
         return self._clock
 
     def send_to_server(self, end_system: str, payload: Any, now: Optional[float] = None,
-                       kind: str = "activation") -> Optional[Message]:
+                       kind: str = "activation",
+                       reliable: bool = False) -> Optional[Message]:
         """Ship a payload from an end-system to the server.
 
         Returns the stamped :class:`Message`, or ``None`` if the link
-        dropped it.
+        dropped it.  ``reliable=True`` marks the send as covered by a
+        retry chain: a loss is absorbed into the retried counters
+        instead of the drop ledger.
         """
         now = self._advance(now)
         link = self.topology.uplink(end_system)
         message = link.send(end_system, self.topology.hub_of(end_system), payload,
                             now, kind=kind)
-        self.log.record(message, "up")
+        if message is not None and self.chaos is not None:
+            message = self.chaos.apply(message, "up", self.log)
+        self.log.record(message, "up", absorbed=reliable and message is None)
         return message
 
     def send_to_end_system(self, end_system: str, payload: Any, now: Optional[float] = None,
-                           kind: str = "gradient") -> Optional[Message]:
+                           kind: str = "gradient",
+                           reliable: bool = False) -> Optional[Message]:
         """Ship a payload from the server back to an end-system.
 
         Gradient-return traffic travels over the topology's *downlink*
         for that end-system, so its latency samples, drop draws and
         per-link counters never commingle with the uplink's.  Queue-drop
         NACKs (``kind="nack"``) ride the same downlink but are logged in
-        their own direction so gradient counts stay meaningful.
+        their own direction so gradient counts stay meaningful; the NACK
+        control channel is exempt from both chaos and retries (its PR 2
+        lost-NACK fallback already makes it loss-safe).
         """
         now = self._advance(now)
         link = self.topology.downlink(end_system)
         message = link.send(self.topology.hub_of(end_system), end_system, payload,
                             now, kind=kind)
-        self.log.record(message, "nack" if kind == "nack" else "down")
+        if kind == "nack":
+            self.log.record(message, "nack")
+            return message
+        if message is not None and self.chaos is not None:
+            message = self.chaos.apply(message, "down", self.log)
+        self.log.record(message, "down", absorbed=reliable and message is None)
         return message
 
     def send_between_servers(self, source: str, destination: str, payload: Any,
@@ -169,6 +249,8 @@ class Transport:
         now = self._advance(now)
         link = self.topology.inter_server_link(source, destination)
         message = link.send(source, destination, payload, now, kind=kind)
+        if message is not None and self.chaos is not None:
+            message = self.chaos.apply(message, "sync", self.log)
         self.log.record(message, "sync")
         return message
 

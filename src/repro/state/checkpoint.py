@@ -398,6 +398,11 @@ class RunCheckpoint:
     link_states: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     rng_streams: Dict[str, np.ndarray] = field(default_factory=dict)
     failure_state: Optional[Dict[str, Any]] = None
+    #: Fault-plan timeline position (``FaultPlan.state_dict``) and the
+    #: per-message chaos stream positions (``MessageChaos.state_dict``);
+    #: ``None`` when the corresponding chaos mechanism is off.
+    chaos_state: Optional[Dict[str, Any]] = None
+    message_chaos_state: Optional[Dict[str, Any]] = None
 
     def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         arrays: Dict[str, np.ndarray] = {}
@@ -451,6 +456,8 @@ class RunCheckpoint:
             "traffic": traffic_meta,
             "links": link_meta,
             "failure_state": self.failure_state,
+            "chaos_state": self.chaos_state,
+            "message_chaos_state": self.message_chaos_state,
         }
         return arrays, meta
 
@@ -506,4 +513,8 @@ class RunCheckpoint:
             link_states=link_states,
             rng_streams=rng_streams,
             failure_state=meta["failure_state"],
+            # ``.get``: run checkpoints written before the chaos plane
+            # existed simply restore with chaos off.
+            chaos_state=meta.get("chaos_state"),
+            message_chaos_state=meta.get("message_chaos_state"),
         )

@@ -131,6 +131,36 @@ class TestDeterminism:
         assert [f.rule_id for f in findings] == ["RL002"]
         assert findings[0].suppressed
 
+    def test_fires_on_unseeded_generator_construction(self):
+        findings = unsuppressed("""
+            import numpy as np
+            from numpy.random import default_rng
+            a = np.random.default_rng()
+            b = default_rng()
+            c = np.random.Generator(np.random.PCG64())
+            d = np.random.Generator()
+        """)
+        assert rule_ids(findings) == ["RL002"] * 4
+        assert all("seed" in f.fix_hint for f in findings)
+
+    def test_quiet_on_seeded_generator_construction(self):
+        assert unsuppressed("""
+            import numpy as np
+            from numpy.random import default_rng
+            a = np.random.default_rng(7)
+            b = default_rng(seed=3)
+            c = np.random.Generator(np.random.PCG64(11))
+            d = np.random.default_rng(np.random.SeedSequence(5))
+        """) == []
+
+    def test_unseeded_detection_ignores_unrelated_names(self):
+        # A project-local helper that merely shares the name must not fire.
+        assert unsuppressed("""
+            from repro.utils.rng import make_generator as Generator
+            g = mystream.Generator()
+            h = factory.other.default_rng
+        """) == []
+
 
 # --------------------------------------------------------------------------- #
 # RL003 drop-accounting

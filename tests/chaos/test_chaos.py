@@ -1,0 +1,256 @@
+"""Unit tests of the chaos plane: fault plans and per-message chaos.
+
+Everything here is seeded and deterministic by construction — the same
+plan inspected twice, or rebuilt from a ``state_dict`` snapshot, must
+replay the exact same fault timeline.  That determinism is what makes
+chaos testing usable as a regression tool rather than a flake generator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    FaultEvent,
+    MessageChaos,
+    ScheduledFaults,
+    StochasticFaults,
+    build_fault_plan,
+)
+from repro.core.config import TrainingConfig
+from repro.simnet.link import Message
+from repro.simnet.transport import TrafficLog
+
+
+def drain(plan, limit=64):
+    """Consume up to ``limit`` events from a plan (scripted plans end)."""
+    events = []
+    while len(events) < limit:
+        event = plan.peek()
+        if event is None:
+            break
+        events.append(event)
+        plan.advance()
+    return events
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(-1.0, "flap", "begin", 0)
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent(0.0, "meteor", "begin", 0)
+        with pytest.raises(ValueError, match="phase"):
+            FaultEvent(0.0, "flap", "during", 0)
+
+    def test_sort_key_ends_before_begins(self):
+        end = FaultEvent(1.0, "flap", "end", 0)
+        begin = FaultEvent(1.0, "flap", "begin", 1)
+        apply_ = FaultEvent(1.0, "move", "apply", 2, value=1.0)
+        ordered = sorted([begin, apply_, end], key=lambda e: e.sort_key)
+        assert [e.phase for e in ordered] == ["end", "apply", "begin"]
+
+
+class TestScheduledFaults:
+    def test_expands_begin_end_pairs_in_order(self):
+        plan = ScheduledFaults([
+            ("flap", 0.02, 0.01, 1),
+            ("partition", 0.01, 0.05, 1, 0),
+            ("straggler", 0.0, 0.03, 0, 2.5),
+            ("move", 0.04, 3, 1),
+        ])
+        events = drain(plan)
+        assert [(e.kind, e.phase) for e in events] == [
+            ("straggler", "begin"),
+            ("partition", "begin"),
+            ("flap", "begin"),
+            ("flap", "end"),
+            ("straggler", "end"),
+            ("move", "apply"),
+            ("partition", "end"),
+        ]
+        assert [e.time for e in events] == pytest.approx(
+            [0.0, 0.01, 0.02, 0.03, 0.03, 0.04, 0.06])
+        # Partition hubs are normalized (low, high) whichever way given.
+        partition = events[1]
+        assert (partition.target, partition.peer) == (0, 1)
+        assert events[0].value == 2.5
+
+    def test_open_ended_fault_has_no_end(self):
+        plan = ScheduledFaults([("leave", 0.1, None, 2)])
+        events = drain(plan)
+        assert [(e.kind, e.phase) for e in events] == [("leave", "begin")]
+
+    def test_rejects_overlapping_outages_same_key(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            ScheduledFaults([("flap", 0.0, 0.1, 0), ("flap", 0.05, 0.1, 0)])
+        # Distinct targets may overlap freely.
+        ScheduledFaults([("flap", 0.0, 0.1, 0), ("flap", 0.05, 0.1, 1)])
+
+    def test_rejects_malformed_entries(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ScheduledFaults([("meteor", 0.0, 0.1, 0)])
+        with pytest.raises(ValueError, match="factor"):
+            ScheduledFaults([("straggler", 0.0, 0.1, 0, 0.5)])
+        with pytest.raises(ValueError, match="distinct hubs"):
+            ScheduledFaults([("partition", 0.0, 0.1, 1, 1)])
+        with pytest.raises(ValueError, match="duration"):
+            ScheduledFaults([("flap", 0.0, -0.1, 0)])
+        with pytest.raises(ValueError, match="entries are"):
+            ScheduledFaults([("move", 0.0, 1)])
+
+    def test_advance_past_end_raises(self):
+        plan = ScheduledFaults([("flap", 0.0, 0.1, 0)])
+        drain(plan)
+        assert plan.peek() is None
+        with pytest.raises(LookupError):
+            plan.advance()
+
+    def test_state_dict_round_trip_mid_consumption(self):
+        entries = [("flap", 0.0, 0.01, 0), ("leave", 0.02, 0.01, 1)]
+        plan = ScheduledFaults(entries)
+        plan.advance()  # consume the first begin
+        snapshot = plan.state_dict()
+        twin = ScheduledFaults(entries)
+        twin.load_state_dict(snapshot)
+        assert drain(twin) == drain(plan)
+
+
+class TestStochasticFaults:
+    def make(self, seed=3):
+        return StochasticFaults(num_clients=3, seed=seed,
+                                flap_mtbf_s=0.05, flap_mttr_s=0.01,
+                                leave_mtbf_s=0.2, leave_mttr_s=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_clients"):
+            StochasticFaults(num_clients=0, flap_mtbf_s=1.0)
+        with pytest.raises(ValueError, match="mtbf_s"):
+            StochasticFaults(num_clients=2, flap_mtbf_s=-1.0)
+        with pytest.raises(ValueError, match="mttr_s"):
+            StochasticFaults(num_clients=2, flap_mtbf_s=1.0, flap_mttr_s=0.0)
+        with pytest.raises(ValueError, match="at least one"):
+            StochasticFaults(num_clients=2)
+
+    def test_same_seed_same_timeline(self):
+        first = [(e.time, e.kind, e.phase, e.target)
+                 for e in drain(self.make(), limit=32)]
+        second = [(e.time, e.kind, e.phase, e.target)
+                  for e in drain(self.make(), limit=32)]
+        assert first == second
+        assert first != [(e.time, e.kind, e.phase, e.target)
+                         for e in drain(self.make(seed=4), limit=32)]
+
+    def test_phases_alternate_per_key(self):
+        phase_by_key = {}
+        for event in drain(self.make(), limit=64):
+            key = (event.kind, event.target)
+            assert event.phase != phase_by_key.get(key), \
+                f"two consecutive {event.phase!r} phases on {key}"
+            phase_by_key[key] = event.phase
+
+    def test_timeline_is_monotone(self):
+        times = [e.time for e in drain(self.make(), limit=64)]
+        assert times == sorted(times)
+
+    def test_state_dict_round_trip_resumes_stream(self):
+        plan = self.make()
+        for _ in range(10):
+            plan.advance()
+        snapshot = plan.state_dict()
+        tail = [(e.time, e.kind, e.phase, e.target)
+                for e in drain(plan, limit=16)]
+        twin = self.make()
+        twin.load_state_dict(snapshot)
+        assert [(e.time, e.kind, e.phase, e.target)
+                for e in drain(twin, limit=16)] == tail
+
+
+class TestBuildFaultPlan:
+    def test_none_when_no_chaos_configured(self):
+        assert build_fault_plan(TrainingConfig(), num_clients=4) is None
+        # Per-message chaos alone is not a timeline plan.
+        config = TrainingConfig(chaos_corrupt_probability=0.1)
+        assert build_fault_plan(config, num_clients=4) is None
+
+    def test_scripted_schedule_wins(self):
+        config = TrainingConfig(chaos_schedule=[("flap", 0.0, 0.1, 0)])
+        plan = build_fault_plan(config, num_clients=4)
+        assert isinstance(plan, ScheduledFaults)
+
+    def test_stochastic_plan_derives_from_config_seed(self):
+        config = TrainingConfig(chaos_flap_mtbf_s=0.1, seed=11)
+        plan = build_fault_plan(config, num_clients=4)
+        assert isinstance(plan, StochasticFaults)
+        assert plan.seed == 11 + 393_241
+        twin = build_fault_plan(TrainingConfig(chaos_flap_mtbf_s=0.1, seed=11),
+                                num_clients=4)
+        assert [(e.time, e.target) for e in drain(plan, limit=8)] == \
+               [(e.time, e.target) for e in drain(twin, limit=8)]
+
+
+def wire(arrival=1.0):
+    return Message(source="es", destination="hub", payload=None,
+                   created_at=0.0, arrival_time=arrival)
+
+
+class TestMessageChaos:
+    def test_corrupt_consumes_the_message(self):
+        chaos = MessageChaos(corrupt_probability=1.0, seed=5)
+        log = TrafficLog()
+        assert chaos.apply(wire(), "up", log) is None
+        assert chaos.apply(wire(), "down", log) is None
+        assert log.corrupted_messages == 2
+        assert log.uplink_corrupted == 1
+        assert log.downlink_corrupted == 1
+
+    def test_reorder_inflates_arrival_time(self):
+        chaos = MessageChaos(reorder_probability=1.0, reorder_delay_s=0.01, seed=5)
+        log = TrafficLog()
+        message = wire(arrival=1.0)
+        out = chaos.apply(message, "up", log)
+        assert out is message
+        assert 1.0 <= out.arrival_time <= 1.01
+        assert log.reordered_messages == 1
+
+    def test_duplicate_tags_uplink_only(self):
+        from repro.chaos.message_chaos import DUPLICATE_ARRIVAL_KEY
+
+        chaos = MessageChaos(duplicate_probability=1.0, duplicate_delay_s=0.01,
+                             seed=5)
+        log = TrafficLog()
+        up = chaos.apply(wire(arrival=1.0), "up", log)
+        assert DUPLICATE_ARRIVAL_KEY in up.metadata
+        assert 1.0 <= up.metadata[DUPLICATE_ARRIVAL_KEY] <= 1.01
+        down = chaos.apply(wire(arrival=1.0), "down", log)
+        assert DUPLICATE_ARRIVAL_KEY not in down.metadata
+        assert log.duplicated_messages == 1
+
+    def test_same_seed_same_decisions(self):
+        def decisions(seed):
+            chaos = MessageChaos(corrupt_probability=0.3, reorder_probability=0.3,
+                                 duplicate_probability=0.3, seed=seed)
+            log = TrafficLog()
+            return [chaos.apply(wire(arrival=float(i)), "up", log) is None
+                    for i in range(40)]
+
+        assert decisions(9) == decisions(9)
+        assert decisions(9) != decisions(10)
+
+    def test_state_dict_round_trip_resumes_streams(self):
+        chaos = MessageChaos(corrupt_probability=0.4, seed=2)
+        log = TrafficLog()
+        for i in range(10):
+            chaos.apply(wire(arrival=float(i)), "up", log)
+        snapshot = chaos.state_dict()
+        tail = [chaos.apply(wire(arrival=float(i)), "up", log) is None
+                for i in range(20)]
+        twin = MessageChaos(corrupt_probability=0.4, seed=2)
+        twin.load_state_dict(snapshot)
+        assert [twin.apply(wire(arrival=float(i)), "up", log) is None
+                for i in range(20)] == tail
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="corrupt_probability"):
+            MessageChaos(corrupt_probability=1.5)
+        with pytest.raises(ValueError, match="reorder_delay_s"):
+            MessageChaos(reorder_delay_s=-1.0)

@@ -139,14 +139,15 @@ class TestWeightedAverageReference:
         original_sync = trainer.cluster.sync_average
         records = []
 
-        def spying_sync(delivered=None, snapshots=None):
+        def spying_sync(delivered=None, snapshots=None, participants=None):
             assert delivered is None, "lossless run must use the global-average path"
+            assert participants is None, "lossless run must not restrict the average"
             pre = [
                 {name: value.copy() for name, value in shard.server.state_dict().items()}
                 for shard in shards
             ]
             weights = [shard.samples_since_sync for shard in shards]
-            result = original_sync(snapshots=snapshots)
+            result = original_sync(snapshots=snapshots, participants=participants)
             post = [
                 {name: value.copy() for name, value in shard.server.state_dict().items()}
                 for shard in shards

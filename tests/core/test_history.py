@@ -84,3 +84,17 @@ class TestTrainingHistory:
         assert summary["epochs"] == 1
         assert summary["traffic"]["uplink_megabytes"] == 1.0
         assert summary["per_system_accuracy"] == {0: 0.5}
+        assert summary["reliability"] == {}
+
+    def test_reliability_view_collects_fault_plane_counters(self):
+        history = TrainingHistory()
+        history.queue_stats = {"fairness_index": 1.0, "retries": 3,
+                               "gave_up": 1, "chaos_events": 4}
+        history.traffic = {"uplink_megabytes": 1.0, "retried_messages": 3,
+                           "corrupted_messages": 2}
+        view = history.reliability()
+        assert view == {"retries": 3, "gave_up": 1, "chaos_events": 4,
+                        "retried_messages": 3.0, "corrupted_messages": 2.0}
+        # Non-reliability stats stay out of the view.
+        assert "fairness_index" not in view
+        assert "uplink_megabytes" not in view

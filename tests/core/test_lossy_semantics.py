@@ -28,31 +28,42 @@ def make_trainer(spec, parts, normalize, topology=None, **overrides):
 
 def assert_drop_accounting(trainer, history):
     """Drops must agree across queue, transport, links and end-systems."""
+    log = trainer.transport.log
     queue_dropped = sum(shard.queue.dropped for shard in trainer.cluster.shards)
-    transport_dropped = trainer.transport.log.dropped_messages
-    nack_dropped = trainer.transport.log.nack_dropped
-    sync_dropped = trainer.transport.log.sync_dropped
+    transport_dropped = log.dropped_messages
+    nack_dropped = log.nack_dropped
+    sync_dropped = log.sync_dropped
     failover_dropped = trainer.engine.stats.failover_dropped
+    deduped = trainer.engine.stats.deduped
+    gave_up = trainer.engine.stats.gave_up
     link_totals = trainer.topology.dropped_totals()
     notified = sum(es.drops_notified for es in trainer.end_systems)
 
     assert history.queue_stats["dropped"] == queue_dropped
-    assert transport_dropped == (
-        link_totals["uplink"] + link_totals["downlink"] + link_totals["sync"]
-    )
-    assert trainer.transport.log.uplink_dropped == link_totals["uplink"]
+    # Per-direction link parity: a physical link drop surfaces either as
+    # a transport drop or as a reliability-absorbed retry, while a chaos
+    # corruption adds a transport-level loss the link never saw.
+    assert (log.uplink_dropped + log.uplink_retried - log.uplink_corrupted
+            == link_totals["uplink"])
     # NACKs ride the downlink link, so its counter sees their losses too.
-    assert trainer.transport.log.downlink_dropped == link_totals["downlink"]
+    assert (log.downlink_dropped + log.downlink_retried
+            - log.downlink_corrupted == link_totals["downlink"])
+    # Sync snapshots are never retried; quorum is sync's robustness story.
+    assert log.sync_dropped - log.sync_corrupted == link_totals["sync"]
     # One notification per lost batch, wherever it was lost.  A dropped
     # NACK is *not* another lost batch — the queue overflow it reports
     # was already counted (and notified via the immediate fallback) —
     # and a dropped inter-server sync snapshot never involves a client.
     # Batches shed by a shard crash never touched a link or the queue's
     # drop counter, so they enter the balance through the engine's
-    # failover counter.
+    # failover counter.  Reliable delivery adds two terms: a deduplicated
+    # copy charged the queue's drop counter but its batch survived (the
+    # first copy carried it), and an exhausted retry chain is one lost
+    # batch (``gave_up``) whose per-attempt losses were all absorbed into
+    # the retried counters instead of the transport drop ledger.
     assert notified == (
         queue_dropped + transport_dropped - nack_dropped - sync_dropped
-        + failover_dropped
+        + failover_dropped - deduped + gave_up
     )
     # No client may be left waiting for a gradient that will never come.
     assert all(es.pending_batches == 0 for es in trainer.end_systems)
@@ -220,5 +231,105 @@ class TestShardCrashLeakFreedom:
         assert stats.shard_crashes >= 1
         assert stats.shard_recoveries >= 1
         assert trainer.transport.log.dropped_messages > 0
+        assert all(es.pending_batches == 0 for es in trainer.end_systems)
+        assert_drop_accounting(trainer, history)
+
+
+class TestReliableDeliveryInvariants:
+    """Retries, duplicates and give-ups preserve the extended balance."""
+
+    @pytest.mark.parametrize("mode", ["synchronous", "asynchronous"])
+    def test_duplicate_delivery_is_deduplicated(self, tiny_split_spec, tiny_parts,
+                                                normalize, mode):
+        # Loss-free links + certain duplication: every uplink lands twice
+        # and the second copy must be silently absorbed by the receiver.
+        overrides = dict(chaos_duplicate_probability=1.0)
+        if mode == "asynchronous":
+            overrides.update(mode=mode, max_in_flight=2,
+                             server_step_time_s=0.004, server_batching=False)
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize, **overrides)
+        history = trainer.train()
+        log = trainer.transport.log
+        stats = trainer.engine.stats
+        assert log.duplicated_messages > 0
+        # Unbounded queue: every duplicate copy is shed by the dedup
+        # guard, never by capacity, so the counts match one-for-one.
+        assert stats.deduped == log.duplicated_messages
+        assert_drop_accounting(trainer, history)
+
+    @pytest.mark.parametrize("mode", ["synchronous", "asynchronous"])
+    def test_exhausted_retries_notify_exactly_once(self, tiny_split_spec, tiny_parts,
+                                                   normalize, mode):
+        # Fully-lossy uplinks (clients administratively down, the chaos
+        # "leave" condition): every retry chain exhausts its attempts, so
+        # each batch surfaces as exactly one give-up notification and
+        # every per-attempt loss is absorbed into the retried counters.
+        overrides = dict(reliable_delivery=True, retry_max=1,
+                         retry_timeout_s=0.01)
+        if mode == "asynchronous":
+            overrides.update(mode=mode, max_in_flight=1,
+                             server_step_time_s=0.004, server_batching=False)
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize, **overrides)
+        for end_system in trainer.end_systems:
+            trainer.topology.set_node_up(end_system.node_name, False)
+        history = trainer.train()
+        stats = trainer.engine.stats
+        log = trainer.transport.log
+        total_batches = sum(es._next_batch_id for es in trainer.end_systems)
+        assert stats.gave_up == total_batches
+        assert sum(es.drops_notified for es in trainer.end_systems) == total_batches
+        # Two physical attempts per chain, all absorbed — nothing reaches
+        # the transport drop ledger.
+        assert log.uplink_retried == 2 * total_batches
+        assert log.dropped_messages == 0
+        assert_drop_accounting(trainer, history)
+
+    @pytest.mark.parametrize("mode", ["synchronous", "asynchronous"])
+    def test_retries_under_partial_loss(self, tiny_split_spec, tiny_parts,
+                                        normalize, mode):
+        topology = star_topology(len(tiny_parts), latencies_s=[0.002, 0.006],
+                                 drop_probability=0.3, seed=11)
+        overrides = dict(reliable_delivery=True, retry_max=3,
+                         retry_timeout_s=0.02, max_queue_size=2,
+                         queue_backpressure="drop")
+        if mode == "asynchronous":
+            overrides.update(mode=mode, max_in_flight=2,
+                             server_step_time_s=0.004, server_batching=False)
+        trainer = make_trainer(tiny_split_spec, tiny_parts, normalize,
+                               topology=topology, **overrides)
+        history = trainer.train()
+        assert trainer.engine.stats.retries > 0
+        assert trainer.transport.log.retried_messages > 0
+        assert_drop_accounting(trainer, history)
+
+    @pytest.mark.parametrize("mode", ["synchronous", "asynchronous"])
+    def test_mid_retry_shard_crash(self, tiny_split_spec, normalize, tiny_splits,
+                                   mode):
+        # A shard dies while retry chains are in flight: crash-flush,
+        # stale-arrival shedding and give-up resolution must compose
+        # without double-charging any batch.
+        train, _ = tiny_splits
+        four_parts = IIDPartitioner(4, seed=5).partition(train)
+        from repro.simnet.topology import multi_hub_star_topology
+
+        topology = multi_hub_star_topology(
+            4, 2, latencies_s=[0.002, 0.004, 0.006, 0.008],
+            drop_probability=0.25, seed=13,
+        )
+        overrides = dict(
+            num_servers=2, server_sync_every=1, server_sync_mode="staleness",
+            reliable_delivery=True, retry_max=2, retry_timeout_s=0.01,
+            max_queue_size=2, queue_backpressure="drop",
+            failure_schedule=[(0.015, 0, 0.04)], failover_policy="rebalance",
+        )
+        if mode == "asynchronous":
+            overrides.update(mode=mode, max_in_flight=2,
+                             server_step_time_s=0.004, server_batching=False)
+        trainer = make_trainer(tiny_split_spec, four_parts, normalize,
+                               topology=topology, **overrides)
+        history = trainer.train()
+        stats = trainer.engine.stats
+        assert stats.shard_crashes >= 1
+        assert stats.retries > 0
         assert all(es.pending_batches == 0 for es in trainer.end_systems)
         assert_drop_accounting(trainer, history)

@@ -240,3 +240,81 @@ class TestConfigValidation:
         config = TrainingConfig.fast_debug(epochs=2)
         assert config.epochs == 2
         assert config.batch_size == 8
+
+    def test_reliability_knobs_rejected(self):
+        with pytest.raises(ValueError, match="retry_timeout_s"):
+            TrainingConfig(retry_timeout_s=0.0)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            TrainingConfig(retry_backoff=0.5)
+        with pytest.raises(ValueError, match="retry_max"):
+            TrainingConfig(retry_max=-1)
+        with pytest.raises(ValueError, match="retry_jitter"):
+            TrainingConfig(retry_jitter=1.0)
+        with pytest.raises(ValueError, match="retry_timeout_cap_s"):
+            TrainingConfig(retry_timeout_s=0.05, retry_timeout_cap_s=0.01)
+        with pytest.raises(ValueError, match="sync_quorum"):
+            TrainingConfig(sync_quorum=0.0)
+        with pytest.raises(ValueError, match="sync_quorum"):
+            TrainingConfig(sync_quorum=1.5)
+        with pytest.raises(ValueError, match="sync_timeout_s"):
+            TrainingConfig(sync_timeout_s=0.0)
+
+    def test_chaos_knobs_rejected(self):
+        with pytest.raises(ValueError, match="chaos_corrupt_probability"):
+            TrainingConfig(chaos_corrupt_probability=1.5)
+        with pytest.raises(ValueError, match="chaos_duplicate_probability"):
+            TrainingConfig(chaos_duplicate_probability=-0.1)
+        with pytest.raises(ValueError, match="chaos_reorder_probability"):
+            TrainingConfig(chaos_reorder_probability=2.0)
+        with pytest.raises(ValueError, match="chaos_reorder_delay_s"):
+            TrainingConfig(chaos_reorder_delay_s=-1.0)
+        with pytest.raises(ValueError, match="chaos_duplicate_delay_s"):
+            TrainingConfig(chaos_duplicate_delay_s=-0.5)
+        with pytest.raises(ValueError, match="chaos_flap_mtbf_s"):
+            TrainingConfig(chaos_flap_mtbf_s=0.0)
+        with pytest.raises(ValueError, match="chaos_flap_mttr_s"):
+            TrainingConfig(chaos_flap_mttr_s=0.0)
+        with pytest.raises(ValueError, match="chaos_leave_mtbf_s"):
+            TrainingConfig(chaos_leave_mtbf_s=-2.0)
+        with pytest.raises(ValueError, match="chaos_leave_mttr_s"):
+            TrainingConfig(chaos_leave_mttr_s=0.0)
+        # Scripted and stochastic chaos are mutually exclusive.
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            TrainingConfig(chaos_schedule=[("flap", 0.0, 0.1, 0)],
+                           chaos_flap_mtbf_s=1.0)
+        # Malformed schedule entries fail fast at config time.
+        with pytest.raises(ValueError, match="chaos_schedule"):
+            TrainingConfig(chaos_schedule=[("meteor", 0.0, 0.1, 0)])
+        with pytest.raises(ValueError, match="start time"):
+            TrainingConfig(chaos_schedule=[("flap", -1.0, 0.1, 0)])
+
+    def test_reliability_and_chaos_knobs_accepted_and_serialized(self):
+        config = TrainingConfig(
+            reliable_delivery=True,
+            retry_timeout_s=0.02,
+            retry_backoff=1.5,
+            retry_max=4,
+            retry_jitter=0.2,
+            retry_timeout_cap_s=0.5,
+            sync_quorum=0.75,
+            sync_timeout_s=0.1,
+            chaos_corrupt_probability=0.01,
+            chaos_duplicate_probability=0.02,
+            chaos_reorder_probability=0.03,
+            chaos_schedule=[("flap", 0.1, 0.05, 0), ("partition", 0.2, 0.1, 0, 1)],
+        )
+        assert config.reliable_delivery
+        assert config.chaos_enabled
+        assert config.message_chaos_enabled
+        payload = config.to_dict()
+        assert payload["retry_max"] == 4
+        assert payload["sync_quorum"] == 0.75
+        assert payload["chaos_schedule"] == [
+            ("flap", 0.1, 0.05, 0),
+            ("partition", 0.2, 0.1, 0, 1),
+        ]
+        # The knobs default to an inert fault-free plane.
+        quiet = TrainingConfig()
+        assert not quiet.reliable_delivery
+        assert not quiet.chaos_enabled
+        assert not quiet.message_chaos_enabled

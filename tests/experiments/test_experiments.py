@@ -12,6 +12,7 @@ from repro.experiments import (
     get_experiment,
     list_experiments,
     run_baselines_comparison,
+    run_chaos_matrix,
     run_clients_sweep,
     run_compression,
     run_experiment,
@@ -84,7 +85,7 @@ class TestRegistry:
         names = {entry.name for entry in list_experiments()}
         assert {"table1", "figure4", "staleness", "clients_sweep", "baselines",
                 "compression", "queue_congestion", "server_sharding",
-                "server_failover"} <= names
+                "server_failover", "chaos_matrix"} <= names
 
     def test_get_experiment_unknown(self):
         with pytest.raises(KeyError, match="unknown experiment"):
@@ -316,6 +317,51 @@ class TestServerFailover:
         )
         assert len(result.rows) == 1
         assert result.column("sync_mode") == ["staleness"]
+
+
+class TestChaosMatrix:
+    def test_matrix_rows_and_reliability_contract(self):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=8, epochs=1,
+                                       batch_size=16)
+        regimes = {
+            "clean": {},
+            "lossy": {"link_drop": 0.2},
+        }
+        result = run_chaos_matrix(
+            workload=workload, regimes=regimes,
+            near_latency_s=0.002, far_latency_s=0.03,
+        )
+        # regime x {off, on}; the runner re-asserts the drop balance per
+        # cell, so reaching here already proves leak-freedom.
+        assert len(result.rows) == 4
+        index = {name: result.headers.index(name) for name in result.headers}
+        cells = {(row[index["regime"]], row[index["reliable"]]): row
+                 for row in result.rows}
+        # The fault-free control drops nothing either way.
+        assert cells[("clean", "off")][index["dropped"]] == 0
+        assert cells[("clean", "on")][index["dropped"]] == 0
+        assert cells[("clean", "on")][index["gave_up"]] == 0
+        # Under loss, reliability converts transport drops into retries
+        # and silences the client notifications the off row suffered.
+        assert cells[("lossy", "off")][index["dropped"]] > 0
+        assert cells[("lossy", "off")][index["notified"]] > 0
+        assert cells[("lossy", "on")][index["dropped"]] == 0
+        assert cells[("lossy", "on")][index["retried"]] > 0
+        assert (cells[("lossy", "on")][index["notified"]]
+                < cells[("lossy", "off")][index["notified"]]
+                + cells[("lossy", "on")][index["gave_up"]] + 1)
+        for row in result.rows:
+            assert 0.0 <= row[index["train_accuracy_pct"]] <= 100.0
+
+    def test_registry_dispatch(self):
+        workload = WorkloadSpec.laptop(num_samples=240, num_end_systems=4, epochs=1,
+                                       batch_size=16)
+        result = run_experiment(
+            "chaos_matrix", workload=workload,
+            regimes={"clean": {}}, reliability_values=(False,),
+        )
+        assert len(result.rows) == 1
+        assert result.column("reliable") == ["off"]
 
 
 class TestClientsSweepAndBaselines:
