@@ -3,8 +3,8 @@
 
 Diffs a freshly generated ``BENCH_substrate.json`` against the committed
 baseline (``benchmarks/BENCH_baseline.json``) and **fails (exit 1) when
-any benchmark in a ``hotpaths-*``, ``engine``, ``state`` or ``chaos`` group
-regresses by more than the threshold** (default 20% on the mean).  Benchmarks present in
+any benchmark in a ``hotpaths-*``, ``engine``, ``state``, ``chaos`` or
+``obs`` group regresses by more than the threshold** (default 20% on the mean).  Benchmarks present in
 the baseline but missing from the current run also fail — silently
 dropping coverage must not pass the gate.
 
@@ -46,7 +46,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_CURRENT = REPO_ROOT / "BENCH_substrate.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
-GATED_GROUPS = ("engine", "state", "chaos")
+GATED_GROUPS = ("engine", "state", "chaos", "obs")
 GATED_PREFIXES = ("hotpaths-",)
 
 

@@ -116,7 +116,7 @@ def pytest_sessionfinish(session, exitstatus):
         group = getattr(bench, "group", None)
         if group not in {"substrate", "hotpaths-conv", "hotpaths-pool",
                          "hotpaths-col2im", "hotpaths-server", "engine",
-                         "cluster", "state", "chaos"}:
+                         "cluster", "state", "chaos", "obs"}:
             continue
         stats = getattr(bench, "stats", None)
         if stats is None:

@@ -1,0 +1,104 @@
+"""Observability-plane overhead benchmarks.
+
+The obs plane promises that *off* means free (the run executes with the
+shared inert ``NULL_OBS`` bundle — same code path, no-op hooks) and that
+*on* costs under ~5% even with full-rate tracing.  The pair here prices
+both sides on the same lossy asynchronous workload the chaos benchmarks
+use: the off row is the control, and the sampled-on row carries the
+metrics registry, the queue-wait/retry histograms, periodic 5 Hz
+(sim-time) flushes and full-rate span tracing.
+
+The flush cadence is the cost knob: one flush collects every registered
+series (~0.16 ms for this workload's ~84 series, reported per-run as
+``flush_wall_ms`` in the extra info), so overhead scales linearly with
+``obs_flush_every_s`` while tracing and histogram observes are noise by
+comparison.
+
+Run with::
+
+    pytest benchmarks/test_bench_obs.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.models import tiny_cnn_architecture
+from repro.core.split import SplitSpec
+from repro.core.trainer import SpatioTemporalTrainer
+from repro.data.datasets import SyntheticCIFAR10
+from repro.data.partition import IIDPartitioner
+from repro.simnet.topology import star_topology
+
+NUM_CLIENTS = 48
+
+WARMUP_ROUNDS = 1
+MEASURED_ROUNDS = 5
+
+
+def build_trainer(**overrides):
+    architecture = tiny_cnn_architecture(image_size=8, num_blocks=2,
+                                         base_filters=4, dense_units=16)
+    spec = SplitSpec(architecture, client_blocks=1)
+    dataset = SyntheticCIFAR10(num_samples=480, image_size=8, seed=0)
+    parts = IIDPartitioner(NUM_CLIENTS, seed=0).partition(dataset)
+    topology = star_topology(
+        NUM_CLIENTS, latencies_s=list(np.linspace(0.002, 0.06, NUM_CLIENTS)),
+        drop_probability=0.05, seed=0,
+    )
+    config = TrainingConfig(
+        epochs=1, batch_size=8, mode="asynchronous", max_in_flight=1,
+        server_step_time_s=0.002, reliable_delivery=True,
+        retry_timeout_s=0.5, retry_max=3, seed=0, **overrides,
+    )
+    return SpatioTemporalTrainer(spec, parts, config, topology=topology)
+
+
+def run_epoch_benchmark(benchmark, **build_kwargs):
+    trainers = []
+
+    def setup():
+        trainers.append(build_trainer(**build_kwargs))
+        return (trainers[-1],), {}
+
+    def one_epoch(trainer):
+        history = trainer.train()
+        return history.final_train_accuracy
+
+    accuracy = benchmark.pedantic(one_epoch, setup=setup, iterations=1,
+                                  rounds=MEASURED_ROUNDS,
+                                  warmup_rounds=WARMUP_ROUNDS)
+    assert accuracy >= 0.0
+    return trainers[-1]
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_off_control(benchmark):
+    """The control: obs disabled, every hook a shared no-op."""
+    trainer = run_epoch_benchmark(benchmark)
+    assert not trainer.obs.enabled
+    assert trainer.obs.flushes == 0
+    benchmark.extra_info["engine_events"] = int(
+        trainer.engine.stats.events_processed)
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_on_full_tracing(benchmark):
+    """Registry + histograms + periodic flushes + full-rate tracing.
+
+    The delta against the off row is the plane's whole price; the <5%
+    target is enforced by check_regression.py against the committed
+    baseline pair.
+    """
+    trainer = run_epoch_benchmark(
+        benchmark, obs_enabled=True, obs_trace_sample_rate=1.0,
+        obs_flush_every_s=0.2,
+    )
+    assert trainer.obs.flushes > 0
+    assert trainer.obs.tracer.emitted > 0
+    benchmark.extra_info["trace_events"] = int(trainer.obs.tracer.emitted)
+    benchmark.extra_info["metric_rows"] = int(len(trainer.obs.rows))
+    benchmark.extra_info["flush_wall_ms"] = round(
+        trainer.obs.flush_wall_s * 1e3, 3)
+    benchmark.extra_info["engine_events"] = int(
+        trainer.engine.stats.events_processed)

@@ -32,6 +32,7 @@ from repro.core.config import TrainingConfig
 from repro.core.split import SplitSpec
 from repro.core.trainer import SpatioTemporalTrainer
 from repro.experiments import WorkloadSpec, build_workload
+from repro.obs.invariants import assert_drop_balance
 from repro.simnet.topology import multi_hub_star_topology
 
 #: Every fault class the plane supports, landing inside the tiny run.
@@ -78,27 +79,6 @@ def run_once(pieces, spec, workload):
     )
     history = trainer.train()
     return trainer, history
-
-
-def assert_drop_balance(trainer):
-    log = trainer.transport.log
-    stats = trainer.engine.stats
-    queue_dropped = sum(shard.queue.dropped for shard in trainer.cluster.shards)
-    notified = sum(es.drops_notified for es in trainer.end_systems)
-    balance = (
-        queue_dropped + log.dropped_messages - log.nack_dropped
-        - log.sync_dropped + stats.failover_dropped - stats.deduped
-        + stats.gave_up
-    )
-    assert notified == balance, (
-        f"drop accounting out of balance: notified={notified} "
-        f"expected={balance} (queue={queue_dropped}, "
-        f"transport={log.dropped_messages}, nack={log.nack_dropped}, "
-        f"sync={log.sync_dropped}, failover={stats.failover_dropped}, "
-        f"deduped={stats.deduped}, gave_up={stats.gave_up})"
-    )
-    leaked = sum(es.pending_batches for es in trainer.end_systems)
-    assert leaked == 0, f"{leaked} pending activations leaked under chaos"
 
 
 def main() -> int:

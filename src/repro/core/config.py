@@ -191,6 +191,26 @@ class TrainingConfig:
     chaos_reorder_delay_s / chaos_duplicate_delay_s:
         Maximum extra arrival delay for reordered messages and for the
         duplicate copy of a duplicated message.
+    obs_enabled:
+        Turns on the :mod:`repro.obs` observability plane: the metrics
+        registry collects every subsystem's counters, the tracer records
+        sampled message/control-plane spans, and the engine flushes
+        periodic JSONL snapshots.  Off (the default) the run uses the
+        inert ``NULL_OBS`` bundle and is byte-identical to a pre-obs run.
+    obs_trace_sample_rate:
+        Fraction of message transfers traced, decided per sequence
+        number by a seeded order-independent hash (so the same ``seed``
+        always yields the identical trace).  Control-plane events
+        (crashes, failover, syncs, checkpoints) are always traced.
+    obs_trace_capacity:
+        Ring-buffer bound on retained trace events; older events are
+        evicted (and counted) once the buffer is full.
+    obs_flush_every_s:
+        Sim-time cadence of the engine's ``PRIORITY_OBS`` metric-flush
+        events.  ``None`` flushes only once, at the end of the run.
+    obs_dir:
+        When set (and obs is enabled), the trainer writes
+        ``metrics.jsonl`` and ``trace.json`` here after ``train()``.
     max_in_flight:
         Asynchronous mode only: how many batches an end-system may have
         outstanding (sent but not yet acknowledged with a gradient).
@@ -249,6 +269,11 @@ class TrainingConfig:
     chaos_reorder_probability: float = 0.0
     chaos_reorder_delay_s: float = 0.005
     chaos_duplicate_delay_s: float = 0.002
+    obs_enabled: bool = False
+    obs_trace_sample_rate: float = 1.0
+    obs_trace_capacity: int = 65536
+    obs_flush_every_s: Optional[float] = None
+    obs_dir: Optional[str] = None
     max_in_flight: int = 1
     server_step_time_s: float = 0.0
     seed: int = 0
@@ -375,6 +400,14 @@ class TrainingConfig:
             raise ValueError("chaos_leave_mtbf_s must be positive (or None)")
         if self.chaos_leave_mttr_s <= 0:
             raise ValueError("chaos_leave_mttr_s must be positive")
+        if not 0.0 <= self.obs_trace_sample_rate <= 1.0:
+            raise ValueError("obs_trace_sample_rate must be in [0, 1]")
+        if self.obs_trace_capacity <= 0:
+            raise ValueError("obs_trace_capacity must be positive")
+        if self.obs_flush_every_s is not None and self.obs_flush_every_s <= 0:
+            raise ValueError("obs_flush_every_s must be positive (or None)")
+        if self.obs_dir is not None and not self.obs_enabled:
+            raise ValueError("obs_dir requires obs_enabled=True")
         if self.chaos_schedule:
             # Malformed entries would otherwise surface as IndexErrors
             # deep inside ScheduledFaults during trainer construction.

@@ -100,6 +100,8 @@ from ..cluster.coordinator import ClusterCoordinator
 from ..cluster.failover import FailoverPolicy, FailureModel, ShardTransition
 from ..cluster.shard import ServerShard
 from ..nn.metrics import MetricTracker
+from ..obs.plane import NULL_OBS, QUEUE_WAIT_BOUNDS_S, RETRY_BOUNDS, Observability
+from ..obs.registry import samples_from_mapping
 from ..simnet.events import Simulator
 from ..simnet.transport import Transport
 from ..state import CheckpointStore, ShardCheckpoint
@@ -116,6 +118,7 @@ __all__ = [
     "PRIORITY_LANDING",
     "PRIORITY_CHECKPOINT",
     "PRIORITY_FAILURE",
+    "PRIORITY_OBS",
     "PRIORITY_DISPATCH",
 ]
 
@@ -128,11 +131,15 @@ logger = get_logger("core.engine")
 #: ``t``-stamped gradients land, but kills the step that would have
 #: started at ``t``.  Checkpoints sit between landings and failures: a
 #: capture at ``t`` sees every ``t``-stamped landing, and a crash at the
-#: same instant finds the checkpoint already durable.
+#: same instant finds the checkpoint already durable.  Observability
+#: flushes sit between failures and dispatches: a metrics snapshot at
+#: ``t`` reflects post-crash state and the queue depth the next dispatch
+#: will actually see.
 PRIORITY_ARRIVAL = 0
 PRIORITY_LANDING = 1
 PRIORITY_CHECKPOINT = 2
 PRIORITY_FAILURE = 3
+PRIORITY_OBS = 4
 PRIORITY_DISPATCH = 5
 
 
@@ -312,6 +319,7 @@ class TrainingEngine:
         failover: Optional[FailoverPolicy] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
         fault_plan: Optional[FaultPlan] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.end_systems = list(end_systems)
         if cluster is None:
@@ -348,6 +356,21 @@ class TrainingEngine:
         #: Chaos plane: scripted/stochastic network and client faults,
         #: injected as simulator events exactly like shard failures.
         self.fault_plan = fault_plan
+        #: Observability plane (repro.obs).  The default NULL_OBS bundle
+        #: answers every hook with a no-op, so an obs-off run executes
+        #: the identical simulation codepath (pinned byte-identical by
+        #: tests/obs/test_obs_equivalence.py).  Instruments are resolved
+        #: once here; the hot paths only ``observe``/``inc`` on them.
+        self.obs = obs if obs is not None else NULL_OBS
+        self.obs.registry.register_collector(
+            lambda: samples_from_mapping("engine", self.stats.as_dict()))
+        self._obs_queue_wait = self.obs.registry.histogram(
+            "engine.queue_wait_seconds", QUEUE_WAIT_BOUNDS_S)
+        self._obs_retries = self.obs.registry.histogram(
+            "engine.retries_per_transfer", RETRY_BOUNDS)
+        #: Attempts shipped by the most recent reliable transfer (trace
+        #: span annotation only; meaningless with reliability off).
+        self._obs_last_attempts = 0
         #: Retry-timeout jitter stream (reliable delivery only): seeded
         #: from the run seed so identical configs retry identically;
         #: ``None`` with the feature off so no RNG state even exists.
@@ -424,6 +447,8 @@ class TrainingEngine:
             message.metadata["wire_arrivals"] = sorted(
                 [network_message.arrival_time, float(duplicate_arrival)]
             )
+        if self.obs.tracer.enabled:
+            self._obs_uplink(end_system, message, at_time)
         return message
 
     def _ship_with_retries(self, ship, at_time: float):
@@ -472,6 +497,10 @@ class TrainingEngine:
             give_up_time = deadline
             attempt_time = deadline
         deliveries.sort(key=lambda wire: wire.arrival_time)
+        if self.obs.enabled:
+            # ``attempt`` leaks the last loop index: attempts = index + 1.
+            self._obs_last_attempts = attempt + 1
+            self._obs_retries.observe(attempt)
         return deliveries, give_up_time
 
     def _send_uplink_reliable(
@@ -515,6 +544,8 @@ class TrainingEngine:
         message.arrival_time = arrivals[0]
         message.size_bytes = deliveries[0].size_bytes
         message.metadata["wire_arrivals"] = arrivals
+        if self.obs.tracer.enabled:
+            self._obs_uplink(end_system, message, at_time)
         return message
 
     def _send_downlink(self, end_system: EndSystem, gradient_message: GradientMessage,
@@ -566,12 +597,22 @@ class TrainingEngine:
         )
         if nack is None:
             self.stats.nacks_lost += 1
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "nack-lost", "message", sent_at,
+                    pid=self._runtime_of[end_system.system_id].shard.shard_id,
+                    tid=end_system.system_id, args={"batch": message.batch_id})
             end_system.notify_drop(message.batch_id)
             if on_notified is not None:
                 on_notified(sim)
             return
         self._awaiting_nack[message.sequence] = (end_system, message.batch_id)
         self.stats.nack_delay_total_s += nack.arrival_time - sent_at
+        if self.obs.tracer.enabled:
+            self.obs.tracer.span(
+                "nack", "message", sent_at, nack.arrival_time,
+                pid=self._runtime_of[end_system.system_id].shard.shard_id,
+                tid=end_system.system_id, args={"batch": message.batch_id})
 
         def land_nack(landing_sim: Simulator) -> None:
             if self._awaiting_nack.pop(message.sequence, None) is None:
@@ -596,6 +637,11 @@ class TrainingEngine:
             # client notification, whatever that fate was.
             runtime.shard.queue.charge_drop()
             self.stats.deduped += 1
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "dedup", "message", sim.now,
+                    pid=runtime.shard.shard_id, tid=end_system.system_id,
+                    args={"batch": message.batch_id})
             return False
         stale = (
             sent_generation is not None
@@ -617,6 +663,11 @@ class TrainingEngine:
             if self._dedup_enabled:
                 message.metadata["reliability_resolved"] = True
             self.stats.failover_dropped += 1
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "failover-drop", "message", sim.now,
+                    pid=runtime.shard.shard_id, tid=end_system.system_id,
+                    args={"batch": message.batch_id})
             end_system.notify_drop(message.batch_id)
             if on_notified is not None:
                 on_notified(sim)
@@ -628,15 +679,47 @@ class TrainingEngine:
             # must not trigger a second NACK.
             outcome = runtime.shard.admit(message)
             if outcome == "ok":
+                self._obs_admit(sim, message, runtime, end_system)
                 return True
             if outcome == "dup":  # raced with the has_seen check above
                 self.stats.deduped += 1
                 return False
         elif runtime.shard.receive(message):
+            self._obs_admit(sim, message, runtime, end_system)
             return True
         self.stats.queue_drops += 1
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "queue-drop", "message", sim.now,
+                pid=runtime.shard.shard_id, tid=end_system.system_id,
+                args={"batch": message.batch_id})
         self._send_nack(sim, message, end_system, on_notified=on_notified)
         return False
+
+    @staticmethod
+    def _trace_key(system_id: int, batch_id: int) -> int:
+        """Run-local sampling key for a message's lifecycle.
+
+        ``message.sequence`` is a *process-wide* counter, so keying the
+        sampler on it would make same-seed runs in one process trace
+        different subsets.  Mixing the client id into its batch id is
+        run-local, collision-free across clients and shared by every
+        leg of the batch's journey (uplink, admit, wait, downlink), so
+        a sampled batch is traced end to end.
+        """
+        return system_id * 1_000_003 + batch_id
+
+    def _obs_admit(self, sim: Simulator, message: ActivationMessage,
+                   runtime: _ShardRuntime, end_system: EndSystem) -> None:
+        """Trace a successful queue admission (arena staging included)."""
+        tracer = self.obs.tracer
+        if tracer.enabled and tracer.sampled(
+                self._trace_key(message.end_system_id, message.batch_id)):
+            tracer.instant("queue-admit", "message", sim.now,
+                           pid=runtime.shard.shard_id,
+                           tid=end_system.system_id,
+                           args={"batch": message.batch_id,
+                                 "depth": len(runtime.shard.queue)})
 
     def _sync_due(self, completed: int) -> bool:
         # The coordinator owns the sync cadence and mode (the trainer
@@ -728,6 +811,13 @@ class TrainingEngine:
         shard.checkpoints_taken += 1
         shard.note_recovery_point(sim.now, "checkpoint")
         self.stats.checkpoints_written += 1
+        logger.debug("checkpoint: shard %d captured at t=%.4fs (round %d, "
+                     "%d samples)", shard.shard_id, sim.now,
+                     runtime.round_index, shard.samples_processed)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "checkpoint", "control", sim.now, pid=shard.shard_id,
+                args={"samples": shard.samples_processed})
 
     def _schedule_checkpoint_events(self, sim: Simulator) -> None:
         """Start each shard's periodic capture chain (``"interval"`` mode).
@@ -770,6 +860,93 @@ class TrainingEngine:
             return
         if sim.now - runtime.last_checkpoint_s >= self.config.checkpoint_every_s:
             self._capture_checkpoint(sim, runtime)
+
+    # ------------------------------------------------------------------ #
+    # Observability plane (repro.obs)
+    # ------------------------------------------------------------------ #
+    def _schedule_obs_events(self, sim: Simulator) -> None:
+        """Start the periodic metrics-flush chain (``obs_flush_every_s``).
+
+        Mirrors the checkpoint chain: flush events are pure observers at
+        :data:`PRIORITY_OBS` (post-failure, pre-dispatch, so a snapshot
+        reflects the state the next dispatch will see), and the chain
+        dies once the epoch's real work is done so it can never keep the
+        simulator alive on its own.  With obs off (or no cadence) no
+        event is ever scheduled.
+        """
+        if not self.obs.enabled or self.obs.flush_every_s is None:
+            return
+        base = max(sim.now, self.clock)
+        self._schedule_next_obs_flush(sim, base + self.obs.flush_every_s)
+
+    def _schedule_next_obs_flush(self, sim: Simulator, at_time: float) -> None:
+        def fire(fire_sim: Simulator) -> None:
+            if not self._epoch_hooks["live"]():
+                return
+            self.obs.flush(fire_sim.now)
+            self._schedule_next_obs_flush(
+                fire_sim, fire_sim.now + self.obs.flush_every_s
+            )
+
+        sim.schedule(max(at_time, sim.now), fire, priority=PRIORITY_OBS,
+                     label="obs-flush")
+
+    def _obs_drain(self, runtime: _ShardRuntime,
+                   results: List[Tuple[ActivationMessage, GradientMessage]],
+                   start_time: float) -> None:
+        """Record a drain's queue waits + spans (called only when obs is on)."""
+        shard_id = runtime.shard.shard_id
+        tracer = self.obs.tracer
+        for activation_message, _ in results:
+            wait = max(0.0, start_time - activation_message.arrival_time)
+            self._obs_queue_wait.observe(wait)
+            if tracer.enabled and tracer.sampled(self._trace_key(
+                    activation_message.end_system_id,
+                    activation_message.batch_id)):
+                tracer.span(
+                    "queue-wait", "message",
+                    activation_message.arrival_time, start_time,
+                    pid=shard_id, tid=activation_message.end_system_id,
+                    args={"batch": activation_message.batch_id},
+                )
+        if tracer.enabled and results:
+            step_time = self.config.server_step_time_s * runtime.service_factor
+            tracer.span("server-step", "server", start_time,
+                        start_time + step_time, pid=shard_id,
+                        args={"batches": len(results)})
+
+    def _obs_uplink(self, end_system: EndSystem,
+                    message: ActivationMessage, sent_at: float) -> None:
+        """Trace one delivered uplink (called only when the tracer is on)."""
+        tracer = self.obs.tracer
+        if not tracer.sampled(
+                self._trace_key(message.end_system_id, message.batch_id)):
+            return
+        args: Dict[str, object] = {"batch": message.batch_id,
+                                   "bytes": message.size_bytes}
+        if self.config.reliable_delivery and self._obs_last_attempts > 1:
+            args["attempts"] = self._obs_last_attempts
+        tracer.span(
+            "uplink", "message", sent_at, message.arrival_time,
+            pid=self._runtime_of[end_system.system_id].shard.shard_id,
+            tid=end_system.system_id, args=args,
+        )
+
+    def _obs_downlink(self, end_system: EndSystem, batch_id: int,
+                      sent_at: float, arrival_time: float) -> None:
+        """Trace one delivered downlink (called only when the tracer is on).
+
+        Shares the uplink's run-local key, so a sampled batch's whole
+        round trip appears in the trace (or none of it does).
+        """
+        tracer = self.obs.tracer
+        if not tracer.sampled(self._trace_key(end_system.system_id, batch_id)):
+            return
+        tracer.span(
+            "downlink", "message", sent_at, arrival_time,
+            pid=self._runtime_of[end_system.system_id].shard.shard_id,
+            tid=end_system.system_id, args={"batch": batch_id},
+        )
 
     @staticmethod
     def _reset_optimizer(shard: ServerShard) -> None:
@@ -852,7 +1029,13 @@ class TrainingEngine:
         self.transport.topology.set_node_up(shard.node_name, False)
         logger.info("shard %d (%s) crashed at t=%.4fs", shard.shard_id,
                     shard.node_name, sim.now)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant("shard-crash", "control", sim.now,
+                                    pid=shard.shard_id)
         flushed = shard.flush_queue()
+        if flushed:
+            logger.debug("crash shed %d queued batch(es) from shard %d",
+                         len(flushed), shard.shard_id)
         for message in flushed:
             self.stats.failover_dropped += 1
             self._by_id[message.end_system_id].notify_drop(message.batch_id)
@@ -903,6 +1086,7 @@ class TrainingEngine:
 
     def _apply_reassignment(self, sim: Simulator, moves: Dict[int, int]) -> None:
         """Move clients between shards: assignment, topology and runtime."""
+        moved = 0
         for system_id, shard_index in sorted(moves.items()):
             old_runtime = self._runtime_of[system_id]
             if not self.cluster.reassign(system_id, shard_index):
@@ -914,6 +1098,7 @@ class TrainingEngine:
                 self.system_to_node[system_id], new_runtime.shard.node_name
             )
             self.stats.clients_reassigned += 1
+            moved += 1
             if system_id in old_runtime.active:
                 old_runtime.active.discard(system_id)
                 new_runtime.active.add(system_id)
@@ -924,6 +1109,12 @@ class TrainingEngine:
                     was_parked = True
             self._epoch_hooks["on_client_moved"](sim, end_system, new_runtime,
                                                  was_parked)
+        if moved:
+            logger.info("failover: reassigned %d client(s) at t=%.4fs", moved,
+                        sim.now)
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant("failover", "control", sim.now,
+                                        args={"clients": moved})
 
     def _recover_shard(self, sim: Simulator, runtime: _ShardRuntime) -> None:
         """Apply a shard recovery: restore state, fail clients back, restart.
@@ -972,17 +1163,20 @@ class TrainingEngine:
             checkpoint = self.checkpoint_store.latest_shard(shard.shard_id)
         snapshot = self.cluster.last_sync_snapshot
         sync_time = self.cluster.last_sync_time_s or 0.0
+        restored_from = "initial"
         if checkpoint is not None and (snapshot is None
                                        or checkpoint.sim_time >= sync_time):
             checkpoint.restore(shard)
             shard.record_recovery(crash_time, samples_at_crash,
                                   checkpoint.sim_time,
                                   checkpoint.samples_processed, "checkpoint")
+            restored_from = "checkpoint"
         elif snapshot is not None:
             shard.install_weights(snapshot)
             self._reset_optimizer(shard)
             shard.record_recovery(crash_time, samples_at_crash,
                                   sync_time, samples_at_last_sync, "sync")
+            restored_from = "sync"
         else:
             # Nothing durable exists yet: deterministically reload the
             # cluster's initial weights (every shard was built from the
@@ -994,6 +1188,14 @@ class TrainingEngine:
             shard.samples_since_sync = 0
             shard.steps_since_sync = 0
             shard.record_recovery(crash_time, samples_at_crash, 0.0, 0, "initial")
+        logger.info("shard %d restored from %s (downtime %.4fs, "
+                    "rpo_lost_s=%.4f)", shard.shard_id, restored_from,
+                    sim.now - crash_time, shard.rpo_lost_s)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "shard-recovery", "control", sim.now, pid=shard.shard_id,
+                args={"source": restored_from,
+                      "downtime_s": sim.now - crash_time})
         if self.failover is not None and self.failover.failback:
             self._apply_reassignment(
                 sim,
@@ -1055,6 +1257,11 @@ class TrainingEngine:
           (topology reroute + runtime migration + chain restart hooks).
         """
         self.stats.chaos_events += 1
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                f"chaos-{event.kind}", "chaos", sim.now,
+                args={"phase": event.phase, "target": int(event.target)},
+            )
         topology = self.transport.topology
         if event.kind in ("flap", "leave"):
             node = self.system_to_node[int(event.target)]
@@ -1073,6 +1280,9 @@ class TrainingEngine:
             runtime.service_factor = (
                 float(event.value) if event.phase == "begin" else 1.0
             )
+            logger.info("chaos: straggler %s on shard %d (factor %.1fx) "
+                        "at t=%.4fs", event.phase, runtime.shard.shard_id,
+                        runtime.service_factor, sim.now)
         elif event.kind == "move":
             self._apply_reassignment(
                 sim, {int(event.target): int(event.value)}
@@ -1153,6 +1363,10 @@ class TrainingEngine:
         def start_round(sim: Simulator, runtime: _ShardRuntime,
                         round_index: int) -> None:
             runtime.round_index = round_index
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "round-start", "control", runtime.clock,
+                    pid=runtime.shard.shard_id, args={"round": round_index})
             if not runtime.active:
                 finish_shard(sim, runtime)
                 return
@@ -1311,6 +1525,8 @@ class TrainingEngine:
                     results.append((activation_message, gradient_message))
                     send_times.append(activation_message.arrival_time)
             self.stats.server_steps += 1
+            if self.obs.enabled:
+                self._obs_drain(runtime, results, latest_arrival)
             for (activation_message, gradient_message), send_time in zip(results, send_times):
                 tracker.update(
                     {"loss": gradient_message.loss, "accuracy": gradient_message.accuracy},
@@ -1333,6 +1549,11 @@ class TrainingEngine:
                     # spurious-timeout duplicates change nothing (the
                     # gradient is applied inline exactly once).
                     gradient_arrivals.append(deliveries[0].arrival_time)
+                    if self.obs.tracer.enabled:
+                        self._obs_downlink(end_system,
+                                           gradient_message.batch_id,
+                                           send_time,
+                                           deliveries[0].arrival_time)
                     end_system.apply_gradient(gradient_message)
                     continue
                 downlink = self._send_downlink(end_system, gradient_message, send_time)
@@ -1340,6 +1561,9 @@ class TrainingEngine:
                     end_system.notify_drop(gradient_message.batch_id)
                     continue
                 gradient_arrivals.append(downlink.arrival_time)
+                if self.obs.tracer.enabled:
+                    self._obs_downlink(end_system, gradient_message.batch_id,
+                                       send_time, downlink.arrival_time)
                 end_system.apply_gradient(gradient_message)
             # Shard-local barrier: this shard's next round starts once its
             # own gradients have landed (and not before this barrier fired).
@@ -1449,10 +1673,28 @@ class TrainingEngine:
             )
             if quorum_met:
                 self.stats.quorum_syncs += 1
+                logger.info(
+                    "quorum sync: %d/%d running shard(s) present at t=%.4fs; "
+                    "syncing without the stragglers", len(arrived),
+                    healthy_unfinished, sim.now)
+                if self.obs.tracer.enabled:
+                    self.obs.tracer.instant(
+                        "quorum-sync", "control", sim.now,
+                        args={"present": len(arrived),
+                              "running": healthy_unfinished})
                 resolve_rendezvous(sim)
                 fire_sync(sim, participant_runtimes, restrict=True)
                 return
             self.stats.sync_timeouts += 1
+            logger.info(
+                "sync timeout: quorum not met (%d/%d) at t=%.4fs; releasing "
+                "parked shard(s) un-synced", len(arrived), healthy_unfinished,
+                sim.now)
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "sync-timeout", "control", sim.now,
+                    args={"present": len(arrived),
+                          "running": healthy_unfinished})
             resolve_rendezvous(sim)
             for runtime in self._runtimes:
                 round_index = arrived.get(runtime.shard.shard_id)
@@ -1540,6 +1782,15 @@ class TrainingEngine:
                     participants=sorted(participant_ids) if restrict else None,
                 )
                 self.stats.weight_syncs += 1
+                logger.debug("weight sync: %d participant(s)%s at t=%.4fs",
+                             len(participant_ids),
+                             " (quorum-restricted)" if restrict else "",
+                             sim.now)
+                if self.obs.tracer.enabled:
+                    self.obs.tracer.span(
+                        "weight-sync", "control", sync_start, sim.now,
+                        args={"participants": len(participant_ids),
+                              "restricted": restrict})
                 # The installed average is durable cluster state: a crash
                 # after this instant can be recovered from it, so it is
                 # every participant's freshest recovery point (unless a
@@ -1590,6 +1841,7 @@ class TrainingEngine:
             self._schedule_failure_events(sim)
             self._schedule_chaos_events(sim)
             self._schedule_checkpoint_events(sim)
+            self._schedule_obs_events(sim)
             sim.run()
         finally:
             # Always drop the epoch's closures: an exception escaping the
@@ -1767,6 +2019,8 @@ class TrainingEngine:
             else:
                 results = [runtime.shard.process_next(now=start_time)]
             self.stats.server_steps += 1
+            if self.obs.enabled:
+                self._obs_drain(runtime, results, start_time)
             # The pops above freed queue slots; blocked senders go first.
             release_waiters(sim, runtime, start_time)
             finish_time = (
@@ -1814,6 +2068,10 @@ class TrainingEngine:
                     arrival = deliveries[0].arrival_time
                     next_dispatch_at = max(next_dispatch_at, arrival)
                     self.clock = max(self.clock, arrival)
+                    if self.obs.tracer.enabled:
+                        self._obs_downlink(end_system,
+                                           gradient_message.batch_id,
+                                           finish_time, arrival)
                     for wire in deliveries:
                         sim.schedule(
                             wire.arrival_time,
@@ -1836,6 +2094,9 @@ class TrainingEngine:
                     continue
                 next_dispatch_at = max(next_dispatch_at, downlink.arrival_time)
                 self.clock = max(self.clock, downlink.arrival_time)
+                if self.obs.tracer.enabled:
+                    self._obs_downlink(end_system, gradient_message.batch_id,
+                                       finish_time, downlink.arrival_time)
                 sim.schedule(
                     downlink.arrival_time,
                     lambda s, e=end_system, g=gradient_message: land(s, e, g),
@@ -1967,6 +2228,7 @@ class TrainingEngine:
             self._schedule_failure_events(sim)
             self._schedule_chaos_events(sim)
             self._schedule_checkpoint_events(sim)
+            self._schedule_obs_events(sim)
             sim.run()
         finally:
             self._epoch_hooks = self._inert_hooks()

@@ -117,6 +117,16 @@ class TrainingHistory:
                 merged[key] = float(self.traffic[key])
         return merged
 
+    def observability(self) -> Dict[str, float]:
+        """The obs plane's self-accounting for the run (see ``repro.obs``).
+
+        Empty for obs-off runs — the trainer only attaches the block
+        when ``TrainingConfig.obs_enabled`` is set, keeping disabled
+        histories byte-identical to pre-obs ones.
+        """
+        block = self.queue_stats.get("observability")
+        return dict(block) if isinstance(block, dict) else {}
+
     def summary(self) -> Dict[str, object]:
         """Run-level summary combining accuracy, traffic and queue statistics."""
         return {

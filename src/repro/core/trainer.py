@@ -99,6 +99,8 @@ from ..data.datasets import Dataset
 from ..data.loader import DataLoader
 from ..data.transforms import Transform
 from ..nn.serialization import pack_rng_state, restore_rng_state
+from ..obs.plane import Observability
+from ..obs.registry import Sample, samples_from_mapping
 from ..simnet.topology import GeoTopology, multi_hub_star_topology, star_topology
 from ..simnet.transport import Transport
 from ..state import (
@@ -110,6 +112,7 @@ from ..state import (
     ShardCheckpoint,
 )
 from ..utils.logging import get_logger
+from ..utils.perf import counters as perf_counters
 from ..utils.rng import SeedSequence
 from .config import TrainingConfig
 from .end_system import EndSystem
@@ -303,6 +306,11 @@ class SpatioTemporalTrainer:
             else:
                 checkpoint_store = MemoryCheckpointStore()
         self.checkpoint_store = checkpoint_store
+        #: Per-run observability plane (the inert ``NULL_OBS`` unless
+        #: ``config.obs_enabled``): metrics registry + trace sampler +
+        #: JSONL sink, flushed by the engine's ``PRIORITY_OBS`` events.
+        self.obs = Observability.from_config(self.config)
+        self._register_obs_collectors()
         self.engine = TrainingEngine(
             end_systems=self.end_systems,
             transport=self.transport,
@@ -320,6 +328,7 @@ class SpatioTemporalTrainer:
             ),
             checkpoint_store=self.checkpoint_store,
             fault_plan=self.fault_plan,
+            obs=self.obs,
         )
         self._clock = 0.0
         #: First epoch index :meth:`train` will run — advanced past the
@@ -342,6 +351,77 @@ class SpatioTemporalTrainer:
             mttr_s=self.config.failure_mttr_s,
             seed=self.config.seed + 104729,
         )
+
+    def _register_obs_collectors(self) -> None:
+        """Adapt the legacy telemetry views into registry collectors.
+
+        The dicts stay the source of truth (histories keep reading them
+        directly); the registry re-exports them as canonical samples so
+        one JSONL stream carries everything ``repro.obs report`` needs —
+        including the nine drop-balance series that
+        :func:`repro.obs.invariants.drop_balance_from_metrics` rebuilds
+        the leak-freedom invariant from.  The engine registers its own
+        ``engine.*`` collector when constructed.
+        """
+        if not self.obs.enabled:
+            return
+        registry = self.obs.registry
+
+        def collect_traffic() -> List[Sample]:
+            return samples_from_mapping("traffic", self.transport.log.summary())
+
+        def collect_cluster() -> List[Sample]:
+            return samples_from_mapping(
+                "cluster", {"queue_dropped": self.cluster.queue_dropped})
+
+        def collect_clients() -> List[Sample]:
+            rows = samples_from_mapping("clients", {
+                "drops_notified": sum(
+                    es.drops_notified for es in self.end_systems),
+            })
+            rows.extend(samples_from_mapping("clients", {
+                "pending_batches": sum(
+                    es.pending_batches for es in self.end_systems),
+            }, kind="gauge"))
+            return rows
+
+        def collect_shards() -> List[Sample]:
+            rows: List[Sample] = []
+            for shard in self.cluster.shards:
+                rows.extend(samples_from_mapping(
+                    "shard", shard.stats(),
+                    labels={"shard": shard.shard_id}))
+            return rows
+
+        # The perf counters are process-global; baseline them at wiring
+        # time so the exported ``perf.*`` series counts only this run
+        # (and same-seed runs in one process export identical metrics).
+        perf_baseline = perf_counters.snapshot()
+
+        def collect_perf() -> List[Sample]:
+            snapshot = perf_counters.snapshot()
+            deltas = {
+                key: value - perf_baseline.get(key, 0)
+                for key, value in snapshot.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            }
+            return samples_from_mapping("perf", deltas)
+
+        registry.register_collector(collect_traffic)
+        registry.register_collector(collect_cluster)
+        registry.register_collector(collect_clients)
+        registry.register_collector(collect_shards)
+        registry.register_collector(collect_perf)
+
+    def _finalize_obs(self) -> None:
+        """End-of-run metrics flush plus the optional on-disk export."""
+        if not self.obs.enabled:
+            return
+        self.obs.flush(self.engine.clock)
+        if self.config.obs_dir is not None:
+            metrics_path, trace_path = self.obs.write(self.config.obs_dir)
+            logger.info("observability export: %s, %s",
+                        metrics_path, trace_path)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -435,6 +515,17 @@ class SpatioTemporalTrainer:
             stats["checkpoints_written"] = self.engine.stats.checkpoints_written
             stats["checkpoint_bytes"] = self.checkpoint_store.bytes_written
             stats["checkpoint_write_wall_s"] = self.checkpoint_store.write_wall_s
+        if self.obs.enabled:
+            # Only when the plane is on — an obs-off history must be
+            # byte-identical to a pre-obs run.
+            stats["observability"] = {
+                "metric_rows": len(self.obs.rows),
+                "flushes": self.obs.flushes,
+                "flush_wall_s": self.obs.flush_wall_s,
+                "trace_events": len(self.obs.tracer.events),
+                "trace_emitted": self.obs.tracer.emitted,
+                "trace_dropped": self.obs.tracer.dropped,
+            }
         return stats
 
     def _backend_context(self):
@@ -507,6 +598,7 @@ class SpatioTemporalTrainer:
                 f"{record.test_accuracy:.4f}" if record.test_accuracy is not None else "n/a",
             )
 
+        self._finalize_obs()
         history.traffic = self.transport.log.summary()
         history.queue_stats = self._queue_stats()
         if test_dataset is not None:
@@ -611,6 +703,7 @@ class SpatioTemporalTrainer:
             record.test_accuracy = evaluation["accuracy"]
             history.per_system_accuracy = evaluation["per_system_accuracy"]
         history.append(record)
+        self._finalize_obs()
         history.traffic = self.transport.log.summary()
         history.queue_stats = self._queue_stats()
         return history

@@ -48,6 +48,7 @@ import numpy as np
 from ..core.config import TrainingConfig
 from ..core.split import SplitSpec
 from ..core.trainer import SpatioTemporalTrainer
+from ..obs.invariants import assert_drop_balance
 from ..simnet.topology import multi_hub_star_topology
 from ..utils.logging import get_logger
 from .base import ExperimentResult, WorkloadSpec, build_workload
@@ -86,30 +87,6 @@ DEFAULT_REGIMES: Dict[str, Dict[str, object]] = {
 }
 
 
-def _assert_drop_balance(trainer: SpatioTemporalTrainer, history) -> None:
-    """The extended leak-freedom balance, enforced per experiment cell."""
-    log = trainer.transport.log
-    stats = trainer.engine.stats
-    queue_dropped = sum(shard.queue.dropped for shard in trainer.cluster.shards)
-    notified = sum(es.drops_notified for es in trainer.end_systems)
-    balance = (
-        queue_dropped + log.dropped_messages - log.nack_dropped
-        - log.sync_dropped + stats.failover_dropped - stats.deduped
-        + stats.gave_up
-    )
-    if notified != balance:
-        raise AssertionError(
-            f"drop accounting out of balance: notified={notified} "
-            f"expected={balance} (queue={queue_dropped}, "
-            f"transport={log.dropped_messages}, nack={log.nack_dropped}, "
-            f"sync={log.sync_dropped}, failover={stats.failover_dropped}, "
-            f"deduped={stats.deduped}, gave_up={stats.gave_up})"
-        )
-    leaked = sum(es.pending_batches for es in trainer.end_systems)
-    if leaked:
-        raise AssertionError(f"{leaked} pending activations leaked")
-
-
 def run_chaos_matrix(
     workload: Optional[WorkloadSpec] = None,
     regimes: Optional[Dict[str, Dict[str, object]]] = None,
@@ -121,6 +98,9 @@ def run_chaos_matrix(
     near_latency_s: float = 0.002,
     far_latency_s: float = 0.05,
     inter_server_latency_s: float = 0.005,
+    obs_dir: Optional[str] = None,
+    obs_flush_every_s: float = 0.02,
+    obs_trace_sample_rate: float = 1.0,
 ) -> ExperimentResult:
     """Sweep fault regime x reliable delivery on a sharded star.
 
@@ -128,6 +108,11 @@ def run_chaos_matrix(
     path is admissible.  The same workload seed drives both halves of
     each regime pair, so the reliability layer is evaluated against the
     exact fault stream its control row suffered.
+
+    With ``obs_dir`` set every cell trains with the ``repro.obs`` plane
+    on and exports ``<obs_dir>/<regime>_<on|off>/metrics.jsonl`` plus
+    ``trace.json`` — the JSONL round-trips through ``python -m repro.obs
+    report`` (which re-checks the drop balance from the export alone).
     """
     workload = workload if workload is not None else WorkloadSpec.laptop(
         num_end_systems=16, num_samples=640, epochs=2, batch_size=16,
@@ -191,6 +176,15 @@ def run_chaos_matrix(
                 inter_server_latency_s=inter_server_latency_s,
                 seed=workload.seed,
             )
+            obs_knobs: Dict[str, object] = {}
+            if obs_dir is not None:
+                cell = f"{regime_name}_{'on' if reliable else 'off'}"
+                obs_knobs = {
+                    "obs_enabled": True,
+                    "obs_flush_every_s": obs_flush_every_s,
+                    "obs_trace_sample_rate": obs_trace_sample_rate,
+                    "obs_dir": f"{obs_dir}/{cell}",
+                }
             config = TrainingConfig(
                 epochs=workload.epochs,
                 batch_size=workload.batch_size,
@@ -202,6 +196,7 @@ def run_chaos_matrix(
                 retry_timeout_s=retry_timeout_s,
                 retry_max=retry_max,
                 seed=workload.seed,
+                **obs_knobs,
                 **overrides,
             )
             trainer = SpatioTemporalTrainer(
@@ -210,7 +205,9 @@ def run_chaos_matrix(
             )
             history = trainer.train(pieces["test"],
                                     evaluate_every=workload.epochs)
-            _assert_drop_balance(trainer, history)
+            # The leak-freedom contract is part of the experiment, not
+            # just the test suite (see repro.obs.invariants).
+            assert_drop_balance(trainer)
             log = trainer.transport.log
             stats = trainer.engine.stats
             notified = sum(es.drops_notified for es in trainer.end_systems)

@@ -1,0 +1,53 @@
+"""``repro.obs`` — the run's unified observability plane.
+
+One subsystem replaces the telemetry that PRs 1-8 scattered across five
+ad-hoc dicts:
+
+* :mod:`repro.obs.registry` — typed ``Counter``/``Gauge``/``Histogram``
+  instruments keyed by name + labels, with collectors adapting the
+  legacy views (``EngineStats``, ``TrafficLog``, ``shard.stats()``,
+  ``repro.utils.perf``) into one canonical sample stream;
+* :mod:`repro.obs.tracing` — seeded, sampled span tracing of message
+  lifecycles and control-plane events, exported as Chrome trace-event
+  JSON (Perfetto-viewable);
+* :mod:`repro.obs.plane` — the per-run bundle the trainer builds from
+  ``TrainingConfig`` and the engine flushes via ``PRIORITY_OBS`` events;
+  :data:`NULL_OBS` keeps disabled runs byte-identical;
+* :mod:`repro.obs.invariants` — the drop-accounting balance, stated
+  once and shared by tests, experiments, smoke scripts and the CLI;
+* :mod:`repro.obs.report` / ``python -m repro.obs report`` — per-run
+  summaries (drop-balance ledger, queue-wait/retry histograms,
+  per-shard downtime) for humans and ``--format json`` for machines.
+
+Everything is stamped with **sim-time**; the only wall clock in the
+package is ``time.perf_counter`` measuring the plane's own overhead.
+"""
+
+from .invariants import DropBalance, assert_drop_balance, drop_balance
+from .plane import NULL_OBS, Observability
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Sample,
+)
+from .tracing import NullTracer, Tracer, validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "DropBalance",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "Sample",
+    "Tracer",
+    "assert_drop_balance",
+    "drop_balance",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,48 @@
+"""CLI entry point: ``python -m repro.obs report <metrics.jsonl>``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .report import load_rows, render_report, report_payload
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render observability exports from a training run.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    report = subparsers.add_parser(
+        "report", help="summarize a metrics JSONL export")
+    report.add_argument("path", help="path to a metrics.jsonl file")
+    report.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="human table (default) or machine JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        rows = load_rows(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        payload = report_payload(rows)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        balance = payload.get("drop_balance")
+        holds = bool(isinstance(balance, dict) and balance.get("holds"))
+        return 0 if holds else 1
+
+    text, holds = render_report(rows)
+    print(text)
+    return 0 if holds else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

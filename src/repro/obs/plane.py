@@ -1,0 +1,133 @@
+"""The per-run observability bundle: registry + tracer + sinks.
+
+``Observability`` is what the trainer builds from ``TrainingConfig`` and
+hands to the engine: a :class:`~repro.obs.registry.MetricsRegistry`, a
+:class:`~repro.obs.tracing.Tracer`, and an in-memory JSONL metrics sink
+that periodic ``PRIORITY_OBS`` engine events flush into.  With
+``obs_enabled=False`` (the default) the bundle is the shared
+:data:`NULL_OBS` — every hook is a no-op and the run is byte-identical
+to a pre-obs run.
+
+Profiling exception: :meth:`Observability.flush` measures its *own*
+wall-clock cost with ``time.perf_counter`` (the one wall clock RL002
+permits) so the overhead the obs plane adds is itself observable; the
+simulation never sees that value.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from .registry import (NULL_REGISTRY, MetricsRegistry, NullRegistry, Sample,
+                       _sample_order)
+from .tracing import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.config import TrainingConfig
+
+__all__ = [
+    "NULL_OBS",
+    "Observability",
+    "QUEUE_WAIT_BOUNDS_S",
+    "RETRY_BOUNDS",
+]
+
+#: Queue-wait histogram edges (sim-seconds): sub-millisecond admits
+#: through multi-second backpressure stalls, roughly log-spaced.
+QUEUE_WAIT_BOUNDS_S: Tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
+
+#: Retries-per-transfer histogram edges (attempt counts are small ints;
+#: ``retry_max`` defaults cap out well below 8).
+RETRY_BOUNDS: Tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+class Observability:
+    """Registry + tracer + metrics sink for one training run."""
+
+    def __init__(self, registry: Union[MetricsRegistry, NullRegistry],
+                 tracer: Tracer, enabled: bool = True,
+                 flush_every_s: Optional[float] = None) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.enabled = enabled
+        #: Sim-time cadence of the engine's PRIORITY_OBS flush events
+        #: (``None`` = only the end-of-run flush).
+        self.flush_every_s = flush_every_s
+        #: One ``(sim_time, samples)`` pair per flush.  Samples are
+        #: immutable snapshots; JSON conversion is deferred to export so
+        #: the periodic flush events stay cheap.
+        self.rows: List[Tuple[float, List[Sample]]] = []
+        self.flushes = 0
+        #: Wall-clock seconds spent inside ``flush`` — the profiling
+        #: module's own overhead ledger (perf_counter is RL002-clean).
+        self.flush_wall_s = 0.0
+
+    @classmethod
+    def from_config(cls, config: "TrainingConfig") -> "Observability":
+        """Build the run's bundle; inert singleton when obs is off."""
+        if not config.obs_enabled:
+            return NULL_OBS
+        tracer = Tracer(sample_rate=config.obs_trace_sample_rate,
+                        seed=config.seed,
+                        capacity=config.obs_trace_capacity)
+        return cls(MetricsRegistry(), tracer, enabled=True,
+                   flush_every_s=config.obs_flush_every_s)
+
+    # -- metrics sink --------------------------------------------------------
+
+    def flush(self, sim_time: float) -> None:
+        """Collect every registered series into one timestamped row.
+
+        Rows are kept in collector order; the canonical ``(name,
+        labels)`` sort happens once per row at export instead of on
+        every flush.
+        """
+        if not self.enabled:
+            return
+        started = time.perf_counter()
+        self.rows.append((sim_time, self.registry.collect_unsorted()))
+        self.flushes += 1
+        self.flush_wall_s += time.perf_counter() - started
+
+    def metrics_jsonl(self) -> str:
+        return "".join(
+            json.dumps({"t": sim_time,
+                        "metrics": [sample.as_dict() for sample in
+                                    sorted(samples, key=_sample_order)]})
+            + "\n"
+            for sim_time, samples in self.rows
+        )
+
+    def last_snapshot(self) -> Dict[str, float]:
+        """Flat ``{name: value}`` view of the newest flushed row."""
+        if not self.rows:
+            return {}
+        _, samples = self.rows[-1]
+        flat: Dict[str, float] = {}
+        for sample in samples:
+            name = sample.name
+            if sample.labels:
+                tail = ",".join(f"{k}={v}" for k, v in sample.labels)
+                name = f"{name}{{{tail}}}"
+            flat[name] = float(sample.value)
+        return flat
+
+    # -- export --------------------------------------------------------------
+
+    def write(self, directory: Union[str, Path]) -> Tuple[Path, Path]:
+        """Write ``metrics.jsonl`` + ``trace.json``; returns both paths."""
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        metrics_path = out / "metrics.jsonl"
+        trace_path = out / "trace.json"
+        metrics_path.write_text(self.metrics_jsonl())
+        trace_path.write_text(json.dumps(self.tracer.chrome_trace()) + "\n")
+        return metrics_path, trace_path
+
+
+#: The obs-off bundle: shared, inert, and safe to hand to every engine.
+NULL_OBS = Observability(NULL_REGISTRY, NULL_TRACER, enabled=False)

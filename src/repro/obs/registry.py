@@ -1,0 +1,326 @@
+"""Typed metrics registry: ``Counter`` / ``Gauge`` / ``Histogram``.
+
+One registry per run replaces the five ad-hoc counter dicts that grew
+across PRs 1-8 (``EngineStats``, ``TrafficLog``, ``shard.stats()``,
+``history.queue_stats``, ``repro.utils.perf``).  Those dicts stay the
+source of truth for their subsystems — they register *collectors* here,
+and :meth:`MetricsRegistry.collect` walks them into one canonical,
+label-addressed sample stream.  New obs-only signals (queue-wait and
+retry histograms) are first-class instruments observed on the hot path.
+
+Design constraints, in order:
+
+* **Sim-time only.**  The registry never reads a clock; callers pass the
+  simulator's ``now`` into :meth:`collect`.  That keeps the module
+  RL002-clean and samples reproducible across machines.
+* **Allocation-free hot path.**  Instruments are resolved once at wiring
+  time (name + labels -> handle); ``inc``/``set``/``observe`` touch only
+  pre-allocated scalars and a fixed bucket list (``bisect`` over a
+  tuple).  Nothing in the hot path formats strings or builds dicts.
+* **Inert default.**  :class:`NullRegistry` answers the same API with
+  shared no-op instruments so obs-off runs execute the identical
+  simulation codepath and stay byte-identical (pinned by
+  ``tests/obs/test_obs_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelSet",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Sample",
+    "samples_from_mapping",
+]
+
+#: Canonical label representation: sorted ``(key, value)`` pairs.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+Number = Union[int, float]
+
+
+def _labelset(labels: Optional[Mapping[str, object]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Sample:
+    """One collected metric value, JSON-ready via :meth:`as_dict`.
+
+    A plain ``__slots__`` class, not a dataclass: ``collect`` builds one
+    per series per flush, so construction cost is the flush hot path
+    (conversion to dicts is deferred to export time for the same
+    reason).
+    """
+
+    __slots__ = ("name", "kind", "labels", "value", "bucket_bounds",
+                 "bucket_counts", "count")
+
+    def __init__(self, name: str, kind: str, labels: LabelSet, value: float,
+                 bucket_bounds: Optional[Tuple[float, ...]] = None,
+                 bucket_counts: Optional[Tuple[int, ...]] = None,
+                 count: Optional[int] = None) -> None:
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.labels = labels
+        self.value = value
+        #: Histogram-only: finite bucket upper bounds (the last bucket
+        #: is the implicit +inf overflow) and the per-bucket counts.
+        self.bucket_bounds = bucket_bounds
+        self.bucket_counts = bucket_counts
+        self.count = count
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+        if self.kind == "histogram":
+            row["bucket_bounds"] = list(self.bucket_bounds or ())
+            row["bucket_counts"] = list(self.bucket_counts or ())
+            row["count"] = self.count
+        return row
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count.  ``inc`` is the whole hot path."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def sample(self) -> Sample:
+        return Sample(self.name, "counter", self.labels, float(self.value))
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value (queue depth, healthy shards, RSS)."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+    def sample(self) -> Sample:
+        return Sample(self.name, "gauge", self.labels, float(self.value))
+
+
+class Histogram:
+    """Fixed-bucket histogram; ``observe`` allocates nothing.
+
+    ``bounds`` are ascending finite upper edges; a value lands in the
+    first bucket whose bound is ``>= value`` (``bisect_left``, so edges
+    are inclusive), with one extra overflow bucket past the last bound.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Tuple[float, ...],
+                 labels: LabelSet = ()) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly ascending: {bounds!r}")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def sample(self) -> Sample:
+        return Sample(self.name, "histogram", self.labels, float(self.total),
+                      bucket_bounds=self.bounds,
+                      bucket_counts=tuple(self.counts), count=self.count)
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+def _sample_order(sample: Sample) -> Tuple[str, LabelSet]:
+    """Canonical ``(name, labels)`` sort key for exported sample rows."""
+    return (sample.name, sample.labels)
+
+#: A collector re-reads some subsystem's own counters into samples.
+Collector = Callable[[], Iterable[Sample]]
+
+
+def samples_from_mapping(prefix: str, mapping: Mapping[str, object],
+                         labels: Optional[Mapping[str, object]] = None,
+                         kind: str = "counter") -> List[Sample]:
+    """Adapt a legacy counter dict (``as_dict``/``summary``/``stats``
+    views) into canonical samples; non-numeric values are skipped.
+
+    Runs once per registered mapping per flush, so it iterates insertion
+    order and leaves ordering to :meth:`MetricsRegistry.collect`'s final
+    global sort.
+    """
+    labelset = _labelset(labels)
+    prefix_dot = prefix + "."
+    rows: List[Sample] = []
+    append = rows.append
+    for key, value in mapping.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        append(Sample(prefix_dot + key, kind, labelset, float(value)))
+    return rows
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by ``(name, labels)``.
+
+    A metric name owns one kind (and, for histograms, one bucket
+    layout) across every label combination — re-registering with a
+    conflicting kind raises instead of silently forking the series.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelSet], Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+        self._collectors: List[Collector] = []
+
+    # -- instrument creation -------------------------------------------------
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        seen = self._kinds.setdefault(name, kind)
+        if seen != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {seen}, not {kind}")
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        self._check_kind(name, "counter")
+        key = (name, _labelset(labels))
+        found = self._instruments.get(key)
+        if found is None:
+            found = Counter(name, key[1])
+            self._instruments[key] = found
+        assert isinstance(found, Counter)
+        return found
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        self._check_kind(name, "gauge")
+        key = (name, _labelset(labels))
+        found = self._instruments.get(key)
+        if found is None:
+            found = Gauge(name, key[1])
+            self._instruments[key] = found
+        assert isinstance(found, Gauge)
+        return found
+
+    def histogram(self, name: str, bounds: Iterable[float],
+                  **labels: object) -> Histogram:
+        self._check_kind(name, "histogram")
+        bounds = tuple(float(b) for b in bounds)
+        seen = self._bounds.setdefault(name, bounds)
+        if seen != bounds:
+            raise ValueError(
+                f"metric {name!r} already registered with buckets {seen!r}, "
+                f"not {bounds!r}")
+        key = (name, _labelset(labels))
+        found = self._instruments.get(key)
+        if found is None:
+            found = Histogram(name, bounds, key[1])
+            self._instruments[key] = found
+        assert isinstance(found, Histogram)
+        return found
+
+    # -- collection ----------------------------------------------------------
+
+    def register_collector(self, collector: Collector) -> None:
+        self._collectors.append(collector)
+
+    def collect_unsorted(self) -> List[Sample]:
+        """All instrument + collector samples, collector order.
+
+        The flush hot path: skips the canonical sort (collector order is
+        itself deterministic — wiring order never changes within a run)
+        so the per-flush cost is just reading the counters.  Exports
+        that promise sorted output call :meth:`collect` or sort rows
+        themselves.
+        """
+        rows = [instrument.sample() for instrument in self._instruments.values()]
+        for collector in self._collectors:
+            rows.extend(collector())
+        return rows
+
+    def collect(self) -> List[Sample]:
+        """All instrument + collector samples in deterministic sorted order."""
+        rows = self.collect_unsorted()
+        rows.sort(key=_sample_order)
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: Number) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: Number) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null", (1.0,))
+
+
+class NullRegistry(MetricsRegistry):
+    """Same API, zero effect — the obs-off default everywhere."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, bounds: Iterable[float],
+                  **labels: object) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def register_collector(self, collector: Collector) -> None:
+        pass
+
+    def collect(self) -> List[Sample]:
+        return []
+
+
+#: Shared inert registry; safe because every operation is a no-op.
+NULL_REGISTRY = NullRegistry()

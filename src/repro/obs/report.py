@@ -1,0 +1,218 @@
+"""``python -m repro.obs report`` — render a run's metrics JSONL.
+
+Consumes the ``metrics.jsonl`` an :class:`~repro.obs.plane.Observability`
+bundle exports (one flushed snapshot per line, the last line being the
+end-of-run state) and renders the per-run summary: the drop-balance
+ledger re-checked from the snapshot alone, queue-wait / retry
+histograms, per-shard health + downtime, and headline counters.
+``--format json`` emits the same structure for machines — this is the
+payload shape the future run-server (ROADMAP item 4) will stream.
+
+The process exit code is the invariant: 0 when the drop balance holds
+in the final snapshot, 1 when it is violated (or the file is empty),
+so CI can gate on a finished run's ledger.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from .invariants import DropBalance, drop_balance_from_metrics
+
+__all__ = ["load_rows", "render_report", "report_payload"]
+
+#: Headline counters surfaced at the top of the human report, in order.
+_HEADLINES: Tuple[str, ...] = (
+    "engine.events_processed",
+    "engine.server_steps",
+    "engine.rounds",
+    "engine.weight_syncs",
+    "engine.quorum_syncs",
+    "engine.sync_timeouts",
+    "engine.shard_crashes",
+    "engine.shard_recoveries",
+    "engine.checkpoints_written",
+    "engine.chaos_events",
+    "traffic.uplink_messages",
+    "traffic.downlink_messages",
+    "traffic.retried_messages",
+    "traffic.corrupted_messages",
+)
+
+#: Per-shard columns pulled from ``shard.*{shard=N}`` series, in order.
+_SHARD_COLUMNS: Tuple[str, ...] = (
+    "batches_processed",
+    "queue_dropped",
+    "crashes",
+    "recoveries",
+    "downtime_s",
+    "rpo_lost_s",
+    "checkpoints_taken",
+)
+
+
+def load_rows(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a metrics JSONL file into its snapshot rows."""
+    rows: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(row, dict) or "t" not in row or "metrics" not in row:
+                raise ValueError(
+                    f"{path}:{lineno}: snapshot rows need 't' and 'metrics' keys")
+            rows.append(row)
+    return rows
+
+
+def _flatten(row: Mapping[str, object]) -> Dict[str, float]:
+    """``{name{label=value}: value}`` view of one snapshot row."""
+    flat: Dict[str, float] = {}
+    metrics = row.get("metrics")
+    if not isinstance(metrics, list):
+        return flat
+    for sample in metrics:
+        if not isinstance(sample, dict):
+            continue
+        labels = sample.get("labels") or {}
+        name = str(sample.get("name"))
+        if isinstance(labels, dict) and labels:
+            tail = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            name = f"{name}{{{tail}}}"
+        value = sample.get("value")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[name] = float(value)
+    return flat
+
+
+def _histograms(row: Mapping[str, object]) -> List[Dict[str, object]]:
+    found: List[Dict[str, object]] = []
+    metrics = row.get("metrics")
+    if not isinstance(metrics, list):
+        return found
+    for sample in metrics:
+        if isinstance(sample, dict) and sample.get("kind") == "histogram":
+            found.append(sample)
+    return found
+
+
+def _shard_rows(row: Mapping[str, object]) -> Dict[str, Dict[str, float]]:
+    """``{shard id: {short name: value}}`` from ``shard.*`` series."""
+    shards: Dict[str, Dict[str, float]] = {}
+    metrics = row.get("metrics")
+    if not isinstance(metrics, list):
+        return shards
+    for sample in metrics:
+        if not isinstance(sample, dict):
+            continue
+        labels = sample.get("labels")
+        name = str(sample.get("name", ""))
+        if not (isinstance(labels, dict) and "shard" in labels
+                and name.startswith("shard.")):
+            continue
+        value = sample.get("value")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            shards.setdefault(str(labels["shard"]), {})[name[len("shard."):]] = (
+                float(value))
+    return shards
+
+
+def _render_histogram(sample: Mapping[str, object], width: int = 40) -> str:
+    bounds = [float(b) for b in sample.get("bucket_bounds") or []]  # type: ignore[union-attr]
+    counts = [int(c) for c in sample.get("bucket_counts") or []]  # type: ignore[union-attr]
+    total = int(sample.get("count") or 0)
+    lines = [f"{sample.get('name')} (count={total})"]
+    peak = max(counts) if counts else 0
+    edges = [f"<= {bound:g}" for bound in bounds] + ["overflow"]
+    label_width = max(len(edge) for edge in edges)
+    for edge, count in zip(edges, counts):
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"  {edge:<{label_width}} {count:>8d} {bar}")
+    return "\n".join(lines)
+
+
+def report_payload(rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """Machine-readable report (the ``--format json`` body)."""
+    if not rows:
+        return {"error": "no snapshots in file", "drop_balance": None}
+    last = rows[-1]
+    flat = _flatten(last)
+    balance: Optional[DropBalance]
+    try:
+        balance = drop_balance_from_metrics(flat)
+    except KeyError:
+        balance = None
+    return {
+        "snapshots": len(rows),
+        "final_t": last.get("t"),
+        "drop_balance": balance.as_dict() if balance is not None else None,
+        "headline": {name: flat[name] for name in _HEADLINES if name in flat},
+        "histograms": _histograms(last),
+        "shards": _shard_rows(last),
+    }
+
+
+def render_report(rows: List[Dict[str, object]]) -> Tuple[str, bool]:
+    """Human-readable report; returns ``(text, invariant_holds)``."""
+    if not rows:
+        return "no snapshots in file", False
+    payload = report_payload(rows)
+    last = rows[-1]
+    lines: List[str] = [
+        f"observability report — {payload['snapshots']} snapshot(s), "
+        f"final sim-time t={float(str(last.get('t', 0.0))):.4f}s",
+        "",
+    ]
+
+    headline = payload["headline"]
+    assert isinstance(headline, dict)
+    if headline:
+        lines.append("headline counters")
+        width = max(len(name) for name in headline)
+        for name, value in headline.items():
+            lines.append(f"  {name:<{width}} {value:>12g}")
+        lines.append("")
+
+    balance_dict = payload["drop_balance"]
+    holds = False
+    lines.append("drop balance (notified == queue + transport - nack - sync "
+                 "+ failover - deduped + gave_up)")
+    if balance_dict is None:
+        lines.append("  [drop-balance series missing from snapshot]")
+    else:
+        flat = _flatten(last)
+        balance = drop_balance_from_metrics(flat)
+        holds = balance.holds
+        lines.append(balance.table())
+    lines.append("")
+
+    histograms = payload["histograms"]
+    assert isinstance(histograms, list)
+    for sample in histograms:
+        assert isinstance(sample, dict)
+        lines.append(_render_histogram(sample))
+        lines.append("")
+
+    shards = payload["shards"]
+    assert isinstance(shards, dict)
+    if shards:
+        columns = [c for c in _SHARD_COLUMNS
+                   if any(c in row for row in shards.values())]
+        header = "  shard " + " ".join(f"{c:>18}" for c in columns)
+        lines.append("per-shard")
+        lines.append(header)
+        for shard_id in sorted(shards, key=lambda s: (len(s), s)):
+            row = shards[shard_id]
+            cells = " ".join(f"{row.get(c, 0.0):>18g}" for c in columns)
+            lines.append(f"  {shard_id:>5} {cells}")
+        lines.append("")
+
+    lines.append(f"invariant: {'HOLDS' if holds else 'VIOLATED'}")
+    return "\n".join(lines), holds

@@ -1,0 +1,12 @@
+"""Shared fixtures for the obs suite."""
+
+import pytest
+
+from obs_helpers import run_trainer
+
+
+@pytest.fixture
+def obs_run(tiny_split_spec, tiny_parts, normalize):
+    """A finished obs-enabled run (drops + retries exercised)."""
+    return run_trainer(tiny_split_spec, tiny_parts, normalize,
+                       obs_enabled=True, obs_flush_every_s=0.005)

@@ -1,0 +1,17 @@
+"""Helper shared by the obs suite: one tiny bounded-queue run."""
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import SpatioTemporalTrainer
+
+
+def run_trainer(spec, parts, normalize, **overrides):
+    """One tiny lossy run (drops + retries exercised); returns
+    ``(trainer, history)``."""
+    defaults = dict(max_queue_size=1, queue_backpressure="drop",
+                    reliable_delivery=True)
+    defaults.update(overrides)
+    config = TrainingConfig.fast_debug(**defaults)
+    trainer = SpatioTemporalTrainer(spec, parts, config,
+                                    train_transform=normalize)
+    history = trainer.train()
+    return trainer, history

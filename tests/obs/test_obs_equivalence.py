@@ -1,0 +1,99 @@
+"""Obs-off runs are byte-identical; obs-on never perturbs the physics.
+
+Two contracts:
+
+* **obs-off == pre-obs.**  With ``obs_enabled=False`` (the default) the
+  trainer carries the shared inert ``NULL_OBS`` bundle, no PRIORITY_OBS
+  event is ever scheduled and the history has no observability block —
+  same-seed runs stay bit-for-bit reproducible.
+* **obs-on is read-only.**  Turning the plane on adds flush events to
+  the simulator (so ``events_processed`` legitimately grows) but must
+  not change anything physical: weights, traffic ledger, accuracy,
+  drops, simulated time.
+"""
+
+import json
+
+from repro.obs.plane import NULL_OBS
+
+from obs_helpers import run_trainer
+
+
+def physical_view(trainer, history):
+    """Everything the simulation physics determines (no obs bookkeeping)."""
+    queue_stats = {key: value for key, value in history.queue_stats.items()
+                   if key not in ("observability", "engine_events")}
+    states = [
+        {name: value.copy() for name, value in shard.server.state_dict().items()}
+        for shard in trainer.cluster.shards
+    ]
+    return {
+        "traffic": trainer.transport.log.summary(),
+        "queue_stats": queue_stats,
+        "accuracy": history.accuracy_curve(),
+        "loss": history.loss_curve(),
+        "simulated_time": history.total_simulated_time,
+        "notified": sum(es.drops_notified for es in trainer.end_systems),
+    }, states
+
+
+def assert_same_physics(a, b):
+    view_a, states_a = a
+    view_b, states_b = b
+    assert view_a == view_b
+    assert len(states_a) == len(states_b)
+    for state_a, state_b in zip(states_a, states_b):
+        assert state_a.keys() == state_b.keys()
+        for name in state_a:
+            assert (state_a[name] == state_b[name]).all(), name
+
+
+class TestObsOff:
+    def test_default_run_carries_the_shared_null_bundle(
+            self, tiny_split_spec, tiny_parts, normalize):
+        trainer, history = run_trainer(tiny_split_spec, tiny_parts, normalize)
+        assert trainer.obs is NULL_OBS
+        assert trainer.engine.obs is NULL_OBS
+        assert "observability" not in history.queue_stats
+        assert history.observability() == {}
+        assert trainer.obs.rows == []
+        assert len(trainer.obs.tracer.events) == 0
+
+    def test_same_seed_runs_are_byte_identical(
+            self, tiny_split_spec, tiny_parts, normalize):
+        first = run_trainer(tiny_split_spec, tiny_parts, normalize)
+        second = run_trainer(tiny_split_spec, tiny_parts, normalize)
+        assert_same_physics(physical_view(*first), physical_view(*second))
+        # Byte-level: the serialized histories match exactly.
+        assert (json.dumps(first[1].summary(), sort_keys=True, default=str)
+                == json.dumps(second[1].summary(), sort_keys=True,
+                              default=str))
+
+
+class TestObsOnEquivalence:
+    def test_obs_on_changes_nothing_physical(
+            self, tiny_split_spec, tiny_parts, normalize):
+        off = run_trainer(tiny_split_spec, tiny_parts, normalize)
+        on = run_trainer(tiny_split_spec, tiny_parts, normalize,
+                         obs_enabled=True, obs_flush_every_s=0.005)
+        assert_same_physics(physical_view(*off), physical_view(*on))
+        # ...while the plane itself did observe the run.
+        trainer_on = on[0]
+        assert trainer_on.obs.flushes >= 1
+        assert trainer_on.obs.tracer.emitted > 0
+        assert on[1].observability()["flushes"] == trainer_on.obs.flushes
+
+    def test_sampled_tracing_is_deterministic(
+            self, tiny_split_spec, tiny_parts, normalize):
+        kwargs = dict(obs_enabled=True, obs_trace_sample_rate=0.5)
+        first = run_trainer(tiny_split_spec, tiny_parts, normalize, **kwargs)
+        second = run_trainer(tiny_split_spec, tiny_parts, normalize, **kwargs)
+        trace_a = first[0].obs.tracer.chrome_trace()
+        trace_b = second[0].obs.tracer.chrome_trace()
+        assert json.dumps(trace_a, sort_keys=True) == json.dumps(
+            trace_b, sort_keys=True)
+        # Half-rate sampling really does thin the uplink spans out.
+        full = run_trainer(tiny_split_spec, tiny_parts, normalize,
+                           obs_enabled=True, obs_trace_sample_rate=1.0)
+        assert (first[0].obs.tracer.emitted
+                < full[0].obs.tracer.emitted)

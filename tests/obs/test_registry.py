@@ -1,0 +1,139 @@
+"""Typed metrics registry: instrument semantics, labels, collectors."""
+
+import pytest
+
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    samples_from_mapping,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("engine.retries")
+        counter.inc()
+        counter.inc(3)
+        sample = counter.sample()
+        assert sample.value == 4.0
+        assert sample.kind == "counter"
+        assert sample.labels == ()
+
+    def test_gauge_is_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue.depth")
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.sample().value == 2.0
+
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert (registry.histogram("h", (1.0,))
+                is registry.histogram("h", (1.0,)))
+
+    def test_labels_fork_series_order_independently(self):
+        registry = MetricsRegistry()
+        a = registry.counter("shard.drops", shard=0)
+        b = registry.counter("shard.drops", shard=1)
+        assert a is not b
+        # Label order must not matter — the set is canonicalised.
+        c = registry.counter("x", alpha=1, beta=2)
+        d = registry.counter("x", beta=2, alpha=1)
+        assert c is d
+        assert c.labels == (("alpha", "1"), ("beta", "2"))
+
+    def test_name_owns_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("m")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.histogram("m", (1.0,))
+
+    def test_histogram_bounds_must_match_across_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("wait", (0.1, 1.0), shard=0)
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            registry.histogram("wait", (0.5, 1.0), shard=1)
+
+
+class TestHistogramBuckets:
+    def test_edges_are_inclusive(self):
+        """A value equal to a bound lands in that bound's bucket."""
+        histogram = Histogram("h", (1.0, 2.0, 5.0))
+        for value in (0.0, 1.0, 1.5, 2.0, 5.0, 5.1):
+            histogram.observe(value)
+        # 0.0 and 1.0 -> <=1; 1.5 and 2.0 -> <=2; 5.0 -> <=5; 5.1 -> overflow
+        assert histogram.counts == [2, 2, 1, 1]
+        assert histogram.count == 6
+        assert histogram.total == pytest.approx(14.6)
+
+    def test_sample_carries_bounds_and_counts(self):
+        histogram = Histogram("h", (1.0,))
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        sample = histogram.sample()
+        assert sample.bucket_bounds == (1.0,)
+        assert sample.bucket_counts == (1, 1)
+        assert sample.count == 2
+        row = sample.as_dict()
+        assert row["bucket_bounds"] == [1.0]
+        assert row["bucket_counts"] == [1, 1]
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", ())
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("h", (2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("h", (1.0, 1.0))
+
+
+class TestCollection:
+    def test_collect_is_sorted_and_merges_collectors(self):
+        registry = MetricsRegistry()
+        registry.counter("zz.last").inc()
+        registry.counter("aa.first").inc(2)
+        registry.register_collector(
+            lambda: samples_from_mapping("mm", {"mid": 5}))
+        names = [sample.name for sample in registry.collect()]
+        assert names == ["aa.first", "mm.mid", "zz.last"]
+
+    def test_samples_from_mapping_skips_non_numeric(self):
+        rows = samples_from_mapping("s", {
+            "count": 3, "ratio": 0.5, "node": "hub-0", "healthy": True,
+            "nested": {"x": 1},
+        })
+        assert [(r.name, r.value) for r in rows] == [
+            ("s.count", 3.0), ("s.ratio", 0.5)]
+
+    def test_samples_from_mapping_applies_labels(self):
+        rows = samples_from_mapping("shard", {"drops": 1}, labels={"shard": 2})
+        assert rows[0].labels == (("shard", "2"),)
+        assert rows[0].as_dict()["labels"] == {"shard": "2"}
+
+
+class TestNullRegistry:
+    def test_null_registry_is_inert(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        counter = registry.counter("anything", shard=3)
+        counter.inc(10)
+        assert counter.value == 0.0
+        gauge = registry.gauge("g")
+        gauge.set(5)
+        assert gauge.value == 0.0
+        histogram = registry.histogram("h", (1.0, 2.0))
+        histogram.observe(0.5)
+        assert histogram.count == 0
+        registry.register_collector(lambda: [])
+        assert registry.collect() == []
+        assert len(registry) == 0
+
+    def test_null_instruments_are_shared(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b")

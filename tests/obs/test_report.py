@@ -1,0 +1,89 @@
+"""Report CLI: JSONL round-trip of a real run's metrics export."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.invariants import drop_balance_from_metrics
+from repro.obs.report import load_rows, render_report, report_payload
+from repro.obs.tracing import validate_chrome_trace
+
+
+@pytest.fixture
+def export(obs_run, tmp_path):
+    trainer, _ = obs_run
+    metrics_path, trace_path = trainer.obs.write(tmp_path)
+    return trainer, metrics_path, trace_path
+
+
+class TestRoundTrip:
+    def test_jsonl_rows_load_and_flatten(self, export):
+        trainer, metrics_path, _ = export
+        rows = load_rows(str(metrics_path))
+        assert len(rows) == trainer.obs.flushes
+        assert all("t" in row and "metrics" in row for row in rows)
+        # The export's last row re-proves the invariant without the
+        # trainer — the property the report CLI relies on.
+        balance = drop_balance_from_metrics(trainer.obs.last_snapshot())
+        assert balance.holds
+        assert balance.queue_dropped > 0  # the tiny queue actually shed
+
+    def test_trace_export_passes_schema(self, export):
+        trainer, _, trace_path = export
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["emitted"] == trainer.obs.tracer.emitted
+
+    def test_rendered_report_contents(self, export):
+        _, metrics_path, _ = export
+        text, holds = render_report(load_rows(str(metrics_path)))
+        assert holds
+        assert "drop balance" in text
+        assert "BALANCED" in text
+        assert "engine.queue_wait_seconds" in text
+        assert "engine.retries_per_transfer" in text
+        assert text.rstrip().endswith("invariant: HOLDS")
+
+    def test_payload_mirrors_render(self, export):
+        _, metrics_path, _ = export
+        payload = report_payload(load_rows(str(metrics_path)))
+        assert payload["drop_balance"]["holds"] == 1
+        assert payload["snapshots"] >= 1
+        assert payload["headline"]["traffic.uplink_messages"] > 0
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestCli:
+    def test_table_exit_zero_when_invariant_holds(self, export, capsys):
+        _, metrics_path, _ = export
+        assert obs_main(["report", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "invariant: HOLDS" in out
+
+    def test_json_format(self, export, capsys):
+        _, metrics_path, _ = export
+        assert obs_main(["report", str(metrics_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["drop_balance"]["holds"] == 1
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_rows_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no_t": 1}\n')
+        assert obs_main(["report", str(path)]) == 2
+
+    def test_violated_invariant_exits_one(self, export, tmp_path, capsys):
+        _, metrics_path, _ = export
+        rows = load_rows(str(metrics_path))
+        # Corrupt the notified counter so the ledger can't balance.
+        for sample in rows[-1]["metrics"]:
+            if sample["name"] == "clients.drops_notified":
+                sample["value"] = sample["value"] + 1
+        path = tmp_path / "violated.jsonl"
+        path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+        assert obs_main(["report", str(path)]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
