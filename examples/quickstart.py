@@ -1,14 +1,21 @@
 """Quickstart: train a spatio-temporal split-learning deployment in ~30 seconds.
 
 This example builds the smallest end-to-end deployment that still shows
-every moving part of the paper's framework:
+every moving part of the paper's framework, driven entirely through the
+public API (:mod:`repro.api`):
 
-1. a synthetic CIFAR-10-like dataset, partitioned IID across 3 end-systems,
-2. the block-structured CNN of the paper's Fig. 3 (scaled down),
-3. a split at L1 — each end-system keeps Conv2D+MaxPooling2D block 1 and its
-   raw data, the centralized server keeps everything else,
-4. synchronous training over a simulated star network, and
-5. evaluation plus a privacy check on the smashed activations.
+1. a :class:`~repro.api.JobSpec` — the versioned, JSON-serializable
+   description of the whole job: a synthetic CIFAR-10-like dataset
+   partitioned IID across 3 end-systems, the block-structured CNN of the
+   paper's Fig. 3 (scaled down), and a split at L1 — each end-system
+   keeps Conv2D+MaxPooling2D block 1 and its raw data, the centralized
+   server keeps everything else,
+2. synchronous training over a simulated star network, and
+3. evaluation plus a privacy check on the smashed activations.
+
+The same spec, serialized with ``spec.to_json_dict()``, is exactly what
+``POST /v1/jobs`` on the run-server accepts — see
+``examples/run_server_job.py``.
 
 Run with::
 
@@ -17,42 +24,45 @@ Run with::
 
 from __future__ import annotations
 
-from repro import SplitSpec, SpatioTemporalTrainer, TrainingConfig, tiny_cnn_architecture
+import json
+
+from repro.api import JobSpec, JobWorkload, build_trainer, build_workload
+from repro.core.config import TrainingConfig
 from repro.core.privacy import leakage_report
-from repro.data import IIDPartitioner, Normalize, SyntheticCIFAR10, train_test_split
 from repro.utils.tables import format_table
 
 
 def main() -> None:
     # ------------------------------------------------------------------ #
-    # 1. Data: a synthetic CIFAR-10 stand-in, split across 3 "hospitals".
+    # 1. Describe the whole job as one versioned, serializable spec.
     # ------------------------------------------------------------------ #
-    dataset = SyntheticCIFAR10(num_samples=1200, image_size=16, seed=0,
-                               pixel_noise=0.15, deformation_noise=0.3)
-    train, test = train_test_split(dataset, test_fraction=0.25, seed=0)
-    end_system_shards = IIDPartitioner(num_parts=3, seed=0).partition(train)
-    print(f"dataset: {len(train)} train / {len(test)} test samples, "
-          f"{len(end_system_shards)} end-systems "
-          f"({[len(shard) for shard in end_system_shards]} samples each)")
+    spec = JobSpec(
+        name="quickstart",
+        workload=JobWorkload(num_samples=1200, num_end_systems=3,
+                             partition="iid", client_blocks=1, seed=0),
+        config=TrainingConfig(epochs=6, batch_size=32, client_lr=1e-3,
+                              server_lr=1e-3, seed=0),
+    )
+    print("JobSpec (what POST /v1/jobs would accept):")
+    print(json.dumps(spec.to_json_dict(), indent=2)[:400] + " ...")
+    print()
 
     # ------------------------------------------------------------------ #
-    # 2. Model + split: block L1 stays on every end-system.
+    # 2. Materialize it: dataset, shards, architecture, split.
     # ------------------------------------------------------------------ #
-    architecture = tiny_cnn_architecture(image_size=16, num_blocks=3,
-                                         base_filters=8, dense_units=64)
-    split = SplitSpec(architecture, client_blocks=1)
-    print(f"architecture: {architecture.describe()}")
-    print(f"split: end-systems hold {split.label}; smashed activation shape "
-          f"{split.smashed_shape}")
+    pieces = build_workload(spec.workload)
+    print(f"dataset: {len(pieces.train)} train / {len(pieces.test)} test "
+          f"samples, {len(pieces.parts)} end-systems "
+          f"({[len(shard) for shard in pieces.parts]} samples each)")
+    print(f"architecture: {pieces.architecture.describe()}")
+    print(f"split: end-systems hold {pieces.split_spec.label}; smashed "
+          f"activation shape {pieces.split_spec.smashed_shape}")
 
     # ------------------------------------------------------------------ #
     # 3. Train synchronously over a simulated star network.
     # ------------------------------------------------------------------ #
-    config = TrainingConfig(epochs=6, batch_size=32, client_lr=1e-3, server_lr=1e-3, seed=0)
-    normalize = Normalize(mean=[0.5, 0.5, 0.5], std=[0.5, 0.5, 0.5])
-    trainer = SpatioTemporalTrainer(split, end_system_shards, config,
-                                    train_transform=normalize)
-    history = trainer.train(test_dataset=test)
+    trainer = build_trainer(spec, pieces=pieces)
+    history = trainer.train(test_dataset=pieces.test)
 
     print()
     print(format_table(
@@ -73,7 +83,7 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     # 4. Privacy: what could the server reconstruct from what it received?
     # ------------------------------------------------------------------ #
-    probe_images, _ = test.arrays()
+    probe_images, _ = pieces.test.arrays()
     report = leakage_report(trainer.end_systems[0].model, probe_images[:150])
     print()
     print(format_table(

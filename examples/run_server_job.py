@@ -1,0 +1,96 @@
+"""Submit a training job to a run-server and follow it over the /v1 API.
+
+This example is the client half of the control plane: it starts a
+run-server in a subprocess (in real use it would already be running —
+``python -m repro.server --root run-server``), then drives one job
+through its whole lifecycle with :class:`repro.api.RunClient`:
+
+1. ``POST /v1/jobs`` — submit a versioned JSON JobSpec,
+2. ``GET /v1/jobs/<id>/metrics`` — stream metrics rows while it trains,
+3. ``POST /v1/jobs/<id>/pause`` — SIGKILL the worker mid-run,
+4. ``POST /v1/jobs/<id>/resume`` — restart replay-exact from the newest
+   durable checkpoint (a different worker process, same result), and
+5. ``GET /v1/jobs/<id>/result`` — fetch the final summary.
+
+Run with::
+
+    python examples/run_server_job.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import JobSpec, RunClient, ServerUnavailable
+
+
+def wait_for_server(client: RunClient, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            client.health()
+            return
+        except ServerUnavailable:
+            time.sleep(0.1)
+    raise RuntimeError("run-server did not come up in time")
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="run-server-example-"))
+    port = 8321
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.server",
+         "--root", str(root), "--port", str(port)],
+    )
+    client = RunClient(f"http://127.0.0.1:{port}")
+    try:
+        wait_for_server(client)
+        print(f"run-server up: {client.health()}")
+
+        # 1. Submit: the body is spec.to_json_dict() — plain versioned JSON.
+        spec = JobSpec.fast_debug(name="example", epochs=4)
+        job_id = client.submit(spec)
+        print(f"submitted {job_id}")
+
+        # 2. Poll metrics while the job trains: one JSONL row per obs
+        #    flush, identical to what metrics.jsonl will hold on disk.
+        seen = 0
+        interrupted_once = False
+        while True:
+            record = client.status(job_id)
+            rows = client.metrics(job_id, since=seen)
+            for row in rows:
+                print(f"  t={row['t']:.3f}s: {len(row['metrics'])} series")
+            seen += len(rows)
+            if record["state"] in ("completed", "failed"):
+                break
+            # 3./4. Pause (SIGKILL the worker) once, then resume: the new
+            #       worker replays from the checkpoint bit-exactly.
+            if (not interrupted_once
+                    and record.get("epochs_completed", 0) >= 2
+                    and record["state"] == "running"):
+                interrupted_once = True
+                print(f"pausing at epoch {record['epochs_completed']} ...")
+                client.pause(job_id)
+                print("resuming (new worker process, same trajectory) ...")
+                client.resume(job_id)
+            time.sleep(0.2)
+
+        # 5. Result: the run history summary the worker wrote at the end.
+        record = client.wait(job_id)
+        print(f"final state: {record['state']} after "
+              f"{record['attempts']} worker attempt(s)")
+        summary = client.result(job_id)["summary"]
+        print(f"final test accuracy: {summary['final_test_accuracy']:.1%}")
+        print(f"job directory: {root / 'jobs' / job_id}")
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

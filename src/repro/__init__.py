@@ -19,9 +19,15 @@ The package is organised bottom-up:
   FedAvg comparators.
 * :mod:`repro.experiments` — one module per paper table/figure plus the
   ablations, with a CLI entry point (``repro-experiments``).
+* :mod:`repro.api` — the versioned public surface: ``JobSpec`` (the
+  JSON-serializable description of a whole training job), the runtime
+  facade that materializes and runs it, and the ``RunClient`` SDK.
+* :mod:`repro.server` — the long-lived run-server: a REST control plane
+  (``python -m repro.server``) that starts, pauses, resumes, inspects
+  and cancels jobs running in worker subprocesses.
 """
 
-from . import backend, baselines, cluster, core, data, nn, simnet, utils
+from . import api, backend, baselines, cluster, core, data, nn, server, simnet, utils
 from .cluster import ClusterCoordinator, ServerShard
 from .core import (
     CentralServer,
@@ -38,6 +44,7 @@ from .data import SyntheticCIFAR10, SyntheticMNIST
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "backend",
     "nn",
     "data",
@@ -45,6 +52,7 @@ __all__ = [
     "core",
     "cluster",
     "baselines",
+    "server",
     "utils",
     "ClusterCoordinator",
     "ServerShard",

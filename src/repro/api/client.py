@@ -1,0 +1,187 @@
+"""``RunClient`` — the small SDK over the run-server's versioned REST API.
+
+Stdlib-only (``urllib``), synchronous, and deliberately thin: every
+method maps to one endpoint of :mod:`repro.server`'s ``/v1`` surface.
+The experiments CLI's job commands, the server's own tests and the smoke
+script all drive the server through this class, so the HTTP contract has
+one client-side implementation.
+
+Errors come back as :class:`ApiError` carrying the HTTP status and the
+server's structured ``{"error": ...}`` body; connection-level failures
+surface as :class:`ServerUnavailable` so callers can distinguish "the
+server said no" from "there is no server".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["ApiError", "ServerUnavailable", "RunClient", "TERMINAL_STATES"]
+
+#: Job states from which no further transition happens on its own.
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+
+class ApiError(Exception):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServerUnavailable(Exception):
+    """No server answered at the configured address."""
+
+
+class RunClient:
+    """Typed client for one run-server instance.
+
+    Parameters
+    ----------
+    base_url:
+        Server address, e.g. ``http://127.0.0.1:8321`` (with or without
+        a trailing slash; the ``/v1`` prefix is added here).
+    timeout_s:
+        Per-request socket timeout.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 raw: bool = False) -> Any:
+        url = f"{self.base_url}/v1{path}"
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=payload, method=method,
+            headers={"Content-Type": "application/json"} if payload else {})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                data = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(detail)
+                detail = str(parsed.get("error", detail))
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ApiError(exc.code, detail) from exc
+        except urllib.error.URLError as exc:
+            raise ServerUnavailable(
+                f"no run-server reachable at {self.base_url}: {exc.reason}"
+            ) from exc
+        if raw:
+            return data
+        return json.loads(data) if data else {}
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/healthz`` — server liveness + API version."""
+        result = self._request("GET", "/healthz")
+        assert isinstance(result, dict)
+        return result
+
+    def submit(self, spec: Any) -> str:
+        """``POST /v1/jobs`` — submit a JobSpec; returns the job id.
+
+        ``spec`` may be a :class:`~repro.api.jobspec.JobSpec` or an
+        already-serialized payload dict.
+        """
+        payload = spec.to_json_dict() if hasattr(spec, "to_json_dict") else spec
+        result = self._request("POST", "/jobs", body=payload)
+        return str(result["job_id"])
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """``GET /v1/jobs`` — every known job's status record."""
+        result = self._request("GET", "/jobs")
+        jobs = result.get("jobs", [])
+        assert isinstance(jobs, list)
+        return jobs
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>`` — one job's reconciled status record."""
+        result = self._request("GET", f"/jobs/{job_id}")
+        assert isinstance(result, dict)
+        return result
+
+    def pause(self, job_id: str) -> Dict[str, Any]:
+        """``POST /v1/jobs/<id>/pause`` — stop the worker, keep the job."""
+        return dict(self._request("POST", f"/jobs/{job_id}/pause"))
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        """``POST /v1/jobs/<id>/resume`` — restart from the newest checkpoint."""
+        return dict(self._request("POST", f"/jobs/{job_id}/resume"))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``POST /v1/jobs/<id>/cancel`` — kill the worker, end the job."""
+        return dict(self._request("POST", f"/jobs/{job_id}/cancel"))
+
+    def metrics(self, job_id: str, since: int = 0) -> List[Dict[str, Any]]:
+        """``GET /v1/jobs/<id>/metrics`` — flushed metric rows.
+
+        ``since`` skips rows already seen (poll with ``since=len(seen)``
+        to stream increments).
+        """
+        result = self._request("GET", f"/jobs/{job_id}/metrics?since={int(since)}")
+        rows = result.get("rows", [])
+        assert isinstance(rows, list)
+        return rows
+
+    def metrics_raw(self, job_id: str) -> bytes:
+        """Raw ``metrics.jsonl`` bytes — byte-identical to the run's export."""
+        data = self._request("GET", f"/jobs/{job_id}/metrics?raw=1", raw=True)
+        assert isinstance(data, bytes)
+        return data
+
+    def snapshot(self, job_id: str) -> Dict[str, Any]:
+        """Flat ``{series: value}`` view of the newest flushed row."""
+        result = self._request("GET", f"/jobs/{job_id}/metrics?snapshot=1")
+        snapshot = result.get("snapshot", {})
+        assert isinstance(snapshot, dict)
+        return snapshot
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/report`` — the ``repro.obs report`` payload."""
+        return dict(self._request("GET", f"/jobs/{job_id}/report"))
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/result`` — final history (finished jobs)."""
+        return dict(self._request("GET", f"/jobs/{job_id}/result"))
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def wait(self, job_id: str,
+             states: Iterable[str] = TERMINAL_STATES,
+             timeout_s: float = 300.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll ``status`` until the job reaches one of ``states``.
+
+        Returns the final status record; raises ``TimeoutError`` if the
+        deadline passes first.  (``time.monotonic`` — this is host-side
+        control-plane timing, not simulation time.)
+        """
+        wanted = set(states)
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.status(job_id)
+            if record.get("state") in wanted:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.get('state')!r} after "
+                    f"{timeout_s:.0f}s (wanted {sorted(wanted)})")
+            time.sleep(poll_s)

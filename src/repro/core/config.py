@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["TrainingConfig"]
+__all__ = ["CONFIG_SCHEMA_VERSION", "TrainingConfig"]
+
+#: Version of the ``TrainingConfig`` JSON schema.  Bump it whenever a
+#: serialized config written by this version could be misread by an
+#: older reader (renamed keys, changed semantics); adding a new knob
+#: with a default does not require a bump — :meth:`TrainingConfig.from_dict`
+#: fills missing keys with defaults so old payloads keep loading.
+CONFIG_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -492,9 +499,58 @@ class TrainingConfig:
         """Keyword arguments used to build the server optimizer."""
         return {"lr": self.server_lr}
 
-    def to_dict(self) -> Dict:
-        """Flat dictionary form (for logging and experiment records)."""
-        return asdict(self)
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned flat dictionary form.
+
+        This is the serialization half of the public JobSpec schema
+        (:mod:`repro.api`): the payload carries ``schema_version`` so a
+        reader can reject configs written under an incompatible schema,
+        and :meth:`from_dict` round-trips it (through JSON) back into a
+        validated config.  Also used for logging, experiment records and
+        run checkpoints.
+        """
+        payload: Dict[str, Any] = {"schema_version": CONFIG_SCHEMA_VERSION}
+        payload.update(asdict(self))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TrainingConfig":
+        """Rebuild a config from :meth:`to_dict` output (or its JSON form).
+
+        Validation is strict where it protects the reader and lenient
+        where it preserves forward motion:
+
+        * ``schema_version`` newer than this build (or < 1) is rejected —
+          the payload may carry semantics this reader would silently
+          misapply; a missing version is treated as version 1.
+        * Unknown keys are rejected with the offending names — a typo'd
+          knob must not silently train with defaults.
+        * Missing keys fall back to field defaults, so configs written
+          before a knob existed keep loading.
+
+        Every value then flows through ``__init__``, reusing the full
+        validator suite in ``__post_init__``.
+        """
+        if not isinstance(payload, Mapping):
+            raise TypeError(
+                f"TrainingConfig payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        data = dict(payload)
+        version = int(data.pop("schema_version", 1))
+        if not 1 <= version <= CONFIG_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported TrainingConfig schema_version {version} "
+                f"(this build reads versions 1..{CONFIG_SCHEMA_VERSION})"
+            )
+        known = {field_info.name for field_info in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown TrainingConfig keys: {', '.join(unknown)} "
+                "(schema is strict; remove or rename them)"
+            )
+        return cls(**data)
 
     @classmethod
     def fast_debug(cls, **overrides) -> "TrainingConfig":

@@ -80,7 +80,7 @@ from __future__ import annotations
 import contextlib
 import time
 from dataclasses import fields as dataclass_fields
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -542,7 +542,9 @@ class SpatioTemporalTrainer:
 
     def train(self, test_dataset: Optional[Dataset] = None,
               epochs: Optional[int] = None,
-              evaluate_every: int = 1) -> TrainingHistory:
+              evaluate_every: int = 1,
+              on_epoch_end: Optional[Callable[[EpochRecord], None]] = None,
+              ) -> TrainingHistory:
         """Run training and return the full history.
 
         Parameters
@@ -552,13 +554,21 @@ class SpatioTemporalTrainer:
             epochs (and always after the final epoch).
         epochs:
             Override for ``config.epochs``.
+        on_epoch_end:
+            Optional observer called with each epoch's
+            :class:`~repro.core.history.EpochRecord` after the epoch's
+            run checkpoint (if any) has been written — the run-server
+            worker uses it to publish live progress.  It must not mutate
+            training state.
         """
         with self._backend_context():
-            return self._train(test_dataset, epochs, evaluate_every)
+            return self._train(test_dataset, epochs, evaluate_every, on_epoch_end)
 
     def _train(self, test_dataset: Optional[Dataset],
                epochs: Optional[int],
-               evaluate_every: int) -> TrainingHistory:
+               evaluate_every: int,
+               on_epoch_end: Optional[Callable[[EpochRecord], None]] = None,
+               ) -> TrainingHistory:
         epochs = epochs if epochs is not None else self.config.epochs
         history = TrainingHistory(config=self.config.to_dict())
         last_evaluation: Optional[Dict[str, object]] = None
@@ -592,6 +602,8 @@ class SpatioTemporalTrainer:
                 record.test_accuracy = last_evaluation["accuracy"]
             history.append(record)
             self._write_run_checkpoint(epoch + 1)
+            if on_epoch_end is not None:
+                on_epoch_end(record)
             logger.info(
                 "epoch %d: train_acc=%.4f train_loss=%.4f test_acc=%s",
                 epoch, record.train_accuracy, record.train_loss,
@@ -808,6 +820,9 @@ class SpatioTemporalTrainer:
                 None if self.message_chaos is None
                 else self.message_chaos.state_dict()
             ),
+            obs_instruments=(
+                self.obs.instruments_state() if self.obs.enabled else None
+            ),
         )
 
     def _restore_engine_stats(self, state: Dict[str, object]) -> None:
@@ -911,6 +926,8 @@ class SpatioTemporalTrainer:
             restore_rng_state(
                 engine._retry_rng, np.asarray(packed_retry, dtype=np.uint8)
             )
+        if run.obs_instruments:
+            self.obs.restore_instruments(run.obs_instruments)
         self._start_epoch = int(run.epoch)
 
     @classmethod
@@ -936,7 +953,7 @@ class SpatioTemporalTrainer:
         run = store.latest_run()
         if run is None:
             raise ValueError("checkpoint store holds no intact run checkpoint")
-        config = TrainingConfig(**run.config)
+        config = TrainingConfig.from_dict(run.config)
         trainer = cls(
             split_spec,
             client_datasets,

@@ -17,10 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 
+from ..api.jobspec import JobWorkload
+from ..api.runtime import build_workload as _materialize_workload
 from ..core.models import CNNArchitecture, paper_cnn_architecture, tiny_cnn_architecture
-from ..data.datasets import Subset, SyntheticCIFAR10, train_test_split
-from ..data.partition import get_partitioner
-from ..data.transforms import Normalize
 from ..utils.tables import format_table
 
 __all__ = ["WorkloadSpec", "ExperimentResult", "build_workload"]
@@ -93,33 +92,44 @@ class WorkloadSpec:
         """The quick workload used by tests and default benchmark runs."""
         return cls(**overrides)
 
+    def to_job_workload(self, client_blocks: int = 1) -> JobWorkload:
+        """The public-API equivalent of this workload description.
+
+        ``epochs`` and ``batch_size`` live on the experiment side (they
+        belong to ``TrainingConfig`` in the public schema); everything
+        else maps one-to-one onto :class:`repro.api.JobWorkload`.
+        """
+        return JobWorkload(
+            scale=self.scale,
+            num_samples=self.num_samples,
+            num_end_systems=self.num_end_systems,
+            partition=self.partition,
+            partition_kwargs=dict(self.partition_kwargs),
+            test_fraction=self.test_fraction,
+            client_blocks=client_blocks,
+            seed=self.seed,
+        )
+
 
 def build_workload(spec: WorkloadSpec) -> Dict[str, object]:
     """Materialize a workload: dataset splits, per-end-system shards and transforms.
 
-    Returns a dictionary with keys ``train``, ``test``, ``parts`` (list of
-    per-end-system subsets), ``architecture`` and ``normalize``.
+    Compatibility shim over :func:`repro.api.build_workload` — the single
+    materialization implementation now lives in the public API so the
+    experiment harness, the run-server worker and direct-Python users all
+    build bit-identical deployments from the same description.  Returns
+    the historical dictionary shape with keys ``train``, ``test``,
+    ``parts`` (list of per-end-system subsets), ``architecture`` and
+    ``normalize``.
     """
-    dataset = SyntheticCIFAR10(
-        num_samples=spec.num_samples,
-        image_size=spec.image_size,
-        seed=spec.seed,
-        pixel_noise=0.15,
-        deformation_noise=0.3,
-    )
-    train, test = train_test_split(dataset, test_fraction=spec.test_fraction, seed=spec.seed)
-    partitioner = get_partitioner(
-        spec.partition, spec.num_end_systems, seed=spec.seed, **spec.partition_kwargs
-    )
-    parts: List[Subset] = partitioner.partition(train)
-    normalize = Normalize(mean=[0.5, 0.5, 0.5], std=[0.5, 0.5, 0.5])
+    pieces = _materialize_workload(spec.to_job_workload())
     return {
-        "dataset": dataset,
-        "train": train,
-        "test": test,
-        "parts": parts,
-        "architecture": spec.architecture(),
-        "normalize": normalize,
+        "dataset": pieces.dataset,
+        "train": pieces.train,
+        "test": pieces.test,
+        "parts": pieces.parts,
+        "architecture": pieces.architecture,
+        "normalize": pieces.normalize,
     }
 
 

@@ -19,6 +19,11 @@ Reproduce Table I at the paper's full scale (minutes, not seconds)::
 Run every experiment and write the tables to a directory::
 
     repro-experiments run-all --output-dir results/
+
+Drive a run-server (``python -m repro.server``) over the public job API::
+
+    repro-experiments job submit --name demo --wait
+    repro-experiments job metrics job-0001-demo
 """
 
 from __future__ import annotations
@@ -27,9 +32,11 @@ import argparse
 import json
 import logging
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
+from ..api import ApiError, JobSpec, RunClient, ServerUnavailable
 from ..backend import available_backends, get_backend, set_backend
 from ..utils.logging import set_verbosity
 from .base import WorkloadSpec
@@ -59,6 +66,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", type=Path, default=None,
         help="directory to write per-experiment .txt and .json results into",
     )
+
+    job_parser = subparsers.add_parser(
+        "job", help="talk to a run-server over the /v1 job API")
+    job_parser.add_argument(
+        "--server", default="http://127.0.0.1:8321",
+        help="run-server base URL (default: http://127.0.0.1:8321)")
+    job_subparsers = job_parser.add_subparsers(dest="job_command", required=True)
+
+    submit_parser = job_subparsers.add_parser(
+        "submit", help="submit a training job (JSON spec file or a preset)")
+    submit_parser.add_argument(
+        "--spec", type=Path, default=None,
+        help="JobSpec JSON file (see JobSpec.to_json_dict); omit for the "
+             "fast-debug preset")
+    submit_parser.add_argument("--name", default="cli-job", help="job name")
+    submit_parser.add_argument("--epochs", type=int, default=None,
+                               help="override the preset's epoch budget")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="block until the job reaches a terminal state")
+
+    for verb, help_text in (
+        ("status", "show one job's status record"),
+        ("pause", "kill the worker; the job resumes replay-exact later"),
+        ("resume", "restart a paused/interrupted/failed job from its checkpoint"),
+        ("cancel", "terminally stop a job"),
+        ("metrics", "print the job's metrics rows (JSONL)"),
+        ("result", "print the finished job's result summary"),
+        ("wait", "block until the job reaches a terminal state"),
+    ):
+        verb_parser = job_subparsers.add_parser(verb, help=help_text)
+        verb_parser.add_argument("job_id", help="job identifier (job-NNNN-...)")
+
+    job_subparsers.add_parser("list", help="list every job on the server")
     return parser
 
 
@@ -155,6 +195,58 @@ def _command_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_job(args: argparse.Namespace) -> int:
+    """Drive a run-server through the :mod:`repro.api` client SDK."""
+    client = RunClient(args.server)
+    try:
+        if args.job_command == "submit":
+            if args.spec is not None:
+                spec = JobSpec.from_json_dict(
+                    json.loads(args.spec.read_text()))
+                if args.epochs is not None:
+                    spec = replace(
+                        spec, config=replace(spec.config, epochs=args.epochs))
+            else:
+                overrides = {} if args.epochs is None else {"epochs": args.epochs}
+                spec = JobSpec.fast_debug(name=args.name, **overrides)
+            job_id = client.submit(spec)
+            print(job_id)
+            if args.wait:
+                record = client.wait(job_id)
+                print(json.dumps(record, indent=2))
+                return 0 if record.get("state") == "completed" else 1
+            return 0
+        if args.job_command == "list":
+            for record in client.jobs():
+                print(f"{record['job_id']:<28s} {record['state']:<12s} "
+                      f"epochs {record.get('epochs_completed', 0)}"
+                      f"/{record.get('epochs_total', '?')}")
+            return 0
+        if args.job_command == "metrics":
+            sys.stdout.write(client.metrics_raw(args.job_id).decode("utf-8"))
+            return 0
+        if args.job_command == "wait":
+            record = client.wait(args.job_id)
+            print(json.dumps(record, indent=2))
+            return 0 if record.get("state") == "completed" else 1
+        action = {
+            "status": client.status,
+            "pause": client.pause,
+            "resume": client.resume,
+            "cancel": client.cancel,
+            "result": client.result,
+        }[args.job_command]
+        print(json.dumps(action(args.job_id), indent=2, default=str))
+        return 0
+    except ServerUnavailable as exc:
+        print(f"error: cannot reach run-server at {args.server}: {exc}",
+              file=sys.stderr)
+        return 1
+    except ApiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
     parser = build_parser()
@@ -167,6 +259,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "run-all":
         return _command_run_all(args)
+    if args.command == "job":
+        return _command_job(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

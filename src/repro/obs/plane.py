@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, TextIO, Tuple, Union
 
 from .registry import (NULL_REGISTRY, MetricsRegistry, NullRegistry, Sample,
                        _sample_order)
@@ -65,6 +65,9 @@ class Observability:
         #: Wall-clock seconds spent inside ``flush`` — the profiling
         #: module's own overhead ledger (perf_counter is RL002-clean).
         self.flush_wall_s = 0.0
+        #: Open handle of the live JSONL sink (see :meth:`stream_to`);
+        #: ``None`` keeps the original flush-to-memory-only behavior.
+        self._stream: Optional[TextIO] = None
 
     @classmethod
     def from_config(cls, config: "TrainingConfig") -> "Observability":
@@ -84,23 +87,62 @@ class Observability:
 
         Rows are kept in collector order; the canonical ``(name,
         labels)`` sort happens once per row at export instead of on
-        every flush.
+        every flush — unless a live sink is attached
+        (:meth:`stream_to`), in which case the row is also rendered and
+        appended to the sink file immediately, byte-identical to what
+        :meth:`metrics_jsonl` would later export.
         """
         if not self.enabled:
             return
         started = time.perf_counter()
-        self.rows.append((sim_time, self.registry.collect_unsorted()))
+        row = (sim_time, self.registry.collect_unsorted())
+        self.rows.append(row)
         self.flushes += 1
+        if self._stream is not None:
+            self._stream.write(_render_row(row))
+            self._stream.flush()
         self.flush_wall_s += time.perf_counter() - started
 
+    def stream_to(self, path: Union[str, Path], append: bool = False) -> None:
+        """Attach a live JSONL sink: every flush appends its row to ``path``.
+
+        This is what the run-server worker uses so ``GET
+        /v1/jobs/<id>/metrics`` can serve rows *during* a run: the file
+        grows one line per flush, each line byte-identical to the
+        corresponding line of the end-of-run :meth:`metrics_jsonl`
+        export.  With ``append=True`` (a resumed run) existing rows are
+        kept and new ones are appended.  A no-op on a disabled bundle.
+        """
+        if not self.enabled:
+            return
+        if self._stream is not None:
+            self._stream.close()
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = open(target, "a" if append else "w", encoding="utf-8")
+
+    def close_stream(self) -> None:
+        """Detach and close the live JSONL sink, if one is attached."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
     def metrics_jsonl(self) -> str:
-        return "".join(
-            json.dumps({"t": sim_time,
-                        "metrics": [sample.as_dict() for sample in
-                                    sorted(samples, key=_sample_order)]})
-            + "\n"
-            for sim_time, samples in self.rows
-        )
+        return "".join(_render_row(row) for row in self.rows)
+
+    # -- checkpoint support --------------------------------------------------
+
+    def instruments_state(self) -> List[Dict[str, object]]:
+        """Registry instrument state for ``RunCheckpoint`` (empty when off)."""
+        if not self.enabled:
+            return []
+        return self.registry.instruments_state()
+
+    def restore_instruments(self, rows: List[Dict[str, object]]) -> None:
+        """Reinstall captured instrument state into a resumed run's registry,
+        so its metric rows continue exactly where the crashed run's left off."""
+        if self.enabled and rows:
+            self.registry.restore_instruments(rows)
 
     def last_snapshot(self) -> Dict[str, float]:
         """Flat ``{name: value}`` view of the newest flushed row."""
@@ -125,8 +167,26 @@ class Observability:
         metrics_path = out / "metrics.jsonl"
         trace_path = out / "trace.json"
         metrics_path.write_text(self.metrics_jsonl())
-        trace_path.write_text(json.dumps(self.tracer.chrome_trace()) + "\n")
+        self.write_trace(trace_path)
         return metrics_path, trace_path
+
+    def write_trace(self, path: Union[str, Path]) -> Path:
+        """Write just ``trace.json`` (the worker streams metrics live
+        and only needs the trace exported at the end of the run)."""
+        trace_path = Path(path)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(json.dumps(self.tracer.chrome_trace()) + "\n")
+        return trace_path
+
+
+def _render_row(row: Tuple[float, List[Sample]]) -> str:
+    """One metrics row as its canonical JSONL line (sorted samples)."""
+    sim_time, samples = row
+    return json.dumps(
+        {"t": sim_time,
+         "metrics": [sample.as_dict() for sample in
+                     sorted(samples, key=_sample_order)]}
+    ) + "\n"
 
 
 #: The obs-off bundle: shared, inert, and safe to hand to every engine.

@@ -276,6 +276,61 @@ class MetricsRegistry:
         rows.sort(key=_sample_order)
         return rows
 
+    # -- checkpoint support --------------------------------------------------
+
+    def instruments_state(self) -> List[Dict[str, object]]:
+        """JSON-able snapshot of every first-class instrument's state.
+
+        Collectors re-read their subsystems and need no capture, but the
+        registry-owned instruments (the queue-wait / retry histograms)
+        hold state nothing else does — without this, a crash-resumed run
+        would restart them from zero and its metric rows would diverge
+        from an uninterrupted run's.  Rides inside ``RunCheckpoint``.
+        """
+        rows: List[Dict[str, object]] = []
+        for (name, labels), instrument in self._instruments.items():
+            row: Dict[str, object] = {
+                "name": name,
+                "labels": [list(pair) for pair in labels],
+            }
+            if isinstance(instrument, Histogram):
+                row.update(kind="histogram",
+                           bounds=list(instrument.bounds),
+                           counts=list(instrument.counts),
+                           total=instrument.total,
+                           count=instrument.count)
+            elif isinstance(instrument, Gauge):
+                row.update(kind="gauge", value=instrument.value)
+            else:
+                row.update(kind="counter", value=instrument.value)
+            rows.append(row)
+        return rows
+
+    def restore_instruments(self,
+                            rows: Iterable[Mapping[str, object]]) -> None:
+        """Reinstall instrument state captured by :meth:`instruments_state`.
+
+        Get-or-create semantics: instruments the wiring already resolved
+        are updated in place (handles stay valid), unseen ones are
+        created — so restore order relative to wiring does not matter.
+        """
+        for row in rows:
+            labels = {str(key): value
+                      for key, value in row.get("labels", ())}  # type: ignore[union-attr]
+            name = str(row["name"])
+            kind = row.get("kind")
+            if kind == "histogram":
+                histogram = self.histogram(
+                    name, [float(b) for b in row["bounds"]],  # type: ignore[union-attr]
+                    **labels)
+                histogram.counts = [int(c) for c in row["counts"]]  # type: ignore[union-attr]
+                histogram.total = float(row["total"])  # type: ignore[arg-type]
+                histogram.count = int(row["count"])  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauge(name, **labels).value = float(row["value"])  # type: ignore[arg-type]
+            else:
+                self.counter(name, **labels).value = float(row["value"])  # type: ignore[arg-type]
+
     def __len__(self) -> int:
         return len(self._instruments)
 
@@ -320,6 +375,13 @@ class NullRegistry(MetricsRegistry):
 
     def collect(self) -> List[Sample]:
         return []
+
+    def instruments_state(self) -> List[Dict[str, object]]:
+        return []
+
+    def restore_instruments(self,
+                            rows: Iterable[Mapping[str, object]]) -> None:
+        pass
 
 
 #: Shared inert registry; safe because every operation is a no-op.

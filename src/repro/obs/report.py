@@ -21,7 +21,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from .invariants import DropBalance, drop_balance_from_metrics
 
-__all__ = ["load_rows", "render_report", "report_payload"]
+__all__ = ["flatten_row", "load_rows", "render_report", "report_payload"]
 
 #: Headline counters surfaced at the top of the human report, in order.
 _HEADLINES: Tuple[str, ...] = (
@@ -53,27 +53,52 @@ _SHARD_COLUMNS: Tuple[str, ...] = (
 )
 
 
-def load_rows(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Parse a metrics JSONL file into its snapshot rows."""
+def load_rows(path: Union[str, Path],
+              tolerant: bool = True) -> List[Dict[str, object]]:
+    """Parse a metrics JSONL file into its snapshot rows.
+
+    This is the *one* reader both consumers share: the ``repro.obs
+    report`` CLI and the run-server's ``GET /v1/jobs/<id>/metrics``
+    endpoint.  A live run appends to the file between flushes, so with
+    ``tolerant=True`` (the default) a **final** line that is not valid
+    JSON — or that is missing its terminating newline — is treated as a
+    partially-written flush and skipped.  Interior garbage and complete
+    lines with the wrong structure still raise: those are corruption,
+    not liveness.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    complete = text.endswith("\n")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
     rows: List[Dict[str, object]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
-            if not isinstance(row, dict) or "t" not in row or "metrics" not in row:
-                raise ValueError(
-                    f"{path}:{lineno}: snapshot rows need 't' and 'metrics' keys")
-            rows.append(row)
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        last = lineno == len(lines)
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerant and last:
+                break  # a flush caught mid-write; the row isn't durable yet
+            raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        if tolerant and last and not complete:
+            break  # parseable prefix of an unfinished line — not durable
+        if not isinstance(row, dict) or "t" not in row or "metrics" not in row:
+            raise ValueError(
+                f"{path}:{lineno}: snapshot rows need 't' and 'metrics' keys")
+        rows.append(row)
     return rows
 
 
-def _flatten(row: Mapping[str, object]) -> Dict[str, float]:
-    """``{name{label=value}: value}`` view of one snapshot row."""
+def flatten_row(row: Mapping[str, object]) -> Dict[str, float]:
+    """``{name{label=value}: value}`` view of one snapshot row.
+
+    Public because the run-server's ``?snapshot=1`` metrics view and the
+    report pipeline must agree on the flattening (it is the key format
+    :func:`repro.obs.invariants.drop_balance_from_metrics` consumes).
+    """
     flat: Dict[str, float] = {}
     metrics = row.get("metrics")
     if not isinstance(metrics, list):
@@ -143,7 +168,7 @@ def report_payload(rows: List[Dict[str, object]]) -> Dict[str, object]:
     if not rows:
         return {"error": "no snapshots in file", "drop_balance": None}
     last = rows[-1]
-    flat = _flatten(last)
+    flat = flatten_row(last)
     balance: Optional[DropBalance]
     try:
         balance = drop_balance_from_metrics(flat)
@@ -187,7 +212,7 @@ def render_report(rows: List[Dict[str, object]]) -> Tuple[str, bool]:
     if balance_dict is None:
         lines.append("  [drop-balance series missing from snapshot]")
     else:
-        flat = _flatten(last)
+        flat = flatten_row(last)
         balance = drop_balance_from_metrics(flat)
         holds = balance.holds
         lines.append(balance.table())

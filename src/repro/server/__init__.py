@@ -1,0 +1,31 @@
+"""``repro.server`` — the long-lived run-server control plane.
+
+``python -m repro.server --root DIR --port N`` serves the versioned
+``/v1`` REST API over a directory of jobs: submit a
+:class:`~repro.api.jobspec.JobSpec`, a worker subprocess trains it with
+checkpoints and live metrics wired into the job directory, and the
+lifecycle endpoints pause / resume / cancel / inspect it.  Because all
+job state is on disk, jobs survive worker kills *and* server restarts —
+resume replays from the newest epoch-boundary checkpoint, replay-exact.
+
+Layers: :mod:`~repro.server.jobs` (directories + worker processes),
+:mod:`~repro.server.worker` (the training subprocess),
+:mod:`~repro.server.http` (the REST surface).  Clients should use
+:class:`repro.api.RunClient` rather than raw HTTP.
+"""
+
+from .http import API_VERSION, RunServer, create_server
+from .jobs import (InvalidTransition, JobManager, UnknownJob, JOB_STATES,
+                   RESUMABLE_STATES, TERMINAL_STATES)
+
+__all__ = [
+    "API_VERSION",
+    "RunServer",
+    "create_server",
+    "JobManager",
+    "UnknownJob",
+    "InvalidTransition",
+    "JOB_STATES",
+    "RESUMABLE_STATES",
+    "TERMINAL_STATES",
+]

@@ -1,0 +1,51 @@
+"""CLI entry point: ``python -m repro.server --root DIR --port N``."""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import Optional, Sequence
+
+from .http import create_server
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve the /v1 job API over a run-server root directory.",
+    )
+    parser.add_argument("--root", default="run-server",
+                        help="directory holding jobs/ (created if missing; "
+                             "default: ./run-server)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="bind port, 0 for ephemeral (default: 8321)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request")
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    server = create_server(args.root, host=args.host, port=args.port)
+    print(f"run-server listening on {server.url} (root: {args.root})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        # Workers are killed (not drained): every job is designed to be
+        # resumed replay-exact from its newest checkpoint on restart.
+        server.shutdown_workers()
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

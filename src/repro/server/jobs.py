@@ -1,0 +1,348 @@
+"""Job directories, status records and the worker-process manager.
+
+Every job the run-server accepts lives in its own directory under
+``<root>/jobs/`` and is fully described by what's on disk:
+
+* ``spec.json`` — the *effective* :class:`~repro.api.jobspec.JobSpec`
+  (client payload + the server's control-plane overrides).  The worker
+  reads this, and resume re-reads the identical file, so a crashed and
+  a resumed worker are guaranteed the same inputs.
+* ``status.json`` — the reconciled lifecycle record (state, pid,
+  epochs completed, attempts, error).  Written atomically
+  (tmp + :func:`os.replace`) by whichever side owns the transition.
+* ``checkpoints/`` — a :class:`~repro.state.store.FileCheckpointStore`
+  the trainer writes epoch-boundary run checkpoints into.
+* ``metrics.jsonl`` — the live :mod:`repro.obs` stream
+  (``Observability.stream_to``), one row per flush.
+* ``result.json`` / ``final_state.npz`` / ``trace.json`` — written by
+  the worker on successful completion.
+* ``worker.log`` — the worker's combined stdout/stderr, append-mode
+  across attempts.
+
+Because the directory *is* the job, the manager itself is stateless
+apart from the ``Popen`` handles of workers it spawned: a restarted
+server pointed at the same root reconciles every job from disk (a
+``running`` record whose pid is gone becomes ``interrupted``) and can
+resume them.
+
+States: ``pending`` → ``running`` → {``paused``, ``interrupted``,
+``completed``, ``failed``, ``cancelled``}; ``paused`` / ``interrupted``
+/ ``failed`` → ``running`` again via resume.  Pause and cancel stop the
+worker with SIGKILL on purpose — the recovery contract is replay-exact
+resume from the newest epoch-boundary checkpoint, so a graceful
+shutdown path would only hide bugs in the brutal one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..api.jobspec import JobSpec
+
+__all__ = [
+    "InvalidTransition",
+    "JobManager",
+    "UnknownJob",
+    "read_json",
+    "write_json_atomic",
+    "JOB_STATES",
+    "RESUMABLE_STATES",
+    "TERMINAL_STATES",
+]
+
+#: Every state a status record may carry.
+JOB_STATES = ("pending", "running", "paused", "interrupted",
+              "completed", "failed", "cancelled")
+
+#: States a job can be resumed from (plus ``failed`` — a failed run may
+#: still hold intact checkpoints, and retrying it is the operator's call).
+RESUMABLE_STATES = ("paused", "interrupted", "failed")
+
+#: States with no outgoing transitions except nothing.
+TERMINAL_STATES = ("completed", "cancelled")
+
+#: Default control-plane cadences injected when the submitted config
+#: leaves them unset: sim-seconds between run checkpoints and between
+#: metric flushes.  Small enough that even a ``fast_debug`` job crosses
+#: several of each.
+_DEFAULT_CHECKPOINT_EVERY_S = 0.05
+_DEFAULT_OBS_FLUSH_EVERY_S = 0.05
+
+
+class UnknownJob(KeyError):
+    """No job directory with that id exists under this root."""
+
+
+class InvalidTransition(Exception):
+    """The requested lifecycle action is not legal from the job's state."""
+
+
+def read_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load one JSON object from ``path``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return payload
+
+
+def write_json_atomic(path: Union[str, Path], payload: Mapping[str, Any]) -> None:
+    """Write ``payload`` to ``path`` via tmp + rename — readers never see
+    a torn file, even across a kill -9 of the writer."""
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, target)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a non-child process (signal 0)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+def _slug(name: str) -> str:
+    kept = [ch if ch.isalnum() else "-" for ch in name.lower()]
+    collapsed = "".join(kept).strip("-")
+    while "--" in collapsed:
+        collapsed = collapsed.replace("--", "-")
+    return collapsed[:40] or "job"
+
+
+class JobManager:
+    """Owns the job directories under one root and the workers they run.
+
+    Thread-safe: the HTTP layer serves from a ``ThreadingHTTPServer``,
+    so every mutating path takes ``self._lock``.  All durable state is
+    on disk; the only in-memory extras are the ``Popen`` handles of
+    workers this process spawned (needed to reap children — a zombie
+    child would still answer ``os.kill(pid, 0)``).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._procs: Dict[str, subprocess.Popen[bytes]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Directory layout
+    # ------------------------------------------------------------------ #
+    def job_dir(self, job_id: str) -> Path:
+        path = self.jobs_dir / job_id
+        if not path.is_dir():
+            raise UnknownJob(job_id)
+        return path
+
+    def metrics_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "metrics.jsonl"
+
+    def _status_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "status.json"
+
+    def job_ids(self) -> List[str]:
+        return sorted(p.name for p in self.jobs_dir.iterdir() if p.is_dir())
+
+    def _next_job_id(self, name: str) -> str:
+        taken = 0
+        for existing in self.jobs_dir.iterdir():
+            head = existing.name.split("-", 2)
+            if len(head) >= 2 and head[0] == "job" and head[1].isdigit():
+                taken = max(taken, int(head[1]))
+        return f"job-{taken + 1:04d}-{_slug(name)}"
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def _effective_spec(self, spec: JobSpec, job_dir: Path) -> JobSpec:
+        """Apply the server's control-plane overrides to a submitted spec.
+
+        The server owns *where* artifacts live and guarantees the job is
+        recoverable and observable: checkpoints are redirected into the
+        job directory, observability is forced on (metrics stream to the
+        job's ``metrics.jsonl``; the worker exports the trace itself, so
+        ``obs_dir`` stays unset), and unset cadences get defaults.  The
+        result is persisted as ``spec.json`` — resume re-reads exactly
+        this config, and the twin tests rebuild from it.
+        """
+        overrides: Dict[str, Any] = {
+            "checkpoint_dir": str(job_dir / "checkpoints"),
+            "obs_enabled": True,
+            "obs_dir": None,
+        }
+        if spec.config.checkpoint_every_s is None:
+            overrides["checkpoint_every_s"] = _DEFAULT_CHECKPOINT_EVERY_S
+        if spec.config.obs_flush_every_s is None:
+            overrides["obs_flush_every_s"] = _DEFAULT_OBS_FLUSH_EVERY_S
+        return replace(spec, config=replace(spec.config, **overrides))
+
+    def submit(self, payload: Mapping[str, Any]) -> str:
+        """Validate a JobSpec payload, create its directory, start a worker.
+
+        Raises ``ValueError`` / ``TypeError`` (→ HTTP 400) before
+        anything touches disk, so a rejected submission leaves no trace.
+        """
+        spec = JobSpec.from_json_dict(payload)
+        with self._lock:
+            job_id = self._next_job_id(spec.name)
+            job_dir = self.jobs_dir / job_id
+            job_dir.mkdir(parents=True)
+            effective = self._effective_spec(spec, job_dir)
+            write_json_atomic(job_dir / "spec.json", effective.to_json_dict())
+            write_json_atomic(job_dir / "status.json", {
+                "job_id": job_id,
+                "name": spec.name,
+                "state": "pending",
+                "pid": None,
+                "epochs_completed": 0,
+                "epochs_total": effective.config.epochs,
+                "attempts": 0,
+                "error": None,
+            })
+            self._spawn_worker(job_id)
+        return job_id
+
+    # ------------------------------------------------------------------ #
+    # Worker processes
+    # ------------------------------------------------------------------ #
+    def _spawn_worker(self, job_id: str) -> None:
+        job_dir = self.job_dir(job_id)
+        env = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_dir if not existing
+                             else os.pathsep.join([src_dir, existing]))
+        log = open(job_dir / "worker.log", "ab")
+        try:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.server.worker", str(job_dir)],
+                stdout=log, stderr=subprocess.STDOUT, env=env,
+            )
+        finally:
+            log.close()
+        self._procs[job_id] = proc
+        status = read_json(self._status_path(job_id))
+        status.update(state="running", pid=proc.pid, error=None,
+                      attempts=int(status.get("attempts", 0)) + 1)
+        write_json_atomic(self._status_path(job_id), status)
+
+    def _worker_alive(self, job_id: str, pid: Optional[int]) -> bool:
+        proc = self._procs.get(job_id)
+        if proc is not None:
+            return proc.poll() is None  # also reaps — no zombie false-positives
+        if pid is None:
+            return False
+        return _pid_alive(int(pid))
+
+    def _kill_worker(self, job_id: str, pid: Optional[int]) -> None:
+        proc = self._procs.pop(job_id, None)
+        if proc is not None:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            return
+        if pid is not None and _pid_alive(int(pid)):
+            os.kill(int(pid), signal.SIGKILL)
+
+    # ------------------------------------------------------------------ #
+    # Status
+    # ------------------------------------------------------------------ #
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's reconciled status record.
+
+        Reconciliation is the crash detector: a record claiming
+        ``running`` whose worker process is gone means the worker died
+        without writing a terminal state (kill -9, OOM, power cut) —
+        the job becomes ``interrupted`` and is eligible for resume.
+        Works identically after a server restart, from disk alone.
+        """
+        with self._lock:
+            status = read_json(self._status_path(job_id))
+            if (status.get("state") == "running"
+                    and not self._worker_alive(job_id, status.get("pid"))):
+                status.update(state="interrupted", pid=None)
+                write_json_atomic(self._status_path(job_id), status)
+        return status
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return [self.status(job_id) for job_id in self.job_ids()]
+
+    def spec(self, job_id: str) -> Dict[str, Any]:
+        """The persisted *effective* JobSpec payload."""
+        return read_json(self.job_dir(job_id) / "spec.json")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        path = self.job_dir(job_id) / "result.json"
+        if not path.exists():
+            raise InvalidTransition(
+                f"job {job_id} has no result yet "
+                f"(state {self.status(job_id).get('state')!r})")
+        return read_json(path)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle actions
+    # ------------------------------------------------------------------ #
+    def pause(self, job_id: str) -> Dict[str, Any]:
+        """Stop the worker; the job stays resumable from its newest
+        epoch-boundary checkpoint (work past it is re-run on resume)."""
+        with self._lock:
+            status = self.status(job_id)
+            if status["state"] != "running":
+                raise InvalidTransition(
+                    f"cannot pause job in state {status['state']!r}")
+            self._kill_worker(job_id, status.get("pid"))
+            status = read_json(self._status_path(job_id))  # keep worker updates
+            status.update(state="paused", pid=None)
+            write_json_atomic(self._status_path(job_id), status)
+        return status
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        """Start a fresh worker that resumes from the checkpoint store
+        (or from scratch if no checkpoint was ever written)."""
+        with self._lock:
+            status = self.status(job_id)
+            if status["state"] not in RESUMABLE_STATES:
+                raise InvalidTransition(
+                    f"cannot resume job in state {status['state']!r} "
+                    f"(resumable: {', '.join(RESUMABLE_STATES)})")
+            self._spawn_worker(job_id)
+            status = read_json(self._status_path(job_id))
+        return status
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                raise InvalidTransition(
+                    f"cannot cancel job in state {status['state']!r}")
+            self._kill_worker(job_id, status.get("pid"))
+            status = read_json(self._status_path(job_id))
+            status.update(state="cancelled", pid=None)
+            write_json_atomic(self._status_path(job_id), status)
+        return status
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Kill every worker this process spawned (jobs stay resumable)."""
+        with self._lock:
+            for job_id in list(self._procs):
+                proc = self._procs.pop(job_id)
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)

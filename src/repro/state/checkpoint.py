@@ -403,6 +403,11 @@ class RunCheckpoint:
     #: ``None`` when the corresponding chaos mechanism is off.
     chaos_state: Optional[Dict[str, Any]] = None
     message_chaos_state: Optional[Dict[str, Any]] = None
+    #: Registry-owned obs instrument state (the queue-wait / retry
+    #: histograms — ``MetricsRegistry.instruments_state``): without it a
+    #: resumed run's metric rows would restart those series from zero
+    #: instead of continuing the crashed run's.  ``None`` with obs off.
+    obs_instruments: Optional[List[Dict[str, Any]]] = None
 
     def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         arrays: Dict[str, np.ndarray] = {}
@@ -458,6 +463,7 @@ class RunCheckpoint:
             "failure_state": self.failure_state,
             "chaos_state": self.chaos_state,
             "message_chaos_state": self.message_chaos_state,
+            "obs_instruments": self.obs_instruments,
         }
         return arrays, meta
 
@@ -517,4 +523,6 @@ class RunCheckpoint:
             # existed simply restore with chaos off.
             chaos_state=meta.get("chaos_state"),
             message_chaos_state=meta.get("message_chaos_state"),
+            # ``.get``: pre-obs-checkpoint stores resume with fresh streams.
+            obs_instruments=meta.get("obs_instruments"),
         )

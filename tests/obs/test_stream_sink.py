@@ -1,0 +1,157 @@
+"""The live JSONL sink, the tolerant shared reader, and instrument
+checkpointing — the obs pieces the run-server control plane rides on."""
+
+import json
+
+import pytest
+
+from obs_helpers import run_trainer
+
+from repro.obs.plane import Observability
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.report import load_rows
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+
+class TestStreamSink:
+    def test_streamed_file_matches_export_byte_for_byte(
+            self, tiny_split_spec, tiny_parts, normalize, tmp_path):
+        """Every flush appends exactly the line the end-of-run export
+        would contain — the property that lets the server serve
+        ``metrics.jsonl`` live with no separate counter layer."""
+        path = tmp_path / "metrics.jsonl"
+        config_overrides = dict(obs_enabled=True, obs_flush_every_s=0.005)
+        from repro.core.config import TrainingConfig
+        from repro.core.trainer import SpatioTemporalTrainer
+        trainer = SpatioTemporalTrainer(
+            tiny_split_spec, tiny_parts,
+            TrainingConfig.fast_debug(max_queue_size=1,
+                                      queue_backpressure="drop",
+                                      reliable_delivery=True,
+                                      **config_overrides),
+            train_transform=normalize)
+        trainer.obs.stream_to(path)
+        trainer.train()
+        trainer.obs.close_stream()
+        assert path.read_bytes() == trainer.obs.metrics_jsonl().encode()
+        assert trainer.obs.flushes == len(path.read_text().splitlines())
+
+    def test_append_mode_keeps_existing_rows(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        bundle = Observability(MetricsRegistry(), NULL_TRACER, enabled=True)
+        bundle.registry.counter("x").inc(1.0)
+        bundle.stream_to(path)
+        bundle.flush(sim_time=0.5)
+        bundle.close_stream()
+        first = path.read_bytes()
+
+        fresh = Observability(MetricsRegistry(), NULL_TRACER, enabled=True)
+        fresh.registry.counter("x").inc(2.0)
+        fresh.stream_to(path, append=True)
+        fresh.flush(sim_time=1.0)
+        fresh.close_stream()
+        content = path.read_bytes()
+        assert content.startswith(first)
+        assert len(content.splitlines()) == 2
+
+    def test_stream_to_is_noop_when_disabled(self, tmp_path):
+        bundle = Observability(NULL_REGISTRY, NULL_TRACER, enabled=False)
+        bundle.stream_to(tmp_path / "metrics.jsonl")
+        bundle.flush(sim_time=0.5)
+        bundle.close_stream()
+        assert not (tmp_path / "metrics.jsonl").exists()
+
+
+class TestTolerantReader:
+    def rows(self, *ts):
+        return "".join(json.dumps({"t": t, "metrics": []}) + "\n" for t in ts)
+
+    def test_tolerates_torn_trailing_line(self, tmp_path):
+        """``load_rows`` backs both ``repro.obs report`` and the server's
+        metrics endpoint; a flush caught mid-write must not break either."""
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(self.rows(0.1, 0.2) + '{"t": 0.3, "met')
+        rows = load_rows(str(path), tolerant=True)
+        assert [row["t"] for row in rows] == [0.1, 0.2]
+
+    def test_tolerates_missing_trailing_newline(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(self.rows(0.1) + json.dumps({"t": 0.2, "metrics": []}))
+        rows = load_rows(str(path), tolerant=True)
+        assert [row["t"] for row in rows] == [0.1]
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(self.rows(0.1) + "garbage\n" + self.rows(0.2))
+        with pytest.raises(ValueError):
+            load_rows(str(path), tolerant=True)
+
+
+class TestInstrumentCheckpointing:
+    def populated_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.drops", reason="queue_full").inc(4.0)
+        registry.gauge("engine.inflight").set(2.0)
+        histogram = registry.histogram("engine.queue_wait_seconds",
+                                       (0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        return registry
+
+    def test_round_trip_restores_every_instrument_kind(self):
+        source = self.populated_registry()
+        target = MetricsRegistry()
+        target.restore_instruments(source.instruments_state())
+        original = [s.as_dict() for s in source.collect()]
+        restored = [s.as_dict() for s in target.collect()]
+        assert restored == original
+
+    def test_restore_merges_into_wired_instruments(self):
+        """Restore order vs wiring order must not matter: the engine
+        creates its histograms at construction, the checkpoint restore
+        happens after — the state has to land in the same objects."""
+        source = self.populated_registry()
+        target = MetricsRegistry()
+        wired = target.histogram("engine.queue_wait_seconds",
+                                 (0.1, 1.0, 10.0))  # pre-wired, empty
+        target.restore_instruments(source.instruments_state())
+        assert wired.count == 4
+        assert wired.total == pytest.approx(55.55)
+
+    def test_resumed_run_continues_histogram_series(
+            self, tiny_split_spec, tiny_parts, normalize, tmp_path):
+        """Trainer-level: a resumed run's registry picks up the crashed
+        run's instrument totals (via RunCheckpoint.obs_instruments), so
+        its next flushed row continues the series instead of restarting
+        the counts from zero."""
+        from repro.core.config import TrainingConfig
+        from repro.core.trainer import SpatioTemporalTrainer
+        from repro.state import FileCheckpointStore
+
+        common = dict(max_queue_size=1, queue_backpressure="drop",
+                      reliable_delivery=True, obs_enabled=True,
+                      obs_flush_every_s=0.005, checkpoint_every_s=0.005,
+                      epochs=3)
+        reference = SpatioTemporalTrainer(
+            tiny_split_spec, tiny_parts,
+            TrainingConfig.fast_debug(checkpoint_dir=str(tmp_path / "ref"),
+                                      **common),
+            train_transform=normalize)
+        reference.train()
+
+        interrupted = SpatioTemporalTrainer(
+            tiny_split_spec, tiny_parts,
+            TrainingConfig.fast_debug(checkpoint_dir=str(tmp_path / "crash"),
+                                      **common),
+            train_transform=normalize)
+        interrupted.train(epochs=1)  # dies after one epoch
+        resumed = SpatioTemporalTrainer.resume_from_store(
+            FileCheckpointStore(tmp_path / "crash"), tiny_split_spec,
+            tiny_parts, train_transform=normalize)
+        resumed.train()
+
+        snapshot = resumed.obs.last_snapshot()
+        for name, value in reference.obs.last_snapshot().items():
+            if name.startswith("perf."):
+                continue  # process-scoped op counters, not replayable
+            assert snapshot[name] == pytest.approx(value, abs=1e-9), name
